@@ -1,0 +1,161 @@
+//! Criterion microbenchmarks for the performance-critical substrates:
+//! codec encode/decode, SHA-1/key hashing, routing-table lookups, the
+//! symmetric hash join, QRP Bloom filters, the tokenizer, Zipf sampling,
+//! and the analytical model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pier_dht::{Contact, Key, RoutingTable};
+use pier_gnutella::QrpFilter;
+use pier_netsim::{stream_rng, NodeId, SimTime};
+use pier_qp::ops::SymmetricHashJoin;
+use pier_qp::{Tuple, Value};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let tuple = Tuple::new(vec![
+        Value::Str("led_zeppelin_stairway_to_heaven.mp3".into()),
+        Value::Key(Key::hash(b"file")),
+        Value::Int(4_200_000),
+    ]);
+    let bytes = tuple.encode();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_item_tuple", |b| b.iter(|| black_box(&tuple).encode()));
+    g.bench_function("decode_item_tuple", |b| {
+        b.iter(|| Tuple::decode(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_keys(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht_keys");
+    g.bench_function("sha1_key_from_keyword", |b| {
+        b.iter(|| Key::hash_str(black_box("zeppelin")))
+    });
+    let a = Key::hash(b"a");
+    let t = Key::hash(b"t");
+    g.bench_function("xor_distance_cmp", |b| {
+        let bkey = Key::hash(b"b");
+        b.iter(|| black_box(a.distance(&t)) < black_box(bkey.distance(&t)))
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let local = Contact::for_node(NodeId::new(0));
+    let mut table = RoutingTable::new(local, 20);
+    for i in 1..5_000u32 {
+        table.observe(Contact::for_node(NodeId::new(i)), SimTime::ZERO);
+    }
+    let target = Key::hash(b"lookup-target");
+    let mut g = c.benchmark_group("routing_table");
+    g.bench_function("closest_20_of_5000", |b| {
+        b.iter(|| table.closest(black_box(&target), 20))
+    });
+    g.bench_function("next_hop", |b| b.iter(|| table.next_hop(black_box(&target))));
+    g.finish();
+}
+
+fn bench_shj(c: &mut Criterion) {
+    let make_side = |n: usize, stride: usize| -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Key(Key::hash(format!("f{}", i * stride).as_bytes())),
+                    Value::Int(i as i64),
+                ])
+            })
+            .collect()
+    };
+    let left = make_side(1_000, 1);
+    let right = make_side(1_000, 2); // half overlap
+    let mut g = c.benchmark_group("symmetric_hash_join");
+    g.throughput(Throughput::Elements(2_000));
+    g.bench_function("join_1k_x_1k", |b| {
+        b.iter_batched(
+            || (left.clone(), right.clone()),
+            |(l, r)| {
+                let mut shj = SymmetricHashJoin::new(0, 0);
+                let mut out = 0usize;
+                for t in l {
+                    out += shj.push_left(t).len();
+                }
+                for t in r {
+                    out += shj.push_right(t).len();
+                }
+                out
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_qrp(c: &mut Criterion) {
+    let mut filter = QrpFilter::with_defaults();
+    for i in 0..500 {
+        filter.insert(&format!("term{i}"));
+    }
+    let query: Vec<String> = vec!["term42".into(), "term123".into()];
+    let mut g = c.benchmark_group("qrp_bloom");
+    g.bench_function("matches_all_2_terms", |b| {
+        b.iter(|| filter.matches_all(black_box(&query)))
+    });
+    g.bench_function("insert", |b| {
+        let mut f2 = QrpFilter::with_defaults();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            f2.insert(black_box(&format!("w{i}")));
+        })
+    });
+    g.finish();
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let name = "The_Led-Zeppelin.Stairway.To.Heaven.Live.1975.remaster.MP3";
+    let mut g = c.benchmark_group("tokenize");
+    g.bench_function("piersearch_keywords", |b| {
+        b.iter(|| piersearch::tokenize::keywords(black_box(name)))
+    });
+    g.bench_function("gnutella_tokens", |b| {
+        b.iter(|| pier_gnutella::tokenize(black_box(name)))
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let zipf = pier_workload::zipf::Zipf::new(38_900, 1.0);
+    let mut rng = stream_rng(1, 1);
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("zipf_sample_38900", |b| b.iter(|| zipf.sample(&mut rng)));
+    g.bench_function("word_generation", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            pier_workload::words::word(black_box(i))
+        })
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    g.bench_function("pf_gnutella_75k_15pct", |b| {
+        b.iter(|| pier_model::pf_gnutella(black_box(75_129), black_box(11_269), black_box(3)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_keys,
+    bench_routing,
+    bench_shj,
+    bench_qrp,
+    bench_tokenize,
+    bench_workload,
+    bench_model
+);
+criterion_main!(benches);

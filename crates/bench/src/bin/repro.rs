@@ -1,0 +1,78 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all            # everything (also what EXPERIMENTS.md records)
+//! repro fig4 … fig15   # a single figure
+//! repro sec5-posting   # §5 posting-list replay
+//! repro sec7-deploy    # §7 deployment (micro costs + 50-node run)
+//! repro crawl          # §4.1 crawl snapshot (also part of fig8)
+//! repro model-params   # Tables 1 & 2 glossary
+//! ```
+//!
+//! `REPRO_SCALE=full` switches to paper-magnitude workloads.
+
+use pier_bench::experiments::{ablations, fig8, figs13to15, figs4to7, figs9to12, model_params, sec5_posting, sec7_deploy};
+use pier_bench::output::Table;
+use pier_bench::Scale;
+
+fn emit(tables: Vec<Table>, csv_prefix: &str) {
+    for (i, t) in tables.iter().enumerate() {
+        t.print();
+        let name = format!("{csv_prefix}_{i}");
+        match t.write_csv(&name) {
+            Ok(path) => println!("  → {}", path.display()),
+            Err(e) => eprintln!("  (csv write failed: {e})"),
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    println!("repro: running '{what}' at {scale:?} scale (REPRO_SCALE=full for paper magnitudes)");
+
+    let t0 = std::time::Instant::now();
+    match what {
+        "fig4" | "fig5" | "fig6" | "fig7" | "figs4-7" => {
+            emit(figs4to7::run(scale), "figs4to7");
+        }
+        "fig8" | "crawl" => {
+            emit(fig8::run(scale).tables, "fig8");
+        }
+        "fig9" | "fig10" | "fig11" | "fig12" | "figs9-12" => {
+            emit(figs9to12::run(scale), "figs9to12");
+        }
+        "fig13" | "fig14" | "fig15" | "figs13-15" => {
+            emit(figs13to15::run(scale), "figs13to15");
+        }
+        "sec5-posting" => {
+            emit(sec5_posting::run(scale), "sec5_posting");
+        }
+        "sec7-deploy" => {
+            emit(sec7_deploy::run(scale).tables, "sec7_deploy");
+        }
+        "model-params" | "table1" | "table2" => {
+            emit(model_params(), "model_params");
+        }
+        "ablations" | "ablation-timeout" => {
+            emit(ablations::run(scale), "ablations");
+        }
+        "all" => {
+            emit(figs4to7::run(scale), "figs4to7");
+            emit(fig8::run(scale).tables, "fig8");
+            emit(figs9to12::run(scale), "figs9to12");
+            emit(figs13to15::run(scale), "figs13to15");
+            emit(sec5_posting::run(scale), "sec5_posting");
+            emit(sec7_deploy::run(scale).tables, "sec7_deploy");
+            emit(model_params(), "model_params");
+            emit(ablations::run(scale), "ablations");
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("known: fig4..fig15, fig8, crawl, sec5-posting, sec7-deploy, model-params, ablations, all");
+            std::process::exit(2);
+        }
+    }
+    println!("\nrepro: done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,245 @@
+//! Ablations beyond the paper's figures.
+//!
+//! 1. **Timeout sweep** — §7 closes with "we plan to study the tradeoffs
+//!    between the timeout and query workload": a shorter Gnutella timeout
+//!    improves rare-item latency but re-issues more queries into the DHT.
+//!    This experiment is that study, on the simulated deployment.
+//! 2. **Flat flooding vs. dynamic querying** — the §4 design choice: the
+//!    pre-2003 flat flood burns messages on popular queries; dynamic
+//!    querying saves them at the price of rare-item latency.
+
+use crate::lab::Scale;
+use crate::output::{f, s, Table};
+use pier_dht::DhtConfig;
+use pier_gnutella::{spawn, FileMeta, QueryOrigin, Topology, TopologyConfig, UltrapeerNode};
+use pier_hybrid::{deploy, HybridConfig, HybridUp, RareScheme};
+use pier_netsim::{Sim, SimConfig, SimDuration, UniformLatency};
+use pier_workload::{Catalog, CatalogConfig, QueryConfig, QueryTrace};
+
+/// Sweep the hybrid Gnutella-timeout and measure, per setting: average
+/// time-to-first-result over rare queries, and the fraction of queries
+/// re-issued into the DHT (the extra load the timeout gates).
+pub fn timeout_sweep(scale: Scale) -> Table {
+    let (ups, hybrid_ups, leaves, distinct, queries) = match scale {
+        Scale::Quick => (80usize, 16usize, 1_600usize, 3_200usize, 60usize),
+        Scale::Full => (240, 48, 4_800, 9_600, 200),
+    };
+    let timeouts_s = [5u64, 10, 20, 30, 45];
+    let mut t = Table::new(
+        "Ablation: hybrid timeout vs rare-item latency and DHT load (the paper's stated future work)",
+        &["timeout_s", "avg_first_result_s", "pct_queries_to_dht", "found_pct"],
+    );
+    for &timeout in &timeouts_s {
+        let cfg = SimConfig::with_seed(0xAB1A + timeout).latency(UniformLatency::new(
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(80),
+        ));
+        let mut sim = Sim::new(cfg);
+        let topo = Topology::generate(&TopologyConfig {
+            ultrapeers: ups,
+            leaves,
+            old_style_fraction: 0.3,
+            leaf_ups: 2,
+            seed: 0xAB1A,
+        });
+        let catalog = Catalog::generate(CatalogConfig {
+            hosts: leaves,
+            distinct_files: distinct,
+            max_replicas: (leaves / 10).max(50),
+            vocab: (distinct / 3).max(400),
+            phrases: (distinct / 8).max(120),
+            seed: 0xAB1B,
+            ..Default::default()
+        });
+        let trace = QueryTrace::generate(
+            &catalog,
+            QueryConfig { queries, seed: 0xAB1C, ..Default::default() },
+        );
+        let leaf_files: Vec<Vec<FileMeta>> = catalog
+            .host_files
+            .iter()
+            .map(|fs| {
+                fs.iter()
+                    .map(|&fi| FileMeta::new(&catalog.files[fi as usize].name, fi as u64))
+                    .collect()
+            })
+            .collect();
+        let deployment = deploy::spawn(
+            &mut sim,
+            &topo,
+            leaf_files,
+            &deploy::DeploymentConfig {
+                hybrid_ups,
+                hybrid: HybridConfig {
+                    timeout: SimDuration::from_secs(timeout),
+                    publish_interval: SimDuration::from_millis(500),
+                    browse_leaves: true,
+                    ..Default::default()
+                },
+                dht: DhtConfig::test(),
+            },
+            |_| RareScheme::sam(3),
+        );
+        // Index via BrowseHost, then query from hybrid vantages.
+        sim.run_for(SimDuration::from_secs(200));
+        let mut tracked = Vec::new();
+        for (i, q) in trace.queries.iter().enumerate() {
+            let v = deployment.hybrid_ups[i % deployment.hybrid_ups.len()];
+            let text = q.text();
+            let idx =
+                sim.with_actor_ctx::<HybridUp, _>(v, |up, ctx| up.start_hybrid_query(ctx, &text));
+            tracked.push((v, idx));
+            sim.run_for(SimDuration::from_millis(800));
+        }
+        sim.run_for(SimDuration::from_secs(timeout + 120));
+
+        let mut first = Vec::new();
+        let mut to_dht = 0u64;
+        let mut found = 0u64;
+        for (v, idx) in &tracked {
+            let st = sim.actor::<HybridUp>(*v).stats[*idx].clone();
+            if st.pier_issued_at.is_some() {
+                to_dht += 1;
+            }
+            let earliest = match (st.gnutella_first, st.pier_first) {
+                (Some(g), Some(p)) => Some(g.min(p)),
+                (a, b) => a.or(b),
+            };
+            if let Some(e) = earliest {
+                found += 1;
+                first.push((e - st.issued_at).as_secs_f64());
+            }
+        }
+        let n = tracked.len() as f64;
+        t.row(vec![
+            s(timeout),
+            f(first.iter().sum::<f64>() / first.len().max(1) as f64, 2),
+            f(100.0 * to_dht as f64 / n, 1),
+            f(100.0 * found as f64 / n, 1),
+        ]);
+    }
+    t
+}
+
+/// Flat TTL-4 flooding vs. dynamic querying: message cost and recall for a
+/// popular and a rare query, from the same vantage.
+pub fn flood_vs_dynamic(scale: Scale) -> Table {
+    let (ups, leaves) = match scale {
+        Scale::Quick => (150usize, 3_000usize),
+        Scale::Full => (333, 10_000),
+    };
+    let mut t = Table::new(
+        "Ablation: flat flooding vs dynamic querying (messages / results / first-result latency)",
+        &["strategy", "query", "messages", "results", "first_result_s"],
+    );
+    for dynamic in [false, true] {
+        let cfg = SimConfig::with_seed(0xF100D).latency(UniformLatency::new(
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(80),
+        ));
+        let mut sim = Sim::new(cfg);
+        let topo = Topology::generate(&TopologyConfig {
+            ultrapeers: ups,
+            leaves,
+            old_style_fraction: 0.3,
+            leaf_ups: 2,
+            seed: 0xF100D,
+        });
+        let mut leaf_files: Vec<Vec<FileMeta>> = (0..leaves)
+            .map(|j| {
+                if j % 5 == 0 {
+                    vec![FileMeta::new("popular_evergreen.mp3", 1)]
+                } else {
+                    vec![FileMeta::new(&format!("filler_{j}.bin"), 1)]
+                }
+            })
+            .collect();
+        leaf_files[leaves - 1].push(FileMeta::new("rare_single_copy.mp3", 2));
+        let handles = spawn(&mut sim, &topo, vec![Vec::new(); ups], leaf_files);
+        sim.run_for(SimDuration::from_secs(3));
+
+        for (label, terms) in [("popular", "popular evergreen"), ("rare", "rare single copy")] {
+            let before = sim.metrics().counter("gnutella.query").count;
+            let vantage = handles.ups[7];
+            let issued = sim.now();
+            let guid = sim.with_actor_ctx::<UltrapeerNode, _>(vantage, |up, ctx| {
+                let mut net = pier_gnutella::CtxGnutellaNet { ctx };
+                if dynamic {
+                    up.core.start_query(&mut net, terms, QueryOrigin::Driver)
+                } else {
+                    up.core.start_flood_query(&mut net, terms)
+                }
+            });
+            sim.run_for(SimDuration::from_secs(120));
+            let msgs = sim.metrics().counter("gnutella.query").count - before;
+            let rec = sim
+                .actor_mut::<UltrapeerNode>(vantage)
+                .core
+                .take_query(guid)
+                .expect("registered");
+            let lat = rec
+                .first_hit_at
+                .map(|tm| format!("{:.2}", (tm - issued).as_secs_f64()))
+                .unwrap_or_else(|| "-".into());
+            t.row(vec![
+                s(if dynamic { "dynamic" } else { "flood-ttl4" }),
+                s(label),
+                s(msgs),
+                s(rec.hits.len()),
+                lat,
+            ]);
+        }
+    }
+    t
+}
+
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![timeout_sweep(scale), flood_vs_dynamic(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_tradeoff_shape() {
+        let t = timeout_sweep(Scale::Quick);
+        assert_eq!(t.rows.len(), 5);
+        // Longer timeouts must not send MORE queries to the DHT (more time
+        // for Gnutella to produce a first hit).
+        let dht_frac: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(
+            *dht_frac.last().unwrap() <= dht_frac.first().unwrap() + 1e-9,
+            "DHT load must not grow with the timeout: {dht_frac:?}"
+        );
+        // Everything is eventually found at every setting (hybrid's point).
+        for r in &t.rows {
+            let found: f64 = r[3].parse().unwrap();
+            assert!(found > 80.0, "found% too low: {found}");
+        }
+    }
+
+    #[test]
+    fn flood_burns_more_messages_on_popular_queries() {
+        let t = flood_vs_dynamic(Scale::Quick);
+        let get = |strategy: &str, query: &str, col: usize| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == strategy && r[1] == query)
+                .unwrap()[col]
+                .parse()
+                .unwrap()
+        };
+        // Popular query: the flat flood sends many times the messages of a
+        // dynamic query that stops at its result target.
+        let flood_msgs = get("flood-ttl4", "popular", 2);
+        let dyn_msgs = get("dynamic", "popular", 2);
+        assert!(
+            flood_msgs > dyn_msgs * 2.0,
+            "flood {flood_msgs} should dwarf dynamic {dyn_msgs} for popular content"
+        );
+        // Both find plenty of popular results.
+        assert!(get("dynamic", "popular", 3) > 10.0);
+        assert!(get("flood-ttl4", "popular", 3) > 10.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Figures 9–12 (§6.2): the analytical model driven by the calibrated
+//! trace — PF-threshold, publishing overhead, and QR/QDR versus the
+//! replica threshold, at search horizons of 5/15/30%.
+
+use crate::lab::Scale;
+use crate::output::{f, s, Table};
+use pier_model::{pf_threshold_curve, threshold_sweep, TraceView};
+use pier_workload::{Catalog, CatalogConfig, Evaluator, QueryConfig, QueryTrace};
+
+/// Build the §6.2 trace view (catalog + query ground truth).
+pub fn trace_view(scale: Scale) -> (Catalog, QueryTrace, TraceView) {
+    let cfg = match scale {
+        Scale::Quick => CatalogConfig {
+            hosts: 8_000,
+            distinct_files: 20_000,
+            max_replicas: 800,
+            vocab: 6_000,
+            phrases: 2_000,
+            seed: 0x962,
+            ..Default::default()
+        },
+        // The paper's §6.2 trace: 315,546 instances at 75,129 hosts.
+        Scale::Full => CatalogConfig {
+            hosts: 75_129,
+            distinct_files: 150_000,
+            max_replicas: 3_000,
+            vocab: 38_900,
+            phrases: 12_000,
+            seed: 0x962,
+            ..Default::default()
+        },
+    };
+    let catalog = Catalog::generate(cfg);
+    let queries = match scale {
+        Scale::Quick => 350,
+        Scale::Full => 350,
+    };
+    let trace = QueryTrace::generate(
+        &catalog,
+        QueryConfig { queries, seed: 0x1962, ..Default::default() },
+    );
+    let eval = Evaluator::new(&catalog);
+    let view = TraceView {
+        replicas: catalog.replica_counts(),
+        queries: trace.queries.iter().map(|q| eval.eval(q).files).collect(),
+        hosts: catalog.config.hosts as u64,
+    };
+    (catalog, trace, view)
+}
+
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (catalog, _trace, view) = trace_view(scale);
+    let horizons = [0.05, 0.15, 0.30];
+
+    // Figure 9.
+    let mut t9 = Table::new(
+        "Figure 9: PF-threshold vs replica threshold",
+        &["replica_threshold", "h=5%", "h=15%", "h=30%"],
+    );
+    let curves: Vec<_> = horizons
+        .iter()
+        .map(|&h| pf_threshold_curve(view.hosts, h, 0..=20))
+        .collect();
+    for i in 0..=20usize {
+        t9.row(vec![
+            s(i),
+            f(curves[0][i].pf_threshold, 3),
+            f(curves[1][i].pf_threshold, 3),
+            f(curves[2][i].pf_threshold, 3),
+        ]);
+    }
+
+    // Figures 10–12 share the threshold sweep.
+    let thresholds: Vec<u32> = (0..=10).chain([12, 15, 20]).collect();
+    let sweeps: Vec<_> =
+        horizons.iter().map(|&h| threshold_sweep(&view, h, thresholds.clone())).collect();
+
+    let mut t10 = Table::new(
+        "Figure 10: publishing overhead vs replica threshold (paper: 23% at t=1)",
+        &["replica_threshold", "published_pct_items"],
+    );
+    for p in &sweeps[0] {
+        t10.row(vec![s(p.replica_threshold), f(100.0 * p.overhead, 1)]);
+    }
+
+    let mut t11 = Table::new(
+        "Figure 11: average QR vs replica threshold (paper t=1: 47/52/61%)",
+        &["replica_threshold", "h=5%", "h=15%", "h=30%"],
+    );
+    let mut t12 = Table::new(
+        "Figure 12: average QDR vs replica threshold (paper t=2,h=15%: ~93%)",
+        &["replica_threshold", "h=5%", "h=15%", "h=30%"],
+    );
+    for i in 0..thresholds.len() {
+        t11.row(vec![
+            s(sweeps[0][i].replica_threshold),
+            f(100.0 * sweeps[0][i].avg_qr, 1),
+            f(100.0 * sweeps[1][i].avg_qr, 1),
+            f(100.0 * sweeps[2][i].avg_qr, 1),
+        ]);
+        t12.row(vec![
+            s(sweeps[0][i].replica_threshold),
+            f(100.0 * sweeps[0][i].avg_qdr, 1),
+            f(100.0 * sweeps[1][i].avg_qdr, 1),
+            f(100.0 * sweeps[2][i].avg_qdr, 1),
+        ]);
+    }
+
+    let _ = catalog;
+    vec![t9, t10, t11, t12]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_model_figures_match_paper_anchors() {
+        let tables = run(Scale::Quick);
+        let (t9, t10, t11, t12) = (&tables[0], &tables[1], &tables[2], &tables[3]);
+
+        // Fig 9: monotone rising, diminishing, horizon-ordered.
+        let col = |t: &Table, r: usize, c: usize| -> f64 { t.rows[r][c].parse().unwrap() };
+        for r in 1..t9.rows.len() {
+            for c in 1..=3 {
+                assert!(col(t9, r, c) >= col(t9, r - 1, c));
+            }
+            assert!(col(t9, r, 1) < col(t9, r, 2));
+            assert!(col(t9, r, 2) < col(t9, r, 3));
+        }
+
+        // Fig 10: the 23% anchor at threshold 1 (calibrated ±3pp).
+        let pub_at_1 = col(t10, 1, 1);
+        assert!((pub_at_1 - 23.0).abs() < 3.0, "overhead at t=1: {pub_at_1}%");
+
+        // Fig 11: t=0 equals the horizon; t=1 jumps far above it.
+        assert!((col(t11, 0, 1) - 5.0).abs() < 0.5);
+        assert!((col(t11, 0, 3) - 30.0).abs() < 0.5);
+        let qr1_h5 = col(t11, 1, 1);
+        assert!(qr1_h5 > 25.0, "QR at t=1,h=5% must jump well above 5%: {qr1_h5}");
+        // Horizon ordering per row.
+        for r in 0..t11.rows.len() {
+            assert!(col(t11, r, 1) <= col(t11, r, 2) + 1e-9);
+            assert!(col(t11, r, 2) <= col(t11, r, 3) + 1e-9);
+        }
+
+        // Fig 12: QDR ≥ QR everywhere; very high already at t=2 (paper 93%).
+        for r in 0..t12.rows.len() {
+            for c in 1..=3 {
+                assert!(col(t12, r, c) >= col(t11, r, c) - 1e-9);
+            }
+        }
+        let qdr2_h15 = col(t12, 2, 2);
+        assert!(qdr2_h15 > 70.0, "QDR at t=2,h=15%: {qdr2_h15}");
+    }
+}

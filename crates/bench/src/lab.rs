@@ -1,0 +1,205 @@
+//! The "Gnutella measurement lab": a simulated network carrying a
+//! calibrated synthetic corpus, with query injection from vantage
+//! ultrapeers — the apparatus behind Figures 4–7.
+
+use pier_gnutella::{
+    spawn, FileMeta, GnutellaHandles, GnutellaMsg, Guid, QueryOrigin, Topology, TopologyConfig,
+    UltrapeerNode,
+};
+use pier_netsim::{NodeId, Sim, SimConfig, SimDuration, SimTime, UniformLatency};
+use pier_workload::{Catalog, CatalogConfig, Evaluator, Query, QueryConfig, QueryTrace};
+use std::collections::HashSet;
+
+/// Experiment scale. `Quick` keeps `cargo bench` under a few minutes;
+/// `Full` approaches the paper's magnitudes where feasible.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    pub fn from_env() -> Scale {
+        match std::env::var("REPRO_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// Lab parameters per scale.
+pub struct LabConfig {
+    pub ultrapeers: usize,
+    pub leaves: usize,
+    pub distinct_files: usize,
+    pub queries: usize,
+    pub vantages: usize,
+    pub seed: u64,
+}
+
+impl LabConfig {
+    pub fn at(scale: Scale) -> LabConfig {
+        match scale {
+            Scale::Quick => LabConfig {
+                ultrapeers: 120,
+                leaves: 2_400,
+                distinct_files: 5_000,
+                queries: 160,
+                vantages: 10,
+                seed: 0x6AB,
+            },
+            Scale::Full => LabConfig {
+                ultrapeers: 333,
+                leaves: 10_000,
+                distinct_files: 20_000,
+                queries: 700,
+                vantages: 30,
+                seed: 0x6AB,
+            },
+        }
+    }
+}
+
+/// Results of one query from one vantage.
+#[derive(Clone, Debug)]
+pub struct VantageResult {
+    /// Distinct (filename, host) replica pairs returned.
+    pub results: Vec<(String, NodeId)>,
+    pub first_hit: Option<SimDuration>,
+}
+
+/// The lab: simulation + ground truth.
+pub struct Lab {
+    pub sim: Sim<GnutellaMsg>,
+    pub handles: GnutellaHandles,
+    pub catalog: Catalog,
+    pub trace: QueryTrace,
+    pub vantages: Vec<NodeId>,
+    cfg: LabConfig,
+}
+
+impl Lab {
+    /// Build the network, place the catalog on the leaves, pick vantage
+    /// ultrapeers.
+    pub fn build(cfg: LabConfig) -> Lab {
+        let topo = Topology::generate(&TopologyConfig {
+            ultrapeers: cfg.ultrapeers,
+            leaves: cfg.leaves,
+            old_style_fraction: 0.3,
+            leaf_ups: 2,
+            seed: cfg.seed,
+        });
+        let catalog = Catalog::generate(CatalogConfig {
+            hosts: cfg.leaves,
+            distinct_files: cfg.distinct_files,
+            max_replicas: (cfg.leaves / 10).max(50),
+            vocab: (cfg.distinct_files / 3).max(500),
+            phrases: (cfg.distinct_files / 8).max(200),
+            seed: cfg.seed ^ 0xCAFE,
+            ..Default::default()
+        });
+        let trace = QueryTrace::generate(
+            &catalog,
+            QueryConfig { queries: cfg.queries, seed: cfg.seed ^ 0xBEEF, ..Default::default() },
+        );
+        let leaf_files: Vec<Vec<FileMeta>> = catalog
+            .host_files
+            .iter()
+            .map(|files| {
+                files
+                    .iter()
+                    .map(|&fi| {
+                        let f = &catalog.files[fi as usize];
+                        FileMeta::new(&f.name, 1_000_000 + fi as u64)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let sim_cfg = SimConfig::with_seed(cfg.seed).latency(UniformLatency::new(
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(90),
+        ));
+        let mut sim = Sim::new(sim_cfg);
+        let handles = spawn(&mut sim, &topo, vec![Vec::new(); cfg.ultrapeers], leaf_files);
+        // QRP propagation.
+        sim.run_for(SimDuration::from_secs(3));
+
+        let vantages: Vec<NodeId> =
+            handles.ups.iter().copied().step_by(cfg.ultrapeers / cfg.vantages).take(cfg.vantages).collect();
+        Lab { sim, handles, catalog, trace, vantages, cfg }
+    }
+
+    /// Ground-truth evaluator over the catalog.
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator::new(&self.catalog)
+    }
+
+    /// Replay the whole trace from every vantage, staggering injections so
+    /// queries overlap realistically. Returns, per query, the per-vantage
+    /// results (`out[q][v]`).
+    pub fn replay(&mut self, inject_rate_per_s: f64) -> Vec<Vec<VantageResult>> {
+        let queries: Vec<Query> = self.trace.queries.clone();
+        let vantages = self.vantages.clone();
+        let gap = SimDuration::from_secs_f64(1.0 / inject_rate_per_s);
+        let mut guids: Vec<Vec<(NodeId, Guid, SimTime)>> = Vec::with_capacity(queries.len());
+        for q in &queries {
+            let text = q.text();
+            let mut per_vantage = Vec::with_capacity(vantages.len());
+            for &v in &vantages {
+                let issued = self.sim.now();
+                let guid = self.sim.with_actor_ctx::<UltrapeerNode, _>(v, |up, ctx| {
+                    let mut net = pier_gnutella::CtxGnutellaNet { ctx };
+                    up.core.start_query(&mut net, &text, QueryOrigin::Driver)
+                });
+                per_vantage.push((v, guid, issued));
+            }
+            guids.push(per_vantage);
+            self.sim.run_for(gap);
+        }
+        // Drain: longest dynamic query ≈ neighbors × probe_interval + grace.
+        let drain = SimDuration::from_secs(120);
+        self.sim.run_for(drain);
+
+        guids
+            .into_iter()
+            .map(|per_vantage| {
+                per_vantage
+                    .into_iter()
+                    .map(|(v, guid, issued)| {
+                        let rec = self
+                            .sim
+                            .actor_mut::<UltrapeerNode>(v)
+                            .core
+                            .take_query(guid)
+                            .expect("query registered");
+                        let mut seen = HashSet::new();
+                        let results: Vec<(String, NodeId)> = rec
+                            .hits
+                            .iter()
+                            .filter(|h| seen.insert((h.file.name.clone(), h.host)))
+                            .map(|h| (h.file.name.clone(), h.host))
+                            .collect();
+                        VantageResult {
+                            results,
+                            first_hit: rec.first_hit_at.map(|t| t - issued),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    pub fn config(&self) -> &LabConfig {
+        &self.cfg
+    }
+}
+
+/// Union of replica results across the first `n` vantages of a query.
+pub fn union_results(per_vantage: &[VantageResult], n: usize) -> HashSet<(String, NodeId)> {
+    let mut u = HashSet::new();
+    for v in per_vantage.iter().take(n) {
+        u.extend(v.results.iter().cloned());
+    }
+    u
+}

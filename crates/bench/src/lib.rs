@@ -1,0 +1,20 @@
+//! # pier-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation. Run
+//! everything with
+//!
+//! ```text
+//! cargo run -p pier-bench --release --bin repro -- all
+//! ```
+//!
+//! or a single experiment by id (`fig4` … `fig15`, `fig8`, `sec5-posting`,
+//! `sec7-deploy`, `model-params`, `crawl`). Results print as tables and are
+//! written as CSV under `results/`. Set `REPRO_SCALE=full` for
+//! paper-magnitude runs (minutes); the default quick scale keeps everything
+//! under a few minutes total.
+
+pub mod experiments;
+pub mod lab;
+pub mod output;
+
+pub use lab::Scale;

@@ -1,0 +1,113 @@
+//! Result presentation: aligned console tables plus CSV files under
+//! `results/` so every figure can be re-plotted.
+
+use std::fmt::Display;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple result table: header + rows, printable and CSV-dumpable.
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let head: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", head.join("  "));
+        println!("{}", "-".repeat(head.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            println!("{}", line.join("  "));
+        }
+    }
+
+    /// Write as CSV into `results/<name>.csv` (relative to the workspace
+    /// root when run via cargo, else the current directory).
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// `results/` next to the workspace root when available.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        // crates/bench → workspace root.
+        let p = PathBuf::from(dir);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            return root.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Format a float with fixed precision for table cells.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format any display value.
+pub fn s(v: impl Display) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec![s(1), f(0.5, 2)]);
+        t.row(vec![s(22), f(1.0, 2)]);
+        assert_eq!(t.rows.len(), 2);
+        t.print();
+        let path = t.write_csv("test_demo").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b\n1,0.50\n"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec![s(1)]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by the serializer and deserializer.
+
+use std::fmt;
+
+/// Codec result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong while encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended before the value was complete.
+    Eof,
+    /// Bytes remained after the value was fully decoded.
+    TrailingBytes(usize),
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// An `Option` tag byte was neither 0 nor 1.
+    InvalidOptionTag(u8),
+    /// A char was not a valid Unicode scalar value.
+    InvalidChar(u32),
+    /// A length prefix exceeded the remaining input (corrupt or hostile).
+    LengthOverrun { declared: u64, remaining: usize },
+    /// The format is not self-describing: `deserialize_any` is unsupported.
+    NotSelfDescribing,
+    /// Error raised by a `Serialize`/`Deserialize` impl.
+    Custom(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => write!(f, "unexpected end of input"),
+            Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Error::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            Error::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            Error::InvalidBool(b) => write!(f, "invalid bool byte {b:#x}"),
+            Error::InvalidOptionTag(b) => write!(f, "invalid option tag {b:#x}"),
+            Error::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            Error::LengthOverrun { declared, remaining } => {
+                write!(f, "declared length {declared} exceeds remaining {remaining} bytes")
+            }
+            Error::NotSelfDescribing => {
+                write!(f, "format is not self-describing (deserialize_any unsupported)")
+            }
+            Error::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Custom(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Custom(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::Eof.to_string().contains("end of input"));
+        assert!(Error::LengthOverrun { declared: 10, remaining: 3 }.to_string().contains("10"));
+        assert!(Error::InvalidBool(7).to_string().contains("0x7"));
+    }
+
+    #[test]
+    fn custom_roundtrip() {
+        let e = <Error as serde::ser::Error>::custom("boom");
+        assert_eq!(e, Error::Custom("boom".into()));
+    }
+}

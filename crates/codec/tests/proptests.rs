@@ -1,0 +1,100 @@
+//! Property-based tests: any value the workspace can construct must survive
+//! an encode/decode roundtrip, and decoding must never panic on arbitrary
+//! bytes.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+enum Tree {
+    Leaf(String),
+    Pair(Box<Tree>, Box<Tree>),
+    Tagged { id: u64, children: Vec<Tree> },
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = any::<String>().prop_map(Tree::Leaf);
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
+            (any::<u64>(), prop::collection::vec(inner, 0..4))
+                .prop_map(|(id, children)| Tree::Tagged { id, children }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_u64(v in any::<u64>()) {
+        let bytes = pier_codec::to_bytes(&v).unwrap();
+        prop_assert_eq!(pier_codec::from_bytes::<u64>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrip_i64(v in any::<i64>()) {
+        let bytes = pier_codec::to_bytes(&v).unwrap();
+        prop_assert_eq!(pier_codec::from_bytes::<i64>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrip_f64(v in any::<f64>()) {
+        let bytes = pier_codec::to_bytes(&v).unwrap();
+        let back = pier_codec::from_bytes::<f64>(&bytes).unwrap();
+        prop_assert_eq!(v.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn roundtrip_string(v in any::<String>()) {
+        let bytes = pier_codec::to_bytes(&v).unwrap();
+        prop_assert_eq!(pier_codec::from_bytes::<String>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrip_vec_tuples(v in prop::collection::vec((any::<u32>(), any::<String>()), 0..32)) {
+        let bytes = pier_codec::to_bytes(&v).unwrap();
+        prop_assert_eq!(pier_codec::from_bytes::<Vec<(u32, String)>>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrip_map(v in prop::collection::btree_map(any::<u16>(), any::<Option<bool>>(), 0..16)) {
+        let bytes = pier_codec::to_bytes(&v).unwrap();
+        prop_assert_eq!(pier_codec::from_bytes::<BTreeMap<u16, Option<bool>>>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrip_recursive_enum(t in tree_strategy()) {
+        let bytes = pier_codec::to_bytes(&t).unwrap();
+        prop_assert_eq!(pier_codec::from_bytes::<Tree>(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding hostile input may fail, but must not panic or allocate
+        // unbounded memory.
+        let _ = pier_codec::from_bytes::<Tree>(&bytes);
+        let _ = pier_codec::from_bytes::<Vec<String>>(&bytes);
+        let _ = pier_codec::from_bytes::<(u64, String, f64)>(&bytes);
+    }
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        pier_codec::varint::write_u64(&mut buf, v);
+        let (back, used) = pier_codec::varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(used, pier_codec::varint::encoded_len(v));
+    }
+
+    #[test]
+    fn zigzag_preserves_order_near_zero(a in -1000i64..1000, b in -1000i64..1000) {
+        // Smaller magnitude must never encode longer than much larger magnitude.
+        let la = pier_codec::varint::encoded_len(pier_codec::varint::zigzag_encode(a));
+        let lb = pier_codec::varint::encoded_len(pier_codec::varint::zigzag_encode(b));
+        if a.unsigned_abs() * 128 < b.unsigned_abs() {
+            prop_assert!(la <= lb);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Warm-start bootstrapping: build correct k-bucket tables for a whole
+//! population at once.
+//!
+//! The join protocol converges one node at a time, which is faithful but
+//! O(N log N) messages — wasteful when an experiment needs a 10,000-node
+//! overlay as *background* for a measurement (the paper's deployments join
+//! an already-running Gnutella/Bamboo network). `fill_tables` computes, for
+//! every node, up to `k` contacts per bucket directly from the global
+//! membership list. Protocol-level join remains available and is exercised
+//! by its own tests.
+
+use crate::contact::Contact;
+use crate::key::KEY_BITS;
+use crate::routing::RoutingTable;
+use pier_netsim::SimTime;
+
+/// Populate `table` with up to `per_bucket` contacts per bucket drawn from
+/// `population` (sorted or not). O(|population| · log) per call via prefix
+/// ranges on a sorted copy.
+pub fn fill_table(table: &mut RoutingTable, population: &[Contact], per_bucket: usize) {
+    let local = table.local();
+    // Sort once by key for range extraction.
+    let mut sorted: Vec<Contact> = population.to_vec();
+    sorted.sort_by_key(|c| c.key);
+
+    for bucket in 0..KEY_BITS {
+        // Keys in bucket `i` share the first `i` bits with `local.key` and
+        // differ at bit `i`: that is exactly the key range whose
+        // representative is local.key with bit i flipped, spanning all
+        // suffixes.
+        let prefix = local.key.with_flipped_bit(bucket);
+        let (lo, hi) = range_with_prefix(prefix, bucket + 1);
+        let start = sorted.partition_point(|c| c.key.0 < lo);
+        let end = sorted.partition_point(|c| c.key.0 <= hi);
+        if start >= end {
+            continue;
+        }
+        for c in sorted[start..end].iter().take(per_bucket) {
+            if c.key != local.key {
+                table.observe(*c, SimTime::ZERO);
+            }
+        }
+    }
+}
+
+/// The inclusive key range of all keys sharing the first `bits` bits of
+/// `prefix`.
+fn range_with_prefix(prefix: crate::key::Key, bits: usize) -> ([u8; 20], [u8; 20]) {
+    let mut lo = prefix.0;
+    let mut hi = prefix.0;
+    for i in bits..KEY_BITS {
+        let byte = i / 8;
+        let mask = 1 << (7 - i % 8);
+        lo[byte] &= !mask;
+        hi[byte] |= mask;
+    }
+    (lo, hi)
+}
+
+/// Build warm tables for an entire population. Returns one table per input
+/// contact, in order.
+pub fn warm_tables(population: &[Contact], k: usize, per_bucket: usize) -> Vec<RoutingTable> {
+    population
+        .iter()
+        .map(|local| {
+            let mut t = RoutingTable::new(*local, k);
+            fill_table(&mut t, population, per_bucket);
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use pier_netsim::NodeId;
+
+    fn population(n: u32) -> Vec<Contact> {
+        (0..n).map(|i| Contact::for_node(NodeId::new(i))).collect()
+    }
+
+    #[test]
+    fn range_with_prefix_brackets_prefix() {
+        let k = Key::hash(b"x");
+        let (lo, hi) = range_with_prefix(k, 12);
+        assert!(lo <= k.0 && k.0 <= hi);
+        // First 12 bits equal in lo and hi.
+        assert_eq!(lo[0], hi[0]);
+        assert_eq!(lo[1] >> 4, hi[1] >> 4);
+    }
+
+    #[test]
+    fn filled_table_contacts_live_in_right_buckets() {
+        let pop = population(300);
+        let mut t = RoutingTable::new(pop[0], 8);
+        fill_table(&mut t, &pop, 8);
+        assert!(t.len() > 0);
+        for c in t.contacts() {
+            assert_ne!(c.key, pop[0].key, "self never stored");
+        }
+        // Spot-check: every contact's bucket index is consistent.
+        for (bucket, size) in t.bucket_sizes() {
+            assert!(size <= 8, "bucket {bucket} overfull");
+        }
+    }
+
+    #[test]
+    fn warm_tables_enable_global_greedy_routing() {
+        // Greedy next_hop over warm tables must reach the globally closest
+        // node for any target, from any start.
+        let pop = population(200);
+        let tables = warm_tables(&pop, 8, 3);
+        let targets: Vec<Key> =
+            (0..25).map(|i| Key::hash(format!("target{i}").as_bytes())).collect();
+        for target in &targets {
+            let mut global: Vec<&Contact> = pop.iter().collect();
+            global.sort_by_key(|c| c.key.distance(target));
+            let owner = global[0].node;
+            for start in [0usize, 57, 123, 199] {
+                let mut at = start;
+                let mut hops = 0;
+                loop {
+                    match tables[at].next_hop(target) {
+                        None => break,
+                        Some(hop) => {
+                            at = hop.node.index();
+                            hops += 1;
+                            assert!(hops < 40, "routing loop from {start}");
+                        }
+                    }
+                }
+                assert_eq!(
+                    pop[at].node, owner,
+                    "greedy routing from {start} must land on the owner"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hop_count_scales_logarithmically() {
+        let pop = population(1024);
+        let tables = warm_tables(&pop, 8, 4);
+        let mut total_hops = 0u32;
+        let mut routes = 0u32;
+        for i in 0..50 {
+            let target = Key::hash(format!("t{i}").as_bytes());
+            let mut at = (i * 17) % pop.len();
+            let mut hops = 0;
+            while let Some(hop) = tables[at].next_hop(&target) {
+                at = hop.node.index();
+                hops += 1;
+                assert!(hops < 60);
+            }
+            total_hops += hops;
+            routes += 1;
+        }
+        let avg = total_hops as f64 / routes as f64;
+        // log2(1024) = 10; greedy Kademlia routing should do much better
+        // than linear and in the ballpark of log N.
+        assert!(avg <= 12.0, "average hops {avg}");
+        assert!(avg >= 1.0, "routing must take some hops, got {avg}");
+    }
+}

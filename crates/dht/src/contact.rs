@@ -1,0 +1,45 @@
+//! A contact: the pair of overlay identifier and network address.
+
+use crate::key::Key;
+use pier_netsim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One routing-table entry: where a node lives in the key space and how to
+/// reach it on the (simulated) network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Contact {
+    pub key: Key,
+    pub node: NodeId,
+}
+
+impl Contact {
+    pub fn new(key: Key, node: NodeId) -> Self {
+        Contact { key, node }
+    }
+
+    /// The canonical contact for a simulated node (key derived from its
+    /// address).
+    pub fn for_node(node: NodeId) -> Self {
+        Contact { key: Key::for_node(node.raw()), node }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_contact_is_stable() {
+        let a = Contact::for_node(NodeId::new(7));
+        let b = Contact::for_node(NodeId::new(7));
+        assert_eq!(a, b);
+        assert_ne!(a, Contact::for_node(NodeId::new(8)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Contact::for_node(NodeId::new(3));
+        let bytes = pier_codec::to_bytes(&c).unwrap();
+        assert_eq!(pier_codec::from_bytes::<Contact>(&bytes).unwrap(), c);
+    }
+}

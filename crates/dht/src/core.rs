@@ -1,0 +1,664 @@
+//! `DhtCore`: the per-node DHT protocol state machine.
+//!
+//! The core is I/O-free: it talks to the network through the [`DhtNet`]
+//! trait and reports asynchronous completions as [`DhtEvent`]s drained by
+//! the embedding actor. This is what lets the hybrid ultrapeer of §7 run a
+//! DHT node, a Gnutella ultrapeer, and the PIER engine inside one process.
+
+use crate::config::DhtConfig;
+use crate::contact::Contact;
+use crate::key::Key;
+use crate::lookup::{Lookup, LookupKind};
+use crate::msg::{DhtMsg, Request, Response, RpcId};
+use crate::routing::{InsertOutcome, RoutingTable};
+use crate::storage::Storage;
+use pier_netsim::{NodeId, SimRng, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Handle for correlating asynchronous DHT operations with their events.
+pub type OpId = u64;
+
+/// How the core reaches the network. Implemented by thin adapters over
+/// `pier_netsim::Ctx` (see [`crate::node::CtxNet`]) or over union message
+/// types in the hybrid crate.
+pub trait DhtNet {
+    fn now(&self) -> SimTime;
+    fn self_node(&self) -> NodeId;
+    fn rng(&mut self) -> &mut SimRng;
+    fn send_dht(&mut self, dst: NodeId, msg: DhtMsg, wire_bytes: usize, class: &'static str);
+    fn count(&mut self, class: &'static str, n: u64);
+    fn observe(&mut self, class: &'static str, value: f64);
+}
+
+/// Asynchronous completions and application deliveries.
+#[derive(Debug, Clone)]
+pub enum DhtEvent {
+    /// The join lookup finished; the routing table is primed.
+    Joined { contacts: usize },
+    /// An `iterative_find_node` finished.
+    LookupDone { op: OpId, closest: Vec<Contact> },
+    /// A `put` finished: the value was stored on `acks` replicas.
+    PutDone { op: OpId, key: Key, acks: usize },
+    /// A `get` finished with all values found.
+    GetDone { op: OpId, key: Key, values: Vec<Vec<u8>>, holders: usize },
+    /// A recursively-routed payload arrived at this node (we own `key`).
+    RouteDelivered { key: Key, payload: Vec<u8>, origin: Contact, hops: u32 },
+    /// A direct application payload arrived.
+    AppMessage { payload: Vec<u8>, origin: Contact },
+}
+
+enum RpcPurpose {
+    /// Response feeds the lookup with this op id.
+    Lookup(OpId),
+    /// A STORE for the put operation with this op id.
+    Store(OpId),
+    /// Liveness probe deciding whether to evict `stale`.
+    EvictPing { stale: Key },
+}
+
+struct PendingRpc {
+    dst: Contact,
+    deadline: SimTime,
+    purpose: RpcPurpose,
+}
+
+struct PutProgress {
+    key: Key,
+    want: usize,
+    acks: usize,
+    pending: usize,
+}
+
+struct RepublishRecord {
+    key: Key,
+    value: Vec<u8>,
+    ttl_us: u64,
+    next_at: SimTime,
+    /// Republish via recursive routing (true) or iterative put (false).
+    routed: bool,
+}
+
+/// The DHT node state machine.
+pub struct DhtCore {
+    cfg: DhtConfig,
+    table: RoutingTable,
+    storage: Storage,
+    next_rpc: RpcId,
+    next_op: OpId,
+    pending: BTreeMap<RpcId, PendingRpc>,
+    lookups: HashMap<OpId, Lookup>,
+    puts: HashMap<OpId, PutProgress>,
+    republish: Vec<RepublishRecord>,
+    evict_in_flight: HashSet<Key>,
+    join_op: Option<OpId>,
+    events: VecDeque<DhtEvent>,
+}
+
+impl DhtCore {
+    pub fn new(cfg: DhtConfig, local: Contact) -> Self {
+        DhtCore {
+            table: RoutingTable::new(local, cfg.k),
+            cfg,
+            storage: Storage::new(),
+            next_rpc: 1,
+            next_op: 1,
+            pending: BTreeMap::new(),
+            lookups: HashMap::new(),
+            puts: HashMap::new(),
+            republish: Vec::new(),
+            evict_in_flight: HashSet::new(),
+            join_op: None,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// The local contact (identity).
+    pub fn local(&self) -> Contact {
+        self.table.local()
+    }
+
+    pub fn config(&self) -> &DhtConfig {
+        &self.cfg
+    }
+
+    /// Drain pending events (the embedding actor forwards them to the app).
+    pub fn take_events(&mut self) -> Vec<DhtEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Direct read access to locally stored values (PIER index scans run at
+    /// the owner and read its replica directly).
+    pub fn local_values(&self, key: &Key, now: SimTime) -> Vec<Vec<u8>> {
+        self.storage.get(key, now).into_iter().map(|v| v.to_vec()).collect()
+    }
+
+    /// Store a value locally without touching the network (used by the
+    /// warm-start bootstrapper and by replica handoff).
+    pub fn store_local(&mut self, key: Key, value: Vec<u8>, now: SimTime) {
+        self.storage.insert(key, value, now + self.cfg.value_ttl);
+    }
+
+    /// Direct access to the routing table (diagnostics, warm start).
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    pub fn table_mut(&mut self) -> &mut RoutingTable {
+        &mut self.table
+    }
+
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    // ------------------------------------------------------------------
+    // Public API
+    // ------------------------------------------------------------------
+
+    /// Join the overlay via a bootstrap contact: a self-lookup primes the
+    /// routing table; [`DhtEvent::Joined`] fires when it settles.
+    pub fn join(&mut self, net: &mut dyn DhtNet, bootstrap: Contact) {
+        self.observe_contact(net, bootstrap);
+        let op = self.start_lookup(net, self.local().key, LookupKind::Node);
+        self.join_op = Some(op);
+    }
+
+    /// Find the k closest nodes to `target`.
+    pub fn iterative_find_node(&mut self, net: &mut dyn DhtNet, target: Key) -> OpId {
+        self.start_lookup(net, target, LookupKind::Node)
+    }
+
+    /// Store `value` under `key` on the replica set. With `republish`, the
+    /// core re-publishes at half the TTL until the record is dropped.
+    pub fn put(
+        &mut self,
+        net: &mut dyn DhtNet,
+        key: Key,
+        value: Vec<u8>,
+        republish: bool,
+    ) -> OpId {
+        let ttl_us = self.cfg.value_ttl.as_micros();
+        if republish {
+            self.republish.push(RepublishRecord {
+                key,
+                value: value.clone(),
+                ttl_us,
+                next_at: net.now() + pier_netsim::SimDuration::from_micros(ttl_us / 2),
+                routed: false,
+            });
+        }
+        self.start_lookup(net, key, LookupKind::Publish { value, ttl_us })
+    }
+
+    /// Store `value` under `key` via recursive greedy routing — the
+    /// Bamboo-style publish PIER uses. One message path of O(log N) hops,
+    /// a single stored copy, no ack; durability comes from republishing.
+    pub fn put_routed(&mut self, net: &mut dyn DhtNet, key: Key, value: Vec<u8>, republish: bool) {
+        let ttl_us = self.cfg.value_ttl.as_micros();
+        if republish {
+            self.republish.push(RepublishRecord {
+                key,
+                value: value.clone(),
+                ttl_us,
+                next_at: net.now() + pier_netsim::SimDuration::from_micros(ttl_us / 2),
+                routed: true,
+            });
+        }
+        let origin = self.local();
+        self.route_store_step(net, key, value, ttl_us, 0, origin);
+    }
+
+    fn route_store_step(
+        &mut self,
+        net: &mut dyn DhtNet,
+        key: Key,
+        value: Vec<u8>,
+        ttl_us: u64,
+        hops: u32,
+        origin: Contact,
+    ) {
+        if hops >= self.cfg.max_route_hops {
+            net.count("dht.route.hop_limit_drop", 1);
+            return;
+        }
+        match self.table.next_hop(&key) {
+            None => {
+                let expires = net.now() + pier_netsim::SimDuration::from_micros(ttl_us);
+                self.storage.insert(key, value, expires);
+                net.observe("dht.route_store.hops", hops as f64);
+            }
+            Some(hop) => {
+                let msg = DhtMsg::RouteStore { key, value, ttl_us, hops: hops + 1, origin };
+                let wire = msg.encoded_len() + self.cfg.header_bytes;
+                net.send_dht(hop.node, msg, wire, "dht.route_store");
+            }
+        }
+    }
+
+    /// Retrieve all values stored under `key`.
+    pub fn get(&mut self, net: &mut dyn DhtNet, key: Key) -> OpId {
+        self.start_lookup(net, key, LookupKind::Value)
+    }
+
+    /// Route an opaque application payload to the owner of `key`
+    /// (multi-hop greedy forwarding, O(log N) hops).
+    pub fn route(&mut self, net: &mut dyn DhtNet, key: Key, payload: Vec<u8>) {
+        let origin = self.local();
+        self.route_step(net, key, payload, 0, origin);
+    }
+
+    /// Send an application payload directly to a known node (used for query
+    /// answers, which the paper exempts from DHT routing).
+    pub fn send_direct(&mut self, net: &mut dyn DhtNet, dst: NodeId, payload: Vec<u8>) {
+        let msg = DhtMsg::AppDirect { payload, origin: self.local() };
+        let wire = msg.encoded_len() + self.cfg.header_bytes;
+        net.send_dht(dst, msg, wire, "dht.app_direct");
+    }
+
+    /// Periodic maintenance: RPC timeouts, value expiry, republishing,
+    /// bucket refresh. The embedding actor calls this on its tick timer.
+    pub fn tick(&mut self, net: &mut dyn DhtNet) {
+        let now = net.now();
+        self.sweep_timeouts(net, now);
+        self.storage.expire(now);
+        self.run_republish(net, now);
+        self.refresh_stale_buckets(net, now);
+    }
+
+    /// Handle an incoming DHT message.
+    pub fn on_message(&mut self, net: &mut dyn DhtNet, msg: DhtMsg) {
+        match msg {
+            DhtMsg::Request { id, from, body } => {
+                self.observe_contact(net, from);
+                let resp = self.handle_request(net, body);
+                let reply = DhtMsg::Response { id, from: self.local(), body: resp };
+                let wire = reply.encoded_len() + self.cfg.header_bytes;
+                let class = reply.class();
+                net.send_dht(from.node, reply, wire, class);
+            }
+            DhtMsg::Response { id, from, body } => {
+                self.observe_contact(net, from);
+                self.handle_response(net, id, from, body);
+            }
+            DhtMsg::Route { key, payload, hops, origin } => {
+                self.observe_contact(net, origin);
+                self.route_step(net, key, payload, hops, origin);
+            }
+            DhtMsg::RouteStore { key, value, ttl_us, hops, origin } => {
+                self.observe_contact(net, origin);
+                self.route_store_step(net, key, value, ttl_us, hops, origin);
+            }
+            DhtMsg::AppDirect { payload, origin } => {
+                self.observe_contact(net, origin);
+                self.events.push_back(DhtEvent::AppMessage { payload, origin });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request handling (server side)
+    // ------------------------------------------------------------------
+
+    fn handle_request(&mut self, net: &mut dyn DhtNet, body: Request) -> Response {
+        match body {
+            Request::Ping => Response::Pong,
+            Request::FindNode { target } => {
+                Response::Nodes { contacts: self.table.closest(&target, self.cfg.k) }
+            }
+            Request::Store { key, value, ttl_us } => {
+                let expires = net.now() + pier_netsim::SimDuration::from_micros(ttl_us);
+                self.storage.insert(key, value, expires);
+                Response::StoreAck
+            }
+            Request::FindValue { key } => {
+                let values: Vec<Vec<u8>> =
+                    self.storage.get(&key, net.now()).into_iter().map(|v| v.to_vec()).collect();
+                let closer = self.table.closest(&key, self.cfg.k);
+                Response::Values { values, closer }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Response handling (client side)
+    // ------------------------------------------------------------------
+
+    fn handle_response(
+        &mut self,
+        net: &mut dyn DhtNet,
+        id: RpcId,
+        from: Contact,
+        body: Response,
+    ) {
+        let Some(pending) = self.pending.remove(&id) else {
+            net.count("dht.stale_response", 1);
+            return;
+        };
+        match pending.purpose {
+            RpcPurpose::Lookup(op) => {
+                let self_key = self.local().key;
+                let Some(lookup) = self.lookups.get_mut(&op) else {
+                    return;
+                };
+                match body {
+                    Response::Nodes { contacts } => {
+                        lookup.add_candidates(&contacts, self_key);
+                        lookup.on_response(&from.key);
+                    }
+                    Response::Values { values, closer } => {
+                        lookup.add_candidates(&closer, self_key);
+                        lookup.on_values(&from.key, values);
+                    }
+                    _ => lookup.on_response(&from.key),
+                }
+                self.drive_lookup(net, op);
+            }
+            RpcPurpose::Store(op) => {
+                if let Some(put) = self.puts.get_mut(&op) {
+                    put.pending -= 1;
+                    if matches!(body, Response::StoreAck) {
+                        put.acks += 1;
+                    }
+                    self.maybe_finish_put(op);
+                }
+            }
+            RpcPurpose::EvictPing { stale } => {
+                // The candidate answered: it stays; drop the pending entry.
+                self.evict_in_flight.remove(&stale);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup driving
+    // ------------------------------------------------------------------
+
+    fn start_lookup(&mut self, net: &mut dyn DhtNet, target: Key, kind: LookupKind) -> OpId {
+        let op = self.next_op;
+        self.next_op += 1;
+        let seeds = self.table.closest(&target, self.cfg.k);
+        let lookup = Lookup::new(
+            target,
+            kind,
+            self.cfg.k,
+            self.cfg.alpha,
+            self.local().key,
+            seeds,
+        );
+        self.lookups.insert(op, lookup);
+        self.drive_lookup(net, op);
+        op
+    }
+
+    fn drive_lookup(&mut self, net: &mut dyn DhtNet, op: OpId) {
+        let Some(lookup) = self.lookups.get_mut(&op) else {
+            return;
+        };
+        let target = lookup.target;
+        let is_value = matches!(lookup.kind, LookupKind::Value);
+        let batch = lookup.next_batch();
+        let deadline = net.now() + self.cfg.rpc_timeout;
+        for contact in batch {
+            let body = if is_value {
+                Request::FindValue { key: target }
+            } else {
+                Request::FindNode { target }
+            };
+            self.send_request(net, contact, body, RpcPurpose::Lookup(op), deadline);
+        }
+        if self.lookups[&op].is_complete() {
+            self.finish_lookup(net, op);
+        }
+    }
+
+    fn finish_lookup(&mut self, net: &mut dyn DhtNet, op: OpId) {
+        let lookup = self.lookups.remove(&op).expect("finish only called for live lookups");
+        net.observe("dht.lookup.queries", lookup.queries_sent as f64);
+        let responders = lookup.closest_responded(self.cfg.k);
+        match lookup.kind {
+            LookupKind::Node => {
+                let closest = responders;
+                if self.join_op == Some(op) {
+                    self.join_op = None;
+                    self.events.push_back(DhtEvent::Joined { contacts: self.table.len() });
+                } else {
+                    self.events.push_back(DhtEvent::LookupDone { op, closest });
+                }
+            }
+            LookupKind::Value => {
+                let mut values = lookup.values;
+                let mut holders = lookup.value_holders;
+                // Merge our own replica: the local node may be in the set.
+                let local = self.local_values(&lookup.target, net.now());
+                if !local.is_empty() {
+                    holders += 1;
+                    for v in local {
+                        if !values.contains(&v) {
+                            values.push(v);
+                        }
+                    }
+                }
+                self.events.push_back(DhtEvent::GetDone {
+                    op,
+                    key: lookup.target,
+                    values,
+                    holders,
+                });
+            }
+            LookupKind::Publish { value, ttl_us } => {
+                let mut replica_set = responders;
+                replica_set.truncate(self.cfg.replication);
+                self.finish_publish(net, op, lookup.target, value, ttl_us, replica_set);
+            }
+        }
+    }
+
+    fn finish_publish(
+        &mut self,
+        net: &mut dyn DhtNet,
+        op: OpId,
+        key: Key,
+        value: Vec<u8>,
+        ttl_us: u64,
+        responders: Vec<Contact>,
+    ) {
+        // Replica set: the r closest responders, with the local node
+        // competing for a slot by distance.
+        let own_distance = self.local().key.distance(&key);
+        let mut stored_locally = false;
+        let mut remote: Vec<Contact> = Vec::new();
+        let mut slots = self.cfg.replication;
+        for c in responders {
+            if slots == 0 {
+                break;
+            }
+            if !stored_locally && own_distance < c.key.distance(&key) {
+                stored_locally = true;
+                slots -= 1;
+                if slots == 0 {
+                    break;
+                }
+            }
+            remote.push(c);
+            slots -= 1;
+        }
+        if slots > 0 && !stored_locally {
+            stored_locally = true;
+        }
+        let mut acks = 0;
+        if stored_locally {
+            let expires = net.now() + pier_netsim::SimDuration::from_micros(ttl_us);
+            self.storage.insert(key, value.clone(), expires);
+            acks += 1;
+        }
+        let deadline = net.now() + self.cfg.rpc_timeout;
+        let pending_count = remote.len();
+        self.puts.insert(
+            op,
+            PutProgress { key, want: self.cfg.replication, acks, pending: pending_count },
+        );
+        for c in remote {
+            self.send_request(
+                net,
+                c,
+                Request::Store { key, value: value.clone(), ttl_us },
+                RpcPurpose::Store(op),
+                deadline,
+            );
+        }
+        self.maybe_finish_put(op);
+    }
+
+    fn maybe_finish_put(&mut self, op: OpId) {
+        let done = self.puts.get(&op).is_some_and(|p| p.pending == 0);
+        if done {
+            let put = self.puts.remove(&op).expect("checked above");
+            let _ = put.want;
+            self.events.push_back(DhtEvent::PutDone { op, key: put.key, acks: put.acks });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recursive routing
+    // ------------------------------------------------------------------
+
+    fn route_step(
+        &mut self,
+        net: &mut dyn DhtNet,
+        key: Key,
+        payload: Vec<u8>,
+        hops: u32,
+        origin: Contact,
+    ) {
+        if hops >= self.cfg.max_route_hops {
+            net.count("dht.route.hop_limit_drop", 1);
+            return;
+        }
+        match self.table.next_hop(&key) {
+            None => {
+                net.observe("dht.route.hops", hops as f64);
+                self.events.push_back(DhtEvent::RouteDelivered { key, payload, origin, hops });
+            }
+            Some(hop) => {
+                let msg = DhtMsg::Route { key, payload, hops: hops + 1, origin };
+                let wire = msg.encoded_len() + self.cfg.header_bytes;
+                net.send_dht(hop.node, msg, wire, "dht.route");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    fn sweep_timeouts(&mut self, net: &mut dyn DhtNet, now: SimTime) {
+        let expired: Vec<RpcId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            let p = self.pending.remove(&id).expect("listed above");
+            net.count("dht.rpc_timeout", 1);
+            self.table.remove(&p.dst.key);
+            match p.purpose {
+                RpcPurpose::Lookup(op) => {
+                    if let Some(lookup) = self.lookups.get_mut(&op) {
+                        lookup.on_failure(&p.dst.key);
+                        self.drive_lookup(net, op);
+                    }
+                }
+                RpcPurpose::Store(op) => {
+                    if let Some(put) = self.puts.get_mut(&op) {
+                        put.pending -= 1;
+                        self.maybe_finish_put(op);
+                    }
+                }
+                RpcPurpose::EvictPing { stale } => {
+                    self.evict_in_flight.remove(&stale);
+                    self.table.replace(&stale);
+                }
+            }
+        }
+    }
+
+    fn run_republish(&mut self, net: &mut dyn DhtNet, now: SimTime) {
+        let due: Vec<usize> = self
+            .republish
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.next_at <= now)
+            .map(|(i, _)| i)
+            .collect();
+        for i in due {
+            let (key, value, ttl_us, routed) = {
+                let r = &mut self.republish[i];
+                r.next_at = now + pier_netsim::SimDuration::from_micros(r.ttl_us / 2);
+                (r.key, r.value.clone(), r.ttl_us, r.routed)
+            };
+            net.count("dht.republish", 1);
+            if routed {
+                let origin = self.local();
+                self.route_store_step(net, key, value, ttl_us, 0, origin);
+            } else {
+                self.start_lookup(net, key, LookupKind::Publish { value, ttl_us });
+            }
+        }
+    }
+
+    fn refresh_stale_buckets(&mut self, net: &mut dyn DhtNet, now: SimTime) {
+        if self.cfg.bucket_refresh == pier_netsim::SimDuration::ZERO {
+            return;
+        }
+        let cutoff = SimTime::from_micros(
+            now.as_micros().saturating_sub(self.cfg.bucket_refresh.as_micros()),
+        );
+        // At most two refreshes per tick to avoid synchronized bursts.
+        let targets: Vec<Key> =
+            self.table.stale_refresh_targets(cutoff).into_iter().take(2).collect();
+        for t in targets {
+            net.count("dht.bucket_refresh", 1);
+            self.start_lookup(net, t, LookupKind::Node);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing
+    // ------------------------------------------------------------------
+
+    fn send_request(
+        &mut self,
+        net: &mut dyn DhtNet,
+        dst: Contact,
+        body: Request,
+        purpose: RpcPurpose,
+        deadline: SimTime,
+    ) {
+        let id = self.next_rpc;
+        self.next_rpc += 1;
+        self.pending.insert(id, PendingRpc { dst, deadline, purpose });
+        let msg = DhtMsg::Request { id, from: self.local(), body };
+        let wire = msg.encoded_len() + self.cfg.header_bytes;
+        let class = msg.class();
+        net.send_dht(dst.node, msg, wire, class);
+    }
+
+    fn observe_contact(&mut self, net: &mut dyn DhtNet, contact: Contact) {
+        match self.table.observe(contact, net.now()) {
+            InsertOutcome::Full { evict_candidate } => {
+                if self.evict_in_flight.insert(evict_candidate.key) {
+                    let deadline = net.now() + self.cfg.rpc_timeout;
+                    self.send_request(
+                        net,
+                        evict_candidate,
+                        Request::Ping,
+                        RpcPurpose::EvictPing { stale: evict_candidate.key },
+                        deadline,
+                    );
+                }
+            }
+            InsertOutcome::Stored | InsertOutcome::SelfEntry => {}
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! `DhtNode`: a ready-made simulator actor wrapping [`DhtCore`] plus a
+//! pluggable application.
+
+use crate::contact::Contact;
+use crate::core::{DhtCore, DhtEvent, DhtNet};
+use crate::msg::DhtMsg;
+use pier_netsim::{Actor, Ctx, NodeId, SimRng, SimTime, TimerToken};
+
+/// Token used for the periodic maintenance tick.
+pub const TICK_TOKEN: TimerToken = TimerToken(0xD417);
+
+/// Application layered on a DHT node: receives events and may issue new
+/// operations through the core.
+pub trait DhtApp {
+    /// Handle one DHT event. `dht` allows local reads and follow-up
+    /// operations; `net` reaches the network.
+    fn on_event(&mut self, dht: &mut DhtCore, net: &mut dyn DhtNet, event: DhtEvent);
+
+    /// Called on every maintenance tick after core maintenance. Default:
+    /// nothing.
+    fn on_tick(&mut self, _dht: &mut DhtCore, _net: &mut dyn DhtNet) {}
+
+    /// Called once when the node starts (before joining). Default: nothing.
+    fn on_start(&mut self, _dht: &mut DhtCore, _net: &mut dyn DhtNet) {}
+}
+
+/// A no-op application: the node is a pure storage/routing participant.
+pub struct NullApp;
+
+impl DhtApp for NullApp {
+    fn on_event(&mut self, _dht: &mut DhtCore, _net: &mut dyn DhtNet, _event: DhtEvent) {}
+}
+
+/// Adapter from a plain `Ctx<DhtMsg>` to [`DhtNet`].
+pub struct CtxNet<'a> {
+    pub ctx: &'a mut dyn Ctx<DhtMsg>,
+}
+
+impl DhtNet for CtxNet<'_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+    fn self_node(&self) -> NodeId {
+        self.ctx.self_id()
+    }
+    fn rng(&mut self) -> &mut SimRng {
+        self.ctx.rng()
+    }
+    fn send_dht(&mut self, dst: NodeId, msg: DhtMsg, wire_bytes: usize, class: &'static str) {
+        self.ctx.send(dst, msg, wire_bytes, class);
+    }
+    fn count(&mut self, class: &'static str, n: u64) {
+        self.ctx.count(class, n);
+    }
+    fn observe(&mut self, class: &'static str, value: f64) {
+        self.ctx.observe(class, value);
+    }
+}
+
+/// A simulator actor hosting one DHT node and its application.
+pub struct DhtNode<A> {
+    pub core: DhtCore,
+    pub app: A,
+    bootstrap: Option<Contact>,
+}
+
+impl<A: DhtApp> DhtNode<A> {
+    /// `bootstrap = None` makes this the first node of the overlay.
+    pub fn new(core: DhtCore, app: A, bootstrap: Option<Contact>) -> Self {
+        DhtNode { core, app, bootstrap }
+    }
+
+    fn drain_events(&mut self, net: &mut dyn DhtNet) {
+        // Events may cascade: an app handler can trigger operations that
+        // complete synchronously (e.g. lookups on empty tables).
+        loop {
+            let events = self.core.take_events();
+            if events.is_empty() {
+                break;
+            }
+            for ev in events {
+                self.app.on_event(&mut self.core, net, ev);
+            }
+        }
+    }
+}
+
+impl<A: DhtApp + 'static> Actor<DhtMsg> for DhtNode<A> {
+    fn on_start(&mut self, ctx: &mut dyn Ctx<DhtMsg>) {
+        let tick = self.core.config().tick;
+        ctx.set_timer(tick, TICK_TOKEN);
+        let mut net = CtxNet { ctx };
+        if let Some(bootstrap) = self.bootstrap {
+            self.core.join(&mut net, bootstrap);
+        }
+        self.app.on_start(&mut self.core, &mut net);
+        self.drain_events(&mut net);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Ctx<DhtMsg>, _from: NodeId, msg: DhtMsg) {
+        let mut net = CtxNet { ctx };
+        self.core.on_message(&mut net, msg);
+        self.drain_events(&mut net);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Ctx<DhtMsg>, token: TimerToken) {
+        if token != TICK_TOKEN {
+            return;
+        }
+        let tick = self.core.config().tick;
+        ctx.set_timer(tick, TICK_TOKEN);
+        let mut net = CtxNet { ctx };
+        self.core.tick(&mut net);
+        self.app.on_tick(&mut self.core, &mut net);
+        self.drain_events(&mut net);
+    }
+}

@@ -1,0 +1,154 @@
+//! Local value storage: a multimap from key to opaque values with expiry.
+//!
+//! Multimap semantics matter for PIERSearch: all `Inverted(keyword, fileID)`
+//! tuples for one keyword hash to the same key and must coexist at the
+//! owner. Values are deduplicated by content so republishing is idempotent.
+
+use crate::key::Key;
+use pier_netsim::SimTime;
+use std::collections::HashMap;
+
+/// One stored value with its expiry deadline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredValue {
+    pub bytes: Vec<u8>,
+    pub expires: SimTime,
+}
+
+/// Per-node value store.
+#[derive(Default)]
+pub struct Storage {
+    map: HashMap<Key, Vec<StoredValue>>,
+    /// Total bytes currently stored (values only).
+    bytes: usize,
+}
+
+impl Storage {
+    pub fn new() -> Self {
+        Storage::default()
+    }
+
+    /// Insert a value under `key`. If an identical value exists its expiry
+    /// is extended instead (idempotent republish). Returns `true` if the
+    /// value was new.
+    pub fn insert(&mut self, key: Key, bytes: Vec<u8>, expires: SimTime) -> bool {
+        let values = self.map.entry(key).or_default();
+        if let Some(existing) = values.iter_mut().find(|v| v.bytes == bytes) {
+            existing.expires = existing.expires.max(expires);
+            return false;
+        }
+        self.bytes += bytes.len();
+        values.push(StoredValue { bytes, expires });
+        true
+    }
+
+    /// All live values under `key` at time `now`.
+    pub fn get(&self, key: &Key, now: SimTime) -> Vec<&[u8]> {
+        self.map
+            .get(key)
+            .map(|vs| {
+                vs.iter().filter(|v| v.expires > now).map(|v| v.bytes.as_slice()).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of live values under `key`.
+    pub fn count(&self, key: &Key, now: SimTime) -> usize {
+        self.map.get(key).map(|vs| vs.iter().filter(|v| v.expires > now).count()).unwrap_or(0)
+    }
+
+    /// Drop expired values; returns how many were removed.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let mut removed = 0;
+        self.map.retain(|_, values| {
+            values.retain(|v| {
+                let live = v.expires > now;
+                if !live {
+                    removed += 1;
+                    self.bytes -= v.bytes.len();
+                }
+                live
+            });
+            !values.is_empty()
+        });
+        removed
+    }
+
+    /// Number of distinct keys present (live or not; call `expire` first
+    /// for an exact live count).
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total stored value bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterate over all keys (diagnostics / handoff).
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.map.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_micros(s * 1_000_000)
+    }
+
+    #[test]
+    fn multimap_accumulates() {
+        let mut s = Storage::new();
+        let k = Key::hash(b"keyword");
+        assert!(s.insert(k, b"a".to_vec(), t(10)));
+        assert!(s.insert(k, b"b".to_vec(), t(10)));
+        assert_eq!(s.get(&k, t(0)).len(), 2);
+        assert_eq!(s.count(&k, t(0)), 2);
+        assert_eq!(s.total_bytes(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_extends_expiry() {
+        let mut s = Storage::new();
+        let k = Key::hash(b"k");
+        assert!(s.insert(k, b"v".to_vec(), t(5)));
+        assert!(!s.insert(k, b"v".to_vec(), t(20)), "duplicate is not new");
+        assert_eq!(s.total_bytes(), 1, "no double counting");
+        // Still alive past the first expiry.
+        assert_eq!(s.get(&k, t(10)).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_never_shortens_expiry() {
+        let mut s = Storage::new();
+        let k = Key::hash(b"k");
+        s.insert(k, b"v".to_vec(), t(20));
+        s.insert(k, b"v".to_vec(), t(5));
+        assert_eq!(s.get(&k, t(10)).len(), 1);
+    }
+
+    #[test]
+    fn expiry_filters_and_reclaims() {
+        let mut s = Storage::new();
+        let k = Key::hash(b"k");
+        s.insert(k, b"old".to_vec(), t(5));
+        s.insert(k, b"new".to_vec(), t(50));
+        assert_eq!(s.get(&k, t(10)).len(), 1, "expired value hidden from reads");
+        assert_eq!(s.expire(t(10)), 1);
+        assert_eq!(s.total_bytes(), 3);
+        assert_eq!(s.key_count(), 1);
+        assert_eq!(s.expire(t(100)), 1);
+        assert_eq!(s.key_count(), 0, "empty keys dropped");
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn missing_key_is_empty() {
+        let s = Storage::new();
+        assert!(s.get(&Key::hash(b"nope"), t(0)).is_empty());
+        assert_eq!(s.count(&Key::hash(b"nope"), t(0)), 0);
+    }
+}

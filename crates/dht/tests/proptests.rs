@@ -1,0 +1,139 @@
+//! Property-based tests for the DHT's metric space, routing tables, and
+//! storage invariants.
+
+use pier_dht::{bootstrap, Contact, Key, RoutingTable, Storage};
+use pier_netsim::{NodeId, SimTime};
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = Key> {
+    prop::collection::vec(any::<u8>(), 20).prop_map(|v| {
+        let mut k = [0u8; 20];
+        k.copy_from_slice(&v);
+        Key(k)
+    })
+}
+
+proptest! {
+    /// XOR metric axioms: identity, symmetry, and the XOR-triangle
+    /// equality d(a,c) = d(a,b) ⊕ d(b,c) (implying the triangle
+    /// inequality).
+    #[test]
+    fn xor_metric_axioms(a in key_strategy(), b in key_strategy(), c in key_strategy()) {
+        prop_assert!(a.distance(&a).is_zero());
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+        let ab = a.distance(&b);
+        let bc = b.distance(&c);
+        let ac = a.distance(&c);
+        let mut x = [0u8; 20];
+        for i in 0..20 { x[i] = ab.0[i] ^ bc.0[i]; }
+        prop_assert_eq!(ac.0, x);
+        // Unique closest point: if d(a,t)==d(b,t) then a==b.
+        if a.distance(&c) == b.distance(&c) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// bucket_index equals the shared-prefix length, and flipping that bit
+    /// moves a key into exactly that bucket.
+    #[test]
+    fn bucket_index_consistent(a in key_strategy(), bit in 0usize..160) {
+        let flipped = a.with_flipped_bit(bit);
+        prop_assert_eq!(a.bucket_index(&flipped), Some(bit));
+        prop_assert_eq!(a.with_flipped_bit(bit).with_flipped_bit(bit), a);
+    }
+
+    /// Keys survive the wire format.
+    #[test]
+    fn key_serde_roundtrip(k in key_strategy()) {
+        let bytes = pier_codec::to_bytes(&k).unwrap();
+        prop_assert_eq!(pier_codec::from_bytes::<Key>(&bytes).unwrap(), k);
+    }
+
+    /// `closest(target, n)` always returns the true n nearest among stored
+    /// contacts, sorted ascending.
+    #[test]
+    fn routing_table_closest_is_correct(
+        nodes in prop::collection::hash_set(1u32..2_000, 1..120),
+        target in key_strategy(),
+        n in 1usize..12,
+    ) {
+        let mut table = RoutingTable::new(Contact::for_node(NodeId::new(0)), 20);
+        for &i in &nodes {
+            table.observe(Contact::for_node(NodeId::new(i)), SimTime::ZERO);
+        }
+        let got = table.closest(&target, n);
+        // Sorted ascending by distance.
+        for w in got.windows(2) {
+            prop_assert!(w[0].key.distance(&target) <= w[1].key.distance(&target));
+        }
+        // No stored contact beats the returned set.
+        if got.len() == n {
+            let worst = got.last().unwrap().key.distance(&target);
+            for c in table.contacts() {
+                if !got.contains(&c) {
+                    prop_assert!(c.key.distance(&target) >= worst);
+                }
+            }
+        } else {
+            // Fewer than n returned ⇒ the table holds fewer than n.
+            prop_assert_eq!(got.len(), table.len().min(n));
+        }
+    }
+
+    /// Greedy next_hop routing over warm tables terminates at the global
+    /// owner, from any start, for any target.
+    #[test]
+    fn greedy_routing_reaches_owner(
+        population in 8u32..120,
+        start in any::<u32>(),
+        target in key_strategy(),
+    ) {
+        let contacts: Vec<Contact> =
+            (0..population).map(|i| Contact::for_node(NodeId::new(i))).collect();
+        let tables = bootstrap::warm_tables(&contacts, 8, 3);
+        let owner = contacts
+            .iter()
+            .min_by_key(|c| c.key.distance(&target))
+            .unwrap()
+            .node;
+        let mut at = (start % population) as usize;
+        let mut hops = 0;
+        while let Some(hop) = tables[at].next_hop(&target) {
+            at = hop.node.index();
+            hops += 1;
+            prop_assert!(hops < 200, "routing loop");
+        }
+        prop_assert_eq!(contacts[at].node, owner);
+    }
+
+    /// Storage: reads never return expired values; duplicate inserts never
+    /// inflate byte accounting; expire reclaims everything eventually.
+    #[test]
+    fn storage_invariants(
+        entries in prop::collection::vec(
+            (key_strategy(), prop::collection::vec(any::<u8>(), 0..16), 1u64..100),
+            0..40,
+        ),
+        read_at in 0u64..120,
+    ) {
+        let mut s = Storage::new();
+        let mut max_expiry = 0u64;
+        for (k, v, exp) in &entries {
+            s.insert(*k, v.clone(), SimTime::from_micros(*exp));
+            max_expiry = max_expiry.max(*exp);
+        }
+        let now = SimTime::from_micros(read_at);
+        for (k, _, _) in &entries {
+            for live in s.get(k, now) {
+                // Every returned value was inserted with a later expiry.
+                let justified = entries
+                    .iter()
+                    .any(|(k2, v2, e2)| k2 == k && v2.as_slice() == live && *e2 > read_at);
+                prop_assert!(justified, "expired or unknown value returned");
+            }
+        }
+        s.expire(SimTime::from_micros(max_expiry + 1));
+        prop_assert_eq!(s.key_count(), 0);
+        prop_assert_eq!(s.total_bytes(), 0);
+    }
+}

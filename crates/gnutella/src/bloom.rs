@@ -1,0 +1,151 @@
+//! Query Routing Protocol (QRP) Bloom filters.
+//!
+//! LimeWire leaves publish a Bloom filter of their filename keywords to
+//! their ultrapeers; ultrapeers use it for *last-hop* filtering — a query is
+//! forwarded to a leaf only if every query term hits the leaf's filter
+//! (footnote 2 of the paper). False positives cause harmless extra
+//! forwards; false negatives cannot occur.
+
+use pier_netsim::split_mix64;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size Bloom filter over lowercase terms.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QrpFilter {
+    bits: Vec<u64>,
+    /// Number of bits (power of two not required).
+    m: u32,
+    /// Hash functions per term.
+    k: u32,
+}
+
+impl QrpFilter {
+    /// Standard LimeWire table size is 65,536 slots; two hashes keep the
+    /// false-positive rate low at leaf-share sizes (hundreds of keywords).
+    pub const DEFAULT_BITS: u32 = 65_536;
+    pub const DEFAULT_HASHES: u32 = 2;
+
+    pub fn new(m: u32, k: u32) -> Self {
+        assert!(m >= 64, "filter too small");
+        assert!(k >= 1);
+        QrpFilter { bits: vec![0; m.div_ceil(64) as usize], m, k }
+    }
+
+    pub fn with_defaults() -> Self {
+        QrpFilter::new(Self::DEFAULT_BITS, Self::DEFAULT_HASHES)
+    }
+
+    fn positions(&self, term: &str) -> impl Iterator<Item = u32> + '_ {
+        // Derive k positions from two SplitMix64 passes (Kirsch–Mitzenmacher
+        // double hashing).
+        let mut state = 0xF11E_D00D_u64;
+        for b in term.as_bytes() {
+            state = state.rotate_left(8) ^ (*b as u64);
+            split_mix64(&mut state);
+        }
+        let h1 = split_mix64(&mut state);
+        let h2 = split_mix64(&mut state) | 1;
+        let m = self.m as u64;
+        (0..self.k).map(move |i| ((h1.wrapping_add(h2.wrapping_mul(i as u64))) % m) as u32)
+    }
+
+    /// Insert a term (assumed already lowercase).
+    pub fn insert(&mut self, term: &str) {
+        let positions: Vec<u32> = self.positions(term).collect();
+        for p in positions {
+            self.bits[(p / 64) as usize] |= 1 << (p % 64);
+        }
+    }
+
+    /// Might this filter contain `term`?
+    pub fn contains(&self, term: &str) -> bool {
+        self.positions(term).all(|p| self.bits[(p / 64) as usize] & (1 << (p % 64)) != 0)
+    }
+
+    /// Would a query (all of `terms`) route to this filter's owner?
+    pub fn matches_all(&self, terms: &[String]) -> bool {
+        !terms.is_empty() && terms.iter().all(|t| self.contains(t))
+    }
+
+    /// Wire size when published leaf→ultrapeer. Real QRP sends a compressed
+    /// patch; raw table bytes are a conservative upper bound and what we
+    /// account.
+    pub fn wire_size(&self) -> usize {
+        (self.m as usize).div_ceil(8)
+    }
+
+    /// Fraction of set bits (diagnostics / false-positive estimation).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = QrpFilter::with_defaults();
+        let terms: Vec<String> = (0..500).map(|i| format!("term{i}")).collect();
+        for t in &terms {
+            f.insert(t);
+        }
+        for t in &terms {
+            assert!(f.contains(t), "false negative on {t}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = QrpFilter::with_defaults();
+        for i in 0..300 {
+            f.insert(&format!("present{i}"));
+        }
+        let fp = (0..10_000).filter(|i| f.contains(&format!("absent{i}"))).count();
+        let rate = fp as f64 / 10_000.0;
+        // 300 keywords in 65536 bits with k=2: expected fp rate well below 1%.
+        assert!(rate < 0.01, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn matches_all_semantics() {
+        let mut f = QrpFilter::with_defaults();
+        f.insert("led");
+        f.insert("zeppelin");
+        let q = |s: &str| s.split(' ').map(String::from).collect::<Vec<_>>();
+        assert!(f.matches_all(&q("led zeppelin")));
+        assert!(f.matches_all(&q("led")));
+        assert!(!f.matches_all(&q("led floyd")));
+        assert!(!f.matches_all(&[]), "empty query routes nowhere");
+    }
+
+    #[test]
+    fn wire_size_matches_table() {
+        let f = QrpFilter::with_defaults();
+        assert_eq!(f.wire_size(), 8192);
+        assert_eq!(QrpFilter::new(100, 2).wire_size(), 13);
+    }
+
+    #[test]
+    fn fill_ratio_grows() {
+        let mut f = QrpFilter::new(1024, 2);
+        assert_eq!(f.fill_ratio(), 0.0);
+        for i in 0..100 {
+            f.insert(&format!("t{i}"));
+        }
+        let r = f.fill_ratio();
+        assert!(r > 0.05 && r < 0.5, "ratio {r}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut f = QrpFilter::new(256, 3);
+        f.insert("x");
+        let bytes = pier_codec::to_bytes(&f).unwrap();
+        let back: QrpFilter = pier_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert!(back.contains("x"));
+    }
+}

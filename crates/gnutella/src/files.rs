@@ -1,0 +1,135 @@
+//! Shared-file metadata and Gnutella-side query matching.
+//!
+//! Matching follows LimeWire semantics: a query matches a file when every
+//! query term appears as a *token* of the filename (case-insensitive).
+//! Unlike PIERSearch (§3.1 of the paper), plain Gnutella does **not** strip
+//! stop-words — that asymmetry is part of the system being reproduced.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One shared file.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    pub name: String,
+    pub size: u64,
+}
+
+impl FileMeta {
+    pub fn new(name: &str, size: u64) -> Self {
+        FileMeta { name: name.to_string(), size }
+    }
+}
+
+/// Lowercase alphanumeric tokens of a filename ("Led_Zeppelin-IV.mp3" →
+/// ["led", "zeppelin", "iv", "mp3"]).
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in name.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// A node's share: files plus a token index for fast matching.
+#[derive(Clone, Debug, Default)]
+pub struct FileStore {
+    files: Vec<FileMeta>,
+    token_sets: Vec<HashSet<String>>,
+}
+
+impl FileStore {
+    pub fn new(files: Vec<FileMeta>) -> Self {
+        let token_sets =
+            files.iter().map(|f| tokenize(&f.name).into_iter().collect()).collect();
+        FileStore { files, token_sets }
+    }
+
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    pub fn files(&self) -> &[FileMeta] {
+        &self.files
+    }
+
+    /// All distinct tokens across the share (what QRP filters advertise).
+    pub fn all_tokens(&self) -> HashSet<String> {
+        self.token_sets.iter().flatten().cloned().collect()
+    }
+
+    /// Files matching a query string (every query token must be a filename
+    /// token).
+    pub fn matching(&self, query: &str) -> Vec<&FileMeta> {
+        let terms = tokenize(query);
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        self.files
+            .iter()
+            .zip(&self.token_sets)
+            .filter(|(_, tokens)| terms.iter().all(|t| tokens.contains(t)))
+            .map(|(f, _)| f)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Led_Zeppelin-Stairway (live).MP3"),
+            vec!["led", "zeppelin", "stairway", "live", "mp3"]
+        );
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("___"), Vec::<String>::new());
+        assert_eq!(tokenize("abc123"), vec!["abc123"]);
+    }
+
+    #[test]
+    fn matching_requires_all_terms() {
+        let store = FileStore::new(vec![
+            FileMeta::new("led_zeppelin_iv.mp3", 1),
+            FileMeta::new("led_astray.avi", 2),
+            FileMeta::new("pink_floyd_wall.mp3", 3),
+        ]);
+        assert_eq!(store.matching("led zeppelin").len(), 1);
+        assert_eq!(store.matching("led").len(), 2);
+        assert_eq!(store.matching("LED").len(), 2, "case-insensitive");
+        assert_eq!(store.matching("led floyd").len(), 0);
+        assert_eq!(store.matching("").len(), 0, "empty query matches nothing");
+    }
+
+    #[test]
+    fn token_match_not_substring() {
+        let store = FileStore::new(vec![FileMeta::new("zeppelins.mp3", 1)]);
+        // "zeppelin" is a substring of token "zeppelins" but not a token.
+        assert_eq!(store.matching("zeppelin").len(), 0);
+        assert_eq!(store.matching("zeppelins").len(), 1);
+    }
+
+    #[test]
+    fn all_tokens_dedup() {
+        let store = FileStore::new(vec![
+            FileMeta::new("a_b.mp3", 1),
+            FileMeta::new("b_c.mp3", 1),
+        ]);
+        let tokens = store.all_tokens();
+        assert_eq!(tokens.len(), 4); // a, b, c, mp3
+    }
+}

@@ -1,0 +1,250 @@
+//! The leaf node: shares files, publishes its QRP filter to its ultrapeers,
+//! answers last-hop forwarded queries, and issues its own searches through
+//! an ultrapeer.
+
+use crate::bloom::QrpFilter;
+use crate::config::LeafConfig;
+use crate::files::FileStore;
+use crate::msg::{GnutellaMsg, Hit};
+use crate::net::GnutellaNet;
+use pier_netsim::{NodeId, SimTime};
+use std::collections::HashMap;
+
+/// Results of one leaf-issued search.
+#[derive(Clone, Debug)]
+pub struct LeafSearch {
+    pub terms: String,
+    pub issued_at: SimTime,
+    pub first_hit_at: Option<SimTime>,
+    pub hits: Vec<Hit>,
+    pub done: bool,
+}
+
+/// The leaf protocol state machine.
+pub struct LeafCore {
+    pub cfg: LeafConfig,
+    ultrapeers: Vec<NodeId>,
+    store: FileStore,
+    next_qid: u32,
+    searches: HashMap<u32, LeafSearch>,
+}
+
+impl LeafCore {
+    pub fn new(cfg: LeafConfig, store: FileStore) -> Self {
+        LeafCore { cfg, ultrapeers: Vec::new(), store, next_qid: 1, searches: HashMap::new() }
+    }
+
+    pub fn set_ultrapeers(&mut self, ups: Vec<NodeId>) {
+        self.ultrapeers = ups;
+    }
+
+    pub fn ultrapeers(&self) -> &[NodeId] {
+        &self.ultrapeers
+    }
+
+    pub fn store(&self) -> &FileStore {
+        &self.store
+    }
+
+    /// Publish the QRP filter of our share to every ultrapeer (done on
+    /// connect; the paper's leaves "publish [their] file list to those
+    /// ultrapeers").
+    pub fn publish_qrp(&self, net: &mut dyn GnutellaNet) {
+        let mut filter = QrpFilter::with_defaults();
+        for token in self.store.all_tokens() {
+            filter.insert(&token);
+        }
+        for &up in &self.ultrapeers {
+            net.send(up, GnutellaMsg::QrpUpdate { filter: filter.clone() });
+        }
+    }
+
+    /// Issue a search via our first ultrapeer. Returns the local query id.
+    pub fn start_search(&mut self, net: &mut dyn GnutellaNet, terms: &str) -> u32 {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        self.searches.insert(
+            qid,
+            LeafSearch {
+                terms: terms.to_string(),
+                issued_at: net.now(),
+                first_hit_at: None,
+                hits: Vec::new(),
+                done: false,
+            },
+        );
+        if let Some(&up) = self.ultrapeers.first() {
+            net.send(up, GnutellaMsg::LeafQuery { qid, terms: terms.to_string() });
+        }
+        qid
+    }
+
+    pub fn search(&self, qid: u32) -> Option<&LeafSearch> {
+        self.searches.get(&qid)
+    }
+
+    pub fn searches(&self) -> impl Iterator<Item = (u32, &LeafSearch)> {
+        self.searches.iter().map(|(q, s)| (*q, s))
+    }
+
+    pub fn on_message(&mut self, net: &mut dyn GnutellaNet, from: NodeId, msg: GnutellaMsg) {
+        match msg {
+            GnutellaMsg::LeafForward { guid, terms } => {
+                let hits: Vec<Hit> = self
+                    .store
+                    .matching(&terms)
+                    .into_iter()
+                    .map(|f| Hit { file: f.clone(), host: net.self_node() })
+                    .collect();
+                net.count("gnutella.leaf_matches", hits.len() as u64);
+                if !hits.is_empty() {
+                    net.send(from, GnutellaMsg::LeafHits { guid, hits });
+                }
+            }
+            GnutellaMsg::LeafResults { qid, hits, done } => {
+                if let Some(s) = self.searches.get_mut(&qid) {
+                    if s.first_hit_at.is_none() && !hits.is_empty() {
+                        s.first_hit_at = Some(net.now());
+                    }
+                    s.hits.extend(hits);
+                    s.done |= done;
+                }
+            }
+            GnutellaMsg::BrowseHost => {
+                net.send(from, GnutellaMsg::BrowseHostReply { files: self.store.files().to_vec() });
+            }
+            _ => net.count("gnutella.unexpected_msg", 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::FileMeta;
+    use crate::msg::Guid;
+    use pier_netsim::{stream_rng, SimRng};
+
+    struct FakeNet {
+        now: SimTime,
+        me: NodeId,
+        rng: SimRng,
+        sent: Vec<(NodeId, GnutellaMsg)>,
+    }
+
+    impl FakeNet {
+        fn new(me: u32) -> Self {
+            FakeNet { now: SimTime::ZERO, me: NodeId::new(me), rng: stream_rng(2, 0), sent: vec![] }
+        }
+        fn drain(&mut self) -> Vec<(NodeId, GnutellaMsg)> {
+            std::mem::take(&mut self.sent)
+        }
+    }
+
+    impl GnutellaNet for FakeNet {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn self_node(&self) -> NodeId {
+            self.me
+        }
+        fn rng(&mut self) -> &mut SimRng {
+            &mut self.rng
+        }
+        fn send(&mut self, dst: NodeId, msg: GnutellaMsg) {
+            self.sent.push((dst, msg));
+        }
+        fn count(&mut self, _class: &'static str, _n: u64) {}
+        fn observe(&mut self, _class: &'static str, _value: f64) {}
+    }
+
+    fn leaf_with_files() -> (LeafCore, FakeNet) {
+        let store = FileStore::new(vec![
+            FileMeta::new("led_zeppelin_iv.mp3", 1),
+            FileMeta::new("cat_video.avi", 2),
+        ]);
+        let mut core = LeafCore::new(LeafConfig::default(), store);
+        core.set_ultrapeers(vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        (core, FakeNet::new(100))
+    }
+
+    #[test]
+    fn qrp_published_to_all_ultrapeers() {
+        let (core, mut net) = leaf_with_files();
+        core.publish_qrp(&mut net);
+        let sent = net.drain();
+        assert_eq!(sent.len(), 3);
+        for (_, m) in &sent {
+            match m {
+                GnutellaMsg::QrpUpdate { filter } => {
+                    assert!(filter.contains("zeppelin"));
+                    assert!(filter.contains("cat"));
+                    assert!(!filter.contains("floyd"));
+                }
+                other => panic!("expected QrpUpdate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn forwarded_query_answered_with_matches() {
+        let (mut core, mut net) = leaf_with_files();
+        core.on_message(
+            &mut net,
+            NodeId::new(1),
+            GnutellaMsg::LeafForward { guid: Guid(5), terms: "led zeppelin".into() },
+        );
+        let sent = net.drain();
+        assert_eq!(sent.len(), 1);
+        match &sent[0].1 {
+            GnutellaMsg::LeafHits { guid, hits } => {
+                assert_eq!(*guid, Guid(5));
+                assert_eq!(hits.len(), 1);
+                assert_eq!(hits[0].host, NodeId::new(100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Non-matching forward: silence (no empty messages).
+        core.on_message(
+            &mut net,
+            NodeId::new(1),
+            GnutellaMsg::LeafForward { guid: Guid(6), terms: "floyd".into() },
+        );
+        assert!(net.drain().is_empty());
+    }
+
+    #[test]
+    fn search_lifecycle() {
+        let (mut core, mut net) = leaf_with_files();
+        let qid = core.start_search(&mut net, "some song");
+        let sent = net.drain();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, NodeId::new(1), "search goes to the first ultrapeer");
+        // Streaming results arrive.
+        let hit = Hit { file: FileMeta::new("some_song.mp3", 1), host: NodeId::new(7) };
+        core.on_message(
+            &mut net,
+            NodeId::new(1),
+            GnutellaMsg::LeafResults { qid, hits: vec![hit], done: false },
+        );
+        core.on_message(
+            &mut net,
+            NodeId::new(1),
+            GnutellaMsg::LeafResults { qid, hits: vec![], done: true },
+        );
+        let s = core.search(qid).unwrap();
+        assert_eq!(s.hits.len(), 1);
+        assert!(s.done);
+        assert!(s.first_hit_at.is_some());
+    }
+
+    #[test]
+    fn browse_host_returns_share() {
+        let (mut core, mut net) = leaf_with_files();
+        core.on_message(&mut net, NodeId::new(9), GnutellaMsg::BrowseHost);
+        match &net.drain()[0].1 {
+            GnutellaMsg::BrowseHostReply { files } => assert_eq!(files.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

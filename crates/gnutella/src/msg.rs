@@ -1,0 +1,135 @@
+//! Gnutella 0.6 wire protocol (the subset the paper's measurements use),
+//! with wire sizes modelled on the real message formats.
+
+use crate::bloom::QrpFilter;
+use crate::files::FileMeta;
+use pier_netsim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Gnutella descriptor header: 16-byte GUID + type + TTL + hops + 4-byte
+/// payload length.
+pub const HEADER_BYTES: usize = 23;
+
+/// Message GUID. 16 bytes on the wire; 64 bits of entropy suffice in
+/// simulation (collisions are astronomically unlikely at our scales).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Guid(pub u64);
+
+/// One search hit inside a QueryHit.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hit {
+    pub file: FileMeta,
+    /// The node sharing the file (hits are grouped per responding host on
+    /// the real network; we keep one host per hit for simplicity).
+    pub host: NodeId,
+}
+
+/// All Gnutella messages.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum GnutellaMsg {
+    /// Flooded keyword query.
+    Query { guid: Guid, ttl: u8, hops: u8, terms: String },
+    /// Search results, routed back along the query's reverse path.
+    QueryHit { guid: Guid, hits: Vec<Hit> },
+    /// Topology crawl request (the paper's crawler API call).
+    CrawlPing,
+    /// Crawl response: ultrapeer neighbors and leaf count.
+    CrawlPong { neighbors: Vec<NodeId>, leaves: Vec<NodeId> },
+    /// Leaf → ultrapeer: its QRP keyword filter.
+    QrpUpdate { filter: QrpFilter },
+    /// Leaf → ultrapeer: please run this search for me.
+    LeafQuery { qid: u32, terms: String },
+    /// Ultrapeer → leaf: results for a LeafQuery (streaming).
+    LeafResults { qid: u32, hits: Vec<Hit>, done: bool },
+    /// Ultrapeer → leaf: last-hop forwarded query (QRP hit).
+    LeafForward { guid: Guid, terms: String },
+    /// Leaf → ultrapeer: matches for a forwarded query.
+    LeafHits { guid: Guid, hits: Vec<Hit> },
+    /// Fetch a node's full shared-file list (LimeWire's BrowseHost).
+    BrowseHost,
+    BrowseHostReply { files: Vec<FileMeta> },
+}
+
+impl GnutellaMsg {
+    /// Approximate bytes on the wire, following the Gnutella 0.6 formats:
+    /// Query = header + 2 (min speed) + terms + NUL; QueryHit = header +
+    /// 11 + per-hit (8 + name + 2) + 16 (servent id); pong-style messages
+    /// carry 6 bytes per packed address.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            GnutellaMsg::Query { terms, .. } => HEADER_BYTES + 2 + terms.len() + 1,
+            GnutellaMsg::QueryHit { hits, .. } => {
+                HEADER_BYTES
+                    + 11
+                    + hits.iter().map(|h| 8 + h.file.name.len() + 2).sum::<usize>()
+                    + 16
+            }
+            GnutellaMsg::CrawlPing => HEADER_BYTES,
+            GnutellaMsg::CrawlPong { neighbors, leaves } => {
+                HEADER_BYTES + 6 * (neighbors.len() + leaves.len())
+            }
+            GnutellaMsg::QrpUpdate { filter } => HEADER_BYTES + filter.wire_size(),
+            GnutellaMsg::LeafQuery { terms, .. } => HEADER_BYTES + 2 + terms.len() + 1,
+            GnutellaMsg::LeafResults { hits, .. } => {
+                HEADER_BYTES
+                    + 11
+                    + hits.iter().map(|h| 8 + h.file.name.len() + 2).sum::<usize>()
+                    + 16
+            }
+            GnutellaMsg::LeafForward { terms, .. } => HEADER_BYTES + 2 + terms.len() + 1,
+            GnutellaMsg::LeafHits { hits, .. } => {
+                HEADER_BYTES + 11 + hits.iter().map(|h| 8 + h.file.name.len() + 2).sum::<usize>()
+            }
+            GnutellaMsg::BrowseHost => HEADER_BYTES,
+            GnutellaMsg::BrowseHostReply { files } => {
+                HEADER_BYTES + files.iter().map(|f| 10 + f.name.len()).sum::<usize>()
+            }
+        }
+    }
+
+    pub fn class(&self) -> &'static str {
+        match self {
+            GnutellaMsg::Query { .. } => "gnutella.query",
+            GnutellaMsg::QueryHit { .. } => "gnutella.query_hit",
+            GnutellaMsg::CrawlPing => "gnutella.crawl_ping",
+            GnutellaMsg::CrawlPong { .. } => "gnutella.crawl_pong",
+            GnutellaMsg::QrpUpdate { .. } => "gnutella.qrp",
+            GnutellaMsg::LeafQuery { .. } => "gnutella.leaf_query",
+            GnutellaMsg::LeafResults { .. } => "gnutella.leaf_results",
+            GnutellaMsg::LeafForward { .. } => "gnutella.leaf_forward",
+            GnutellaMsg::LeafHits { .. } => "gnutella.leaf_hits",
+            GnutellaMsg::BrowseHost => "gnutella.browse",
+            GnutellaMsg::BrowseHostReply { .. } => "gnutella.browse_reply",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_size_tracks_terms() {
+        let q = GnutellaMsg::Query { guid: Guid(1), ttl: 3, hops: 0, terms: "led zep".into() };
+        assert_eq!(q.wire_size(), 23 + 2 + 7 + 1);
+    }
+
+    #[test]
+    fn query_hit_size_tracks_hits() {
+        let hit = Hit { file: FileMeta::new("abcd.mp3", 9), host: NodeId::new(1) };
+        let one = GnutellaMsg::QueryHit { guid: Guid(1), hits: vec![hit.clone()] };
+        let two = GnutellaMsg::QueryHit { guid: Guid(1), hits: vec![hit.clone(), hit] };
+        assert_eq!(two.wire_size() - one.wire_size(), 8 + 8 + 2);
+    }
+
+    #[test]
+    fn classes_are_distinct() {
+        let msgs = [
+            GnutellaMsg::CrawlPing,
+            GnutellaMsg::BrowseHost,
+            GnutellaMsg::Query { guid: Guid(0), ttl: 1, hops: 0, terms: String::new() },
+        ];
+        let classes: std::collections::HashSet<_> = msgs.iter().map(|m| m.class()).collect();
+        assert_eq!(classes.len(), msgs.len());
+    }
+}

@@ -1,0 +1,45 @@
+//! The network interface Gnutella cores are written against, mirroring
+//! `pier_dht::DhtNet` so both protocol stacks can share one actor.
+
+use crate::msg::GnutellaMsg;
+use pier_netsim::{Ctx, NodeId, SimRng, SimTime};
+
+/// How Gnutella protocol cores reach the network.
+pub trait GnutellaNet {
+    fn now(&self) -> SimTime;
+    fn self_node(&self) -> NodeId;
+    fn rng(&mut self) -> &mut SimRng;
+    /// Send a protocol message; implementations account `msg.wire_size()`.
+    fn send(&mut self, dst: NodeId, msg: GnutellaMsg);
+    fn count(&mut self, class: &'static str, n: u64);
+    fn observe(&mut self, class: &'static str, value: f64);
+}
+
+/// Adapter for actors whose simulation message type is exactly
+/// [`GnutellaMsg`].
+pub struct CtxGnutellaNet<'a> {
+    pub ctx: &'a mut dyn Ctx<GnutellaMsg>,
+}
+
+impl GnutellaNet for CtxGnutellaNet<'_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+    fn self_node(&self) -> NodeId {
+        self.ctx.self_id()
+    }
+    fn rng(&mut self) -> &mut SimRng {
+        self.ctx.rng()
+    }
+    fn send(&mut self, dst: NodeId, msg: GnutellaMsg) {
+        let size = msg.wire_size();
+        let class = msg.class();
+        self.ctx.send(dst, msg, size, class);
+    }
+    fn count(&mut self, class: &'static str, n: u64) {
+        self.ctx.count(class, n);
+    }
+    fn observe(&mut self, class: &'static str, value: f64) {
+        self.ctx.observe(class, value);
+    }
+}

@@ -1,0 +1,65 @@
+//! Simulator actors wrapping the protocol cores.
+
+use crate::leaf::LeafCore;
+use crate::msg::GnutellaMsg;
+use crate::net::CtxGnutellaNet;
+use crate::ultrapeer::UltrapeerCore;
+use pier_netsim::{Actor, Ctx, NodeId, TimerToken};
+
+/// Timer token for the ultrapeer maintenance tick.
+pub const UP_TICK: TimerToken = TimerToken(0x6E55);
+
+/// An ultrapeer actor.
+pub struct UltrapeerNode {
+    pub core: UltrapeerCore,
+}
+
+impl UltrapeerNode {
+    pub fn new(core: UltrapeerCore) -> Self {
+        UltrapeerNode { core }
+    }
+}
+
+impl Actor<GnutellaMsg> for UltrapeerNode {
+    fn on_start(&mut self, ctx: &mut dyn Ctx<GnutellaMsg>) {
+        ctx.set_timer(self.core.cfg.tick, UP_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Ctx<GnutellaMsg>, from: NodeId, msg: GnutellaMsg) {
+        let mut net = CtxGnutellaNet { ctx };
+        self.core.on_message(&mut net, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Ctx<GnutellaMsg>, token: TimerToken) {
+        if token == UP_TICK {
+            ctx.set_timer(self.core.cfg.tick, UP_TICK);
+            let mut net = CtxGnutellaNet { ctx };
+            self.core.tick(&mut net);
+        }
+    }
+}
+
+/// A leaf actor. Publishes its QRP filter on startup.
+pub struct LeafNode {
+    pub core: LeafCore,
+}
+
+impl LeafNode {
+    pub fn new(core: LeafCore) -> Self {
+        LeafNode { core }
+    }
+}
+
+impl Actor<GnutellaMsg> for LeafNode {
+    fn on_start(&mut self, ctx: &mut dyn Ctx<GnutellaMsg>) {
+        let mut net = CtxGnutellaNet { ctx };
+        self.core.publish_qrp(&mut net);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Ctx<GnutellaMsg>, from: NodeId, msg: GnutellaMsg) {
+        let mut net = CtxGnutellaNet { ctx };
+        self.core.on_message(&mut net, from, msg);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut dyn Ctx<GnutellaMsg>, _token: TimerToken) {}
+}

@@ -1,0 +1,710 @@
+//! The ultrapeer: floods queries, routes hits along reverse paths, performs
+//! last-hop QRP filtering for its leaves, and runs LimeWire-style *dynamic
+//! querying* for searches it originates.
+
+use crate::bloom::QrpFilter;
+use crate::config::UltrapeerConfig;
+use crate::files::{tokenize, FileStore};
+use crate::msg::{GnutellaMsg, Guid, Hit};
+use crate::net::GnutellaNet;
+use pier_netsim::{NodeId, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap};
+
+/// Who asked for a query this ultrapeer originated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryOrigin {
+    /// An experiment driver (results are read from [`QueryRecord`]).
+    Driver,
+    /// One of our leaves; results stream back as `LeafResults`.
+    Leaf { leaf: NodeId, qid: u32 },
+}
+
+/// Live + historical state of one originated query.
+#[derive(Clone, Debug)]
+pub struct QueryRecord {
+    pub terms: String,
+    pub origin: QueryOrigin,
+    pub issued_at: SimTime,
+    pub first_hit_at: Option<SimTime>,
+    pub hits: Vec<Hit>,
+    pub probes_sent: u32,
+    pub finished: bool,
+}
+
+struct DynState {
+    unprobed: Vec<NodeId>,
+    next_probe_at: SimTime,
+}
+
+struct SeenEntry {
+    from: NodeId,
+    at: SimTime,
+}
+
+/// Traffic the hybrid proxy snoops off a relaying ultrapeer (§7: "The
+/// queries are also snooped from the Gnutella traffic", and result traffic
+/// feeds the rare-item schemes).
+#[derive(Clone, Debug)]
+pub enum SnoopEvent {
+    /// A query relayed (or received) by this ultrapeer.
+    Query { guid: Guid, terms: String },
+    /// Hits that passed through this ultrapeer on their reverse path.
+    Hits { guid: Guid, hits: Vec<Hit> },
+}
+
+/// The ultrapeer protocol state machine.
+pub struct UltrapeerCore {
+    pub cfg: UltrapeerConfig,
+    neighbors: Vec<NodeId>,
+    leaves: BTreeMap<NodeId, Option<QrpFilter>>,
+    store: FileStore,
+    /// GUID → where the query came from (reverse-path routing table).
+    seen: HashMap<Guid, SeenEntry>,
+    /// Queries this node originated.
+    queries: BTreeMap<Guid, QueryRecord>,
+    dyn_state: BTreeMap<Guid, DynState>,
+    /// When true, relayed queries and hits are logged for the embedding
+    /// actor to drain (hybrid proxy mode).
+    pub snoop: bool,
+    snoop_log: Vec<SnoopEvent>,
+}
+
+impl UltrapeerCore {
+    pub fn new(cfg: UltrapeerConfig, store: FileStore) -> Self {
+        UltrapeerCore {
+            cfg,
+            neighbors: Vec::new(),
+            leaves: BTreeMap::new(),
+            store,
+            seen: HashMap::new(),
+            queries: BTreeMap::new(),
+            dyn_state: BTreeMap::new(),
+            snoop: false,
+            snoop_log: Vec::new(),
+        }
+    }
+
+    /// Drain snooped traffic (empty unless `snoop` is set).
+    pub fn take_snooped(&mut self) -> Vec<SnoopEvent> {
+        std::mem::take(&mut self.snoop_log)
+    }
+
+    pub fn set_neighbors(&mut self, neighbors: Vec<NodeId>) {
+        self.neighbors = neighbors;
+    }
+
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    pub fn add_leaf(&mut self, leaf: NodeId) {
+        self.leaves.entry(leaf).or_insert(None);
+    }
+
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.leaves.keys().copied()
+    }
+
+    pub fn store(&self) -> &FileStore {
+        &self.store
+    }
+
+    /// Inspect an originated query (driver API).
+    pub fn query_record(&self, guid: Guid) -> Option<&QueryRecord> {
+        self.queries.get(&guid)
+    }
+
+    /// Remove and return a finished (or abandoned) query record.
+    pub fn take_query(&mut self, guid: Guid) -> Option<QueryRecord> {
+        self.dyn_state.remove(&guid);
+        self.queries.remove(&guid)
+    }
+
+    /// All originated queries (driver convenience).
+    pub fn queries(&self) -> impl Iterator<Item = (Guid, &QueryRecord)> {
+        self.queries.iter().map(|(g, r)| (*g, r))
+    }
+
+    // ------------------------------------------------------------------
+    // Query origination: dynamic querying
+    // ------------------------------------------------------------------
+
+    /// Originate a search. A cheap TTL-1 probe goes to every neighbor now;
+    /// deeper per-neighbor probes follow at `probe_interval` pacing until
+    /// `target_results` accumulate or neighbors are exhausted.
+    pub fn start_query(&mut self, net: &mut dyn GnutellaNet, terms: &str, origin: QueryOrigin) -> Guid {
+        let guid = Guid(net.rng().random());
+        // Claim the GUID so our own flood cannot route hits elsewhere.
+        let me = net.self_node();
+        self.seen.insert(guid, SeenEntry { from: me, at: net.now() });
+
+        let mut record = QueryRecord {
+            terms: terms.to_string(),
+            origin,
+            issued_at: net.now(),
+            first_hit_at: None,
+            hits: Vec::new(),
+            probes_sent: 0,
+            finished: false,
+        };
+
+        // Local content answers instantly: own share...
+        let own_hits: Vec<Hit> = self
+            .store
+            .matching(terms)
+            .into_iter()
+            .map(|f| Hit { file: f.clone(), host: me })
+            .collect();
+        if !own_hits.is_empty() {
+            record.first_hit_at = Some(net.now());
+            record.hits.extend(own_hits);
+        }
+        // ...and matching leaves (last-hop QRP).
+        let term_list = tokenize(terms);
+        let matching_leaves: Vec<NodeId> = self
+            .leaves
+            .iter()
+            .filter(|(_, qrp)| qrp.as_ref().is_some_and(|f| f.matches_all(&term_list)))
+            .map(|(n, _)| *n)
+            .collect();
+        for leaf in matching_leaves {
+            net.send(leaf, GnutellaMsg::LeafForward { guid, terms: terms.to_string() });
+        }
+
+        // Probe phase: a cheap TTL-1 query to a handful of neighbors. The
+        // remaining neighbors are kept for the paced deep phase — a probed
+        // neighbor has already seen the GUID and would drop a deep re-probe.
+        let mut order = self.neighbors.clone();
+        order.shuffle(net.rng());
+        let probe_count = order.len().min(self.cfg.probe_neighbors);
+        let unprobed: Vec<NodeId> = order.split_off(probe_count);
+        for &n in &order {
+            net.send(
+                n,
+                GnutellaMsg::Query {
+                    guid,
+                    ttl: self.cfg.probe_ttl,
+                    hops: 0,
+                    terms: terms.to_string(),
+                },
+            );
+        }
+        record.probes_sent = probe_count as u32;
+        net.count("gnutella.queries_started", 1);
+
+        self.dyn_state.insert(
+            guid,
+            DynState { unprobed, next_probe_at: net.now() + self.cfg.probe_interval },
+        );
+        self.queries.insert(guid, record);
+        guid
+    }
+
+    /// Originate a classic pre-dynamic-querying flood: one burst to every
+    /// neighbor at `ttl`, no pacing, no target. Used by ablation
+    /// experiments comparing flat flooding with dynamic querying.
+    pub fn start_flood_query(&mut self, net: &mut dyn GnutellaNet, terms: &str) -> Guid {
+        let guid = Guid(net.rng().random());
+        let me = net.self_node();
+        self.seen.insert(guid, SeenEntry { from: me, at: net.now() });
+        let record = QueryRecord {
+            terms: terms.to_string(),
+            origin: QueryOrigin::Driver,
+            issued_at: net.now(),
+            first_hit_at: None,
+            hits: Vec::new(),
+            probes_sent: self.neighbors.len() as u32,
+            finished: false,
+        };
+        for &n in &self.neighbors {
+            net.send(
+                n,
+                GnutellaMsg::Query {
+                    guid,
+                    ttl: self.cfg.flood_ttl,
+                    hops: 0,
+                    terms: terms.to_string(),
+                },
+            );
+        }
+        // No dynamic state: the flood completes on its own; the record keeps
+        // accumulating whatever returns.
+        self.queries.insert(guid, record);
+        guid
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    pub fn on_message(&mut self, net: &mut dyn GnutellaNet, from: NodeId, msg: GnutellaMsg) {
+        match msg {
+            GnutellaMsg::Query { guid, ttl, hops, terms } => {
+                self.handle_query(net, from, guid, ttl, hops, terms)
+            }
+            GnutellaMsg::QueryHit { guid, hits } | GnutellaMsg::LeafHits { guid, hits } => {
+                self.handle_hits(net, guid, hits)
+            }
+            GnutellaMsg::LeafQuery { qid, terms } => {
+                self.start_query(net, &terms, QueryOrigin::Leaf { leaf: from, qid });
+            }
+            GnutellaMsg::QrpUpdate { filter } => {
+                self.leaves.insert(from, Some(filter));
+            }
+            GnutellaMsg::CrawlPing => {
+                let reply = GnutellaMsg::CrawlPong {
+                    neighbors: self.neighbors.clone(),
+                    leaves: self.leaves.keys().copied().collect(),
+                };
+                net.send(from, reply);
+            }
+            GnutellaMsg::BrowseHost => {
+                let reply = GnutellaMsg::BrowseHostReply { files: self.store.files().to_vec() };
+                net.send(from, reply);
+            }
+            // Leaf-only or reply messages; an ultrapeer ignores them.
+            _ => net.count("gnutella.unexpected_msg", 1),
+        }
+    }
+
+    fn handle_query(
+        &mut self,
+        net: &mut dyn GnutellaNet,
+        from: NodeId,
+        guid: Guid,
+        ttl: u8,
+        hops: u8,
+        terms: String,
+    ) {
+        if self.seen.contains_key(&guid) {
+            net.count("gnutella.duplicate_query", 1);
+            return;
+        }
+        self.seen.insert(guid, SeenEntry { from, at: net.now() });
+        if self.snoop {
+            self.snoop_log.push(SnoopEvent::Query { guid, terms: terms.clone() });
+        }
+
+        // Local matches return along the path we got the query from.
+        let own_hits: Vec<Hit> = self
+            .store
+            .matching(&terms)
+            .into_iter()
+            .map(|f| Hit { file: f.clone(), host: net.self_node() })
+            .collect();
+        for chunk in own_hits.chunks(self.cfg.max_hits_per_msg) {
+            net.send(from, GnutellaMsg::QueryHit { guid, hits: chunk.to_vec() });
+        }
+
+        // Last-hop leaf forwarding via QRP.
+        let term_list = tokenize(&terms);
+        let matching_leaves: Vec<NodeId> = self
+            .leaves
+            .iter()
+            .filter(|(_, qrp)| qrp.as_ref().is_some_and(|f| f.matches_all(&term_list)))
+            .map(|(n, _)| *n)
+            .collect();
+        net.count("gnutella.leaf_forwards", matching_leaves.len() as u64);
+        for leaf in matching_leaves {
+            net.send(leaf, GnutellaMsg::LeafForward { guid, terms: terms.clone() });
+        }
+
+        // Relay deeper.
+        if ttl > 1 {
+            for &n in &self.neighbors {
+                if n != from {
+                    net.send(
+                        n,
+                        GnutellaMsg::Query {
+                            guid,
+                            ttl: ttl - 1,
+                            hops: hops + 1,
+                            terms: terms.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_hits(&mut self, net: &mut dyn GnutellaNet, guid: Guid, hits: Vec<Hit>) {
+        if self.snoop && !hits.is_empty() {
+            self.snoop_log.push(SnoopEvent::Hits { guid, hits: hits.clone() });
+        }
+        if let Some(record) = self.queries.get_mut(&guid) {
+            // Ours: record and stream onward to the asking leaf.
+            if record.first_hit_at.is_none() && !hits.is_empty() {
+                record.first_hit_at = Some(net.now());
+                net.observe(
+                    "gnutella.first_hit_latency_s",
+                    (net.now() - record.issued_at).as_secs_f64(),
+                );
+            }
+            record.hits.extend(hits.iter().cloned());
+            if let QueryOrigin::Leaf { leaf, qid } = record.origin {
+                net.send(leaf, GnutellaMsg::LeafResults { qid, hits, done: false });
+            }
+            return;
+        }
+        match self.seen.get(&guid) {
+            Some(entry) if entry.from != net.self_node() => {
+                // Reverse-path forwarding.
+                let dst = entry.from;
+                for chunk in hits.chunks(self.cfg.max_hits_per_msg) {
+                    net.send(dst, GnutellaMsg::QueryHit { guid, hits: chunk.to_vec() });
+                }
+            }
+            _ => net.count("gnutella.orphan_hits", 1),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance tick: dynamic-query pacing + seen-table expiry
+    // ------------------------------------------------------------------
+
+    pub fn tick(&mut self, net: &mut dyn GnutellaNet) {
+        let now = net.now();
+        // Advance dynamic queries.
+        let guids: Vec<Guid> = self.dyn_state.keys().copied().collect();
+        for guid in guids {
+            let record = self.queries.get_mut(&guid).expect("dyn state implies record");
+            if record.finished {
+                self.dyn_state.remove(&guid);
+                continue;
+            }
+            if record.hits.len() >= self.cfg.target_results {
+                Self::finish(record, guid, net);
+                self.dyn_state.remove(&guid);
+                continue;
+            }
+            let st = self.dyn_state.get_mut(&guid).expect("iterating live keys");
+            if now < st.next_probe_at {
+                continue;
+            }
+            match st.unprobed.pop() {
+                Some(neighbor) => {
+                    net.send(
+                        neighbor,
+                        GnutellaMsg::Query {
+                            guid,
+                            ttl: self.cfg.dyn_ttl,
+                            hops: 0,
+                            terms: record.terms.clone(),
+                        },
+                    );
+                    record.probes_sent += 1;
+                    st.next_probe_at = now + self.cfg.probe_interval;
+                }
+                None => {
+                    // Horizon exhausted; leave a grace period for stragglers.
+                    if now >= st.next_probe_at + self.cfg.probe_interval {
+                        Self::finish(record, guid, net);
+                        self.dyn_state.remove(&guid);
+                    }
+                }
+            }
+        }
+        // Expire reverse-path entries.
+        let ttl = self.cfg.seen_ttl;
+        self.seen.retain(|_, e| e.at + ttl > now);
+    }
+
+    fn finish(record: &mut QueryRecord, _guid: Guid, net: &mut dyn GnutellaNet) {
+        record.finished = true;
+        net.count("gnutella.queries_finished", 1);
+        net.observe("gnutella.results_per_query", record.hits.len() as f64);
+        if let QueryOrigin::Leaf { leaf, qid } = record.origin {
+            net.send(leaf, GnutellaMsg::LeafResults { qid, hits: Vec::new(), done: true });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::FileMeta;
+    use pier_netsim::{stream_rng, SimDuration, SimRng};
+
+    /// A fake network capturing sends for unit-level protocol tests.
+    struct FakeNet {
+        now: SimTime,
+        me: NodeId,
+        rng: SimRng,
+        sent: Vec<(NodeId, GnutellaMsg)>,
+    }
+
+    impl FakeNet {
+        fn new(me: u32) -> Self {
+            FakeNet {
+                now: SimTime::ZERO,
+                me: NodeId::new(me),
+                rng: stream_rng(1, me as u64),
+                sent: Vec::new(),
+            }
+        }
+        fn advance(&mut self, d: SimDuration) {
+            self.now = self.now + d;
+        }
+        fn drain(&mut self) -> Vec<(NodeId, GnutellaMsg)> {
+            std::mem::take(&mut self.sent)
+        }
+    }
+
+    impl GnutellaNet for FakeNet {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn self_node(&self) -> NodeId {
+            self.me
+        }
+        fn rng(&mut self) -> &mut SimRng {
+            &mut self.rng
+        }
+        fn send(&mut self, dst: NodeId, msg: GnutellaMsg) {
+            self.sent.push((dst, msg));
+        }
+        fn count(&mut self, _class: &'static str, _n: u64) {}
+        fn observe(&mut self, _class: &'static str, _value: f64) {}
+    }
+
+    fn up_with_neighbors(n: usize) -> (UltrapeerCore, FakeNet) {
+        let mut core = UltrapeerCore::new(UltrapeerConfig::default(), FileStore::default());
+        core.set_neighbors((1..=n as u32).map(NodeId::new).collect());
+        (core, FakeNet::new(0))
+    }
+
+    #[test]
+    fn small_neighborhoods_probed_fully_at_ttl1() {
+        let (mut core, mut net) = up_with_neighbors(5);
+        core.start_query(&mut net, "rare song", QueryOrigin::Driver);
+        let sent = net.drain();
+        let queries: Vec<_> = sent
+            .iter()
+            .filter_map(|(dst, m)| match m {
+                GnutellaMsg::Query { ttl, .. } => Some((*dst, *ttl)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(queries.len(), 5, "fewer neighbors than probe_neighbors: all probed");
+        assert!(queries.iter().all(|(_, ttl)| *ttl == 1));
+    }
+
+    #[test]
+    fn probe_subset_leaves_rest_for_deep_phase() {
+        let (mut core, mut net) = up_with_neighbors(14);
+        core.start_query(&mut net, "x", QueryOrigin::Driver);
+        let probed: std::collections::HashSet<NodeId> = net
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, GnutellaMsg::Query { .. }))
+            .map(|(dst, _)| dst)
+            .collect();
+        assert_eq!(probed.len(), 10, "probe_neighbors=10 of 14");
+        // The deep phase covers exactly the remaining four.
+        let mut deep = std::collections::HashSet::new();
+        for _ in 0..6 {
+            net.advance(SimDuration::from_millis(2500));
+            core.tick(&mut net);
+            for (dst, m) in net.drain() {
+                if matches!(m, GnutellaMsg::Query { .. }) {
+                    deep.insert(dst);
+                }
+            }
+        }
+        assert_eq!(deep.len(), 4);
+        assert!(deep.is_disjoint(&probed));
+    }
+
+    #[test]
+    fn dynamic_probes_are_paced() {
+        let (mut core, mut net) = up_with_neighbors(14);
+        let guid = core.start_query(&mut net, "x", QueryOrigin::Driver);
+        net.drain();
+        // Immediately after start: no new probes before the interval.
+        core.tick(&mut net);
+        assert!(net.drain().is_empty());
+        // After the interval: exactly one deeper probe.
+        net.advance(SimDuration::from_millis(2500));
+        core.tick(&mut net);
+        let sent = net.drain();
+        let deep: Vec<_> = sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                GnutellaMsg::Query { ttl, .. } => Some(*ttl),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deep, vec![2]);
+        // Again, one more; pacing persists.
+        core.tick(&mut net);
+        assert!(net.drain().is_empty());
+        net.advance(SimDuration::from_millis(2500));
+        core.tick(&mut net);
+        assert_eq!(net.drain().len(), 1);
+        assert_eq!(core.query_record(guid).unwrap().probes_sent, 12);
+    }
+
+    #[test]
+    fn classic_flood_bursts_all_neighbors() {
+        let (mut core, mut net) = up_with_neighbors(14);
+        core.start_flood_query(&mut net, "x");
+        let sent = net.drain();
+        let ttls: Vec<u8> = sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                GnutellaMsg::Query { ttl, .. } => Some(*ttl),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ttls.len(), 14);
+        assert!(ttls.iter().all(|t| *t == 4));
+        // No dynamic pacing afterwards.
+        net.advance(SimDuration::from_secs(10));
+        core.tick(&mut net);
+        assert!(net.drain().is_empty());
+    }
+
+    #[test]
+    fn target_results_stop_probing() {
+        let (mut core, mut net) = up_with_neighbors(4);
+        let guid = core.start_query(&mut net, "pop", QueryOrigin::Driver);
+        net.drain();
+        // Deliver ≥ target hits.
+        let hits: Vec<Hit> = (0..core.cfg.target_results + 5)
+            .map(|i| Hit {
+                file: FileMeta::new(&format!("pop{i}.mp3"), 1),
+                host: NodeId::new(99),
+            })
+            .collect();
+        core.handle_hits(&mut net, guid, hits);
+        net.advance(SimDuration::from_secs(10));
+        core.tick(&mut net);
+        assert!(core.query_record(guid).unwrap().finished);
+        assert!(net.drain().iter().all(|(_, m)| !matches!(m, GnutellaMsg::Query { .. })));
+    }
+
+    #[test]
+    fn duplicate_queries_dropped_and_not_reforwarded() {
+        let (mut core, mut net) = up_with_neighbors(3);
+        let guid = Guid(42);
+        core.handle_query(&mut net, NodeId::new(1), guid, 3, 0, "a".into());
+        let first = net.drain();
+        // Forwarded to the other two neighbors.
+        assert_eq!(
+            first.iter().filter(|(_, m)| matches!(m, GnutellaMsg::Query { .. })).count(),
+            2
+        );
+        core.handle_query(&mut net, NodeId::new(2), guid, 3, 0, "a".into());
+        assert!(net.drain().is_empty(), "duplicate must be suppressed");
+    }
+
+    #[test]
+    fn ttl_one_is_not_forwarded() {
+        let (mut core, mut net) = up_with_neighbors(3);
+        core.handle_query(&mut net, NodeId::new(1), Guid(7), 1, 2, "a".into());
+        assert!(net
+            .drain()
+            .iter()
+            .all(|(_, m)| !matches!(m, GnutellaMsg::Query { .. })));
+    }
+
+    #[test]
+    fn hits_route_back_along_reverse_path() {
+        let (mut core, mut net) = up_with_neighbors(3);
+        let guid = Guid(9);
+        core.handle_query(&mut net, NodeId::new(2), guid, 2, 0, "a".into());
+        net.drain();
+        let hit = Hit { file: FileMeta::new("a.mp3", 1), host: NodeId::new(50) };
+        core.handle_hits(&mut net, guid, vec![hit]);
+        let sent = net.drain();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, NodeId::new(2), "hit must go back where the query came from");
+        assert!(matches!(sent[0].1, GnutellaMsg::QueryHit { .. }));
+    }
+
+    #[test]
+    fn local_files_answer_queries() {
+        let store = FileStore::new(vec![FileMeta::new("led_zeppelin_iv.mp3", 1)]);
+        let mut core = UltrapeerCore::new(UltrapeerConfig::default(), store);
+        core.set_neighbors(vec![NodeId::new(1)]);
+        let mut net = FakeNet::new(0);
+        core.handle_query(&mut net, NodeId::new(1), Guid(1), 1, 0, "led zeppelin".into());
+        let sent = net.drain();
+        let hits: Vec<_> =
+            sent.iter().filter(|(_, m)| matches!(m, GnutellaMsg::QueryHit { .. })).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, NodeId::new(1));
+    }
+
+    #[test]
+    fn qrp_gates_leaf_forwarding() {
+        let (mut core, mut net) = up_with_neighbors(1);
+        let leaf_yes = NodeId::new(10);
+        let leaf_no = NodeId::new(11);
+        core.add_leaf(leaf_yes);
+        core.add_leaf(leaf_no);
+        let mut filter = QrpFilter::with_defaults();
+        filter.insert("led");
+        filter.insert("zeppelin");
+        core.on_message(&mut net, leaf_yes, GnutellaMsg::QrpUpdate { filter });
+        let mut other = QrpFilter::with_defaults();
+        other.insert("floyd");
+        core.on_message(&mut net, leaf_no, GnutellaMsg::QrpUpdate { filter: other });
+        net.drain();
+
+        core.handle_query(&mut net, NodeId::new(1), Guid(2), 1, 0, "led zeppelin".into());
+        let forwards: Vec<_> = net
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, GnutellaMsg::LeafForward { .. }))
+            .collect();
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(forwards[0].0, leaf_yes);
+        // A leaf with no filter yet receives nothing.
+    }
+
+    #[test]
+    fn crawl_pong_reports_topology() {
+        let (mut core, mut net) = up_with_neighbors(4);
+        core.add_leaf(NodeId::new(20));
+        core.on_message(&mut net, NodeId::new(99), GnutellaMsg::CrawlPing);
+        let sent = net.drain();
+        match &sent[0].1 {
+            GnutellaMsg::CrawlPong { neighbors, leaves } => {
+                assert_eq!(neighbors.len(), 4);
+                assert_eq!(leaves, &vec![NodeId::new(20)]);
+            }
+            other => panic!("expected CrawlPong, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_horizon_finishes_query() {
+        let (mut core, mut net) = up_with_neighbors(1);
+        let guid = core.start_query(&mut net, "nothing matches", QueryOrigin::Driver);
+        net.drain();
+        // Drain the single deep probe, then the grace period.
+        for _ in 0..5 {
+            net.advance(SimDuration::from_secs(3));
+            core.tick(&mut net);
+        }
+        let rec = core.query_record(guid).unwrap();
+        assert!(rec.finished);
+        assert!(rec.hits.is_empty());
+        assert!(rec.first_hit_at.is_none());
+    }
+
+    #[test]
+    fn seen_table_expires() {
+        let (mut core, mut net) = up_with_neighbors(2);
+        core.handle_query(&mut net, NodeId::new(1), Guid(5), 2, 0, "a".into());
+        net.drain();
+        net.advance(SimDuration::from_secs(200));
+        core.tick(&mut net);
+        // After expiry the hit can no longer be routed.
+        core.handle_hits(&mut net, Guid(5), vec![]);
+        assert!(net.drain().is_empty());
+    }
+}

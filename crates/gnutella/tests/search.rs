@@ -1,0 +1,158 @@
+//! End-to-end search behaviour in a spawned Gnutella network: the
+//! popular-fast / rare-slow asymmetry that motivates the whole paper.
+
+use pier_gnutella::{
+    spawn, FileMeta, GnutellaMsg, LeafNode, QueryOrigin, Topology, TopologyConfig, UltrapeerNode,
+};
+use pier_netsim::{NodeId, Sim, SimConfig, SimDuration, UniformLatency};
+
+/// A network where `popular.mp3` has one replica per 3 leaves and
+/// `rare_gem.mp3` exactly one replica placed far from the querier.
+fn build_network(
+    seed: u64,
+    ups: usize,
+    leaves: usize,
+) -> (Sim<GnutellaMsg>, pier_gnutella::GnutellaHandles) {
+    let cfg = SimConfig::with_seed(seed).latency(UniformLatency::new(
+        SimDuration::from_millis(20),
+        SimDuration::from_millis(80),
+    ));
+    let mut sim = Sim::new(cfg);
+    let topo = Topology::generate(&TopologyConfig {
+        ultrapeers: ups,
+        leaves,
+        old_style_fraction: 0.25,
+        leaf_ups: 2,
+        seed,
+    });
+    let up_files = vec![Vec::new(); ups];
+    let mut leaf_files: Vec<Vec<FileMeta>> = (0..leaves)
+        .map(|j| {
+            let mut files = vec![FileMeta::new(&format!("filler_{j}.bin"), 10)];
+            if j % 3 == 0 {
+                files.push(FileMeta::new("popular_hit_song.mp3", 4000));
+            }
+            files
+        })
+        .collect();
+    // One rare replica, on the very last leaf.
+    leaf_files[leaves - 1].push(FileMeta::new("rare_gem_recording.mp3", 999));
+    let handles = spawn(&mut sim, &topo, up_files, leaf_files);
+    (sim, handles)
+}
+
+#[test]
+fn popular_query_reaches_target_fast() {
+    let (mut sim, handles) = build_network(31, 40, 800);
+    sim.run_for(SimDuration::from_secs(2)); // QRP propagation
+
+    let vantage = handles.ups[7];
+    let guid = sim.with_actor_ctx::<UltrapeerNode, _>(vantage, |up, ctx| {
+        let mut net = pier_gnutella::CtxGnutellaNet { ctx };
+        up.core.start_query(&mut net, "popular hit song", QueryOrigin::Driver)
+    });
+    sim.run_for(SimDuration::from_secs(120));
+
+    let record = sim.actor::<UltrapeerNode>(vantage).core.query_record(guid).unwrap().clone();
+    assert!(record.finished);
+    assert!(
+        record.hits.len() >= record.probes_sent as usize || record.hits.len() >= 150,
+        "popular content must return plenty of results, got {}",
+        record.hits.len()
+    );
+    let first = record.first_hit_at.expect("popular query gets hits");
+    let latency = (first - record.issued_at).as_secs_f64();
+    assert!(latency < 5.0, "popular first hit should be fast, took {latency}s");
+    // Every hit really matches.
+    for h in &record.hits {
+        assert_eq!(h.file.name, "popular_hit_song.mp3");
+    }
+}
+
+#[test]
+fn rare_query_finds_single_replica_slowly_or_never() {
+    // Large enough that the TTL-1 probe covers ~10% of ultrapeers: rare
+    // items must usually wait for paced deep probes (or be missed).
+    let (mut sim, handles) = build_network(32, 120, 1500);
+    sim.run_for(SimDuration::from_secs(2));
+
+    // Query from every 15th ultrapeer; compute how long rare lookups take.
+    let mut latencies = Vec::new();
+    let mut misses = 0;
+    let vantages: Vec<NodeId> = handles.ups.iter().copied().step_by(15).collect();
+    let mut guids = Vec::new();
+    for &v in &vantages {
+        let guid = sim.with_actor_ctx::<UltrapeerNode, _>(v, |up, ctx| {
+            let mut net = pier_gnutella::CtxGnutellaNet { ctx };
+            up.core.start_query(&mut net, "rare gem recording", QueryOrigin::Driver)
+        });
+        guids.push((v, guid));
+    }
+    sim.run_for(SimDuration::from_secs(240));
+
+    for (v, guid) in guids {
+        let record = sim.actor::<UltrapeerNode>(v).core.query_record(guid).unwrap().clone();
+        assert!(record.finished, "dynamic query must terminate");
+        match record.first_hit_at {
+            Some(t) => {
+                // Replicas are unique: at most one distinct host.
+                let hosts: std::collections::HashSet<_> =
+                    record.hits.iter().map(|h| h.host).collect();
+                assert_eq!(hosts.len(), 1);
+                latencies.push((t - record.issued_at).as_secs_f64());
+            }
+            None => misses += 1,
+        }
+    }
+    // The whole point of the paper: rare items are slow and/or missed.
+    let found = latencies.len();
+    assert!(found + misses == vantages.len());
+    if !latencies.is_empty() {
+        let avg = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        assert!(
+            avg > 1.0 || misses > 0,
+            "rare lookups should be slow or lossy (avg {avg}s, misses {misses})"
+        );
+    }
+}
+
+#[test]
+fn leaf_issued_search_streams_results() {
+    let (mut sim, handles) = build_network(33, 30, 600);
+    sim.run_for(SimDuration::from_secs(2));
+
+    let leaf = handles.leaves[5];
+    let qid = sim.with_actor_ctx::<LeafNode, _>(leaf, |node, ctx| {
+        let mut net = pier_gnutella::CtxGnutellaNet { ctx };
+        node.core.start_search(&mut net, "popular hit song")
+    });
+    sim.run_for(SimDuration::from_secs(150));
+
+    let node = sim.actor::<LeafNode>(leaf);
+    let s = node.core.search(qid).unwrap();
+    assert!(s.done, "ultrapeer must report completion to the leaf");
+    assert!(!s.hits.is_empty(), "popular content must be found");
+    assert!(s.first_hit_at.is_some());
+}
+
+#[test]
+fn flood_message_budget_is_bounded_by_duplicate_suppression() {
+    let (mut sim, handles) = build_network(34, 40, 400);
+    sim.run_for(SimDuration::from_secs(2));
+    let before = sim.metrics().counter("gnutella.query").count;
+
+    sim.with_actor_ctx::<UltrapeerNode, _>(handles.ups[0], |up, ctx| {
+        let mut net = pier_gnutella::CtxGnutellaNet { ctx };
+        up.core.start_query(&mut net, "no such thing anywhere", QueryOrigin::Driver)
+    });
+    sim.run_for(SimDuration::from_secs(200));
+
+    let sent = sim.metrics().counter("gnutella.query").count - before;
+    let dupes = sim.metrics().counter("gnutella.duplicate_query").count;
+    // With 40 ultrapeers, total query transmissions are bounded by
+    // (probes + relays); each node relays a GUID at most once, so sends are
+    // at most N * max_degree + probe volume.
+    assert!(sent > 40, "the query must actually flood, sent {sent}");
+    assert!(sent < 40 * 40, "duplicate suppression must bound the flood, sent {sent}");
+    assert!(dupes > 0, "redundant paths must produce (suppressed) duplicates");
+}

@@ -1,0 +1,28 @@
+//! # pier-hybrid — the hybrid search infrastructure
+//!
+//! The paper's proposal (§5, §7): keep Gnutella flooding for popular
+//! content and use PIERSearch as a partial index over **rare items only**.
+//!
+//! * [`HybridUp`] is the hybrid ultrapeer of Fig. 17 — one actor embedding
+//!   a LimeWire ultrapeer core, a DHT node, the PIER engine, and the
+//!   PIERSearch publisher/search engine. Leaf queries run through normal
+//!   dynamic querying; those that return nothing within the timeout
+//!   (30 s in the deployment) are re-issued via PIERSearch.
+//! * [`RareScheme`] provides the §5 rare-item identification schemes in
+//!   online form (QRS, TF, TPF, SAM, Random), fed by snooped result
+//!   traffic and leaf BrowseHost listings; publishing is rate-limited as
+//!   the paper observed (~one file per 2–3 s).
+//! * [`deploy::spawn`] assembles the §7 partial deployment: a handful of
+//!   hybrid ultrapeers inside a stock Gnutella network, with the hybrid
+//!   subset forming its own DHT overlay.
+
+pub mod deploy;
+mod msg;
+mod plain;
+pub mod rare;
+mod ultrapeer;
+
+pub use msg::HybridMsg;
+pub use plain::{PlainLeaf, PlainUp, PLAIN_TICK};
+pub use rare::{ObservedItem, RareScheme};
+pub use ultrapeer::{DNet, GNet, HybridConfig, HybridQueryStats, HybridUp, D_TICK, G_TICK, H_TICK};

@@ -1,0 +1,33 @@
+//! The union message type of the hybrid network: every node speaks
+//! Gnutella; hybrid ultrapeers additionally speak the DHT protocol
+//! (the paper's client "participates in two separate networks", §7).
+
+use pier_dht::DhtMsg;
+use pier_gnutella::GnutellaMsg;
+
+/// A message on the hybrid network.
+#[derive(Clone, Debug)]
+pub enum HybridMsg {
+    G(GnutellaMsg),
+    D(DhtMsg),
+}
+
+impl HybridMsg {
+    pub fn class(&self) -> &'static str {
+        match self {
+            HybridMsg::G(m) => m.class(),
+            HybridMsg::D(m) => m.class(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_delegate() {
+        let g = HybridMsg::G(GnutellaMsg::CrawlPing);
+        assert_eq!(g.class(), "gnutella.crawl_ping");
+    }
+}

@@ -1,0 +1,76 @@
+//! Plain (non-upgraded) Gnutella participants speaking the hybrid union
+//! message type: the installed base the paper's partial deployment is
+//! backward-compatible with. DHT messages addressed to them are ignored,
+//! exactly as a stock LimeWire client would drop unknown traffic.
+
+use crate::msg::HybridMsg;
+use crate::ultrapeer::GNet;
+use pier_gnutella::{LeafCore, UltrapeerCore};
+use pier_netsim::{Actor, Ctx, NodeId, TimerToken};
+
+pub const PLAIN_TICK: TimerToken = TimerToken(0x44);
+
+/// A stock ultrapeer on the hybrid network.
+pub struct PlainUp {
+    pub core: UltrapeerCore,
+}
+
+impl PlainUp {
+    pub fn new(core: UltrapeerCore) -> Self {
+        PlainUp { core }
+    }
+}
+
+impl Actor<HybridMsg> for PlainUp {
+    fn on_start(&mut self, ctx: &mut dyn Ctx<HybridMsg>) {
+        ctx.set_timer(self.core.cfg.tick, PLAIN_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Ctx<HybridMsg>, from: NodeId, msg: HybridMsg) {
+        match msg {
+            HybridMsg::G(g) => {
+                let mut net = GNet { ctx };
+                self.core.on_message(&mut net, from, g);
+            }
+            HybridMsg::D(_) => ctx.count("hybrid.dht_msg_to_plain_node", 1),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Ctx<HybridMsg>, token: TimerToken) {
+        if token == PLAIN_TICK {
+            ctx.set_timer(self.core.cfg.tick, PLAIN_TICK);
+            let mut net = GNet { ctx };
+            self.core.tick(&mut net);
+        }
+    }
+}
+
+/// A stock leaf on the hybrid network.
+pub struct PlainLeaf {
+    pub core: LeafCore,
+}
+
+impl PlainLeaf {
+    pub fn new(core: LeafCore) -> Self {
+        PlainLeaf { core }
+    }
+}
+
+impl Actor<HybridMsg> for PlainLeaf {
+    fn on_start(&mut self, ctx: &mut dyn Ctx<HybridMsg>) {
+        let mut net = GNet { ctx };
+        self.core.publish_qrp(&mut net);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Ctx<HybridMsg>, from: NodeId, msg: HybridMsg) {
+        match msg {
+            HybridMsg::G(g) => {
+                let mut net = GNet { ctx };
+                self.core.on_message(&mut net, from, g);
+            }
+            HybridMsg::D(_) => ctx.count("hybrid.dht_msg_to_plain_node", 1),
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut dyn Ctx<HybridMsg>, _token: TimerToken) {}
+}

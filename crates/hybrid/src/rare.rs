@@ -1,0 +1,197 @@
+//! Online rare-item identification (§5): the localized schemes a hybrid
+//! ultrapeer runs over its observed traffic to decide what to publish into
+//! the DHT. The trace-driven counterparts used for Figures 13–15 live in
+//! `pier_model::schemes`; these are the deployable versions.
+
+use pier_gnutella::{tokenize, Hit};
+use pier_netsim::NodeId;
+use std::collections::HashMap;
+
+/// A file instance observed in traffic (a query hit, or a BrowseHost entry).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservedItem {
+    pub name: String,
+    pub size: u64,
+    pub host: NodeId,
+}
+
+impl ObservedItem {
+    pub fn from_hit(h: &Hit) -> Self {
+        ObservedItem { name: h.file.name.clone(), size: h.file.size, host: h.host }
+    }
+}
+
+/// The §5 schemes, in their online (traffic-observing) form.
+///
+/// * `Qrs` — publish the results of queries whose result set stayed below
+///   a threshold (handled by the proxy's per-query window; `is_rare` is
+///   not meaningful for it).
+/// * `Tf` / `Tpf` — maintain term / adjacent-term-pair frequencies from
+///   observed filenames; a file is rare if its rarest term/pair is below
+///   the threshold.
+/// * `Sam` — maintain per-filename replica estimates from observed traffic
+///   (the paper's low-bandwidth alternative to active sampling); rare if
+///   the estimate is at or below the threshold.
+/// * `Random` — publish a coin-flip fraction (the evaluation baseline).
+pub enum RareScheme {
+    Qrs { results_threshold: usize },
+    Tf { threshold: u64, counts: HashMap<String, u64> },
+    Tpf { threshold: u64, counts: HashMap<(String, String), u64> },
+    Sam { threshold: u32, counts: HashMap<String, u32> },
+    Random { fraction: f64, state: u64 },
+}
+
+impl RareScheme {
+    pub fn qrs(results_threshold: usize) -> Self {
+        RareScheme::Qrs { results_threshold }
+    }
+
+    pub fn tf(threshold: u64) -> Self {
+        RareScheme::Tf { threshold, counts: HashMap::new() }
+    }
+
+    pub fn tpf(threshold: u64) -> Self {
+        RareScheme::Tpf { threshold, counts: HashMap::new() }
+    }
+
+    pub fn sam(threshold: u32) -> Self {
+        RareScheme::Sam { threshold, counts: HashMap::new() }
+    }
+
+    pub fn random(fraction: f64, seed: u64) -> Self {
+        RareScheme::Random { fraction, state: seed | 1 }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            RareScheme::Qrs { .. } => "QRS",
+            RareScheme::Tf { .. } => "TF",
+            RareScheme::Tpf { .. } => "TPF",
+            RareScheme::Sam { .. } => "SAM",
+            RareScheme::Random { .. } => "Random",
+        }
+    }
+
+    /// Update statistics with one observed file instance.
+    pub fn observe(&mut self, name: &str) {
+        match self {
+            RareScheme::Qrs { .. } | RareScheme::Random { .. } => {}
+            RareScheme::Tf { counts, .. } => {
+                for t in tokenize(name) {
+                    *counts.entry(t).or_insert(0) += 1;
+                }
+            }
+            RareScheme::Tpf { counts, .. } => {
+                let toks = tokenize(name);
+                for w in toks.windows(2) {
+                    *counts.entry((w[0].clone(), w[1].clone())).or_insert(0) += 1;
+                }
+            }
+            RareScheme::Sam { counts, .. } => {
+                *counts.entry(name.to_lowercase()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Does the scheme currently judge this file rare? `None` means the
+    /// scheme does not make pull-based decisions (QRS).
+    pub fn is_rare(&mut self, name: &str) -> Option<bool> {
+        match self {
+            RareScheme::Qrs { .. } => None,
+            RareScheme::Tf { threshold, counts } => {
+                let min = tokenize(name)
+                    .iter()
+                    .map(|t| counts.get(t).copied().unwrap_or(0))
+                    .min()
+                    .unwrap_or(0);
+                Some(min < *threshold)
+            }
+            RareScheme::Tpf { threshold, counts } => {
+                let toks = tokenize(name);
+                let min = toks
+                    .windows(2)
+                    .map(|w| counts.get(&(w[0].clone(), w[1].clone())).copied().unwrap_or(0))
+                    .min()
+                    .unwrap_or(0);
+                Some(min < *threshold)
+            }
+            RareScheme::Sam { threshold, counts } => {
+                let est = counts.get(&name.to_lowercase()).copied().unwrap_or(1).max(1);
+                Some(est <= *threshold)
+            }
+            RareScheme::Random { fraction, state } => {
+                let x = pier_netsim::split_mix64(state);
+                Some((x as f64 / u64::MAX as f64) < *fraction)
+            }
+        }
+    }
+
+    /// QRS result-size threshold, if this is the QRS scheme.
+    pub fn qrs_threshold(&self) -> Option<usize> {
+        match self {
+            RareScheme::Qrs { results_threshold } => Some(*results_threshold),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tf_learns_from_traffic() {
+        let mut s = RareScheme::tf(3);
+        // Before any observation everything is rare (count 0).
+        assert_eq!(s.is_rare("popular_song.mp3"), Some(true));
+        for _ in 0..5 {
+            s.observe("popular_song.mp3");
+        }
+        assert_eq!(s.is_rare("popular_song.mp3"), Some(false));
+        // A file sharing one popular term but containing a rare one.
+        assert_eq!(s.is_rare("popular_rarity.mp3"), Some(true));
+    }
+
+    #[test]
+    fn tpf_distinguishes_pairs() {
+        let mut s = RareScheme::tpf(3);
+        for _ in 0..5 {
+            s.observe("alpha_beta.mp3");
+        }
+        assert_eq!(s.is_rare("alpha_beta.mp3"), Some(false));
+        // Same terms, different adjacency.
+        assert_eq!(s.is_rare("beta_alpha.mp3"), Some(true));
+    }
+
+    #[test]
+    fn sam_counts_replica_sightings() {
+        let mut s = RareScheme::sam(2);
+        s.observe("One_Copy.mp3");
+        assert_eq!(s.is_rare("one_copy.mp3"), Some(true), "case-insensitive estimate");
+        for _ in 0..5 {
+            s.observe("one_copy.mp3");
+        }
+        assert_eq!(s.is_rare("one_copy.mp3"), Some(false));
+        // Never-seen file: lower bound estimate is 1 → rare when t ≥ 1.
+        assert_eq!(s.is_rare("unseen.mp3"), Some(true));
+    }
+
+    #[test]
+    fn random_fraction_approximate() {
+        let mut s = RareScheme::random(0.3, 42);
+        let n = 10_000;
+        let rare = (0..n).filter(|i| s.is_rare(&format!("f{i}")).unwrap()).count();
+        let frac = rare as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "{frac}");
+        let mut none = RareScheme::random(0.0, 42);
+        assert_eq!(none.is_rare("x"), Some(false));
+    }
+
+    #[test]
+    fn qrs_is_window_driven() {
+        let mut s = RareScheme::qrs(20);
+        assert_eq!(s.is_rare("anything"), None);
+        assert_eq!(s.qrs_threshold(), Some(20));
+        assert_eq!(RareScheme::tf(1).qrs_threshold(), None);
+    }
+}

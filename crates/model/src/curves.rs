@@ -1,0 +1,127 @@
+//! The §6.2 sweep curves: Figures 9 (PF-threshold), 10 (publishing
+//! overhead), 11 (QR), and 12 (QDR) as functions of the replica threshold.
+
+use crate::gnutella_pf::pf_gnutella_frac;
+use crate::recall::{PublishedSet, TraceView};
+
+/// One row of the Figure 9 curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PfThresholdPoint {
+    pub replica_threshold: u32,
+    pub pf_threshold: f64,
+}
+
+/// Figure 9: the lower bound on PF_hybrid over all items, as a function of
+/// the replica threshold. Items with `R ≤ t` are published (PF = 1); the
+/// worst remaining item has `R = t + 1`, so the bound is Eq. (2) at
+/// `r = t + 1`.
+pub fn pf_threshold_curve(
+    hosts: u64,
+    horizon_frac: f64,
+    thresholds: impl IntoIterator<Item = u32>,
+) -> Vec<PfThresholdPoint> {
+    thresholds
+        .into_iter()
+        .map(|t| PfThresholdPoint {
+            replica_threshold: t,
+            pf_threshold: pf_gnutella_frac(hosts, horizon_frac, t as u64 + 1),
+        })
+        .collect()
+}
+
+/// One row of the Figures 10–12 sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct ThresholdSweepPoint {
+    pub replica_threshold: u32,
+    /// Fraction of item instances published (Fig. 10).
+    pub overhead: f64,
+    /// Average query recall (Fig. 11).
+    pub avg_qr: f64,
+    /// Average query distinct recall (Fig. 12).
+    pub avg_qdr: f64,
+}
+
+/// Sweep the replica threshold with Perfect publishing over a trace —
+/// Figures 10, 11, and 12 in one pass.
+pub fn threshold_sweep(
+    view: &TraceView,
+    horizon_frac: f64,
+    thresholds: impl IntoIterator<Item = u32>,
+) -> Vec<ThresholdSweepPoint> {
+    thresholds
+        .into_iter()
+        .map(|t| {
+            let per_file: Vec<u32> =
+                view.replicas.iter().map(|&r| if r <= t { r } else { 0 }).collect();
+            let p = PublishedSet { per_file };
+            ThresholdSweepPoint {
+                replica_threshold: t,
+                overhead: p.overhead(&view.replicas),
+                avg_qr: view.avg_qr(horizon_frac, &p),
+                avg_qdr: view.avg_qdr(horizon_frac, &p),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_shape_diminishing_increase() {
+        let curve = pf_threshold_curve(75_129, 0.15, 0..=20);
+        assert_eq!(curve.len(), 21);
+        // Threshold 0: nothing published; bound = PF at R=1 = horizon.
+        assert!((curve[0].pf_threshold - 0.15).abs() < 0.01);
+        // Strictly increasing with diminishing increments.
+        for w in curve.windows(2) {
+            assert!(w[1].pf_threshold > w[0].pf_threshold);
+        }
+        let d_first = curve[1].pf_threshold - curve[0].pf_threshold;
+        let d_last = curve[20].pf_threshold - curve[19].pf_threshold;
+        assert!(d_first > d_last, "increments must diminish");
+        // Horizon ordering (the paper's three curves never cross).
+        let lo = pf_threshold_curve(75_129, 0.05, 0..=20);
+        let hi = pf_threshold_curve(75_129, 0.30, 0..=20);
+        for i in 0..21 {
+            assert!(lo[i].pf_threshold < curve[i].pf_threshold);
+            assert!(curve[i].pf_threshold < hi[i].pf_threshold);
+        }
+    }
+
+    fn toy_view() -> TraceView {
+        TraceView {
+            replicas: vec![1, 1, 2, 3, 10, 50],
+            queries: vec![vec![0], vec![2, 3], vec![4, 5], vec![1, 5]],
+            hosts: 1_000,
+        }
+    }
+
+    #[test]
+    fn sweep_monotone_and_saturating() {
+        let view = toy_view();
+        let sweep = threshold_sweep(&view, 0.05, 0..=50);
+        assert!((sweep[0].overhead - 0.0).abs() < 1e-12);
+        assert!((sweep[0].avg_qr - 0.05).abs() < 1e-12, "threshold 0 = pure flooding");
+        for w in sweep.windows(2) {
+            assert!(w[1].overhead >= w[0].overhead);
+            assert!(w[1].avg_qr >= w[0].avg_qr - 1e-12);
+            assert!(w[1].avg_qdr >= w[0].avg_qdr - 1e-12);
+        }
+        let last = sweep.last().unwrap();
+        assert!((last.overhead - 1.0).abs() < 1e-12);
+        assert!((last.avg_qr - 1.0).abs() < 1e-12);
+        assert!((last.avg_qdr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qdr_saturates_faster_than_qr() {
+        // "publishing only items with one or two replicas raises QR to 68%
+        // and QDR to 93%" — QDR rises much faster. Verify the ordering on
+        // the toy trace.
+        let view = toy_view();
+        let sweep = threshold_sweep(&view, 0.15, [2]);
+        assert!(sweep[0].avg_qdr > sweep[0].avg_qr);
+    }
+}

@@ -1,0 +1,138 @@
+//! Equation (2) of the paper: the probability that flooding over a random
+//! horizon finds at least one of `r` replicas.
+//!
+//! `PF = 1 − Π_{j=0}^{h−1} (1 − r / (N − j))`
+//!
+//! — the hypergeometric "at least one success when drawing h nodes without
+//! replacement from N, of which r hold a replica".
+
+/// P(item with `r` replicas is found | `horizon` nodes of `n` are visited).
+///
+/// Computed in log space so products over tens of thousands of terms do not
+/// underflow. `r = 0` gives 0; `horizon ≥ n − r + 1` forces a find (p = 1).
+pub fn pf_gnutella(n: u64, horizon: u64, r: u64) -> f64 {
+    assert!(n > 0, "empty network");
+    let r = r.min(n);
+    let horizon = horizon.min(n);
+    if r == 0 || horizon == 0 {
+        return 0.0;
+    }
+    // Pigeonhole: not finding requires all h visited nodes among the n−r
+    // non-holders.
+    if horizon > n - r {
+        return 1.0;
+    }
+    let mut log_miss = 0.0f64;
+    for j in 0..horizon {
+        let p_hit = r as f64 / (n - j) as f64;
+        log_miss += (1.0 - p_hit).ln();
+        if log_miss < -745.0 {
+            return 1.0; // product underflowed: a miss is impossible at f64
+        }
+    }
+    1.0 - log_miss.exp()
+}
+
+/// Convenience: horizon given as a fraction of the network.
+pub fn pf_gnutella_frac(n: u64, horizon_frac: f64, r: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&horizon_frac));
+    pf_gnutella(n, (horizon_frac * n as f64).round() as u64, r)
+}
+
+/// Expected *fraction of replicas* of an item found by the flood — the QR
+/// contribution of an unpublished item. Visiting h of n nodes sees each
+/// replica with probability h/n.
+pub fn expected_replica_fraction(n: u64, horizon: u64) -> f64 {
+    assert!(n > 0);
+    (horizon.min(n)) as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force hypergeometric reference for small values.
+    fn reference(n: u64, h: u64, r: u64) -> f64 {
+        // P(miss) = C(n-r, h) / C(n, h)
+        if h + r > n {
+            return 1.0;
+        }
+        let mut p_miss = 1.0f64;
+        for j in 0..h {
+            p_miss *= (n - r - j) as f64 / (n - j) as f64;
+        }
+        1.0 - p_miss
+    }
+
+    #[test]
+    fn matches_reference_on_small_values() {
+        for n in [10u64, 50, 100] {
+            for h in [1u64, 5, 10] {
+                for r in [0u64, 1, 2, 5] {
+                    let got = pf_gnutella(n, h, r);
+                    let want = reference(n, h, r);
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "n={n} h={h} r={r}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // 75,129 nodes, 15% horizon, singleton item: PF ≈ 0.15.
+        let pf = pf_gnutella_frac(75_129, 0.15, 1);
+        assert!((pf - 0.15).abs() < 0.001, "{pf}");
+        // Two replicas: 1 - (1-h)² ≈ 0.2775.
+        let pf2 = pf_gnutella_frac(75_129, 0.15, 2);
+        assert!((pf2 - 0.2775).abs() < 0.002, "{pf2}");
+        // A popular item (1000 replicas) is essentially always found.
+        assert!(pf_gnutella_frac(75_129, 0.05, 1_000) > 0.999);
+    }
+
+    #[test]
+    fn monotonicity() {
+        let n = 10_000;
+        // In replicas.
+        let mut prev = 0.0;
+        for r in 0..50 {
+            let pf = pf_gnutella(n, 500, r);
+            assert!(pf >= prev);
+            prev = pf;
+        }
+        // In horizon.
+        prev = 0.0;
+        for h in [0u64, 1, 10, 100, 1_000, 9_999, 10_000] {
+            let pf = pf_gnutella(n, h, 3);
+            assert!(pf >= prev, "h={h}");
+            prev = pf;
+        }
+    }
+
+    #[test]
+    fn boundary_conditions() {
+        assert_eq!(pf_gnutella(100, 0, 5), 0.0);
+        assert_eq!(pf_gnutella(100, 5, 0), 0.0);
+        assert_eq!(pf_gnutella(100, 100, 1), 1.0);
+        assert_eq!(pf_gnutella(100, 96, 5), 1.0, "pigeonhole");
+        assert_eq!(pf_gnutella(100, 10, 200), 1.0, "r clamped to n");
+        assert!((pf_gnutella(1, 1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_underflow_at_scale() {
+        // Large horizon over a huge network with a popular item: the naive
+        // product would underflow; the log-space version must return 1.
+        let pf = pf_gnutella(1_000_000, 500_000, 10_000);
+        assert!((0.0..=1.0).contains(&pf));
+        assert!(pf > 0.999999);
+    }
+
+    #[test]
+    fn expected_fraction_is_linear() {
+        assert_eq!(expected_replica_fraction(1000, 150), 0.15);
+        assert_eq!(expected_replica_fraction(1000, 2000), 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The event queue: a binary heap ordered by `(time, sequence)`.
+//!
+//! The strictly increasing sequence number breaks ties deterministically
+//! (FIFO among same-time events), which is what makes whole simulations
+//! reproducible run-to-run.
+
+use crate::actor::{NodeId, TimerToken};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` from `from` to `dst`.
+    Deliver { from: NodeId, dst: NodeId, msg: M },
+    /// Fire timer `token` at `dst`, provided the arming epoch still matches.
+    Timer { dst: NodeId, token: TimerToken, epoch: u32 },
+}
+
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Min-queue of pending events.
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)] // exercised by tests; kept for API symmetry
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(dst: u32) -> EventKind<u32> {
+        EventKind::Deliver { from: NodeId::new(0), dst: NodeId::new(dst), msg: dst }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), deliver(3));
+        q.push(SimTime::from_micros(10), deliver(1));
+        q.push(SimTime::from_micros(20), deliver(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.time.as_micros())).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            q.push(t, deliver(i));
+        }
+        let mut seen = Vec::new();
+        while let Some(e) = q.pop() {
+            if let EventKind::Deliver { msg, .. } = e.kind {
+                seen.push(msg);
+            }
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(7), deliver(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

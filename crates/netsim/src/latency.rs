@@ -1,0 +1,167 @@
+//! Pluggable message-latency models.
+//!
+//! The paper's experiments ran on PlanetLab machines "on two continents";
+//! [`ClusteredWan`] approximates that: nodes are assigned to clusters
+//! (continents), with low intra-cluster and high inter-cluster one-way
+//! delays plus multiplicative jitter.
+
+use crate::actor::NodeId;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// Samples the one-way delivery latency for a message.
+pub trait LatencyModel: Send {
+    /// One-way latency from `src` to `dst`.
+    fn sample(&self, rng: &mut SimRng, src: NodeId, dst: NodeId) -> SimDuration;
+}
+
+/// Fixed latency for every message. Useful in unit tests where hop counts
+/// should translate exactly into time.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLatency(pub SimDuration);
+
+impl LatencyModel for ConstantLatency {
+    fn sample(&self, _rng: &mut SimRng, _src: NodeId, _dst: NodeId) -> SimDuration {
+        self.0
+    }
+}
+
+/// Uniformly distributed latency in `[min, max]`.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformLatency {
+    pub min: SimDuration,
+    pub max: SimDuration,
+}
+
+impl UniformLatency {
+    pub fn new(min: SimDuration, max: SimDuration) -> Self {
+        assert!(min <= max, "min must not exceed max");
+        UniformLatency { min, max }
+    }
+}
+
+impl LatencyModel for UniformLatency {
+    fn sample(&self, rng: &mut SimRng, _src: NodeId, _dst: NodeId) -> SimDuration {
+        let lo = self.min.as_micros();
+        let hi = self.max.as_micros();
+        SimDuration::from_micros(rng.random_range(lo..=hi))
+    }
+}
+
+/// Two-level wide-area model: nodes hash into `clusters` clusters
+/// ("continents"); intra-cluster messages take `intra` one-way, inter-cluster
+/// messages take `inter`, both with multiplicative jitter in
+/// `[1, 1 + jitter]`.
+///
+/// Defaults approximate the paper's North-America + Europe PlanetLab layout:
+/// 20 ms one-way intra-continent, 60 ms inter-continent, 50% jitter.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusteredWan {
+    pub clusters: u32,
+    pub intra: SimDuration,
+    pub inter: SimDuration,
+    pub jitter: f64,
+}
+
+impl Default for ClusteredWan {
+    fn default() -> Self {
+        ClusteredWan {
+            clusters: 2,
+            intra: SimDuration::from_millis(20),
+            inter: SimDuration::from_millis(60),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl ClusteredWan {
+    /// The cluster a node belongs to (stable hash of its id).
+    pub fn cluster_of(&self, node: NodeId) -> u32 {
+        // Fibonacci hashing spreads dense indices across clusters.
+        (node.raw().wrapping_mul(2654435761) >> 16) % self.clusters.max(1)
+    }
+}
+
+impl LatencyModel for ClusteredWan {
+    fn sample(&self, rng: &mut SimRng, src: NodeId, dst: NodeId) -> SimDuration {
+        let base = if self.cluster_of(src) == self.cluster_of(dst) {
+            self.intra
+        } else {
+            self.inter
+        };
+        let factor = 1.0 + rng.random_range(0.0..=self.jitter);
+        base.mul_f64(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    #[test]
+    fn constant_is_constant() {
+        let m = ConstantLatency(SimDuration::from_millis(5));
+        let mut rng = stream_rng(0, 0);
+        for _ in 0..10 {
+            assert_eq!(
+                m.sample(&mut rng, NodeId::new(0), NodeId::new(1)),
+                SimDuration::from_millis(5)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = UniformLatency::new(SimDuration::from_millis(10), SimDuration::from_millis(20));
+        let mut rng = stream_rng(1, 0);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng, NodeId::new(0), NodeId::new(1));
+            assert!(d >= m.min && d <= m.max);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn wan_intercluster_slower() {
+        let m = ClusteredWan { jitter: 0.0, ..Default::default() };
+        let mut rng = stream_rng(2, 0);
+        // Find one intra pair and one inter pair.
+        let a = NodeId::new(0);
+        let same = (1..100)
+            .map(NodeId::new)
+            .find(|b| m.cluster_of(*b) == m.cluster_of(a))
+            .unwrap();
+        let diff = (1..100)
+            .map(NodeId::new)
+            .find(|b| m.cluster_of(*b) != m.cluster_of(a))
+            .unwrap();
+        assert_eq!(m.sample(&mut rng, a, same), m.intra);
+        assert_eq!(m.sample(&mut rng, a, diff), m.inter);
+    }
+
+    #[test]
+    fn wan_clusters_roughly_balanced() {
+        let m = ClusteredWan::default();
+        let count0 = (0..10_000).filter(|i| m.cluster_of(NodeId::new(*i)) == 0).count();
+        let frac = count0 as f64 / 10_000.0;
+        assert!((0.4..0.6).contains(&frac), "cluster balance {frac}");
+    }
+
+    #[test]
+    fn wan_jitter_bounded() {
+        let m = ClusteredWan { jitter: 0.5, ..Default::default() };
+        let mut rng = stream_rng(3, 0);
+        for i in 0..1000u32 {
+            let d = m.sample(&mut rng, NodeId::new(0), NodeId::new(i + 1));
+            assert!(d >= m.intra);
+            assert!(d <= m.inter.mul_f64(1.5));
+        }
+    }
+}

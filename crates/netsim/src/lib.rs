@@ -1,0 +1,69 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! This crate is the substrate on which every overlay in this workspace runs
+//! (the Kademlia-style DHT, the Gnutella network, and the hybrid ultrapeers).
+//! It plays the role that PlanetLab and the live Internet played in the
+//! paper: it delivers messages between nodes with configurable wide-area
+//! latencies, fires timers, and accounts for every message and byte sent.
+//!
+//! # Design
+//!
+//! * **Virtual time.** A 64-bit microsecond clock ([`SimTime`]). Events are
+//!   ordered by `(time, sequence-number)`, so execution is bit-reproducible
+//!   for a fixed master seed.
+//! * **Actors.** Each simulated process implements [`Actor`] and interacts
+//!   with the world only through [`Ctx`] (send a message, set a timer, read
+//!   the clock, draw randomness). Protocol logic in the higher crates is
+//!   written against `Ctx`, which keeps it composable: the hybrid ultrapeer
+//!   of the paper embeds a Gnutella core *and* a DHT/PIER core in one actor.
+//! * **Latency models.** Pluggable [`LatencyModel`]s, including a
+//!   two-cluster WAN model approximating the paper's "two continents"
+//!   PlanetLab deployment.
+//! * **Metrics.** Global and per-class counters for messages and bytes, and
+//!   streaming histograms used to produce the CDFs in the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use pier_netsim::{Actor, Ctx, NodeId, Sim, SimConfig, SimDuration, TimerToken};
+//!
+//! struct Pinger { peer: NodeId, got: u32 }
+//! enum Msg { Ping, Pong }
+//!
+//! impl Actor<Msg> for Pinger {
+//!     fn on_start(&mut self, ctx: &mut dyn Ctx<Msg>) {
+//!         if ctx.self_id().index() == 0 {
+//!             ctx.send(self.peer, Msg::Ping, 23, "ping");
+//!         }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut dyn Ctx<Msg>, from: NodeId, msg: Msg) {
+//!         match msg {
+//!             Msg::Ping => ctx.send(from, Msg::Pong, 23, "pong"),
+//!             Msg::Pong => self.got += 1,
+//!         }
+//!     }
+//!     fn on_timer(&mut self, _: &mut dyn Ctx<Msg>, _: TimerToken) {}
+//! }
+//!
+//! let mut sim = Sim::new(SimConfig::default());
+//! let a = sim.add_node(Pinger { peer: NodeId::new(1), got: 0 });
+//! let b = sim.add_node(Pinger { peer: NodeId::new(0), got: 0 });
+//! assert_eq!((a.index(), b.index()), (0, 1));
+//! sim.run_until_quiescent();
+//! assert_eq!(sim.actor::<Pinger>(a).got, 1);
+//! ```
+
+mod actor;
+mod event;
+mod latency;
+pub mod metrics;
+mod rng;
+mod sim;
+mod time;
+
+pub use actor::{Actor, Ctx, NodeId, TimerToken};
+pub use latency::{ClusteredWan, ConstantLatency, LatencyModel, UniformLatency};
+pub use metrics::{Cdf, Counter, Histogram, Metrics};
+pub use rng::{derive_seed, split_mix64, stream_rng, SimRng};
+pub use sim::{Sim, SimConfig};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,277 @@
+//! Simulation metrics: counters keyed by message class, and streaming
+//! histograms for latency/size distributions. These back the CDF plots and
+//! overhead tables in the paper's evaluation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A message/byte counter pair for one class of traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    pub count: u64,
+    pub bytes: u64,
+}
+
+impl Counter {
+    pub fn add(&mut self, n: u64, bytes: u64) {
+        self.count += n;
+        self.bytes += bytes;
+    }
+}
+
+/// A simple exact histogram over `f64` samples. For the scales in this
+/// workspace (≤ millions of samples per experiment) storing samples exactly
+/// is affordable and keeps quantile computation trivially correct.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "histogram sample must be finite");
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Quantile in `[0, 1]` by nearest-rank. Returns 0.0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    pub fn min(&mut self) -> f64 {
+        self.quantile(0.0).min(self.samples.first().copied().unwrap_or(0.0))
+    }
+
+    pub fn max(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.samples.last().unwrap()
+    }
+
+    /// Freeze into a [`Cdf`] for plotting.
+    pub fn cdf(&mut self) -> Cdf {
+        self.ensure_sorted();
+        Cdf { samples: self.samples.clone() }
+    }
+}
+
+/// An empirical CDF: `fraction_at_most(x)` is P(X ≤ x).
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    samples: Vec<f64>, // sorted
+}
+
+impl Cdf {
+    /// Build from raw samples.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Cdf { samples }
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// P(X ≤ x), in `[0, 1]`.
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = self.samples.partition_point(|s| *s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The evaluation points `(x, P(X ≤ x))` for each distinct sample value —
+    /// the staircase the paper plots in Figures 5 and 6.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let n = self.samples.len() as f64;
+        let mut i = 0;
+        while i < self.samples.len() {
+            let x = self.samples[i];
+            let mut j = i;
+            while j < self.samples.len() && self.samples[j] == x {
+                j += 1;
+            }
+            out.push((x, j as f64 / n));
+            i = j;
+        }
+        out
+    }
+}
+
+/// All metrics for one simulation run.
+#[derive(Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, Counter>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    /// Total messages delivered (all classes).
+    pub total_messages: u64,
+    /// Total bytes delivered (all classes).
+    pub total_bytes: u64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub fn count(&mut self, class: &'static str, n: u64, bytes: u64) {
+        self.counters.entry(class).or_default().add(n, bytes);
+    }
+
+    pub fn record_send(&mut self, class: &'static str, bytes: u64) {
+        self.count(class, 1, bytes);
+        self.total_messages += 1;
+        self.total_bytes += bytes;
+    }
+
+    pub fn observe(&mut self, class: &'static str, value: f64) {
+        self.histograms.entry(class).or_default().record(value);
+    }
+
+    pub fn counter(&self, class: &str) -> Counter {
+        self.counters.get(class).copied().unwrap_or_default()
+    }
+
+    pub fn histogram(&mut self, class: &'static str) -> &mut Histogram {
+        self.histograms.entry(class).or_default()
+    }
+
+    /// Counters whose class name starts with `prefix`, summed.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> Counter {
+        let mut total = Counter::default();
+        for (class, c) in &self.counters {
+            if class.starts_with(prefix) {
+                total.add(c.count, c.bytes);
+            }
+        }
+        total
+    }
+
+    /// Iterate over all counters in class-name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, Counter)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<40} {:>12} {:>14}", "class", "messages", "bytes")?;
+        for (class, c) in &self.counters {
+            writeln!(f, "{:<40} {:>12} {:>14}", class, c.count, c.bytes)?;
+        }
+        writeln!(f, "{:<40} {:>12} {:>14}", "TOTAL", self.total_messages, self.total_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut m = Metrics::new();
+        m.record_send("a.x", 100);
+        m.record_send("a.x", 50);
+        m.record_send("a.y", 10);
+        assert_eq!(m.counter("a.x"), Counter { count: 2, bytes: 150 });
+        assert_eq!(m.counter_prefix_sum("a."), Counter { count: 3, bytes: 160 });
+        assert_eq!(m.total_messages, 3);
+        assert_eq!(m.total_bytes, 160);
+        assert_eq!(m.counter("missing"), Counter::default());
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        assert_eq!(h.max(), 5.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_is_safe() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn cdf_staircase() {
+        let cdf = Cdf::from_samples(vec![1.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.fraction_at_most(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_most(1.0), 0.5);
+        assert_eq!(cdf.fraction_at_most(3.0), 0.75);
+        assert_eq!(cdf.fraction_at_most(4.0), 1.0);
+        assert_eq!(cdf.points(), vec![(1.0, 0.5), (2.0, 0.75), (4.0, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let cdf = Cdf::from_samples((0..100).map(|i| (i * 7 % 13) as f64).collect());
+        let mut prev = 0.0;
+        for x in 0..14 {
+            let v = cdf.fraction_at_most(x as f64);
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert_eq!(prev, 1.0);
+    }
+
+    #[test]
+    fn metrics_display_contains_totals() {
+        let mut m = Metrics::new();
+        m.record_send("z", 9);
+        let s = format!("{m}");
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains('z'));
+    }
+}

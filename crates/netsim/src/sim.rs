@@ -1,0 +1,447 @@
+//! The simulation kernel: owns the clock, the event queue, node liveness,
+//! per-node RNG streams, and all metrics.
+
+use crate::actor::{Actor, Ctx, NodeId, TimerToken};
+use crate::event::{EventKind, EventQueue};
+use crate::latency::{ClusteredWan, LatencyModel};
+use crate::metrics::Metrics;
+use crate::rng::{stream_rng, SimRng};
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// Simulation-wide configuration.
+pub struct SimConfig {
+    /// Master seed; every random choice in the run derives from it.
+    pub seed: u64,
+    /// One-way message latency model.
+    pub latency: Box<dyn LatencyModel>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0xC0FFEE, latency: Box::new(ClusteredWan::default()) }
+    }
+}
+
+impl SimConfig {
+    /// Config with a specific seed and the default WAN latency model.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig { seed, ..Default::default() }
+    }
+
+    /// Replace the latency model.
+    pub fn latency(mut self, model: impl LatencyModel + 'static) -> Self {
+        self.latency = Box::new(model);
+        self
+    }
+}
+
+/// Object-safe actor bound that also supports downcasting, so heterogeneous
+/// actor types can live in one simulation and still be inspected by tests
+/// and experiment drivers.
+trait AnyActor<M>: Actor<M> {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M, T: Actor<M> + Any> AnyActor<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Kernel state that must stay borrowable while an actor handler runs.
+struct Kernel<M> {
+    now: SimTime,
+    queue: EventQueue<M>,
+    metrics: Metrics,
+    latency: Box<dyn LatencyModel>,
+    seed: u64,
+    rngs: Vec<SimRng>,
+    up: Vec<bool>,
+    /// Bumped whenever a node goes down or comes back up; timers armed in an
+    /// older epoch are dropped instead of fired.
+    timer_epoch: Vec<u32>,
+}
+
+impl<M> Kernel<M> {
+    fn send_from(&mut self, src: NodeId, dst: NodeId, msg: M, bytes: usize, class: &'static str) {
+        self.metrics.record_send(class, bytes as u64);
+        let delay = {
+            let rng = &mut self.rngs[src.index()];
+            self.latency.sample(rng, src, dst)
+        };
+        let at = self.now + delay;
+        self.queue.push(at, EventKind::Deliver { from: src, dst, msg });
+    }
+}
+
+struct CtxImpl<'a, M> {
+    kernel: &'a mut Kernel<M>,
+    self_id: NodeId,
+}
+
+impl<M> Ctx<M> for CtxImpl<'_, M> {
+    fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    fn send(&mut self, dst: NodeId, msg: M, wire_bytes: usize, class: &'static str) {
+        self.kernel.send_from(self.self_id, dst, msg, wire_bytes, class);
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        let epoch = self.kernel.timer_epoch[self.self_id.index()];
+        let at = self.kernel.now + delay;
+        self.kernel.queue.push(at, EventKind::Timer { dst: self.self_id, token, epoch });
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.kernel.rngs[self.self_id.index()]
+    }
+
+    fn count(&mut self, class: &'static str, n: u64) {
+        self.kernel.metrics.count(class, n, 0);
+    }
+
+    fn observe(&mut self, class: &'static str, value: f64) {
+        self.kernel.metrics.observe(class, value);
+    }
+}
+
+/// A deterministic discrete-event simulation over message type `M`.
+pub struct Sim<M> {
+    kernel: Kernel<M>,
+    actors: Vec<Box<dyn AnyActor<M>>>,
+}
+
+impl<M: 'static> Sim<M> {
+    pub fn new(config: SimConfig) -> Self {
+        Sim {
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                metrics: Metrics::new(),
+                latency: config.latency,
+                seed: config.seed,
+                rngs: Vec::new(),
+                up: Vec::new(),
+                timer_epoch: Vec::new(),
+            },
+            actors: Vec::new(),
+        }
+    }
+
+    /// Register a node. Its `on_start` runs the first time the simulation
+    /// advances (it is queued at the current virtual time).
+    pub fn add_node(&mut self, actor: impl Actor<M> + Any) -> NodeId {
+        let id = NodeId::new(self.actors.len() as u32);
+        self.actors.push(Box::new(actor));
+        self.kernel.rngs.push(stream_rng(self.kernel.seed, id.raw() as u64 + 1));
+        self.kernel.up.push(true);
+        self.kernel.timer_epoch.push(0);
+        // A zero-delay timer with a reserved token drives on_start so that
+        // startup interleaves deterministically with other events.
+        self.kernel.queue.push(
+            self.kernel.now,
+            EventKind::Timer { dst: id, token: START_TOKEN, epoch: 0 },
+        );
+        id
+    }
+
+    /// Number of registered nodes (up or down).
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.kernel.up[id.index()]
+    }
+
+    /// Borrow an actor, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the node id is out of range or the type does not match.
+    pub fn actor<T: Actor<M> + Any>(&self, id: NodeId) -> &T {
+        self.actors[id.index()].as_any().downcast_ref::<T>().expect("actor type mismatch")
+    }
+
+    /// Mutable variant of [`Sim::actor`].
+    pub fn actor_mut<T: Actor<M> + Any>(&mut self, id: NodeId) -> &mut T {
+        self.actors[id.index()].as_any_mut().downcast_mut::<T>().expect("actor type mismatch")
+    }
+
+    /// Run an actor handler "from outside" (experiment drivers use this to
+    /// issue queries on behalf of a node at the current virtual time).
+    pub fn with_actor_ctx<T: Actor<M> + Any, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut dyn Ctx<M>) -> R,
+    ) -> R {
+        let actor =
+            self.actors[id.index()].as_any_mut().downcast_mut::<T>().expect("actor type mismatch");
+        let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: id };
+        f(actor, &mut ctx)
+    }
+
+    /// All metrics recorded so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.kernel.metrics
+    }
+
+    /// Mutable access (experiment drivers pull histograms out this way).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.kernel.metrics
+    }
+
+    /// Take a node down: pending timers are cancelled, queued deliveries to
+    /// it will be dropped, and `on_down` runs immediately.
+    pub fn set_down(&mut self, id: NodeId) {
+        if !self.kernel.up[id.index()] {
+            return;
+        }
+        self.kernel.up[id.index()] = false;
+        self.kernel.timer_epoch[id.index()] += 1;
+        let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: id };
+        self.actors[id.index()].on_down(&mut ctx);
+    }
+
+    /// Bring a node back up; `on_start` runs immediately.
+    pub fn set_up(&mut self, id: NodeId) {
+        if self.kernel.up[id.index()] {
+            return;
+        }
+        self.kernel.up[id.index()] = true;
+        self.kernel.timer_epoch[id.index()] += 1;
+        let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: id };
+        self.actors[id.index()].on_start(&mut ctx);
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.kernel.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.kernel.now, "time must not run backwards");
+        self.kernel.now = event.time;
+        match event.kind {
+            EventKind::Deliver { from, dst, msg } => {
+                if !self.kernel.up[dst.index()] {
+                    self.kernel.metrics.count("sim.dropped_to_down_node", 1, 0);
+                    return true;
+                }
+                let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: dst };
+                self.actors[dst.index()].on_message(&mut ctx, from, msg);
+            }
+            EventKind::Timer { dst, token, epoch } => {
+                if !self.kernel.up[dst.index()] || self.kernel.timer_epoch[dst.index()] != epoch {
+                    return true;
+                }
+                let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: dst };
+                if token == START_TOKEN {
+                    self.actors[dst.index()].on_start(&mut ctx);
+                } else {
+                    self.actors[dst.index()].on_timer(&mut ctx, token);
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until the event queue drains.
+    pub fn run_until_quiescent(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the clock reaches `deadline` (events at exactly `deadline`
+    /// are processed). The clock is advanced to `deadline` even if the queue
+    /// drains earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.kernel.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.kernel.now < deadline {
+            self.kernel.now = deadline;
+        }
+    }
+
+    /// Run for a span of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.kernel.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Number of pending events (for tests and progress reporting).
+    pub fn pending_events(&self) -> usize {
+        self.kernel.queue.len()
+    }
+}
+
+/// Reserved token that drives `on_start`; actor tokens must not collide.
+const START_TOKEN: TimerToken = TimerToken(u64::MAX);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+
+    /// Echoes every ping; counts pongs; optionally re-arms a periodic timer.
+    struct Echo {
+        peer: Option<NodeId>,
+        pings_sent: u32,
+        pongs_got: u32,
+        timer_fires: u32,
+        last_pong_at: SimTime,
+    }
+
+    #[derive(Debug)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl Actor<Msg> for Echo {
+        fn on_start(&mut self, ctx: &mut dyn Ctx<Msg>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, Msg::Ping, 23, "test.ping");
+                self.pings_sent += 1;
+                ctx.set_timer(SimDuration::from_secs(1), TimerToken(7));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut dyn Ctx<Msg>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping => ctx.send(from, Msg::Pong, 23, "test.pong"),
+                Msg::Pong => {
+                    self.pongs_got += 1;
+                    self.last_pong_at = ctx.now();
+                }
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn Ctx<Msg>, token: TimerToken) {
+            assert_eq!(token, TimerToken(7));
+            self.timer_fires += 1;
+        }
+    }
+
+    fn echo_pair() -> (Sim<Msg>, NodeId, NodeId) {
+        let cfg = SimConfig::with_seed(1)
+            .latency(ConstantLatency(SimDuration::from_millis(10)));
+        let mut sim = Sim::new(cfg);
+        let b_id = NodeId::new(1);
+        let a = sim.add_node(Echo { peer: Some(b_id), pings_sent: 0, pongs_got: 0, timer_fires: 0, last_pong_at: SimTime::ZERO });
+        let b = sim.add_node(Echo { peer: None, pings_sent: 0, pongs_got: 0, timer_fires: 0, last_pong_at: SimTime::ZERO });
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (mut sim, a, _b) = echo_pair();
+        sim.run_until_quiescent();
+        let echo = sim.actor::<Echo>(a);
+        assert_eq!(echo.pongs_got, 1);
+        assert_eq!(echo.timer_fires, 1);
+        // 2 hops at 10ms each; pong arrives at t=20ms; timer at 1s is last.
+        assert_eq!(sim.now(), SimTime::from_micros(1_000_000));
+        assert_eq!(sim.metrics().counter("test.ping").count, 1);
+        assert_eq!(sim.metrics().counter("test.pong").bytes, 23);
+    }
+
+    #[test]
+    fn messages_to_down_nodes_drop() {
+        let (mut sim, _a, b) = echo_pair();
+        sim.set_down(b);
+        sim.run_until_quiescent();
+        assert_eq!(sim.metrics().counter("sim.dropped_to_down_node").count, 1);
+    }
+
+    #[test]
+    fn timers_cancelled_on_churn() {
+        let (mut sim, a, _b) = echo_pair();
+        // Run just past message delivery but before the 1s timer.
+        sim.run_until(SimTime::from_micros(100_000));
+        sim.set_down(a);
+        sim.set_up(a); // epoch bumped twice; old timer must not fire
+        sim.run_until_quiescent();
+        // on_start re-ran on set_up, sending a second ping and arming a new
+        // timer; only the new timer fires.
+        let echo = sim.actor::<Echo>(a);
+        assert_eq!(echo.pings_sent, 2);
+        assert_eq!(echo.timer_fires, 1);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed| {
+            let cfg =
+                SimConfig::with_seed(seed).latency(crate::latency::UniformLatency::new(
+                    SimDuration::from_millis(5),
+                    SimDuration::from_millis(50),
+                ));
+            let mut sim = Sim::new(cfg);
+            let b_id = NodeId::new(1);
+            let a = sim
+                .add_node(Echo { peer: Some(b_id), pings_sent: 0, pongs_got: 0, timer_fires: 0, last_pong_at: SimTime::ZERO });
+            sim.add_node(Echo { peer: None, pings_sent: 0, pongs_got: 0, timer_fires: 0, last_pong_at: SimTime::ZERO });
+            sim.run_until_quiescent();
+            (sim.actor::<Echo>(a).last_pong_at, sim.metrics().total_bytes)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds draw different latencies");
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut sim, a, _b) = echo_pair();
+        sim.run_until(SimTime::from_micros(15_000));
+        // Ping delivered at 10ms; pong (20ms) and timer (1s) still pending.
+        assert_eq!(sim.now(), SimTime::from_micros(15_000));
+        assert_eq!(sim.actor::<Echo>(a).pongs_got, 0);
+        assert!(sim.pending_events() >= 2);
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.actor::<Echo>(a).pongs_got, 1);
+    }
+
+    #[test]
+    fn with_actor_ctx_injects_work() {
+        let (mut sim, a, b) = echo_pair();
+        sim.run_until_quiescent();
+        sim.with_actor_ctx::<Echo, _>(a, |echo, ctx| {
+            ctx.send(b, Msg::Ping, 23, "test.ping");
+            echo.pings_sent += 1;
+        });
+        sim.run_until_quiescent();
+        assert_eq!(sim.actor::<Echo>(a).pongs_got, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "actor type mismatch")]
+    fn downcast_mismatch_panics() {
+        struct Other;
+        impl Actor<Msg> for Other {
+            fn on_message(&mut self, _: &mut dyn Ctx<Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, _: &mut dyn Ctx<Msg>, _: TimerToken) {}
+        }
+        let (sim, a, _b) = echo_pair();
+        let _ = sim.actor::<Other>(a);
+    }
+}

@@ -1,0 +1,200 @@
+//! Virtual time: microsecond-resolution simulation clock.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Raw microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds (rounds to the nearest microsecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be non-negative");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scale a duration by a float factor (used by jitter models).
+    pub fn mul_f64(self, factor: f64) -> Self {
+        assert!(factor >= 0.0 && factor.is_finite());
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+fn fmt_duration(d: SimDuration, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if d.0 >= 1_000_000 {
+        write!(f, "{:.3}s", d.as_secs_f64())
+    } else if d.0 >= 1_000 {
+        write!(f, "{}ms", d.as_millis())
+    } else {
+        write!(f, "{}us", d.0)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_duration(*self, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_duration(*self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_micros(5_000_000);
+        let d = SimDuration::from_secs(2);
+        assert_eq!((t + d).as_micros(), 7_000_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.since(t + d), SimDuration::ZERO, "since saturates");
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(SimDuration::from_millis(1500).as_micros(), 1_500_000);
+        assert_eq!(SimDuration::from_secs(3).as_millis(), 3_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert!((SimTime::from_micros(2_500_000).as_secs_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d.mul_f64(1.5).as_micros(), 150_000);
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_at_extremes() {
+        let t = SimTime::from_micros(u64::MAX - 1);
+        let d = SimDuration::from_secs(10);
+        assert_eq!((t + d).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Scalar expressions: selection predicates and the substring operators the
+//! InvertedCache plan (Fig. 3 of the paper) filters with.
+
+use crate::value::{Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A serializable scalar expression evaluated against one tuple.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// The value of column `i`.
+    Col(usize),
+    /// A literal.
+    Lit(Value),
+    /// Comparison; operands must have comparable types.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Case-insensitive substring test: does the string value of the first
+    /// operand contain the string value of the second? (The paper's
+    /// `Substring(filename, T)` selection.)
+    Contains(Box<Expr>, Box<Expr>),
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+}
+
+/// Evaluation errors (type mismatches, bad column references).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    BadColumn(usize),
+    TypeMismatch { op: &'static str, lhs: &'static str, rhs: &'static str },
+    NotBool(&'static str),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::BadColumn(c) => write!(f, "column {c} out of range"),
+            ExprError::TypeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible types {lhs} and {rhs}")
+            }
+            ExprError::NotBool(t) => write!(f, "predicate evaluated to {t}, expected bool"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+impl Expr {
+    /// Convenience: `col <op> lit`.
+    pub fn cmp(op: CmpOp, col: usize, lit: impl Into<Value>) -> Expr {
+        Expr::Cmp(op, Box::new(Expr::Col(col)), Box::new(Expr::Lit(lit.into())))
+    }
+
+    /// Convenience: `Contains(col, needle)`.
+    pub fn contains(col: usize, needle: &str) -> Expr {
+        Expr::Contains(
+            Box::new(Expr::Col(col)),
+            Box::new(Expr::Lit(Value::Str(needle.to_string()))),
+        )
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value, ExprError> {
+        match self {
+            Expr::Col(i) => tuple.get(*i).cloned().ok_or(ExprError::BadColumn(*i)),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(op, lhs, rhs) => {
+                let l = lhs.eval(tuple)?;
+                let r = rhs.eval(tuple)?;
+                compare(*op, &l, &r).map(Value::Bool)
+            }
+            Expr::Contains(hay, needle) => {
+                let h = hay.eval(tuple)?;
+                let n = needle.eval(tuple)?;
+                match (&h, &n) {
+                    // NULL propagates as false (SQL-ish three-valued logic
+                    // collapsed to boolean selection semantics).
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Bool(false)),
+                    (Value::Str(h), Value::Str(n)) => {
+                        Ok(Value::Bool(contains_ci(h, n)))
+                    }
+                    _ => Err(ExprError::TypeMismatch {
+                        op: "contains",
+                        lhs: h.type_name(),
+                        rhs: n.type_name(),
+                    }),
+                }
+            }
+            Expr::And(exprs) => {
+                for e in exprs {
+                    if !e.eval_bool(tuple)? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Or(exprs) => {
+                for e in exprs {
+                    if e.eval_bool(tuple)? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!e.eval_bool(tuple)?)),
+        }
+    }
+
+    /// Evaluate as a selection predicate.
+    pub fn eval_bool(&self, tuple: &Tuple) -> Result<bool, ExprError> {
+        match self.eval(tuple)? {
+            Value::Bool(b) => Ok(b),
+            // NULL comparison results select nothing.
+            Value::Null => Ok(false),
+            other => Err(ExprError::NotBool(other.type_name())),
+        }
+    }
+
+    /// Largest column index referenced, for plan validation.
+    pub fn max_col(&self) -> Option<usize> {
+        match self {
+            Expr::Col(i) => Some(*i),
+            Expr::Lit(_) => None,
+            Expr::Cmp(_, l, r) | Expr::Contains(l, r) => l.max_col().max(r.max_col()),
+            Expr::And(es) | Expr::Or(es) => es.iter().filter_map(|e| e.max_col()).max(),
+            Expr::Not(e) => e.max_col(),
+        }
+    }
+}
+
+/// Case-insensitive ASCII substring search (filenames in filesharing
+/// networks are matched case-insensitively).
+fn contains_ci(hay: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if needle.len() > hay.len() {
+        return false;
+    }
+    let hay = hay.as_bytes();
+    let needle = needle.as_bytes();
+    hay.windows(needle.len())
+        .any(|w| w.iter().zip(needle).all(|(a, b)| a.eq_ignore_ascii_case(b)))
+}
+
+fn compare(op: CmpOp, l: &Value, r: &Value) -> Result<bool, ExprError> {
+    use std::cmp::Ordering;
+    // NULLs never compare equal to anything (handled by eval_bool: a Null
+    // result selects nothing), so return false early.
+    if matches!(l, Value::Null) || matches!(r, Value::Null) {
+        return Ok(false);
+    }
+    let ord: Ordering = match (l, r) {
+        (Value::Int(a), Value::Int(b)) => a.cmp(b),
+        (Value::Str(a), Value::Str(b)) => a.cmp(b),
+        (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+        (Value::Key(a), Value::Key(b)) => a.cmp(b),
+        _ => {
+            return Err(ExprError::TypeMismatch {
+                op: "compare",
+                lhs: l.type_name(),
+                rhs: r.type_name(),
+            })
+        }
+    };
+    Ok(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn comparisons() {
+        let t = tuple![5i64, "abc"];
+        assert!(Expr::cmp(CmpOp::Eq, 0, 5i64).eval_bool(&t).unwrap());
+        assert!(Expr::cmp(CmpOp::Lt, 0, 6i64).eval_bool(&t).unwrap());
+        assert!(Expr::cmp(CmpOp::Ge, 0, 5i64).eval_bool(&t).unwrap());
+        assert!(!Expr::cmp(CmpOp::Gt, 0, 5i64).eval_bool(&t).unwrap());
+        assert!(Expr::cmp(CmpOp::Ne, 1, "xyz").eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn substring_case_insensitive() {
+        let t = tuple!["Led_Zeppelin-Stairway.mp3"];
+        assert!(Expr::contains(0, "zeppelin").eval_bool(&t).unwrap());
+        assert!(Expr::contains(0, "STAIRWAY").eval_bool(&t).unwrap());
+        assert!(!Expr::contains(0, "floyd").eval_bool(&t).unwrap());
+        assert!(Expr::contains(0, "").eval_bool(&t).unwrap(), "empty needle matches");
+    }
+
+    #[test]
+    fn boolean_connectives_short_circuit() {
+        let t = tuple![1i64];
+        let tru = Expr::cmp(CmpOp::Eq, 0, 1i64);
+        let fal = Expr::cmp(CmpOp::Eq, 0, 2i64);
+        // A type-error expr after a short-circuit point must not evaluate.
+        let broken = Expr::cmp(CmpOp::Eq, 9, 1i64);
+        assert!(!Expr::And(vec![fal.clone(), broken.clone()]).eval_bool(&t).unwrap());
+        assert!(Expr::Or(vec![tru.clone(), broken]).eval_bool(&t).unwrap());
+        assert!(Expr::Not(Box::new(fal)).eval_bool(&t).unwrap());
+        assert!(Expr::And(vec![]).eval_bool(&t).unwrap(), "empty AND is true");
+        assert!(!Expr::Or(vec![]).eval_bool(&t).unwrap(), "empty OR is false");
+        let _ = tru;
+    }
+
+    #[test]
+    fn null_semantics() {
+        let t = Tuple::new(vec![Value::Null, Value::Str("x".into())]);
+        assert!(!Expr::cmp(CmpOp::Eq, 0, 1i64).eval_bool(&t).unwrap());
+        assert!(!Expr::cmp(CmpOp::Ne, 0, 1i64).eval_bool(&t).unwrap(), "NULL != x is unknown");
+        assert!(!Expr::contains(0, "x").eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn errors_surface() {
+        let t = tuple![1i64, "s"];
+        assert_eq!(
+            Expr::cmp(CmpOp::Eq, 7, 1i64).eval_bool(&t),
+            Err(ExprError::BadColumn(7))
+        );
+        assert!(matches!(
+            Expr::Cmp(CmpOp::Lt, Box::new(Expr::Col(0)), Box::new(Expr::Col(1))).eval_bool(&t),
+            Err(ExprError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Expr::Col(0).eval_bool(&t),
+            Err(ExprError::NotBool("int"))
+        ));
+    }
+
+    #[test]
+    fn max_col_for_validation() {
+        let e = Expr::And(vec![Expr::cmp(CmpOp::Eq, 3, 1i64), Expr::contains(7, "x")]);
+        assert_eq!(e.max_col(), Some(7));
+        assert_eq!(Expr::Lit(Value::Null).max_col(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Expr::And(vec![
+            Expr::contains(1, "zeppelin"),
+            Expr::cmp(CmpOp::Gt, 2, 1000i64),
+        ]);
+        let bytes = pier_codec::to_bytes(&e).unwrap();
+        let back: Expr = pier_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, e);
+    }
+}

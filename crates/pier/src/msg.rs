@@ -1,0 +1,70 @@
+//! PIER's wire protocol, carried as opaque payloads inside DHT `Route`
+//! (plan dissemination, inter-stage tuple streams) and `AppDirect`
+//! (result streams) messages.
+
+use crate::plan::{QueryId, QueryPlan};
+use crate::value::Tuple;
+use serde::{Deserialize, Serialize};
+
+/// All engine-to-engine messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PierMsg {
+    /// Install stage `stage` of `plan` at the owner of its site key.
+    Install { plan: QueryPlan, stage: u32 },
+    /// A batch of intermediate tuples flowing into stage `stage`.
+    Batch { qid: QueryId, stage: u32, seq: u32, tuples: Vec<Tuple> },
+    /// End of the stream into `stage`: `total` batches were sent.
+    /// (Separate from the batches because DHT routing may reorder.)
+    BatchEof { qid: QueryId, stage: u32, total: u32 },
+    /// A batch of final results, sent directly to the collector.
+    Results { qid: QueryId, seq: u32, tuples: Vec<Tuple> },
+    /// End of the result stream: `total` result batches were sent.
+    ResultsEof { qid: QueryId, total: u32 },
+}
+
+impl PierMsg {
+    pub fn encode(&self) -> Vec<u8> {
+        pier_codec::to_bytes(self).expect("PIER messages always serialize")
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<PierMsg, pier_codec::Error> {
+        pier_codec::from_bytes(bytes)
+    }
+
+    pub fn class(&self) -> &'static str {
+        match self {
+            PierMsg::Install { .. } => "pier.install",
+            PierMsg::Batch { .. } => "pier.batch",
+            PierMsg::BatchEof { .. } => "pier.batch_eof",
+            PierMsg::Results { .. } => "pier.results",
+            PierMsg::ResultsEof { .. } => "pier.results_eof",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn roundtrip() {
+        let qid = QueryId { origin: 3, seq: 44 };
+        let msgs = vec![
+            PierMsg::Batch { qid, stage: 1, seq: 0, tuples: vec![tuple![1i64, "x"]] },
+            PierMsg::BatchEof { qid, stage: 1, total: 1 },
+            PierMsg::Results { qid, seq: 0, tuples: vec![tuple!["y"]] },
+            PierMsg::ResultsEof { qid, total: 1 },
+        ];
+        for m in msgs {
+            let back = PierMsg::decode(&m.encode()).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn decode_garbage_fails_cleanly() {
+        assert!(PierMsg::decode(&[0xFF, 0x00, 0x13]).is_err());
+        assert!(PierMsg::decode(&[]).is_err());
+    }
+}

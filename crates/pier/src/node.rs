@@ -1,0 +1,39 @@
+//! `PierNode`: a ready-made simulator actor running a DHT node with the
+//! PIER engine as its application.
+
+use crate::core::{PierCore, PierEvent};
+use pier_dht::{DhtApp, DhtCore, DhtEvent, DhtNet, DhtNode};
+use std::collections::VecDeque;
+
+/// DHT application hosting a [`PierCore`]. Client-side [`PierEvent`]s are
+/// queued for the experiment driver to drain.
+pub struct PierApp {
+    pub pier: PierCore,
+    pub events: VecDeque<PierEvent>,
+}
+
+impl PierApp {
+    pub fn new(pier: PierCore) -> Self {
+        PierApp { pier, events: VecDeque::new() }
+    }
+
+    /// Drain collected client events.
+    pub fn take_events(&mut self) -> Vec<PierEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+impl DhtApp for PierApp {
+    fn on_event(&mut self, dht: &mut DhtCore, net: &mut dyn DhtNet, event: DhtEvent) {
+        self.pier.on_dht_event(dht, net, &event);
+        self.events.extend(self.pier.take_events());
+    }
+
+    fn on_tick(&mut self, dht: &mut DhtCore, net: &mut dyn DhtNet) {
+        self.pier.tick(dht, net);
+        self.events.extend(self.pier.take_events());
+    }
+}
+
+/// A full PIER node: DHT + engine, ready to drop into a simulation.
+pub type PierNode = DhtNode<PierApp>;

@@ -1,0 +1,321 @@
+//! The Search Engine (§3.2): compiles keyword queries into PIER plans,
+//! collects the matching fileIDs, and fetches the Item tuples from the DHT.
+
+use crate::publisher::IndexMode;
+use crate::schema::{inverted_cache_table, inverted_table, item_table, ItemRecord};
+use crate::tokenize::query_terms;
+use pier_dht::{DhtCore, DhtEvent, DhtNet, Key, OpId};
+use pier_netsim::{SimDuration, SimTime};
+use pier_qp::{
+    Expr, JoinChainBuilder, JoinCols, PierCore, PierEvent, QueryId, QueryOutcome, Tuple, Value,
+};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Search-engine configuration.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Which index the node's publishers populate, and hence which plan
+    /// shape to use (Fig. 2 join chain vs. Fig. 3 single-site filter).
+    pub mode: IndexMode,
+    /// Hard deadline for a search (covers plan execution + item fetches).
+    pub timeout: SimDuration,
+    /// Result-set cap pushed into the plan.
+    pub limit: Option<u32>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            mode: IndexMode::Inverted,
+            timeout: SimDuration::from_secs(60),
+            limit: None,
+        }
+    }
+}
+
+/// State of one search.
+#[derive(Debug)]
+pub struct SearchState {
+    pub terms: Vec<String>,
+    pub qid: QueryId,
+    pub issued_at: SimTime,
+    /// When the first complete result (Item tuple) arrived.
+    pub first_result_at: Option<SimTime>,
+    pub items: Vec<ItemRecord>,
+    pub done: bool,
+    pub outcome: Option<QueryOutcome>,
+    deadline: SimTime,
+    file_ids_seen: HashSet<Key>,
+    pending_fetches: HashMap<OpId, Key>,
+    pier_done: bool,
+}
+
+/// Search lifecycle notifications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchEvent {
+    /// The search with this id finished (inspect via [`SearchEngine::search`]).
+    Done(u32),
+}
+
+/// The per-node search engine.
+pub struct SearchEngine {
+    pub cfg: SearchConfig,
+    /// Optional keyword document frequencies for join ordering ("optimized
+    /// to compute smaller posting lists first", §5). Nodes learn these from
+    /// observed traffic — the same statistics the TF scheme gathers.
+    pub term_stats: HashMap<String, u64>,
+    searches: BTreeMap<u32, SearchState>,
+    by_qid: HashMap<QueryId, u32>,
+    next_id: u32,
+    events: VecDeque<SearchEvent>,
+}
+
+impl SearchEngine {
+    pub fn new(cfg: SearchConfig) -> Self {
+        SearchEngine {
+            cfg,
+            term_stats: HashMap::new(),
+            searches: BTreeMap::new(),
+            by_qid: HashMap::new(),
+            next_id: 1,
+            events: VecDeque::new(),
+        }
+    }
+
+    pub fn take_events(&mut self) -> Vec<SearchEvent> {
+        self.events.drain(..).collect()
+    }
+
+    pub fn search(&self, id: u32) -> Option<&SearchState> {
+        self.searches.get(&id)
+    }
+
+    pub fn searches(&self) -> impl Iterator<Item = (u32, &SearchState)> {
+        self.searches.iter().map(|(i, s)| (*i, s))
+    }
+
+    /// Remove a finished search and return its state.
+    pub fn take_search(&mut self, id: u32) -> Option<SearchState> {
+        let s = self.searches.remove(&id)?;
+        self.by_qid.remove(&s.qid);
+        Some(s)
+    }
+
+    /// Order terms by ascending observed document frequency; unknown terms
+    /// sort first (assumed rare).
+    fn order_terms(&self, mut terms: Vec<String>) -> Vec<String> {
+        terms.sort_by_key(|t| self.term_stats.get(t).copied().unwrap_or(0));
+        terms
+    }
+
+    /// Start a keyword search. Returns `None` when the query has no
+    /// indexable terms (all stop-words).
+    pub fn start_search(
+        &mut self,
+        pier: &mut PierCore,
+        dht: &mut DhtCore,
+        net: &mut dyn DhtNet,
+        query: &str,
+    ) -> Option<u32> {
+        let terms = self.order_terms(query_terms(query));
+        if terms.is_empty() {
+            net.count("piersearch.unsearchable_query", 1);
+            return None;
+        }
+        let qid = pier.next_query_id(dht);
+        let collector = dht.local();
+        let plan = match self.cfg.mode {
+            IndexMode::Inverted => {
+                let inv = inverted_table();
+                let mut b = JoinChainBuilder::new(qid, collector).scan(
+                    &inv,
+                    &Value::Str(terms[0].clone()),
+                    None,
+                    vec![1],
+                );
+                for t in &terms[1..] {
+                    b = b.join(
+                        &inv,
+                        &Value::Str(t.clone()),
+                        JoinCols { incoming: 0, scanned: 1 },
+                        None,
+                        vec![0],
+                    );
+                }
+                if let Some(l) = self.cfg.limit {
+                    b = b.limit(l);
+                }
+                b.build()
+            }
+            IndexMode::InvertedCache => {
+                let cache = inverted_cache_table();
+                // All remaining terms filter the cached fulltext locally.
+                let filter = if terms.len() > 1 {
+                    Some(Expr::And(
+                        terms[1..].iter().map(|t| Expr::contains(2, t)).collect(),
+                    ))
+                } else {
+                    None
+                };
+                // Matching fileIDs are fully resolved at the single site;
+                // only they stream back (the cached fulltext stays put).
+                let mut b = JoinChainBuilder::new(qid, collector).scan(
+                    &cache,
+                    &Value::Str(terms[0].clone()),
+                    filter,
+                    vec![1],
+                );
+                if let Some(l) = self.cfg.limit {
+                    b = b.limit(l);
+                }
+                b.build()
+            }
+        };
+        net.count("piersearch.searches", 1);
+        pier.issue(dht, net, plan);
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.searches.insert(
+            id,
+            SearchState {
+                terms,
+                qid,
+                issued_at: net.now(),
+                first_result_at: None,
+                items: Vec::new(),
+                done: false,
+                outcome: None,
+                deadline: net.now() + self.cfg.timeout,
+                file_ids_seen: HashSet::new(),
+                pending_fetches: HashMap::new(),
+                pier_done: false,
+            },
+        );
+        self.by_qid.insert(qid, id);
+        Some(id)
+    }
+
+    /// Feed PIER client events (result stream + completion).
+    pub fn on_pier_event(
+        &mut self,
+        dht: &mut DhtCore,
+        net: &mut dyn DhtNet,
+        event: &PierEvent,
+    ) {
+        match event {
+            PierEvent::Results { qid, tuples } => {
+                let Some(&id) = self.by_qid.get(qid) else {
+                    return;
+                };
+                self.on_match_tuples(dht, net, id, tuples);
+            }
+            PierEvent::Done { qid, outcome, .. } => {
+                let Some(&id) = self.by_qid.get(qid) else {
+                    return;
+                };
+                let s = self.searches.get_mut(&id).expect("indexed");
+                s.pier_done = true;
+                s.outcome = Some(*outcome);
+                self.maybe_finish(net, id);
+            }
+        }
+    }
+
+    /// Matching fileIDs arrived: fetch their Item tuples from the DHT
+    /// ("the query node... fetches the Item tuples from the DHT based on
+    /// the incoming fileIDs").
+    fn on_match_tuples(
+        &mut self,
+        dht: &mut DhtCore,
+        net: &mut dyn DhtNet,
+        id: u32,
+        tuples: &[Tuple],
+    ) {
+        let item = item_table();
+        let s = self.searches.get_mut(&id).expect("caller checked");
+        for t in tuples {
+            let Some(file_id) = t.get(0).and_then(|v| v.as_key()) else {
+                net.count("piersearch.malformed_match", 1);
+                continue;
+            };
+            if !s.file_ids_seen.insert(file_id) {
+                continue; // duplicate match (replica or rehash overlap)
+            }
+            let key = item.publish_key_for(&Value::Key(file_id));
+            let op = dht.get(net, key);
+            s.pending_fetches.insert(op, file_id);
+        }
+    }
+
+    /// Feed DHT events; returns true if this engine consumed the event.
+    pub fn on_dht_event(
+        &mut self,
+        _dht: &mut DhtCore,
+        net: &mut dyn DhtNet,
+        event: &DhtEvent,
+    ) -> bool {
+        let DhtEvent::GetDone { op, values, .. } = event else {
+            return false;
+        };
+        // Find which search issued this fetch.
+        let Some((&id, _)) = self
+            .searches
+            .iter()
+            .find(|(_, s)| s.pending_fetches.contains_key(op))
+        else {
+            return false;
+        };
+        let s = self.searches.get_mut(&id).expect("found above");
+        let want = s.pending_fetches.remove(op).expect("contains_key checked");
+        for bytes in values {
+            let Ok(t) = Tuple::decode(bytes) else {
+                net.count("piersearch.malformed_item", 1);
+                continue;
+            };
+            let Some(rec) = ItemRecord::from_tuple(&t) else {
+                net.count("piersearch.malformed_item", 1);
+                continue;
+            };
+            if rec.file_id == want && !s.items.contains(&rec) {
+                if s.first_result_at.is_none() {
+                    s.first_result_at = Some(net.now());
+                    net.observe(
+                        "piersearch.first_result_latency_s",
+                        (net.now() - s.issued_at).as_secs_f64(),
+                    );
+                }
+                s.items.push(rec);
+            }
+        }
+        self.maybe_finish(net, id);
+        true
+    }
+
+    /// Deadline sweep; call from the node tick.
+    pub fn tick(&mut self, net: &mut dyn DhtNet) {
+        let now = net.now();
+        let overdue: Vec<u32> = self
+            .searches
+            .iter()
+            .filter(|(_, s)| !s.done && s.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in overdue {
+            let s = self.searches.get_mut(&id).expect("listed");
+            s.done = true;
+            s.outcome.get_or_insert(QueryOutcome::TimedOut);
+            net.count("piersearch.search_timeout", 1);
+            self.events.push_back(SearchEvent::Done(id));
+        }
+    }
+
+    fn maybe_finish(&mut self, net: &mut dyn DhtNet, id: u32) {
+        let s = self.searches.get_mut(&id).expect("caller checked");
+        if !s.done && s.pier_done && s.pending_fetches.is_empty() {
+            s.done = true;
+            net.observe("piersearch.results_per_search", s.items.len() as f64);
+            self.events.push_back(SearchEvent::Done(id));
+        }
+    }
+}

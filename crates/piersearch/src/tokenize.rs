@@ -1,0 +1,95 @@
+//! Keyword extraction for publishing and querying (§3.1 of the paper):
+//! filename terms, minus stop-words — "Stop-words such as 'MP3' and 'the'
+//! are usually not considered."
+
+/// Stop-words never indexed or queried. Mix of English function words and
+/// filesharing boilerplate (extensions, rip tags).
+pub const STOP_WORDS: &[&str] = &[
+    "the", "a", "an", "of", "and", "or", "to", "in", "on", "for", "by", "at", "vs",
+    "mp3", "mp4", "avi", "mpg", "mpeg", "wav", "ogg", "wma", "mov", "zip", "rar", "exe",
+    "jpg", "gif", "txt", "pdf", "iso", "bin", "cd", "dvd", "divx", "xvid", "rip", "www",
+    "com", "net", "org",
+];
+
+/// Is this (lowercase) token a stop-word?
+pub fn is_stop_word(token: &str) -> bool {
+    STOP_WORDS.contains(&token)
+}
+
+/// Tokenize a filename into indexable keywords: lowercase alphanumeric
+/// runs, stop-words removed, single characters dropped, deduplicated
+/// (keeping first-occurrence order).
+pub fn keywords(name: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let push = |s: &mut String, out: &mut Vec<String>| {
+        if s.len() >= 2 && !is_stop_word(s) && !out.iter().any(|t| t == s) {
+            out.push(std::mem::take(s));
+        } else {
+            s.clear();
+        }
+    };
+    for ch in name.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else {
+            push(&mut cur, &mut out);
+        }
+    }
+    push(&mut cur, &mut out);
+    out
+}
+
+/// Tokenize a user query the same way (queries and the index must agree).
+pub fn query_terms(query: &str) -> Vec<String> {
+    keywords(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_and_filters() {
+        assert_eq!(
+            keywords("The_Led-Zeppelin.Stairway.To.Heaven.MP3"),
+            vec!["led", "zeppelin", "stairway", "heaven"]
+        );
+    }
+
+    #[test]
+    fn dedups_preserving_order() {
+        assert_eq!(keywords("live live at leeds live.mp3"), vec!["live", "leeds"]);
+    }
+
+    #[test]
+    fn drops_single_chars_and_stop_words() {
+        assert_eq!(keywords("a b c of the mp3"), Vec::<String>::new());
+        assert_eq!(keywords("x zz"), vec!["zz"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(keywords("BJÖRK-Jóga"), vec!["björk", "jóga"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert_eq!(keywords(""), Vec::<String>::new());
+        assert_eq!(keywords("!!!---...///"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn query_terms_match_keywords() {
+        assert_eq!(query_terms("The Zeppelin"), keywords("the_zeppelin.avi"));
+    }
+
+    #[test]
+    fn stop_word_list_is_lowercase_and_queryable() {
+        for w in STOP_WORDS {
+            assert_eq!(*w, w.to_lowercase());
+            assert!(is_stop_word(w));
+        }
+        assert!(!is_stop_word("zeppelin"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Query-trace generation and ground-truth evaluation.
+//!
+//! Queries are built from catalog filenames the way real users type them:
+//! a contiguous window of a target file's tokens. The mix is tuned so that
+//! a substantial fraction of queries target the long tail — the regime the
+//! paper's measurements highlight (41% of queries returned ≤ 10 results).
+
+use crate::catalog::Catalog;
+use crate::words::matches;
+use pier_netsim::stream_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Query-trace generation parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueryConfig {
+    pub queries: usize,
+    /// Probability a query targets a file drawn by *instance mass*
+    /// (popularity-biased, like download-driven queries); otherwise the
+    /// target is a uniformly random distinct file (tail-biased).
+    pub popular_bias: f64,
+    /// Probability of a typo/garbage query matching nothing.
+    pub miss_rate: f64,
+    /// Window of tokens taken from the target filename: min..=max.
+    pub terms_min: usize,
+    pub terms_max: usize,
+    pub seed: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            queries: 700,
+            popular_bias: 0.35,
+            miss_rate: 0.06,
+            terms_min: 1,
+            terms_max: 3,
+            seed: 0x9E3,
+        }
+    }
+}
+
+/// One query.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    pub terms: Vec<String>,
+}
+
+impl Query {
+    pub fn text(&self) -> String {
+        self.terms.join(" ")
+    }
+}
+
+/// A generated query trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueryTrace {
+    pub config: QueryConfig,
+    pub queries: Vec<Query>,
+}
+
+impl QueryTrace {
+    pub fn generate(catalog: &Catalog, config: QueryConfig) -> QueryTrace {
+        assert!(config.terms_min >= 1 && config.terms_min <= config.terms_max);
+        let mut rng = stream_rng(config.seed, 2);
+        // Instance-mass-weighted sampling: repeat each file index by a
+        // coarse weight. (Exact weighting is unnecessary; the head is what
+        // matters.) Build a cumulative table instead for exactness.
+        let mut cum: Vec<u64> = Vec::with_capacity(catalog.files.len());
+        let mut acc = 0u64;
+        for f in &catalog.files {
+            acc += f.replicas() as u64;
+            cum.push(acc);
+        }
+
+        let mut queries = Vec::with_capacity(config.queries);
+        while queries.len() < config.queries {
+            if rng.random_bool(config.miss_rate) {
+                // A query nothing matches (typos, unshared content).
+                queries.push(Query {
+                    terms: vec![format!("zxq{}nomatch", rng.random_range(0..1_000_000u32))],
+                });
+                continue;
+            }
+            let target = if rng.random_bool(config.popular_bias) {
+                let u = rng.random_range(0..acc);
+                cum.partition_point(|c| *c <= u)
+            } else {
+                rng.random_range(0..catalog.files.len())
+            };
+            let tokens = &catalog.files[target].tokens;
+            // Skip the extension token (last) when windowing; users do not
+            // type ".mp3".
+            let usable = tokens.len().saturating_sub(1).max(1);
+            let want = rng.random_range(config.terms_min..=config.terms_max).min(usable);
+            let start = rng.random_range(0..=usable - want);
+            let terms: Vec<String> = tokens[start..start + want].to_vec();
+            if terms.is_empty() {
+                continue;
+            }
+            queries.push(Query { terms });
+        }
+        QueryTrace { config, queries }
+    }
+
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Ground truth for one query against a catalog.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Distinct matching files (catalog indices).
+    pub files: Vec<u32>,
+    /// Total matching instances (sum of replica counts).
+    pub instances: u64,
+}
+
+/// Fast ground-truth evaluator: token → files index with smallest-list
+/// intersection (the same trick PIERSearch's optimizer uses).
+pub struct Evaluator<'a> {
+    catalog: &'a Catalog,
+    index: HashMap<&'a str, Vec<u32>>,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(catalog: &'a Catalog) -> Self {
+        let mut index: HashMap<&str, Vec<u32>> = HashMap::new();
+        for (i, f) in catalog.files.iter().enumerate() {
+            for t in &f.tokens {
+                let posting = index.entry(t.as_str()).or_default();
+                // Tokens may repeat inside one name; dedup postings.
+                if posting.last() != Some(&(i as u32)) {
+                    posting.push(i as u32);
+                }
+            }
+        }
+        Evaluator { catalog, index }
+    }
+
+    /// Posting-list length for a term (document frequency over distinct
+    /// files).
+    pub fn df(&self, term: &str) -> usize {
+        self.index.get(term).map_or(0, |v| v.len())
+    }
+
+    /// All files matching the query, with instance counts.
+    pub fn eval(&self, query: &Query) -> GroundTruth {
+        if query.terms.is_empty() {
+            return GroundTruth::default();
+        }
+        // Intersect smallest posting lists first.
+        let mut lists: Vec<&Vec<u32>> = Vec::with_capacity(query.terms.len());
+        for t in &query.terms {
+            match self.index.get(t.as_str()) {
+                Some(l) => lists.push(l),
+                None => return GroundTruth::default(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut candidates: Vec<u32> = lists[0].clone();
+        for l in &lists[1..] {
+            candidates.retain(|c| l.binary_search(c).is_ok());
+            if candidates.is_empty() {
+                return GroundTruth::default();
+            }
+        }
+        // Confirm with full token matching (guards against token multisets
+        // and keeps semantics identical to the network's matcher).
+        candidates.retain(|&c| {
+            matches(&query.terms, &self.catalog.files[c as usize].tokens)
+        });
+        let instances = candidates
+            .iter()
+            .map(|&c| self.catalog.files[c as usize].replicas() as u64)
+            .sum();
+        GroundTruth { files: candidates, instances }
+    }
+}
+
+/// Pick `n` distinct vantage hosts (for Union-of-N experiments).
+pub fn vantage_hosts(total_hosts: usize, n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = stream_rng(seed, 3);
+    let mut all: Vec<u32> = (0..total_hosts as u32).collect();
+    all.shuffle(&mut rng);
+    all.truncate(n);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+
+    fn setup() -> (Catalog, QueryTrace) {
+        let catalog = Catalog::generate(CatalogConfig {
+            hosts: 1_000,
+            distinct_files: 3_000,
+            max_replicas: 300,
+            vocab: 1_500,
+            phrases: 500,
+            seed: 7,
+            ..Default::default()
+        });
+        let trace = QueryTrace::generate(&catalog, QueryConfig { queries: 500, ..Default::default() });
+        (catalog, trace)
+    }
+
+    #[test]
+    fn queries_generated_deterministically() {
+        let (catalog, t1) = setup();
+        let t2 = QueryTrace::generate(&catalog, QueryConfig { queries: 500, ..Default::default() });
+        assert_eq!(t1.queries, t2.queries);
+        assert_eq!(t1.len(), 500);
+    }
+
+    #[test]
+    fn non_miss_queries_match_their_target() {
+        let (catalog, trace) = setup();
+        let eval = Evaluator::new(&catalog);
+        let matched = trace.queries.iter().filter(|q| !eval.eval(q).files.is_empty()).count();
+        let frac = matched as f64 / trace.len() as f64;
+        // miss_rate 6%: ~94% of queries must match something.
+        assert!(
+            (0.90..=0.97).contains(&frac),
+            "matching fraction {frac} out of calibration"
+        );
+    }
+
+    #[test]
+    fn result_size_distribution_is_long_tailed() {
+        let (catalog, trace) = setup();
+        let eval = Evaluator::new(&catalog);
+        let sizes: Vec<u64> = trace.queries.iter().map(|q| eval.eval(q).instances).collect();
+        let small = sizes.iter().filter(|s| **s <= 10).count() as f64 / sizes.len() as f64;
+        let zero = sizes.iter().filter(|s| **s == 0).count() as f64 / sizes.len() as f64;
+        let big = sizes.iter().filter(|s| **s > 100).count() as f64 / sizes.len() as f64;
+        // The paper's workload shape: many rare-item queries (41% ≤ 10), a
+        // nontrivial zero bucket, and a popular head.
+        assert!((0.2..0.7).contains(&small), "≤10-result fraction {small}");
+        assert!(zero >= 0.04, "zero-result fraction {zero}");
+        assert!(big > 0.02, "large-result fraction {big}");
+    }
+
+    #[test]
+    fn evaluator_agrees_with_brute_force() {
+        let (catalog, trace) = setup();
+        let eval = Evaluator::new(&catalog);
+        for q in trace.queries.iter().take(50) {
+            let fast = eval.eval(q);
+            let brute: Vec<u32> = catalog
+                .files
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| matches(&q.terms, &f.tokens))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(fast.files, brute, "query {:?}", q.terms);
+        }
+    }
+
+    #[test]
+    fn df_reflects_postings() {
+        let (catalog, _) = setup();
+        let eval = Evaluator::new(&catalog);
+        let t = &catalog.files[0].tokens[0];
+        assert!(eval.df(t) >= 1);
+        assert_eq!(eval.df("zzzznotaterm"), 0);
+    }
+
+    #[test]
+    fn vantage_hosts_distinct() {
+        let v = vantage_hosts(100, 30, 5);
+        let set: std::collections::HashSet<_> = v.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert_eq!(vantage_hosts(100, 30, 5), v, "deterministic");
+    }
+}

@@ -1,0 +1,117 @@
+//! Trace persistence: save/load catalogs and query traces in the workspace
+//! binary format, so expensive generations can be reused across benches.
+
+use crate::catalog::Catalog;
+use crate::queries::QueryTrace;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A bundled workload: catalog + queries, with a format version so stale
+/// files fail loudly instead of decoding garbage.
+#[derive(Serialize, Deserialize)]
+pub struct TraceBundle {
+    version: u32,
+    pub catalog: Catalog,
+    pub queries: QueryTrace,
+}
+
+const VERSION: u32 = 1;
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum TraceError {
+    Io(std::io::Error),
+    Codec(pier_codec::Error),
+    VersionMismatch { found: u32, want: u32 },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "io: {e}"),
+            TraceError::Codec(e) => write!(f, "decode: {e}"),
+            TraceError::VersionMismatch { found, want } => {
+                write!(f, "trace version {found}, expected {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<pier_codec::Error> for TraceError {
+    fn from(e: pier_codec::Error) -> Self {
+        TraceError::Codec(e)
+    }
+}
+
+impl TraceBundle {
+    pub fn new(catalog: Catalog, queries: QueryTrace) -> Self {
+        TraceBundle { version: VERSION, catalog, queries }
+    }
+
+    pub fn save(&self, path: &Path) -> Result<(), TraceError> {
+        let bytes = pier_codec::to_bytes(self)?;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&bytes)?;
+        Ok(())
+    }
+
+    pub fn load(path: &Path) -> Result<TraceBundle, TraceError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        let bundle: TraceBundle = pier_codec::from_bytes(&bytes)?;
+        if bundle.version != VERSION {
+            return Err(TraceError::VersionMismatch { found: bundle.version, want: VERSION });
+        }
+        Ok(bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::queries::QueryConfig;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let catalog = Catalog::generate(CatalogConfig {
+            hosts: 300,
+            distinct_files: 500,
+            max_replicas: 100,
+            vocab: 400,
+            phrases: 100,
+            seed: 3,
+            ..Default::default()
+        });
+        let queries = QueryTrace::generate(&catalog, QueryConfig { queries: 50, ..Default::default() });
+        let bundle = TraceBundle::new(catalog, queries);
+        let dir = std::env::temp_dir().join("pier_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.bin");
+        bundle.save(&path).unwrap();
+        let loaded = TraceBundle::load(&path).unwrap();
+        assert_eq!(loaded.catalog.files.len(), bundle.catalog.files.len());
+        assert_eq!(loaded.queries.queries, bundle.queries.queries);
+        assert_eq!(loaded.catalog.files[13].hosts, bundle.catalog.files[13].hosts);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_fails_cleanly() {
+        let dir = std::env::temp_dir().join("pier_trace_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("short.bin");
+        std::fs::write(&path, [1, 2, 3]).unwrap();
+        assert!(matches!(TraceBundle::load(&path), Err(TraceError::Codec(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

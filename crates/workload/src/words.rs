@@ -1,0 +1,94 @@
+//! A deterministic pseudo-word dictionary: pronounceable, distinct terms
+//! for synthetic filenames ("banero", "kiluda", …), plus the tokenizer the
+//! ground-truth matcher uses (mirrors the Gnutella client's token
+//! semantics).
+
+use pier_netsim::split_mix64;
+
+const ONSETS: &[&str] =
+    &["b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st"];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u"];
+
+/// The `idx`-th dictionary word. Deterministic, distinct for distinct
+/// indices (the index is woven into the syllable choices), 4–8 letters.
+pub fn word(idx: usize) -> String {
+    let mut state = 0x57AB_1E5E_ED00_0000u64 ^ idx as u64;
+    let h = split_mix64(&mut state);
+    let syllables = 2 + (h % 2) as usize + usize::from(idx > 4096);
+    let mut out = String::new();
+    let mut residual = idx as u64;
+    let mut mix = h >> 8;
+    for _ in 0..syllables {
+        let o = (residual % ONSETS.len() as u64) as usize;
+        residual /= ONSETS.len() as u64;
+        let v = (mix % VOWELS.len() as u64) as usize;
+        mix /= VOWELS.len() as u64;
+        out.push_str(ONSETS[o]);
+        out.push_str(VOWELS[v]);
+    }
+    // Residual index bits become a disambiguating suffix when needed.
+    if residual > 0 {
+        out.push_str(&residual.to_string());
+    }
+    out
+}
+
+/// Lowercase alphanumeric tokens — identical semantics to the Gnutella
+/// client's matcher so ground truth and protocol agree.
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in name.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Does `query` (pre-tokenized) match `filename` under Gnutella token
+/// semantics? (Every query term must be a filename token.)
+pub fn matches(query_terms: &[String], filename_tokens: &[String]) -> bool {
+    !query_terms.is_empty() && query_terms.iter().all(|t| filename_tokens.contains(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_distinct_and_wordlike() {
+        let mut seen = HashSet::new();
+        for i in 0..50_000 {
+            let w = word(i);
+            assert!(w.len() >= 3, "word {i} too short: {w}");
+            assert!(w.chars().all(|c| c.is_ascii_alphanumeric()));
+            assert!(seen.insert(w.clone()), "collision at {i}: {w}");
+        }
+    }
+
+    #[test]
+    fn words_are_deterministic() {
+        assert_eq!(word(42), word(42));
+        assert_ne!(word(42), word(43));
+    }
+
+    #[test]
+    fn tokenizer_matches_expectations() {
+        assert_eq!(tokenize("Banero_Kiluda-03.mp3"), vec!["banero", "kiluda", "03", "mp3"]);
+    }
+
+    #[test]
+    fn matching_semantics() {
+        let toks = tokenize("banero_kiluda_live.mp3");
+        assert!(matches(&["banero".into(), "kiluda".into()], &toks));
+        assert!(!matches(&["banero".into(), "zzz".into()], &toks));
+        assert!(!matches(&[], &toks), "empty query matches nothing");
+    }
+}
