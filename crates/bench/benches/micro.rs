@@ -21,17 +21,13 @@ fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("codec");
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("encode_item_tuple", |b| b.iter(|| black_box(&tuple).encode()));
-    g.bench_function("decode_item_tuple", |b| {
-        b.iter(|| Tuple::decode(black_box(&bytes)).unwrap())
-    });
+    g.bench_function("decode_item_tuple", |b| b.iter(|| Tuple::decode(black_box(&bytes)).unwrap()));
     g.finish();
 }
 
 fn bench_keys(c: &mut Criterion) {
     let mut g = c.benchmark_group("dht_keys");
-    g.bench_function("sha1_key_from_keyword", |b| {
-        b.iter(|| Key::hash_str(black_box("zeppelin")))
-    });
+    g.bench_function("sha1_key_from_keyword", |b| b.iter(|| Key::hash_str(black_box("zeppelin"))));
     let a = Key::hash(b"a");
     let t = Key::hash(b"t");
     g.bench_function("xor_distance_cmp", |b| {
@@ -49,9 +45,7 @@ fn bench_routing(c: &mut Criterion) {
     }
     let target = Key::hash(b"lookup-target");
     let mut g = c.benchmark_group("routing_table");
-    g.bench_function("closest_20_of_5000", |b| {
-        b.iter(|| table.closest(black_box(&target), 20))
-    });
+    g.bench_function("closest_20_of_5000", |b| b.iter(|| table.closest(black_box(&target), 20)));
     g.bench_function("next_hop", |b| b.iter(|| table.next_hop(black_box(&target))));
     g.finish();
 }
@@ -98,9 +92,7 @@ fn bench_qrp(c: &mut Criterion) {
     }
     let query: Vec<String> = vec!["term42".into(), "term123".into()];
     let mut g = c.benchmark_group("qrp_bloom");
-    g.bench_function("matches_all_2_terms", |b| {
-        b.iter(|| filter.matches_all(black_box(&query)))
-    });
+    g.bench_function("matches_all_2_terms", |b| b.iter(|| filter.matches_all(black_box(&query))));
     g.bench_function("insert", |b| {
         let mut f2 = QrpFilter::with_defaults();
         let mut i = 0u32;
@@ -118,9 +110,7 @@ fn bench_tokenize(c: &mut Criterion) {
     g.bench_function("piersearch_keywords", |b| {
         b.iter(|| piersearch::tokenize::keywords(black_box(name)))
     });
-    g.bench_function("gnutella_tokens", |b| {
-        b.iter(|| pier_gnutella::tokenize(black_box(name)))
-    });
+    g.bench_function("gnutella_tokens", |b| b.iter(|| pier_gnutella::tokenize(black_box(name))));
     g.finish();
 }
 

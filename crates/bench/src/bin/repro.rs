@@ -11,7 +11,9 @@
 //!
 //! `REPRO_SCALE=full` switches to paper-magnitude workloads.
 
-use pier_bench::experiments::{ablations, fig8, figs13to15, figs4to7, figs9to12, model_params, sec5_posting, sec7_deploy};
+use pier_bench::experiments::{
+    ablations, fig8, figs13to15, figs4to7, figs9to12, model_params, sec5_posting, sec7_deploy,
+};
 use pier_bench::output::Table;
 use pier_bench::Scale;
 

@@ -172,11 +172,8 @@ pub fn flood_vs_dynamic(scale: Scale) -> Table {
             });
             sim.run_for(SimDuration::from_secs(120));
             let msgs = sim.metrics().counter("gnutella.query").count - before;
-            let rec = sim
-                .actor_mut::<UltrapeerNode>(vantage)
-                .core
-                .take_query(guid)
-                .expect("registered");
+            let rec =
+                sim.actor_mut::<UltrapeerNode>(vantage).core.take_query(guid).expect("registered");
             let lat = rec
                 .first_hit_at
                 .map(|tm| format!("{:.2}", (tm - issued).as_secs_f64()))
@@ -223,12 +220,7 @@ mod tests {
     fn flood_burns_more_messages_on_popular_queries() {
         let t = flood_vs_dynamic(Scale::Quick);
         let get = |strategy: &str, query: &str, col: usize| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == strategy && r[1] == query)
-                .unwrap()[col]
-                .parse()
-                .unwrap()
+            t.rows.iter().find(|r| r[0] == strategy && r[1] == query).unwrap()[col].parse().unwrap()
         };
         // Popular query: the flat flood sends many times the messages of a
         // dynamic query that stops at its result target.

@@ -18,10 +18,8 @@ pub fn run(scale: Scale) -> CrawlOutcome {
         Scale::Quick => (400usize, 4_000usize),
         Scale::Full => (3_333, 96_000),
     };
-    let cfg = SimConfig::with_seed(0xC4A5).latency(UniformLatency::new(
-        SimDuration::from_millis(20),
-        SimDuration::from_millis(90),
-    ));
+    let cfg = SimConfig::with_seed(0xC4A5)
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(90)));
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
         ultrapeers: ups,
@@ -30,12 +28,8 @@ pub fn run(scale: Scale) -> CrawlOutcome {
         leaf_ups: 2,
         seed: 0xC4A5,
     });
-    let handles = spawn(
-        &mut sim,
-        &topo,
-        vec![Vec::new(); ups],
-        vec![Vec::<FileMeta>::new(); leaves],
-    );
+    let handles =
+        spawn(&mut sim, &topo, vec![Vec::new(); ups], vec![Vec::<FileMeta>::new(); leaves]);
     // Parallel crawl from 30 seeds, like the paper's 30 PlanetLab crawlers.
     let seeds: Vec<_> = handles.ups.iter().copied().step_by((ups / 30).max(1)).collect();
     let crawler = sim.add_node(Crawler::new(seeds, 200));
@@ -43,10 +37,7 @@ pub fn run(scale: Scale) -> CrawlOutcome {
     let c = sim.actor::<Crawler>(crawler);
     assert!(c.done(), "crawl did not finish");
     let graph = c.graph.clone();
-    let duration = c
-        .finished_at
-        .map(|t| (t - c.started_at).as_secs_f64())
-        .unwrap_or_default();
+    let duration = c.finished_at.map(|t| (t - c.started_at).as_secs_f64()).unwrap_or_default();
 
     // §4.1 table: the crawl snapshot (paper: ~100k nodes in 45 minutes).
     let mut t_crawl = Table::new(
@@ -71,19 +62,14 @@ pub fn run(scale: Scale) -> CrawlOutcome {
     );
     let mc = marginal_cost(&curve);
     for (i, p) in curve.iter().enumerate() {
-        let m = if i == 0 {
-            p.messages as f64 / p.ups_reached.max(1) as f64
-        } else {
-            mc[i - 1]
-        };
+        let m = if i == 0 { p.messages as f64 / p.ups_reached.max(1) as f64 } else { mc[i - 1] };
         let m_str = if m.is_finite() { f(m, 1) } else { s("-") };
         t8.row(vec![s(p.ttl), s(p.messages), s(p.ups_reached), m_str]);
     }
 
     // Shape check: cost per newly-visited UP grows with TTL.
     let finite: Vec<f64> = mc.iter().copied().filter(|v| v.is_finite()).collect();
-    let marginal_rising =
-        finite.len() >= 2 && finite.last().unwrap() > finite.first().unwrap();
+    let marginal_rising = finite.len() >= 2 && finite.last().unwrap() > finite.first().unwrap();
 
     CrawlOutcome { tables: vec![t_crawl, t8], marginal_rising }
 }

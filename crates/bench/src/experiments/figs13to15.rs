@@ -22,9 +22,7 @@ fn curve(
 ) -> SchemeCurve {
     let mut points: Vec<(f64, f64, f64)> = sets
         .into_iter()
-        .map(|p| {
-            (p.overhead(&view.replicas), view.avg_qr(horizon, &p), view.avg_qdr(horizon, &p))
-        })
+        .map(|p| (p.overhead(&view.replicas), view.avg_qr(horizon, &p), view.avg_qdr(horizon, &p)))
         .collect();
     points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     SchemeCurve { name: name.to_string(), points }
@@ -56,12 +54,8 @@ pub fn compute_curves(catalog: &Catalog, view: &TraceView, horizon: f64) -> Vec<
     let hosts = view.hosts;
 
     let perfect_ts: Vec<u32> = vec![0, 1, 2, 3, 5, 8, 12, 20, 40, 80, 200, 1_000, 100_000];
-    let perfect = curve(
-        "Perfect",
-        view,
-        horizon,
-        perfect_ts.iter().map(|&t| schemes::perfect(&input, t)),
-    );
+    let perfect =
+        curve("Perfect", view, horizon, perfect_ts.iter().map(|&t| schemes::perfect(&input, t)));
 
     let random = curve(
         "Random",
@@ -76,23 +70,13 @@ pub fn compute_curves(catalog: &Catalog, view: &TraceView, horizon: f64) -> Vec<
     let mut tf_values: Vec<u64> = tf_map.values().copied().collect();
     tf_values.sort_unstable();
     let tf_ts = threshold_ladder(&tf_values);
-    let tf = curve(
-        "TF",
-        view,
-        horizon,
-        tf_ts.iter().map(|&t| schemes::tf(&input, &tf_map, t)),
-    );
+    let tf = curve("TF", view, horizon, tf_ts.iter().map(|&t| schemes::tf(&input, &tf_map, t)));
 
     let pf_map = catalog.pair_instance_freq();
     let mut pf_values: Vec<u64> = pf_map.values().copied().collect();
     pf_values.sort_unstable();
     let pf_ts = threshold_ladder(&pf_values);
-    let tpf = curve(
-        "TPF",
-        view,
-        horizon,
-        pf_ts.iter().map(|&t| schemes::tpf(&input, &pf_map, t)),
-    );
+    let tpf = curve("TPF", view, horizon, pf_ts.iter().map(|&t| schemes::tpf(&input, &pf_map, t)));
 
     let sam_ts: Vec<u32> = vec![0, 1, 2, 3, 5, 8, 12, 20, 40, 80, 200, 1_000, 100_000];
     let sam15 = curve(

@@ -25,10 +25,6 @@ pub fn fig4(data: &MeasurementData) -> Table {
     // factors measured from the Union-of-all results.
     let mut by_size: HashMap<usize, Vec<f64>> = HashMap::new();
     for per_vantage in &data.per_query {
-        let single = per_vantage[0].results.len();
-        if single == 0 {
-            continue;
-        }
         let union = union_results(per_vantage, data.vantage_count);
         // Replication factor per distinct filename = #hosts in the union.
         let mut hosts_per_name: HashMap<&String, usize> = HashMap::new();
@@ -38,13 +34,21 @@ pub fn fig4(data: &MeasurementData) -> Table {
         if hosts_per_name.is_empty() {
             continue;
         }
-        let avg_rep: f64 = hosts_per_name.values().map(|&c| c as f64).sum::<f64>()
-            / hosts_per_name.len() as f64;
-        by_size.entry(single).or_default().push(avg_rep);
+        let avg_rep: f64 =
+            hosts_per_name.values().map(|&c| c as f64).sum::<f64>() / hosts_per_name.len() as f64;
+        // One scatter point per (query, vantage) observation, like fig5/fig7
+        // — a single fixed vantage would make the buckets hostage to that
+        // vantage's ultrapeer profile.
+        for v in per_vantage {
+            let single = v.results.len();
+            if single > 0 {
+                by_size.entry(single).or_default().push(avg_rep);
+            }
+        }
     }
     let mut t = Table::new(
         "Figure 4: Query results size vs average replication factor",
-        &["results_size", "avg_replication_factor", "queries"],
+        &["results_size", "avg_replication_factor", "observations"],
     );
     let mut sizes: Vec<usize> = by_size.keys().copied().collect();
     sizes.sort_unstable();
@@ -56,8 +60,9 @@ pub fn fig4(data: &MeasurementData) -> Table {
     t
 }
 
-/// The Figure 4 trend, summarized robustly: the (query-weighted) mean
-/// replication factor of small-result queries vs. large-result queries.
+/// The Figure 4 trend, summarized robustly: the (observation-weighted) mean
+/// replication factor of small-result queries vs. large-result queries,
+/// where an observation is one (query, vantage) pair.
 /// The paper's scatter is extremely noisy; its claim is that "queries with
 /// small result sets return mostly rare items, while queries with large
 /// result sets … bias towards popular items" — i.e. `large.1 > small.1`.
@@ -79,25 +84,27 @@ pub fn fig4_shape(t: &Table) -> (f64, f64) {
     (small.1 / small.0.max(1.0), large.1 / large.0.max(1.0))
 }
 
+/// Single-vantage result sizes, pooled over every (query, vantage) pair —
+/// the same estimator fig7 uses. Sampling one fixed vantage instead would
+/// make the whole table hostage to that vantage's profile (an old-style
+/// 6-neighbor ultrapeer sees a sliver of the network; a new-style one at
+/// quick scale sees essentially all of it).
+fn pooled_singles(data: &MeasurementData) -> Vec<usize> {
+    data.per_query.iter().flat_map(|pv| pv.iter().map(|v| v.results.len())).collect()
+}
+
 /// Figure 5: result-size CDF, single vantage vs. Union-of-all.
 pub fn fig5(data: &MeasurementData) -> Table {
-    let singles: Vec<usize> =
-        data.per_query.iter().map(|pv| pv[0].results.len()).collect();
-    let unions: Vec<usize> = data
-        .per_query
-        .iter()
-        .map(|pv| union_results(pv, data.vantage_count).len())
-        .collect();
+    let singles: Vec<usize> = pooled_singles(data);
+    let unions: Vec<usize> =
+        data.per_query.iter().map(|pv| union_results(pv, data.vantage_count).len()).collect();
     let mut t = Table::new(
-        "Figure 5: Result size CDF (% of queries with ≤ x results)",
+        "Figure 5: Result size CDF (single node: % of query×vantage observations ≤ x; \
+         union: % of queries ≤ x)",
         &["results_x", "single_node_pct", "union_pct"],
     );
     for x in [0usize, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 10000] {
-        t.row(vec![
-            s(x),
-            f(pct_at_most(&singles, x), 1),
-            f(pct_at_most(&unions, x), 1),
-        ]);
+        t.row(vec![s(x), f(pct_at_most(&singles, x), 1), f(pct_at_most(&unions, x), 1)]);
     }
     t
 }
@@ -119,11 +126,8 @@ pub fn fig6(data: &MeasurementData) -> Table {
     for x in 0..=20usize {
         let mut row = vec![s(x)];
         for &n in &quarters {
-            let counts: Vec<usize> = data
-                .per_query
-                .iter()
-                .map(|pv| union_results(pv, n.max(1)).len())
-                .collect();
+            let counts: Vec<usize> =
+                data.per_query.iter().map(|pv| union_results(pv, n.max(1)).len()).collect();
             row.push(f(pct_at_most(&counts, x), 1));
         }
         t.row(row);
@@ -133,20 +137,16 @@ pub fn fig6(data: &MeasurementData) -> Table {
 
 /// §4.4 summary statistics extracted from the same replay.
 pub fn summary(data: &MeasurementData) -> Table {
-    let singles: Vec<usize> =
-        data.per_query.iter().map(|pv| pv[0].results.len()).collect();
-    let unions: Vec<usize> = data
-        .per_query
-        .iter()
-        .map(|pv| union_results(pv, data.vantage_count).len())
-        .collect();
+    let singles: Vec<usize> = pooled_singles(data);
+    let unions: Vec<usize> =
+        data.per_query.iter().map(|pv| union_results(pv, data.vantage_count).len()).collect();
     let zero_single = pct_at_most(&singles, 0);
     let zero_union = pct_at_most(&unions, 0);
-    let reduction = if zero_single > 0.0 {
-        100.0 * (zero_single - zero_union) / zero_single
-    } else {
-        0.0
-    };
+    let reduction =
+        if zero_single > 0.0 { 100.0 * (zero_single - zero_union) / zero_single } else { 0.0 };
+    // "1 node" rows are rates over query×vantage observations — the expected
+    // fraction seen at a random single vantage, the comparable to the
+    // paper's one-node measurement.
     let mut t = Table::new(
         "Section 4.4 summary (paper: ≤10: 41%, zero: 18% → union 6%, reduction ≥66%)",
         &["metric", "measured_pct", "paper_pct"],

@@ -35,10 +35,8 @@ pub fn trace_view(scale: Scale) -> (Catalog, QueryTrace, TraceView) {
         Scale::Quick => 350,
         Scale::Full => 350,
     };
-    let trace = QueryTrace::generate(
-        &catalog,
-        QueryConfig { queries, seed: 0x1962, ..Default::default() },
-    );
+    let trace =
+        QueryTrace::generate(&catalog, QueryConfig { queries, seed: 0x1962, ..Default::default() });
     let eval = Evaluator::new(&catalog);
     let view = TraceView {
         replicas: catalog.replica_counts(),
@@ -57,14 +55,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "Figure 9: PF-threshold vs replica threshold",
         &["replica_threshold", "h=5%", "h=15%", "h=30%"],
     );
-    let curves: Vec<_> = horizons
-        .iter()
-        .map(|&h| pf_threshold_curve(view.hosts, h, 0..=20))
-        .collect();
-    for i in 0..=20usize {
+    let curves: Vec<_> =
+        horizons.iter().map(|&h| pf_threshold_curve(view.hosts, h, 0..=20)).collect();
+    for (i, c0) in curves[0].iter().enumerate() {
         t9.row(vec![
             s(i),
-            f(curves[0][i].pf_threshold, 3),
+            f(c0.pf_threshold, 3),
             f(curves[1][i].pf_threshold, 3),
             f(curves[2][i].pf_threshold, 3),
         ]);
@@ -91,16 +87,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "Figure 12: average QDR vs replica threshold (paper t=2,h=15%: ~93%)",
         &["replica_threshold", "h=5%", "h=15%", "h=30%"],
     );
-    for i in 0..thresholds.len() {
+    for (i, p0) in sweeps[0].iter().enumerate() {
         t11.row(vec![
-            s(sweeps[0][i].replica_threshold),
-            f(100.0 * sweeps[0][i].avg_qr, 1),
+            s(p0.replica_threshold),
+            f(100.0 * p0.avg_qr, 1),
             f(100.0 * sweeps[1][i].avg_qr, 1),
             f(100.0 * sweeps[2][i].avg_qr, 1),
         ]);
         t12.row(vec![
-            s(sweeps[0][i].replica_threshold),
-            f(100.0 * sweeps[0][i].avg_qdr, 1),
+            s(p0.replica_threshold),
+            f(100.0 * p0.avg_qdr, 1),
             f(100.0 * sweeps[1][i].avg_qdr, 1),
             f(100.0 * sweeps[2][i].avg_qdr, 1),
         ]);

@@ -66,10 +66,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         seed: 0x5EC5,
         ..Default::default()
     });
-    let trace = QueryTrace::generate(
-        &catalog,
-        QueryConfig { queries, seed: 0x55EC, ..Default::default() },
-    );
+    let trace =
+        QueryTrace::generate(&catalog, QueryConfig { queries, seed: 0x55EC, ..Default::default() });
     let eval = Evaluator::new(&catalog);
 
     let mut small_ship = 0u64;
@@ -155,7 +153,7 @@ mod tests {
         let manual: u64 = catalog
             .files
             .iter()
-            .filter(|df| df.tokens.iter().any(|t| *t == term))
+            .filter(|df| df.tokens.contains(&term))
             .map(|df| df.replicas() as u64)
             .sum();
         assert_eq!(shipped_entries(&eval, &catalog, &q), manual);

@@ -81,7 +81,15 @@ pub fn micro_query_cost(mode: IndexMode, corpus: usize, queries: usize) -> (f64,
             let host = net.ctx.self_id();
             node.app
                 .publisher
-                .publish_file(&mut node.app.pier, &mut node.core, &mut net, &name, 1_000, host, 6346)
+                .publish_file(
+                    &mut node.app.pier,
+                    &mut node.core,
+                    &mut net,
+                    &name,
+                    1_000,
+                    host,
+                    6346,
+                )
                 .unwrap();
         });
     }
@@ -91,8 +99,7 @@ pub fn micro_query_cost(mode: IndexMode, corpus: usize, queries: usize) -> (f64,
     // *resolve the matching fileIDs* (plan shipping + posting-list
     // shipping), not the result stream common to both modes: that is the
     // recursively routed engine traffic.
-    let engine_bytes =
-        |sim: &Sim<DhtMsg>| sim.metrics().counter("dht.route").bytes;
+    let engine_bytes = |sim: &Sim<DhtMsg>| sim.metrics().counter("dht.route").bytes;
     let before = engine_bytes(&sim);
     let t_before = sim.now();
     let mut sids = Vec::new();
@@ -147,27 +154,9 @@ pub fn run(scale: Scale) -> DeployOutcome {
         "Section 7: PIERSearch costs (paper: publish 3.5/4.0 KB per file; query 20 KB SHJ vs 0.85 KB InvertedCache)",
         &["metric", "Inverted(SHJ)", "InvertedCache", "paper_shj", "paper_cache"],
     );
-    t_cost.row(vec![
-        s("publish bytes/file"),
-        f(pub_plain, 0),
-        f(pub_cache, 0),
-        s(3_500),
-        s(4_000),
-    ]);
-    t_cost.row(vec![
-        s("query engine bytes"),
-        f(q_plain, 0),
-        f(q_cache, 0),
-        s(20_000),
-        s(850),
-    ]);
-    t_cost.row(vec![
-        s("PIER first result (s)"),
-        f(lat_plain, 1),
-        f(lat_cache, 1),
-        s(12),
-        s(10),
-    ]);
+    t_cost.row(vec![s("publish bytes/file"), f(pub_plain, 0), f(pub_cache, 0), s(3_500), s(4_000)]);
+    t_cost.row(vec![s("query engine bytes"), f(q_plain, 0), f(q_cache, 0), s(20_000), s(850)]);
+    t_cost.row(vec![s("PIER first result (s)"), f(lat_plain, 1), f(lat_cache, 1), s(12), s(10)]);
 
     // Part 3: the deployment.
     let (ups, hybrid_ups, leaves, distinct, queries) = match scale {
@@ -193,10 +182,8 @@ pub fn run(scale: Scale) -> DeployOutcome {
         seed: 0x7004,
         ..Default::default()
     });
-    let trace = QueryTrace::generate(
-        &catalog,
-        QueryConfig { queries, seed: 0x7005, ..Default::default() },
-    );
+    let trace =
+        QueryTrace::generate(&catalog, QueryConfig { queries, seed: 0x7005, ..Default::default() });
     let leaf_files: Vec<Vec<FileMeta>> = catalog
         .host_files
         .iter()
@@ -232,11 +219,8 @@ pub fn run(scale: Scale) -> DeployOutcome {
     // Drain round 1 + let QRS windows close and publishing proceed.
     sim.run_for(SimDuration::from_secs(300));
 
-    let published: u64 = deployment
-        .hybrid_ups
-        .iter()
-        .map(|&id| sim.actor::<HybridUp>(id).files_published)
-        .sum();
+    let published: u64 =
+        deployment.hybrid_ups.iter().map(|&id| sim.actor::<HybridUp>(id).files_published).sum();
 
     // Round 2: measure from the *other* hybrid UPs.
     let round2_vantages: Vec<NodeId> =
@@ -245,8 +229,7 @@ pub fn run(scale: Scale) -> DeployOutcome {
     for (i, q) in trace.queries.iter().enumerate() {
         let v = round2_vantages[i % round2_vantages.len()];
         let text = q.text();
-        let idx =
-            sim.with_actor_ctx::<HybridUp, _>(v, |up, ctx| up.start_hybrid_query(ctx, &text));
+        let idx = sim.with_actor_ctx::<HybridUp, _>(v, |up, ctx| up.start_hybrid_query(ctx, &text));
         tracked.push((v, idx));
         sim.run_for(SimDuration::from_millis(700));
     }

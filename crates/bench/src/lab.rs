@@ -125,8 +125,13 @@ impl Lab {
         // QRP propagation.
         sim.run_for(SimDuration::from_secs(3));
 
-        let vantages: Vec<NodeId> =
-            handles.ups.iter().copied().step_by(cfg.ultrapeers / cfg.vantages).take(cfg.vantages).collect();
+        let vantages: Vec<NodeId> = handles
+            .ups
+            .iter()
+            .copied()
+            .step_by(cfg.ultrapeers / cfg.vantages)
+            .take(cfg.vantages)
+            .collect();
         Lab { sim, handles, catalog, trace, vantages, cfg }
     }
 
@@ -180,10 +185,7 @@ impl Lab {
                             .filter(|h| seen.insert((h.file.name.clone(), h.host)))
                             .map(|h| (h.file.name.clone(), h.host))
                             .collect();
-                        VantageResult {
-                            results,
-                            first_hit: rec.first_hit_at.map(|t| t - issued),
-                        }
+                        VantageResult { results, first_hit: rec.first_hit_at.map(|t| t - issued) }
                     })
                     .collect()
             })

@@ -35,12 +35,8 @@ impl Table {
             }
         }
         println!("\n== {} ==", self.title);
-        let head: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let head: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         println!("{}", head.join("  "));
         println!("{}", "-".repeat(head.join("  ").len()));
         for row in &self.rows {

@@ -2,7 +2,7 @@
 
 use crate::error::{Error, Result};
 use crate::varint;
-use serde::de::{self, DeserializeSeed, Deserialize, IntoDeserializer, Visitor};
+use serde::de::{self, Deserialize, DeserializeSeed, IntoDeserializer, Visitor};
 
 /// Decodes values from a byte slice.
 pub struct Deserializer<'de> {
@@ -72,8 +72,9 @@ macro_rules! de_unsigned {
     ($method:ident, $visit:ident, $ty:ty) => {
         fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
             let v = self.read_varint()?;
-            let narrowed = <$ty>::try_from(v)
-                .map_err(|_| Error::Custom(format!("{} out of range for {}", v, stringify!($ty))))?;
+            let narrowed = <$ty>::try_from(v).map_err(|_| {
+                Error::Custom(format!("{} out of range for {}", v, stringify!($ty)))
+            })?;
             visitor.$visit(narrowed)
         }
     };
@@ -83,8 +84,9 @@ macro_rules! de_signed {
     ($method:ident, $visit:ident, $ty:ty) => {
         fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
             let v = varint::zigzag_decode(self.read_varint()?);
-            let narrowed = <$ty>::try_from(v)
-                .map_err(|_| Error::Custom(format!("{} out of range for {}", v, stringify!($ty))))?;
+            let narrowed = <$ty>::try_from(v).map_err(|_| {
+                Error::Custom(format!("{} out of range for {}", v, stringify!($ty)))
+            })?;
             visitor.$visit(narrowed)
         }
     };
@@ -142,8 +144,8 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     }
 
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let scalar = u32::try_from(self.read_varint()?)
-            .map_err(|_| Error::InvalidChar(u32::MAX))?;
+        let scalar =
+            u32::try_from(self.read_varint()?).map_err(|_| Error::InvalidChar(u32::MAX))?;
         let c = char::from_u32(scalar).ok_or(Error::InvalidChar(scalar))?;
         visitor.visit_char(c)
     }

@@ -186,9 +186,8 @@ impl<'a> ser::Serializer for &'a mut Serializer {
     }
 
     fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
-        let len = len.ok_or_else(|| {
-            Error::Custom("sequences must have a known length".to_string())
-        })?;
+        let len =
+            len.ok_or_else(|| Error::Custom("sequences must have a known length".to_string()))?;
         self.push_varint(len as u64);
         Ok(Compound { ser: self })
     }
@@ -217,8 +216,7 @@ impl<'a> ser::Serializer for &'a mut Serializer {
     }
 
     fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
-        let len = len
-            .ok_or_else(|| Error::Custom("maps must have a known length".to_string()))?;
+        let len = len.ok_or_else(|| Error::Custom("maps must have a known length".to_string()))?;
         self.push_varint(len as u64);
         Ok(Compound { ser: self })
     }

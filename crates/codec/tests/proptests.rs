@@ -17,8 +17,7 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
     let leaf = any::<String>().prop_map(Tree::Leaf);
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
             (any::<u64>(), prop::collection::vec(inner, 0..4))
                 .prop_map(|(id, children)| Tree::Tagged { id, children }),
         ]

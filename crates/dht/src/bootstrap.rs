@@ -95,7 +95,7 @@ mod tests {
         let pop = population(300);
         let mut t = RoutingTable::new(pop[0], 8);
         fill_table(&mut t, &pop, 8);
-        assert!(t.len() > 0);
+        assert!(!t.is_empty());
         for c in t.contacts() {
             assert_ne!(c.key, pop[0].key, "self never stored");
         }

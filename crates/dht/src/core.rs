@@ -170,13 +170,7 @@ impl DhtCore {
 
     /// Store `value` under `key` on the replica set. With `republish`, the
     /// core re-publishes at half the TTL until the record is dropped.
-    pub fn put(
-        &mut self,
-        net: &mut dyn DhtNet,
-        key: Key,
-        value: Vec<u8>,
-        republish: bool,
-    ) -> OpId {
+    pub fn put(&mut self, net: &mut dyn DhtNet, key: Key, value: Vec<u8>, republish: bool) -> OpId {
         let ttl_us = self.cfg.value_ttl.as_micros();
         if republish {
             self.republish.push(RepublishRecord {
@@ -323,13 +317,7 @@ impl DhtCore {
     // Response handling (client side)
     // ------------------------------------------------------------------
 
-    fn handle_response(
-        &mut self,
-        net: &mut dyn DhtNet,
-        id: RpcId,
-        from: Contact,
-        body: Response,
-    ) {
+    fn handle_response(&mut self, net: &mut dyn DhtNet, id: RpcId, from: Contact, body: Response) {
         let Some(pending) = self.pending.remove(&id) else {
             net.count("dht.stale_response", 1);
             return;
@@ -377,14 +365,7 @@ impl DhtCore {
         let op = self.next_op;
         self.next_op += 1;
         let seeds = self.table.closest(&target, self.cfg.k);
-        let lookup = Lookup::new(
-            target,
-            kind,
-            self.cfg.k,
-            self.cfg.alpha,
-            self.local().key,
-            seeds,
-        );
+        let lookup = Lookup::new(target, kind, self.cfg.k, self.cfg.alpha, self.local().key, seeds);
         self.lookups.insert(op, lookup);
         self.drive_lookup(net, op);
         op
@@ -552,12 +533,8 @@ impl DhtCore {
     // ------------------------------------------------------------------
 
     fn sweep_timeouts(&mut self, net: &mut dyn DhtNet, now: SimTime) {
-        let expired: Vec<RpcId> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| p.deadline <= now)
-            .map(|(id, _)| *id)
-            .collect();
+        let expired: Vec<RpcId> =
+            self.pending.iter().filter(|(_, p)| p.deadline <= now).map(|(id, _)| *id).collect();
         for id in expired {
             let p = self.pending.remove(&id).expect("listed above");
             net.count("dht.rpc_timeout", 1);

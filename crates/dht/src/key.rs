@@ -156,8 +156,7 @@ impl<'de> Deserialize<'de> for Key {
                 write!(f, "20 bytes")
             }
             fn visit_bytes<E: serde::de::Error>(self, v: &[u8]) -> Result<Key, E> {
-                let arr: [u8; 20] =
-                    v.try_into().map_err(|_| E::invalid_length(v.len(), &self))?;
+                let arr: [u8; 20] = v.try_into().map_err(|_| E::invalid_length(v.len(), &self))?;
                 Ok(Key(arr))
             }
         }
@@ -184,8 +183,8 @@ mod tests {
         let bc = b.distance(&c);
         let ac = a.distance(&c);
         let mut x = [0u8; 20];
-        for i in 0..20 {
-            x[i] = ab.0[i] ^ bc.0[i];
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = ab.0[i] ^ bc.0[i];
         }
         assert_eq!(ac.0, x);
     }

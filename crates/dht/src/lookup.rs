@@ -78,9 +78,7 @@ impl Lookup {
                 continue;
             }
             let d = c.key.distance(&self.target);
-            let pos = self
-                .entries
-                .partition_point(|(e, _)| e.key.distance(&self.target) < d);
+            let pos = self.entries.partition_point(|(e, _)| e.key.distance(&self.target) < d);
             self.entries.insert(pos, (*c, EntryState::New));
         }
     }
@@ -88,8 +86,7 @@ impl Lookup {
     /// Contacts to query now: new entries among the k closest non-failed
     /// candidates, respecting the α in-flight limit. Marks them in-flight.
     pub fn next_batch(&mut self) -> Vec<Contact> {
-        let in_flight =
-            self.entries.iter().filter(|(_, s)| *s == EntryState::InFlight).count();
+        let in_flight = self.entries.iter().filter(|(_, s)| *s == EntryState::InFlight).count();
         let mut budget = self.alpha.saturating_sub(in_flight);
         let mut out = Vec::new();
         let mut considered = 0;
@@ -240,8 +237,7 @@ mod tests {
     #[test]
     fn all_failed_completes_empty() {
         let target = Key::hash(b"t");
-        let mut l =
-            Lookup::new(target, LookupKind::Node, 3, 3, Key::for_node(0), vec![contact(1)]);
+        let mut l = Lookup::new(target, LookupKind::Node, 3, 3, Key::for_node(0), vec![contact(1)]);
         let batch = l.next_batch();
         l.on_failure(&batch[0].key);
         assert!(l.is_complete());
@@ -259,7 +255,10 @@ mod tests {
         let target = Key::hash(b"t");
         let self_key = Key::for_node(0);
         let mut l = Lookup::new(target, LookupKind::Node, 8, 3, self_key, vec![contact(1)]);
-        l.add_candidates(&[contact(1), Contact::new(self_key, NodeId::new(0)), contact(2)], self_key);
+        l.add_candidates(
+            &[contact(1), Contact::new(self_key, NodeId::new(0)), contact(2)],
+            self_key,
+        );
         assert_eq!(l.entries.len(), 2);
         assert!(!l.knows(&self_key));
         assert!(l.knows(&contact(2).key));

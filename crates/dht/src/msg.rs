@@ -16,17 +16,39 @@ pub type RpcId = u64;
 /// A full DHT message.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum DhtMsg {
-    Request { id: RpcId, from: Contact, body: Request },
-    Response { id: RpcId, from: Contact, body: Response },
+    Request {
+        id: RpcId,
+        from: Contact,
+        body: Request,
+    },
+    Response {
+        id: RpcId,
+        from: Contact,
+        body: Response,
+    },
     /// Recursive routing step: forward toward the owner of `key`, then
     /// deliver `payload` to the application there.
-    Route { key: Key, payload: Vec<u8>, hops: u32, origin: Contact },
+    Route {
+        key: Key,
+        payload: Vec<u8>,
+        hops: u32,
+        origin: Contact,
+    },
     /// Recursive (Bamboo-style) store: forwarded greedily to the owner,
     /// which stores the value. Fire-and-forget — publishers rely on
     /// periodic republishing for durability, as PIER's publisher does.
-    RouteStore { key: Key, value: Vec<u8>, ttl_us: u64, hops: u32, origin: Contact },
+    RouteStore {
+        key: Key,
+        value: Vec<u8>,
+        ttl_us: u64,
+        hops: u32,
+        origin: Contact,
+    },
     /// Direct application payload (result streaming; not routed).
-    AppDirect { payload: Vec<u8>, origin: Contact },
+    AppDirect {
+        payload: Vec<u8>,
+        origin: Contact,
+    },
 }
 
 /// RPC request bodies.
@@ -34,22 +56,35 @@ pub enum DhtMsg {
 pub enum Request {
     Ping,
     /// Return the k closest contacts to `target`.
-    FindNode { target: Key },
+    FindNode {
+        target: Key,
+    },
     /// Store a value under `key` with a requested TTL in microseconds.
-    Store { key: Key, value: Vec<u8>, ttl_us: u64 },
+    Store {
+        key: Key,
+        value: Vec<u8>,
+        ttl_us: u64,
+    },
     /// Return stored values for `key`, or closer contacts.
-    FindValue { key: Key },
+    FindValue {
+        key: Key,
+    },
 }
 
 /// RPC response bodies.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Response {
     Pong,
-    Nodes { contacts: Vec<Contact> },
+    Nodes {
+        contacts: Vec<Contact>,
+    },
     StoreAck,
     /// Values found at the responder (possibly alongside closer contacts
     /// is unnecessary: a holder is authoritative for its replica).
-    Values { values: Vec<Vec<u8>>, closer: Vec<Contact> },
+    Values {
+        values: Vec<Vec<u8>>,
+        closer: Vec<Contact>,
+    },
 }
 
 impl DhtMsg {
@@ -121,7 +156,12 @@ mod tests {
                 from: contact(),
                 body: Response::Values { values: vec![vec![9]], closer: vec![] },
             },
-            DhtMsg::Route { key: Key::hash(b"r"), payload: vec![7; 30], hops: 3, origin: contact() },
+            DhtMsg::Route {
+                key: Key::hash(b"r"),
+                payload: vec![7; 30],
+                hops: 3,
+                origin: contact(),
+            },
             DhtMsg::AppDirect { payload: vec![1], origin: contact() },
         ];
         for m in msgs {

@@ -121,9 +121,7 @@ impl RoutingTable {
     /// local node, if any — the greedy step of recursive routing.
     pub fn next_hop(&self, target: &Key) -> Option<Contact> {
         let own = self.local.key.distance(target);
-        self.closest(target, 1)
-            .into_iter()
-            .find(|c| c.key.distance(target) < own)
+        self.closest(target, 1).into_iter().find(|c| c.key.distance(target) < own)
     }
 
     /// Whether the local node is closer to `target` than every stored
@@ -207,12 +205,8 @@ mod tests {
         let got = t.closest(&target, 5);
         // Every table-stored contact at least as close as got[4] must appear.
         let stored: std::collections::HashSet<_> = t.contacts().map(|c| c.node).collect();
-        let expect: Vec<_> = everyone
-            .iter()
-            .filter(|c| stored.contains(&c.node))
-            .take(5)
-            .map(|c| c.node)
-            .collect();
+        let expect: Vec<_> =
+            everyone.iter().filter(|c| stored.contains(&c.node)).take(5).map(|c| c.node).collect();
         assert_eq!(got.iter().map(|c| c.node).collect::<Vec<_>>(), expect);
     }
 

@@ -46,9 +46,7 @@ impl Storage {
     pub fn get(&self, key: &Key, now: SimTime) -> Vec<&[u8]> {
         self.map
             .get(key)
-            .map(|vs| {
-                vs.iter().filter(|v| v.expires > now).map(|v| v.bytes.as_slice()).collect()
-            })
+            .map(|vs| vs.iter().filter(|v| v.expires > now).map(|v| v.bytes.as_slice()).collect())
             .unwrap_or_default()
     }
 

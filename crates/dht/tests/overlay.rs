@@ -1,8 +1,7 @@
 //! End-to-end overlay tests: real simulator, real protocol messages.
 
 use pier_dht::{
-    bootstrap, Contact, DhtApp, DhtConfig, DhtCore, DhtEvent, DhtMsg, DhtNet, DhtNode, Key,
-    NullApp,
+    bootstrap, Contact, DhtApp, DhtConfig, DhtCore, DhtEvent, DhtMsg, DhtNet, DhtNode, Key, NullApp,
 };
 use pier_netsim::{ConstantLatency, NodeId, Sim, SimConfig, SimDuration};
 use std::collections::HashMap;
@@ -65,12 +64,8 @@ fn put_then_get_from_any_node() {
     sim.run_for(SimDuration::from_secs(20));
     {
         let node = sim.actor::<Node>(ids[5]);
-        let puts: Vec<_> = node
-            .app
-            .events
-            .iter()
-            .filter(|e| matches!(e, DhtEvent::PutDone { .. }))
-            .collect();
+        let puts: Vec<_> =
+            node.app.events.iter().filter(|e| matches!(e, DhtEvent::PutDone { .. })).collect();
         assert_eq!(puts.len(), 2, "both puts must complete");
         for p in puts {
             if let DhtEvent::PutDone { acks, .. } = p {
@@ -118,12 +113,8 @@ fn routed_payload_reaches_single_owner() {
     let mut deliveries: HashMap<NodeId, usize> = HashMap::new();
     for &id in &ids {
         let node = sim.actor::<Node>(id);
-        let n = node
-            .app
-            .events
-            .iter()
-            .filter(|e| matches!(e, DhtEvent::RouteDelivered { .. }))
-            .count();
+        let n =
+            node.app.events.iter().filter(|e| matches!(e, DhtEvent::RouteDelivered { .. })).count();
         if n > 0 {
             deliveries.insert(id, n);
         }
@@ -163,9 +154,9 @@ fn survives_churn_with_replication() {
     });
     sim.run_for(SimDuration::from_secs(30));
     let node = sim.actor::<Node>(querier);
-    let found = node.app.events.iter().any(|e| {
-        matches!(e, DhtEvent::GetDone { values, .. } if values.contains(&b"precious".to_vec()))
-    });
+    let found = node.app.events.iter().any(
+        |e| matches!(e, DhtEvent::GetDone { values, .. } if values.contains(&b"precious".to_vec())),
+    );
     assert!(found, "value must survive the loss of one replica");
 }
 
@@ -175,8 +166,7 @@ fn warm_start_matches_protocol_join_behaviour() {
     // without any join traffic.
     let cfg = SimConfig::with_seed(11).latency(ConstantLatency(SimDuration::from_millis(20)));
     let mut sim = Sim::new(cfg);
-    let contacts: Vec<Contact> =
-        (0..200).map(|i| Contact::for_node(NodeId::new(i))).collect();
+    let contacts: Vec<Contact> = (0..200).map(|i| Contact::for_node(NodeId::new(i))).collect();
     let mut ids = Vec::new();
     for c in &contacts {
         let mut core = DhtCore::new(DhtConfig::test(), *c);
@@ -195,9 +185,9 @@ fn warm_start_matches_protocol_join_behaviour() {
     });
     sim.run_for(SimDuration::from_secs(10));
     let node = sim.actor::<Node>(ids[3]);
-    let found = node.app.events.iter().any(|e| {
-        matches!(e, DhtEvent::GetDone { values, .. } if values.contains(&b"started".to_vec()))
-    });
+    let found = node.app.events.iter().any(
+        |e| matches!(e, DhtEvent::GetDone { values, .. } if values.contains(&b"started".to_vec())),
+    );
     assert!(found);
 }
 
@@ -205,11 +195,10 @@ fn warm_start_matches_protocol_join_behaviour() {
 fn lookup_cost_scales_logarithmically() {
     // Average FIND_NODE queries per lookup should grow slowly with N.
     let cost = |n: u32| -> f64 {
-        let cfg =
-            SimConfig::with_seed(100 + n as u64).latency(ConstantLatency(SimDuration::from_millis(10)));
+        let cfg = SimConfig::with_seed(100 + n as u64)
+            .latency(ConstantLatency(SimDuration::from_millis(10)));
         let mut sim = Sim::new(cfg);
-        let contacts: Vec<Contact> =
-            (0..n).map(|i| Contact::for_node(NodeId::new(i))).collect();
+        let contacts: Vec<Contact> = (0..n).map(|i| Contact::for_node(NodeId::new(i))).collect();
         let mut ids = Vec::new();
         for c in &contacts {
             let mut core = DhtCore::new(DhtConfig::test(), *c);

@@ -25,7 +25,9 @@ proptest! {
         let bc = b.distance(&c);
         let ac = a.distance(&c);
         let mut x = [0u8; 20];
-        for i in 0..20 { x[i] = ab.0[i] ^ bc.0[i]; }
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = ab.0[i] ^ bc.0[i];
+        }
         prop_assert_eq!(ac.0, x);
         // Unique closest point: if d(a,t)==d(b,t) then a==b.
         if a.distance(&c) == b.distance(&c) {

@@ -140,8 +140,7 @@ mod tests {
     use pier_netsim::{ConstantLatency, Sim, SimConfig};
 
     fn crawl_network(ups: usize, leaves: usize) -> (Sim<GnutellaMsg>, NodeId, usize) {
-        let cfg = SimConfig::with_seed(77)
-            .latency(ConstantLatency(SimDuration::from_millis(30)));
+        let cfg = SimConfig::with_seed(77).latency(ConstantLatency(SimDuration::from_millis(30)));
         let mut sim = Sim::new(cfg);
         let topo = Topology::generate(&TopologyConfig {
             ultrapeers: ups,

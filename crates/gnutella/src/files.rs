@@ -48,8 +48,7 @@ pub struct FileStore {
 
 impl FileStore {
     pub fn new(files: Vec<FileMeta>) -> Self {
-        let token_sets =
-            files.iter().map(|f| tokenize(&f.name).into_iter().collect()).collect();
+        let token_sets = files.iter().map(|f| tokenize(&f.name).into_iter().collect()).collect();
         FileStore { files, token_sets }
     }
 
@@ -125,10 +124,7 @@ mod tests {
 
     #[test]
     fn all_tokens_dedup() {
-        let store = FileStore::new(vec![
-            FileMeta::new("a_b.mp3", 1),
-            FileMeta::new("b_c.mp3", 1),
-        ]);
+        let store = FileStore::new(vec![FileMeta::new("a_b.mp3", 1), FileMeta::new("b_c.mp3", 1)]);
         let tokens = store.all_tokens();
         assert_eq!(tokens.len(), 4); // a, b, c, mp3
     }

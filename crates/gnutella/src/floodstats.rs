@@ -42,7 +42,8 @@ pub fn flood_curve(graph: &CrawlGraph, start: NodeId, max_ttl: u32) -> Vec<Flood
             };
             // The origin sends to all neighbors; relays send degree-1
             // copies (not back where it came from).
-            let sends = if node == start { neighbors.len() } else { neighbors.len().saturating_sub(1) };
+            let sends =
+                if node == start { neighbors.len() } else { neighbors.len().saturating_sub(1) };
             messages += sends as u64;
             for &n in neighbors {
                 if let std::collections::hash_map::Entry::Vacant(e) = depth.entry(n) {
@@ -66,11 +67,7 @@ pub fn flood_curve(graph: &CrawlGraph, start: NodeId, max_ttl: u32) -> Vec<Flood
 
 /// Average the curves from several starting points (the paper averages over
 /// query injections from its vantage ultrapeers).
-pub fn average_flood_curve(
-    graph: &CrawlGraph,
-    starts: &[NodeId],
-    max_ttl: u32,
-) -> Vec<FloodPoint> {
+pub fn average_flood_curve(graph: &CrawlGraph, starts: &[NodeId], max_ttl: u32) -> Vec<FloodPoint> {
     assert!(!starts.is_empty());
     let curves: Vec<Vec<FloodPoint>> =
         starts.iter().map(|s| flood_curve(graph, *s, max_ttl)).collect();

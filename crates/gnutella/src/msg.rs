@@ -28,26 +28,54 @@ pub struct Hit {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum GnutellaMsg {
     /// Flooded keyword query.
-    Query { guid: Guid, ttl: u8, hops: u8, terms: String },
+    Query {
+        guid: Guid,
+        ttl: u8,
+        hops: u8,
+        terms: String,
+    },
     /// Search results, routed back along the query's reverse path.
-    QueryHit { guid: Guid, hits: Vec<Hit> },
+    QueryHit {
+        guid: Guid,
+        hits: Vec<Hit>,
+    },
     /// Topology crawl request (the paper's crawler API call).
     CrawlPing,
     /// Crawl response: ultrapeer neighbors and leaf count.
-    CrawlPong { neighbors: Vec<NodeId>, leaves: Vec<NodeId> },
+    CrawlPong {
+        neighbors: Vec<NodeId>,
+        leaves: Vec<NodeId>,
+    },
     /// Leaf → ultrapeer: its QRP keyword filter.
-    QrpUpdate { filter: QrpFilter },
+    QrpUpdate {
+        filter: QrpFilter,
+    },
     /// Leaf → ultrapeer: please run this search for me.
-    LeafQuery { qid: u32, terms: String },
+    LeafQuery {
+        qid: u32,
+        terms: String,
+    },
     /// Ultrapeer → leaf: results for a LeafQuery (streaming).
-    LeafResults { qid: u32, hits: Vec<Hit>, done: bool },
+    LeafResults {
+        qid: u32,
+        hits: Vec<Hit>,
+        done: bool,
+    },
     /// Ultrapeer → leaf: last-hop forwarded query (QRP hit).
-    LeafForward { guid: Guid, terms: String },
+    LeafForward {
+        guid: Guid,
+        terms: String,
+    },
     /// Leaf → ultrapeer: matches for a forwarded query.
-    LeafHits { guid: Guid, hits: Vec<Hit> },
+    LeafHits {
+        guid: Guid,
+        hits: Vec<Hit>,
+    },
     /// Fetch a node's full shared-file list (LimeWire's BrowseHost).
     BrowseHost,
-    BrowseHostReply { files: Vec<FileMeta> },
+    BrowseHostReply {
+        files: Vec<FileMeta>,
+    },
 }
 
 impl GnutellaMsg {

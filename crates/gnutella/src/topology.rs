@@ -4,8 +4,8 @@
 use crate::config::{LeafConfig, UltrapeerConfig};
 use crate::files::{FileMeta, FileStore};
 use crate::leaf::LeafCore;
-use crate::node::{LeafNode, UltrapeerNode};
 use crate::msg::GnutellaMsg;
+use crate::node::{LeafNode, UltrapeerNode};
 use crate::ultrapeer::UltrapeerCore;
 use pier_netsim::{stream_rng, NodeId, Sim};
 use rand::seq::SliceRandom;
@@ -103,8 +103,7 @@ impl Topology {
 
         // Assign leaves to ultrapeers with capacity, round-robin over a
         // shuffled order; extra connections go to random other ultrapeers.
-        let mut capacity: Vec<usize> =
-            up_profiles.iter().map(|p| p.max_leaves).collect();
+        let mut capacity: Vec<usize> = up_profiles.iter().map(|p| p.max_leaves).collect();
         let mut order: Vec<usize> = (0..cfg.ultrapeers).collect();
         order.shuffle(&mut rng);
         let mut leaf_homes = Vec::with_capacity(cfg.leaves);
@@ -181,8 +180,7 @@ pub fn spawn(
     let adj = topo.up_adjacency();
     let mut ups = Vec::with_capacity(topo.ultrapeer_count());
     for (i, files) in up_files.into_iter().enumerate() {
-        let mut core =
-            UltrapeerCore::new(topo.up_profiles[i].clone(), FileStore::new(files));
+        let mut core = UltrapeerCore::new(topo.up_profiles[i].clone(), FileStore::new(files));
         core.set_neighbors(adj[i].iter().map(|&n| up_id(n)).collect());
         for (j, homes) in topo.leaf_homes.iter().enumerate() {
             if homes.contains(&i) {
@@ -209,7 +207,13 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> TopologyConfig {
-        TopologyConfig { ultrapeers: 40, leaves: 400, old_style_fraction: 0.25, leaf_ups: 3, seed: 5 }
+        TopologyConfig {
+            ultrapeers: 40,
+            leaves: 400,
+            old_style_fraction: 0.25,
+            leaf_ups: 3,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -226,7 +230,7 @@ mod tests {
         let adj = topo.up_adjacency();
         for (i, profile) in topo.up_profiles.iter().enumerate() {
             let target = profile.up_neighbors.min(39);
-            assert!(adj[i].len() >= 1, "ultrapeer {i} isolated");
+            assert!(!adj[i].is_empty(), "ultrapeer {i} isolated");
             // Configuration model loses some stubs to dedup; allow slack.
             assert!(adj[i].len() <= target + 1, "ultrapeer {i}: {} > {}", adj[i].len(), target);
         }

@@ -134,7 +134,12 @@ impl UltrapeerCore {
     /// Originate a search. A cheap TTL-1 probe goes to every neighbor now;
     /// deeper per-neighbor probes follow at `probe_interval` pacing until
     /// `target_results` accumulate or neighbors are exhausted.
-    pub fn start_query(&mut self, net: &mut dyn GnutellaNet, terms: &str, origin: QueryOrigin) -> Guid {
+    pub fn start_query(
+        &mut self,
+        net: &mut dyn GnutellaNet,
+        terms: &str,
+        origin: QueryOrigin,
+    ) -> Guid {
         let guid = Guid(net.rng().random());
         // Claim the GUID so our own flood cannot route hits elsewhere.
         let me = net.self_node();
@@ -445,7 +450,7 @@ mod tests {
             }
         }
         fn advance(&mut self, d: SimDuration) {
-            self.now = self.now + d;
+            self.now += d;
         }
         fn drain(&mut self) -> Vec<(NodeId, GnutellaMsg)> {
             std::mem::take(&mut self.sent)
@@ -573,10 +578,7 @@ mod tests {
         net.drain();
         // Deliver ≥ target hits.
         let hits: Vec<Hit> = (0..core.cfg.target_results + 5)
-            .map(|i| Hit {
-                file: FileMeta::new(&format!("pop{i}.mp3"), 1),
-                host: NodeId::new(99),
-            })
+            .map(|i| Hit { file: FileMeta::new(&format!("pop{i}.mp3"), 1), host: NodeId::new(99) })
             .collect();
         core.handle_hits(&mut net, guid, hits);
         net.advance(SimDuration::from_secs(10));
@@ -592,10 +594,7 @@ mod tests {
         core.handle_query(&mut net, NodeId::new(1), guid, 3, 0, "a".into());
         let first = net.drain();
         // Forwarded to the other two neighbors.
-        assert_eq!(
-            first.iter().filter(|(_, m)| matches!(m, GnutellaMsg::Query { .. })).count(),
-            2
-        );
+        assert_eq!(first.iter().filter(|(_, m)| matches!(m, GnutellaMsg::Query { .. })).count(), 2);
         core.handle_query(&mut net, NodeId::new(2), guid, 3, 0, "a".into());
         assert!(net.drain().is_empty(), "duplicate must be suppressed");
     }
@@ -604,10 +603,7 @@ mod tests {
     fn ttl_one_is_not_forwarded() {
         let (mut core, mut net) = up_with_neighbors(3);
         core.handle_query(&mut net, NodeId::new(1), Guid(7), 1, 2, "a".into());
-        assert!(net
-            .drain()
-            .iter()
-            .all(|(_, m)| !matches!(m, GnutellaMsg::Query { .. })));
+        assert!(net.drain().iter().all(|(_, m)| !matches!(m, GnutellaMsg::Query { .. })));
     }
 
     #[test]

@@ -13,10 +13,8 @@ fn build_network(
     ups: usize,
     leaves: usize,
 ) -> (Sim<GnutellaMsg>, pier_gnutella::GnutellaHandles) {
-    let cfg = SimConfig::with_seed(seed).latency(UniformLatency::new(
-        SimDuration::from_millis(20),
-        SimDuration::from_millis(80),
-    ));
+    let cfg = SimConfig::with_seed(seed)
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)));
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
         ultrapeers: ups,

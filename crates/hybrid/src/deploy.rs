@@ -53,8 +53,8 @@ pub fn spawn(
     let adj = topo.up_adjacency();
     let mut hybrid_ups = Vec::with_capacity(cfg.hybrid_ups);
     let mut plain_ups = Vec::new();
-    for i in 0..topo.ultrapeer_count() {
-        let mut core = UltrapeerCore::new(topo.up_profiles[i].clone(), FileStore::default());
+    for (i, profile) in topo.up_profiles.iter().enumerate() {
+        let mut core = UltrapeerCore::new(profile.clone(), FileStore::default());
         core.set_neighbors(adj[i].iter().map(|&n| up_id(n)).collect());
         for (j, homes) in topo.leaf_homes.iter().enumerate() {
             if homes.contains(&i) {

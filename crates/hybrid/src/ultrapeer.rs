@@ -272,12 +272,8 @@ impl HybridUp {
                     let terms = s.terms.clone();
                     s.pier_issued_at = Some(now);
                     let mut dnet = DNet { ctx };
-                    let sid = self.engine.start_search(
-                        &mut self.pier,
-                        &mut self.dht,
-                        &mut dnet,
-                        &terms,
-                    );
+                    let sid =
+                        self.engine.start_search(&mut self.pier, &mut self.dht, &mut dnet, &terms);
                     self.queries[qi].search_id = sid;
                     if sid.is_none() {
                         self.stats[stats_idx].done = true;
@@ -310,10 +306,7 @@ impl HybridUp {
                     let hits: Vec<Hit> = state
                         .items
                         .iter()
-                        .map(|i| Hit {
-                            file: FileMeta::new(&i.filename, i.filesize),
-                            host: i.host,
-                        })
+                        .map(|i| Hit { file: FileMeta::new(&i.filename, i.filesize), host: i.host })
                         .collect();
                     let mut gnet = GNet { ctx };
                     gnet.send(leaf, GnutellaMsg::LeafResults { qid, hits, done: true });

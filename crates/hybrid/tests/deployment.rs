@@ -14,10 +14,8 @@ struct TestNet {
 /// A network with a handful of hybrid ultrapeers. One rare file lives on a
 /// single leaf; filler and popular files provide background traffic.
 fn build(seed: u64, fallback_timeout_s: u64) -> TestNet {
-    let cfg = SimConfig::with_seed(seed).latency(UniformLatency::new(
-        SimDuration::from_millis(20),
-        SimDuration::from_millis(80),
-    ));
+    let cfg = SimConfig::with_seed(seed)
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)));
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
         ultrapeers: 80,
@@ -47,8 +45,7 @@ fn build(seed: u64, fallback_timeout_s: u64) -> TestNet {
         dht: DhtConfig::test(),
     };
     // SAM with a traffic-estimate threshold: publish items seen ≤ 3 times.
-    let deployment =
-        deploy::spawn(&mut sim, &topo, leaf_files, &dcfg, |_| RareScheme::sam(3));
+    let deployment = deploy::spawn(&mut sim, &topo, leaf_files, &dcfg, |_| RareScheme::sam(3));
     TestNet { sim, deployment }
 }
 
@@ -133,11 +130,10 @@ fn rare_query_falls_through_to_piersearch() {
         assert_eq!(stats.pier_items.len(), 1, "PIERSearch must find the rare item");
         assert_eq!(stats.pier_items[0].filename, rare_name);
         assert_eq!(stats.pier_items[0].host, rare_leaf);
-        let latency =
-            (stats.pier_first.unwrap() - stats.issued_at).as_secs_f64();
+        let latency = (stats.pier_first.unwrap() - stats.issued_at).as_secs_f64();
         // Timeout (20s) + DHT query time: an order of magnitude better
         // than never.
-        assert!(latency >= 20.0 && latency < 60.0, "fallback latency {latency}");
+        assert!((20.0..60.0).contains(&latency), "fallback latency {latency}");
     } else {
         // Gnutella got lucky (vantage near the rare leaf): fallback must
         // NOT fire.
@@ -156,10 +152,7 @@ fn popular_query_never_needs_the_dht() {
     net.sim.run_for(SimDuration::from_secs(60));
     let stats = net.sim.actor::<HybridUp>(vantage).stats[qidx].clone();
     assert!(stats.gnutella_hits > 0, "popular content must be found by flooding");
-    assert!(
-        stats.pier_issued_at.is_none(),
-        "hybrid must not waste DHT queries on popular content"
-    );
+    assert!(stats.pier_issued_at.is_none(), "hybrid must not waste DHT queries on popular content");
     let first = stats.gnutella_first.expect("has hits");
     assert!((first - stats.issued_at).as_secs_f64() < 5.0);
 }
@@ -179,8 +172,7 @@ fn leaf_queries_get_hybrid_treatment() {
         .leaves
         .iter()
         .find(|&&leaf| {
-            net.sim.actor::<pier_hybrid::PlainLeaf>(leaf).core.ultrapeers().first()
-                == Some(&up0)
+            net.sim.actor::<pier_hybrid::PlainLeaf>(leaf).core.ultrapeers().first() == Some(&up0)
         })
         .expect("some leaf has the hybrid UP as its primary");
     net.sim.with_actor_ctx::<HybridUp, _>(up0, |up, ctx| {

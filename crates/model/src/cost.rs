@@ -142,8 +142,7 @@ mod tests {
     #[test]
     fn eq5_sums_published_only() {
         let costs = DhtCosts::typical(1_000, 4);
-        let items =
-            vec![(item(1), true), (item(2), false), (item(3), true), (item(9), false)];
+        let items = vec![(item(1), true), (item(2), false), (item(3), true), (item(9), false)];
         let total = total_publish_cost(&items, &costs);
         assert!((total - 2.0 * costs.publish_cost).abs() < 1e-9);
     }

@@ -71,10 +71,7 @@ mod tests {
                 for r in [0u64, 1, 2, 5] {
                     let got = pf_gnutella(n, h, r);
                     let want = reference(n, h, r);
-                    assert!(
-                        (got - want).abs() < 1e-9,
-                        "n={n} h={h} r={r}: {got} vs {want}"
-                    );
+                    assert!((got - want).abs() < 1e-9, "n={n} h={h} r={r}: {got} vs {want}");
                 }
             }
         }

@@ -25,9 +25,7 @@ impl SchemeInput<'_> {
 /// global knowledge — the upper bound the practical schemes chase.
 pub fn perfect(input: &SchemeInput<'_>, t: u32) -> PublishedSet {
     input.check();
-    PublishedSet {
-        per_file: input.replicas.iter().map(|&r| if r <= t { r } else { 0 }).collect(),
-    }
+    PublishedSet { per_file: input.replicas.iter().map(|&r| if r <= t { r } else { 0 }).collect() }
 }
 
 /// Random: publish each replica independently with probability `frac`,
@@ -36,9 +34,7 @@ pub fn random(input: &SchemeInput<'_>, frac: f64, seed: u64) -> PublishedSet {
     input.check();
     assert!((0.0..=1.0).contains(&frac));
     let mut rng = stream_rng(seed, 0x5EED);
-    PublishedSet {
-        per_file: input.replicas.iter().map(|&r| binomial(&mut rng, r, frac)).collect(),
-    }
+    PublishedSet { per_file: input.replicas.iter().map(|&r| binomial(&mut rng, r, frac)).collect() }
 }
 
 /// Term Frequency: a file is rare if any of its terms has observed
@@ -55,11 +51,8 @@ pub fn tf(
         .iter()
         .zip(input.replicas)
         .map(|(tokens, &r)| {
-            let min_tf = tokens
-                .iter()
-                .map(|t| term_freq.get(t).copied().unwrap_or(0))
-                .min()
-                .unwrap_or(0);
+            let min_tf =
+                tokens.iter().map(|t| term_freq.get(t).copied().unwrap_or(0)).min().unwrap_or(0);
             if min_tf < threshold {
                 r
             } else {
@@ -124,7 +117,7 @@ pub fn sam(
                 // without replacement of frac·hosts nodes sees each of the
                 // other r−1 copies with probability ≈ sample_frac.
                 let seen = binomial(&mut rng, r - 1, sample_frac);
-                if 1 + seen <= threshold {
+                if seen < threshold {
                     published += 1;
                 }
             }

@@ -85,11 +85,8 @@ impl ClusteredWan {
 
 impl LatencyModel for ClusteredWan {
     fn sample(&self, rng: &mut SimRng, src: NodeId, dst: NodeId) -> SimDuration {
-        let base = if self.cluster_of(src) == self.cluster_of(dst) {
-            self.intra
-        } else {
-            self.inter
-        };
+        let base =
+            if self.cluster_of(src) == self.cluster_of(dst) { self.intra } else { self.inter };
         let factor = 1.0 + rng.random_range(0.0..=self.jitter);
         base.mul_f64(factor)
     }
@@ -134,14 +131,8 @@ mod tests {
         let mut rng = stream_rng(2, 0);
         // Find one intra pair and one inter pair.
         let a = NodeId::new(0);
-        let same = (1..100)
-            .map(NodeId::new)
-            .find(|b| m.cluster_of(*b) == m.cluster_of(a))
-            .unwrap();
-        let diff = (1..100)
-            .map(NodeId::new)
-            .find(|b| m.cluster_of(*b) != m.cluster_of(a))
-            .unwrap();
+        let same = (1..100).map(NodeId::new).find(|b| m.cluster_of(*b) == m.cluster_of(a)).unwrap();
+        let diff = (1..100).map(NodeId::new).find(|b| m.cluster_of(*b) != m.cluster_of(a)).unwrap();
         assert_eq!(m.sample(&mut rng, a, same), m.intra);
         assert_eq!(m.sample(&mut rng, a, diff), m.inter);
     }

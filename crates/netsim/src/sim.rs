@@ -149,10 +149,9 @@ impl<M: 'static> Sim<M> {
         self.kernel.timer_epoch.push(0);
         // A zero-delay timer with a reserved token drives on_start so that
         // startup interleaves deterministically with other events.
-        self.kernel.queue.push(
-            self.kernel.now,
-            EventKind::Timer { dst: id, token: START_TOKEN, epoch: 0 },
-        );
+        self.kernel
+            .queue
+            .push(self.kernel.now, EventKind::Timer { dst: id, token: START_TOKEN, epoch: 0 });
         id
     }
 
@@ -344,12 +343,23 @@ mod tests {
     }
 
     fn echo_pair() -> (Sim<Msg>, NodeId, NodeId) {
-        let cfg = SimConfig::with_seed(1)
-            .latency(ConstantLatency(SimDuration::from_millis(10)));
+        let cfg = SimConfig::with_seed(1).latency(ConstantLatency(SimDuration::from_millis(10)));
         let mut sim = Sim::new(cfg);
         let b_id = NodeId::new(1);
-        let a = sim.add_node(Echo { peer: Some(b_id), pings_sent: 0, pongs_got: 0, timer_fires: 0, last_pong_at: SimTime::ZERO });
-        let b = sim.add_node(Echo { peer: None, pings_sent: 0, pongs_got: 0, timer_fires: 0, last_pong_at: SimTime::ZERO });
+        let a = sim.add_node(Echo {
+            peer: Some(b_id),
+            pings_sent: 0,
+            pongs_got: 0,
+            timer_fires: 0,
+            last_pong_at: SimTime::ZERO,
+        });
+        let b = sim.add_node(Echo {
+            peer: None,
+            pings_sent: 0,
+            pongs_got: 0,
+            timer_fires: 0,
+            last_pong_at: SimTime::ZERO,
+        });
         (sim, a, b)
     }
 
@@ -392,16 +402,26 @@ mod tests {
     #[test]
     fn identical_seeds_identical_runs() {
         let run = |seed| {
-            let cfg =
-                SimConfig::with_seed(seed).latency(crate::latency::UniformLatency::new(
-                    SimDuration::from_millis(5),
-                    SimDuration::from_millis(50),
-                ));
+            let cfg = SimConfig::with_seed(seed).latency(crate::latency::UniformLatency::new(
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(50),
+            ));
             let mut sim = Sim::new(cfg);
             let b_id = NodeId::new(1);
-            let a = sim
-                .add_node(Echo { peer: Some(b_id), pings_sent: 0, pongs_got: 0, timer_fires: 0, last_pong_at: SimTime::ZERO });
-            sim.add_node(Echo { peer: None, pings_sent: 0, pongs_got: 0, timer_fires: 0, last_pong_at: SimTime::ZERO });
+            let a = sim.add_node(Echo {
+                peer: Some(b_id),
+                pings_sent: 0,
+                pongs_got: 0,
+                timer_fires: 0,
+                last_pong_at: SimTime::ZERO,
+            });
+            sim.add_node(Echo {
+                peer: None,
+                pings_sent: 0,
+                pongs_got: 0,
+                timer_fires: 0,
+                last_pong_at: SimTime::ZERO,
+            });
             sim.run_until_quiescent();
             (sim.actor::<Echo>(a).last_pong_at, sim.metrics().total_bytes)
         };

@@ -237,11 +237,7 @@ impl PierCore {
             let c = self.clients.get_mut(&qid).expect("listed above");
             c.done = true;
             let total = c.results;
-            self.events.push_back(PierEvent::Done {
-                qid,
-                outcome: QueryOutcome::TimedOut,
-                total,
-            });
+            self.events.push_back(PierEvent::Done { qid, outcome: QueryOutcome::TimedOut, total });
             net.count("pier.query_timeout", 1);
         }
         self.clients.retain(|_, c| !(c.done && c.deadline <= now));
@@ -405,7 +401,12 @@ impl PierCore {
         self.check_stage_complete(dht, net, key);
     }
 
-    fn check_stage_complete(&mut self, dht: &mut DhtCore, net: &mut dyn DhtNet, key: (QueryId, u32)) {
+    fn check_stage_complete(
+        &mut self,
+        dht: &mut DhtCore,
+        net: &mut dyn DhtNet,
+        key: (QueryId, u32),
+    ) {
         let Some(exec) = self.execs.get_mut(&key) else {
             return;
         };
@@ -514,11 +515,7 @@ impl PierCore {
         if !c.done && c.total_batches == Some(c.batches_seen) {
             c.done = true;
             let total = c.results;
-            self.events.push_back(PierEvent::Done {
-                qid,
-                outcome: QueryOutcome::Complete,
-                total,
-            });
+            self.events.push_back(PierEvent::Done { qid, outcome: QueryOutcome::Complete, total });
         }
     }
 }

@@ -87,9 +87,7 @@ impl Expr {
                     // NULL propagates as false (SQL-ish three-valued logic
                     // collapsed to boolean selection semantics).
                     (Value::Null, _) | (_, Value::Null) => Ok(Value::Bool(false)),
-                    (Value::Str(h), Value::Str(n)) => {
-                        Ok(Value::Bool(contains_ci(h, n)))
-                    }
+                    (Value::Str(h), Value::Str(n)) => Ok(Value::Bool(contains_ci(h, n))),
                     _ => Err(ExprError::TypeMismatch {
                         op: "contains",
                         lhs: h.type_name(),
@@ -150,8 +148,7 @@ fn contains_ci(hay: &str, needle: &str) -> bool {
     }
     let hay = hay.as_bytes();
     let needle = needle.as_bytes();
-    hay.windows(needle.len())
-        .any(|w| w.iter().zip(needle).all(|(a, b)| a.eq_ignore_ascii_case(b)))
+    hay.windows(needle.len()).any(|w| w.iter().zip(needle).all(|(a, b)| a.eq_ignore_ascii_case(b)))
 }
 
 fn compare(op: CmpOp, l: &Value, r: &Value) -> Result<bool, ExprError> {
@@ -234,18 +231,12 @@ mod tests {
     #[test]
     fn errors_surface() {
         let t = tuple![1i64, "s"];
-        assert_eq!(
-            Expr::cmp(CmpOp::Eq, 7, 1i64).eval_bool(&t),
-            Err(ExprError::BadColumn(7))
-        );
+        assert_eq!(Expr::cmp(CmpOp::Eq, 7, 1i64).eval_bool(&t), Err(ExprError::BadColumn(7)));
         assert!(matches!(
             Expr::Cmp(CmpOp::Lt, Box::new(Expr::Col(0)), Box::new(Expr::Col(1))).eval_bool(&t),
             Err(ExprError::TypeMismatch { .. })
         ));
-        assert!(matches!(
-            Expr::Col(0).eval_bool(&t),
-            Err(ExprError::NotBool("int"))
-        ));
+        assert!(matches!(Expr::Col(0).eval_bool(&t), Err(ExprError::NotBool("int"))));
     }
 
     #[test]
@@ -257,10 +248,7 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let e = Expr::And(vec![
-            Expr::contains(1, "zeppelin"),
-            Expr::cmp(CmpOp::Gt, 2, 1000i64),
-        ]);
+        let e = Expr::And(vec![Expr::contains(1, "zeppelin"), Expr::cmp(CmpOp::Gt, 2, 1000i64)]);
         let bytes = pier_codec::to_bytes(&e).unwrap();
         let back: Expr = pier_codec::from_bytes(&bytes).unwrap();
         assert_eq!(back, e);

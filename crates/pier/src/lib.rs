@@ -23,11 +23,11 @@ mod catalog;
 mod core;
 pub mod expr;
 mod msg;
+mod node;
 pub mod ops;
 mod plan;
 mod schema;
 mod value;
-mod node;
 
 pub use catalog::Catalog;
 pub use core::{PierConfig, PierCore, PierEvent, PublishError, QueryOutcome};

@@ -139,7 +139,8 @@ impl QueryPlan {
                     }
                 }
             }
-            let out_base = if stage.join.is_some() { incoming_width + scan_width } else { scan_width };
+            let out_base =
+                if stage.join.is_some() { incoming_width + scan_width } else { scan_width };
             for &c in &stage.project {
                 if c >= out_base {
                     return Err(PlanError::BadColumn {

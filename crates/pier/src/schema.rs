@@ -167,18 +167,14 @@ mod tests {
             Value::Int(100),
         ]);
         assert!(t.schema.check(&good).is_ok());
-        let with_null =
-            Tuple::new(vec![Value::Key(Key::hash(b"f")), Value::Null, Value::Int(1)]);
+        let with_null = Tuple::new(vec![Value::Key(Key::hash(b"f")), Value::Null, Value::Int(1)]);
         assert!(t.schema.check(&with_null).is_ok());
     }
 
     #[test]
     fn check_rejects_arity_and_type() {
         let t = item_table();
-        assert_eq!(
-            t.schema.check(&tuple![1i64]),
-            Err(SchemaError::Arity { expected: 3, got: 1 })
-        );
+        assert_eq!(t.schema.check(&tuple![1i64]), Err(SchemaError::Arity { expected: 3, got: 1 }));
         let bad = Tuple::new(vec![Value::Int(1), Value::Str("x".into()), Value::Int(2)]);
         match t.schema.check(&bad) {
             Err(SchemaError::Type { col: 0, .. }) => {}

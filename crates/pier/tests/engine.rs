@@ -3,8 +3,8 @@
 use pier_dht::{bootstrap, Contact, DhtConfig, DhtCore, DhtMsg, Key};
 use pier_netsim::{ConstantLatency, NodeId, Sim, SimConfig, SimDuration};
 use pier_qp::{
-    Catalog, Expr, Field, FieldType, JoinChainBuilder, JoinCols, PierApp, PierConfig,
-    PierCore, PierEvent, PierNode, QueryOutcome, Schema, TableDef, Tuple, Value,
+    Catalog, Expr, Field, FieldType, JoinChainBuilder, JoinCols, PierApp, PierConfig, PierCore,
+    PierEvent, PierNode, QueryOutcome, Schema, TableDef, Tuple, Value,
 };
 
 fn inverted_table() -> TableDef {
@@ -118,9 +118,7 @@ fn results_for(
     for ev in app.take_events() {
         match ev {
             PierEvent::Results { qid: q, tuples: t } if q == qid => tuples.extend(t),
-            PierEvent::Done { qid: q, outcome, total } if q == qid => {
-                done = Some((outcome, total))
-            }
+            PierEvent::Done { qid: q, outcome, total } if q == qid => done = Some((outcome, total)),
             _ => {}
         }
     }
@@ -159,9 +157,7 @@ fn three_term_chain_and_empty_results() {
     let (mut sim, ids) = build(60, 22);
     let f1 = Key::hash(b"f1");
     let f2 = Key::hash(b"f2");
-    for (kw, f) in
-        [("a", f1), ("b", f1), ("c", f1), ("a", f2), ("b", f2)]
-    {
+    for (kw, f) in [("a", f1), ("b", f1), ("c", f1), ("a", f2), ("b", f2)] {
         publish_inverted(&mut sim, ids[7], kw, f);
     }
     sim.run_for(SimDuration::from_secs(15));
@@ -211,11 +207,8 @@ fn single_stage_scan_with_filter() {
     for (f, name) in [(f1, "led_zeppelin_iv.mp3"), (f2, "led_astray.mp3")] {
         sim.with_actor_ctx::<PierNode, _>(ids[5], |node, ctx| {
             let mut net = pier_dht::CtxNet { ctx };
-            let t = Tuple::new(vec![
-                Value::Str("led".into()),
-                Value::Key(f),
-                Value::Str(name.into()),
-            ]);
+            let t =
+                Tuple::new(vec![Value::Str("led".into()), Value::Key(f), Value::Str(name.into())]);
             node.app.pier.publish(&mut node.core, &mut net, "invcache", &t, false).unwrap();
         });
     }

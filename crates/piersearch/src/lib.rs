@@ -25,7 +25,7 @@ mod search;
 pub mod tokenize;
 
 pub use node::{PierSearchApp, PierSearchNode};
-pub use publisher::{IndexMode, Publisher, PublishStats};
+pub use publisher::{IndexMode, PublishStats, Publisher};
 pub use schema::{
     catalog, file_id, inverted_cache_table, inverted_cache_tuple, inverted_table, inverted_tuple,
     item_table, ItemRecord, INVERTED, INVERTED_CACHE, ITEM,

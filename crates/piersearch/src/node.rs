@@ -2,7 +2,7 @@
 //! actor (Figure 1 of the paper).
 
 use crate::publisher::{IndexMode, Publisher};
-use crate::search::{SearchEngine, SearchConfig, SearchEvent};
+use crate::search::{SearchConfig, SearchEngine, SearchEvent};
 use pier_dht::{DhtApp, DhtCore, DhtEvent, DhtNet, DhtNode};
 use pier_qp::{PierConfig, PierCore};
 use std::collections::VecDeque;

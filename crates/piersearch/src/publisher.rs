@@ -49,6 +49,7 @@ impl Publisher {
     /// Publish one shared file: an Item tuple keyed by fileID plus one
     /// posting tuple per keyword. Returns what was shipped, or `None` if
     /// the filename yields no indexable keywords.
+    #[allow(clippy::too_many_arguments)]
     pub fn publish_file(
         &self,
         pier: &mut PierCore,
@@ -101,14 +102,9 @@ mod tests {
         // posting carries the filename redundantly.
         let f = pier_dht::Key::hash(b"f");
         let name = "led_zeppelin_stairway_to_heaven_live.mp3";
-        let plain: usize = keywords(name)
-            .iter()
-            .map(|t| inverted_tuple(t, f).encoded_size())
-            .sum();
-        let cached: usize = keywords(name)
-            .iter()
-            .map(|t| inverted_cache_tuple(t, f, name).encoded_size())
-            .sum();
+        let plain: usize = keywords(name).iter().map(|t| inverted_tuple(t, f).encoded_size()).sum();
+        let cached: usize =
+            keywords(name).iter().map(|t| inverted_cache_tuple(t, f, name).encoded_size()).sum();
         assert!(cached > plain + name.len(), "cache mode must cost more: {cached} vs {plain}");
         // But the same number of tuples: led/zeppelin/stairway/heaven/live
         // ("to" and "mp3" are stop-words).
@@ -123,12 +119,9 @@ mod tests {
         let name = "artist_album_track_title.mp3";
         let f = pier_dht::Key::hash(b"x");
         let item = ItemRecord::new(name, 4_000_000, NodeId::new(1), 6346).to_tuple();
-        let inv: usize =
-            keywords(name).iter().map(|t| inverted_tuple(t, f).encoded_size()).sum();
-        let invc: usize = keywords(name)
-            .iter()
-            .map(|t| inverted_cache_tuple(t, f, name).encoded_size())
-            .sum();
+        let inv: usize = keywords(name).iter().map(|t| inverted_tuple(t, f).encoded_size()).sum();
+        let invc: usize =
+            keywords(name).iter().map(|t| inverted_cache_tuple(t, f, name).encoded_size()).sum();
         let plain_total = item.encoded_size() + inv;
         let cache_total = item.encoded_size() + invc;
         let ratio = cache_total as f64 / plain_total as f64;

@@ -25,11 +25,7 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig {
-            mode: IndexMode::Inverted,
-            timeout: SimDuration::from_secs(60),
-            limit: None,
-        }
+        SearchConfig { mode: IndexMode::Inverted, timeout: SimDuration::from_secs(60), limit: None }
     }
 }
 
@@ -151,9 +147,7 @@ impl SearchEngine {
                 let cache = inverted_cache_table();
                 // All remaining terms filter the cached fulltext locally.
                 let filter = if terms.len() > 1 {
-                    Some(Expr::And(
-                        terms[1..].iter().map(|t| Expr::contains(2, t)).collect(),
-                    ))
+                    Some(Expr::And(terms[1..].iter().map(|t| Expr::contains(2, t)).collect()))
                 } else {
                     None
                 };
@@ -197,12 +191,7 @@ impl SearchEngine {
     }
 
     /// Feed PIER client events (result stream + completion).
-    pub fn on_pier_event(
-        &mut self,
-        dht: &mut DhtCore,
-        net: &mut dyn DhtNet,
-        event: &PierEvent,
-    ) {
+    pub fn on_pier_event(&mut self, dht: &mut DhtCore, net: &mut dyn DhtNet, event: &PierEvent) {
         match event {
             PierEvent::Results { qid, tuples } => {
                 let Some(&id) = self.by_qid.get(qid) else {
@@ -259,10 +248,7 @@ impl SearchEngine {
             return false;
         };
         // Find which search issued this fetch.
-        let Some((&id, _)) = self
-            .searches
-            .iter()
-            .find(|(_, s)| s.pending_fetches.contains_key(op))
+        let Some((&id, _)) = self.searches.iter().find(|(_, s)| s.pending_fetches.contains_key(op))
         else {
             return false;
         };

@@ -5,10 +5,9 @@
 /// Stop-words never indexed or queried. Mix of English function words and
 /// filesharing boilerplate (extensions, rip tags).
 pub const STOP_WORDS: &[&str] = &[
-    "the", "a", "an", "of", "and", "or", "to", "in", "on", "for", "by", "at", "vs",
-    "mp3", "mp4", "avi", "mpg", "mpeg", "wav", "ogg", "wma", "mov", "zip", "rar", "exe",
-    "jpg", "gif", "txt", "pdf", "iso", "bin", "cd", "dvd", "divx", "xvid", "rip", "www",
-    "com", "net", "org",
+    "the", "a", "an", "of", "and", "or", "to", "in", "on", "for", "by", "at", "vs", "mp3", "mp4",
+    "avi", "mpg", "mpeg", "wav", "ogg", "wma", "mov", "zip", "rar", "exe", "jpg", "gif", "txt",
+    "pdf", "iso", "bin", "cd", "dvd", "divx", "xvid", "rip", "www", "com", "net", "org",
 ];
 
 /// Is this (lowercase) token a stop-word?

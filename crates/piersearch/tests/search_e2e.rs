@@ -87,10 +87,7 @@ fn run_mode(mode: IndexMode, seed: u64) {
     // Item metadata survives the round trip.
     let s = sim.actor::<PierSearchNode>(ids[44]).app.engine.search(sid).unwrap();
     for item in &s.items {
-        let expect = corpus()
-            .into_iter()
-            .find(|(n, _)| *n == item.filename)
-            .expect("known file");
+        let expect = corpus().into_iter().find(|(n, _)| *n == item.filename).expect("known file");
         assert_eq!(item.filesize, expect.1);
         assert_eq!(item.port, 6346);
         let rec = ItemRecord::new(&item.filename, item.filesize, item.host, item.port);
@@ -131,8 +128,8 @@ fn inverted_cache_ships_fewer_bytes_per_query() {
     // the distributed join into a local one).
     let contacts: Vec<Contact> = (0..60).map(|i| Contact::for_node(NodeId::new(i))).collect();
     let owner = |term: &str| {
-        let key = piersearch::inverted_table()
-            .publish_key_for(&pier_qp::Value::Str(term.to_string()));
+        let key =
+            piersearch::inverted_table().publish_key_for(&pier_qp::Value::Str(term.to_string()));
         contacts.iter().min_by_key(|c| c.key.distance(&key)).unwrap().node
     };
     let (t1, t2) = [("britney", "spears"), ("madonna", "vogue"), ("metallica", "unforgiven")]
@@ -164,8 +161,5 @@ fn inverted_cache_ships_fewer_bytes_per_query() {
         per_mode.push(after - before);
     }
     let (shj, cache) = (per_mode[0], per_mode[1]);
-    assert!(
-        cache < shj,
-        "InvertedCache must ship fewer engine bytes: cache={cache} shj={shj}"
-    );
+    assert!(cache < shj, "InvertedCache must ship fewer engine bytes: cache={cache} shj={shj}");
 }

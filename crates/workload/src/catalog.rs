@@ -159,12 +159,8 @@ impl Catalog {
     /// Fraction of instances belonging to files with `R ≤ t` (the Fig. 10
     /// quantity, measured on the realized catalog).
     pub fn instance_mass_at_most(&self, t: u32) -> f64 {
-        let num: u64 = self
-            .files
-            .iter()
-            .filter(|f| f.replicas() <= t)
-            .map(|f| f.replicas() as u64)
-            .sum();
+        let num: u64 =
+            self.files.iter().filter(|f| f.replicas() <= t).map(|f| f.replicas() as u64).sum();
         num as f64 / self.instances() as f64
     }
 

@@ -174,13 +174,9 @@ impl<'a> Evaluator<'a> {
         }
         // Confirm with full token matching (guards against token multisets
         // and keeps semantics identical to the network's matcher).
-        candidates.retain(|&c| {
-            matches(&query.terms, &self.catalog.files[c as usize].tokens)
-        });
-        let instances = candidates
-            .iter()
-            .map(|&c| self.catalog.files[c as usize].replicas() as u64)
-            .sum();
+        candidates.retain(|&c| matches(&query.terms, &self.catalog.files[c as usize].tokens));
+        let instances =
+            candidates.iter().map(|&c| self.catalog.files[c as usize].replicas() as u64).sum();
         GroundTruth { files: candidates, instances }
     }
 }
@@ -209,7 +205,8 @@ mod tests {
             seed: 7,
             ..Default::default()
         });
-        let trace = QueryTrace::generate(&catalog, QueryConfig { queries: 500, ..Default::default() });
+        let trace =
+            QueryTrace::generate(&catalog, QueryConfig { queries: 500, ..Default::default() });
         (catalog, trace)
     }
 
@@ -228,10 +225,7 @@ mod tests {
         let matched = trace.queries.iter().filter(|q| !eval.eval(q).files.is_empty()).count();
         let frac = matched as f64 / trace.len() as f64;
         // miss_rate 6%: ~94% of queries must match something.
-        assert!(
-            (0.90..=0.97).contains(&frac),
-            "matching fraction {frac} out of calibration"
-        );
+        assert!((0.90..=0.97).contains(&frac), "matching fraction {frac} out of calibration");
     }
 
     #[test]

@@ -92,7 +92,8 @@ mod tests {
             seed: 3,
             ..Default::default()
         });
-        let queries = QueryTrace::generate(&catalog, QueryConfig { queries: 50, ..Default::default() });
+        let queries =
+            QueryTrace::generate(&catalog, QueryConfig { queries: 50, ..Default::default() });
         let bundle = TraceBundle::new(catalog, queries);
         let dir = std::env::temp_dir().join("pier_trace_test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -114,8 +114,7 @@ impl PowerLaw {
     /// Fraction of instances belonging to files with `R ≤ t` — the Fig. 10
     /// publishing-overhead curve.
     pub fn instance_mass_at_most(&self, t: usize) -> f64 {
-        let num: f64 =
-            (1..=t.min(self.cdf.len())).map(|r| r as f64 * self.pmf(r)).sum();
+        let num: f64 = (1..=t.min(self.cdf.len())).map(|r| r as f64 * self.pmf(r)).sum();
         num / self.mean()
     }
 }
@@ -155,7 +154,7 @@ mod tests {
     fn zipf_sampling_tracks_pmf() {
         let z = Zipf::new(50, 1.2);
         let mut rng = stream_rng(10, 0);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         let n = 200_000;
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;

@@ -12,10 +12,8 @@ use pier_p2p::netsim::{Sim, SimConfig, SimDuration, UniformLatency};
 fn main() {
     let ups = 600;
     let leaves = 9_000;
-    let cfg = SimConfig::with_seed(11).latency(UniformLatency::new(
-        SimDuration::from_millis(20),
-        SimDuration::from_millis(90),
-    ));
+    let cfg = SimConfig::with_seed(11)
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(90)));
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
         ultrapeers: ups,

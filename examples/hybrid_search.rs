@@ -13,10 +13,8 @@ use pier_p2p::hybrid::{deploy, HybridConfig, HybridUp, RareScheme};
 use pier_p2p::netsim::{Sim, SimConfig, SimDuration, UniformLatency};
 
 fn main() {
-    let cfg = SimConfig::with_seed(7).latency(UniformLatency::new(
-        SimDuration::from_millis(20),
-        SimDuration::from_millis(80),
-    ));
+    let cfg = SimConfig::with_seed(7)
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)));
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
         ultrapeers: 240,
@@ -58,11 +56,8 @@ fn main() {
     // Let BrowseHost gather leaf shares and the publisher index rare items.
     println!("indexing phase (BrowseHost + rate-limited publishing)...");
     sim.run_for(SimDuration::from_secs(180));
-    let published: u64 = deployment
-        .hybrid_ups
-        .iter()
-        .map(|&id| sim.actor::<HybridUp>(id).files_published)
-        .sum();
+    let published: u64 =
+        deployment.hybrid_ups.iter().map(|&id| sim.actor::<HybridUp>(id).files_published).sum();
     println!("  hybrid ultrapeers published {published} rare files into the DHT");
 
     // The unicorn lives on a leaf served by plain ultrapeers; pretend a
@@ -85,8 +80,9 @@ fn main() {
 
     // A popular query: flooding answers it, the DHT is never consulted.
     let vantage = deployment.hybrid_ups[4];
-    let q_pop = sim
-        .with_actor_ctx::<HybridUp, _>(vantage, |up, ctx| up.start_hybrid_query(ctx, "popular anthem"));
+    let q_pop = sim.with_actor_ctx::<HybridUp, _>(vantage, |up, ctx| {
+        up.start_hybrid_query(ctx, "popular anthem")
+    });
     // A rare query: one replica in a 10,000-node network.
     let q_rare = sim.with_actor_ctx::<HybridUp, _>(vantage, |up, ctx| {
         up.start_hybrid_query(ctx, "unicorn demo recording")
@@ -97,7 +93,11 @@ fn main() {
     let pop = &up.stats[q_pop];
     let rare = &up.stats[q_rare];
 
-    println!("\npopular query: {} Gnutella hits, PIER used: {}", pop.gnutella_hits, pop.pier_issued_at.is_some());
+    println!(
+        "\npopular query: {} Gnutella hits, PIER used: {}",
+        pop.gnutella_hits,
+        pop.pier_issued_at.is_some()
+    );
     if let Some(t) = pop.gnutella_first {
         println!("  first result after {:.1}s (flooding)", (t - pop.issued_at).as_secs_f64());
     }

@@ -10,10 +10,8 @@ use pier_p2p::netsim::{NodeId, Sim, SimConfig, SimDuration, UniformLatency};
 use pier_p2p::piersearch::{IndexMode, PierSearchApp, PierSearchNode};
 
 fn build(mode: IndexMode) -> (Sim<DhtMsg>, Vec<NodeId>) {
-    let cfg = SimConfig::with_seed(42).latency(UniformLatency::new(
-        SimDuration::from_millis(20),
-        SimDuration::from_millis(80),
-    ));
+    let cfg = SimConfig::with_seed(42)
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)));
     let mut sim = Sim::new(cfg);
     // Warm-started overlay: 60 nodes with filled routing tables (a
     // long-running DHT, like the paper's Bamboo deployment).

@@ -36,7 +36,11 @@ fn main() {
         hosts: catalog.config.hosts as u64,
     };
     let horizon = 0.05;
-    println!("search horizon: {:.0}% of hosts → baseline QR = {:.0}%\n", 100.0 * horizon, 100.0 * horizon);
+    println!(
+        "search horizon: {:.0}% of hosts → baseline QR = {:.0}%\n",
+        100.0 * horizon,
+        100.0 * horizon
+    );
 
     let tokens: Vec<Vec<String>> = catalog.files.iter().map(|f| f.tokens.clone()).collect();
     let replicas = view.replicas.clone();
@@ -44,10 +48,7 @@ fn main() {
     let tf_map = catalog.term_instance_freq();
     let pf_map = catalog.pair_instance_freq();
 
-    println!(
-        "{:<28} {:>10} {:>8} {:>8}",
-        "scheme (parameter)", "budget%", "QR%", "QDR%"
-    );
+    println!("{:<28} {:>10} {:>8} {:>8}", "scheme (parameter)", "budget%", "QR%", "QDR%");
     let show = |name: &str, p: pier_p2p::model::PublishedSet| {
         println!(
             "{:<28} {:>10.1} {:>8.1} {:>8.1}",

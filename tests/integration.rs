@@ -8,10 +8,8 @@ use pier_p2p::netsim::{NodeId, Sim, SimConfig, SimDuration, UniformLatency};
 use pier_p2p::piersearch::{IndexMode, PierSearchApp, PierSearchNode};
 
 fn piersearch_net(seed: u64) -> (Sim<DhtMsg>, Vec<NodeId>) {
-    let cfg = SimConfig::with_seed(seed).latency(UniformLatency::new(
-        SimDuration::from_millis(15),
-        SimDuration::from_millis(60),
-    ));
+    let cfg = SimConfig::with_seed(seed)
+        .latency(UniformLatency::new(SimDuration::from_millis(15), SimDuration::from_millis(60)));
     let mut sim = Sim::new(cfg);
     let contacts: Vec<Contact> = (0..40).map(|i| Contact::for_node(NodeId::new(i))).collect();
     let ids = contacts
@@ -93,7 +91,8 @@ fn whole_simulation_determinism() {
                 .unwrap()
         });
         sim.run_for(SimDuration::from_secs(20));
-        let items = sim.actor::<PierSearchNode>(ids[39]).app.engine.search(sid).unwrap().items.len();
+        let items =
+            sim.actor::<PierSearchNode>(ids[39]).app.engine.search(sid).unwrap().items.len();
         (sim.metrics().total_messages, sim.metrics().total_bytes, items)
     };
     let a = run(1234);
@@ -108,10 +107,8 @@ fn whole_simulation_determinism() {
 /// publishes.
 #[test]
 fn facade_hybrid_deployment_boots() {
-    let cfg = SimConfig::with_seed(99).latency(UniformLatency::new(
-        SimDuration::from_millis(20),
-        SimDuration::from_millis(70),
-    ));
+    let cfg = SimConfig::with_seed(99)
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(70)));
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
         ultrapeers: 40,
@@ -137,11 +134,8 @@ fn facade_hybrid_deployment_boots() {
         |_| RareScheme::sam(2),
     );
     sim.run_for(SimDuration::from_secs(120));
-    let published: u64 = deployment
-        .hybrid_ups
-        .iter()
-        .map(|&id| sim.actor::<HybridUp>(id).files_published)
-        .sum();
+    let published: u64 =
+        deployment.hybrid_ups.iter().map(|&id| sim.actor::<HybridUp>(id).files_published).sum();
     assert!(published > 20, "BrowseHost → scheme → publisher pipeline must flow: {published}");
     // Rate limiting held: no node published faster than one file per 300ms.
     for &id in &deployment.hybrid_ups {

@@ -1,0 +1,213 @@
+//! Vendored minimal `criterion`.
+//!
+//! The build environment has no network access, so this crate provides a
+//! small timing harness with criterion's macro/API shape: `criterion_group!`
+//! / `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::iter` / `iter_batched`, `Throughput`, `BatchSize`. It runs a
+//! short calibrated measurement and prints mean ns/iter (plus derived
+//! throughput) rather than criterion's full statistical analysis.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much setup output to pre-batch in `iter_batched`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for reported throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200u64);
+        Criterion { measure_for: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.measure_for);
+        f(&mut bencher);
+        bencher.report(name, None);
+        self
+    }
+
+    /// Accepted for compatibility; the stub has a single profile.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_for = d;
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    #[allow(dead_code)]
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure_for = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.criterion.measure_for);
+        f(&mut bencher);
+        bencher.report(name, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the closed-over routine and records wall time.
+pub struct Bencher {
+    measure_for: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher { measure_for, iters: 0, elapsed: Duration::ZERO }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: find an iteration count that fills the budget.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std_black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= self.measure_for || n >= 1 << 30 {
+                self.iters = n;
+                self.elapsed = took;
+                return;
+            }
+            let scale = if took.is_zero() {
+                64
+            } else {
+                (self.measure_for.as_nanos() / took.as_nanos().max(1)).clamp(2, 64) as u64
+            };
+            n = n.saturating_mul(scale);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            let took = start.elapsed();
+            if took >= self.measure_for || n >= 1 << 24 {
+                self.iters = n;
+                self.elapsed = took;
+                return;
+            }
+            let scale = if took.is_zero() {
+                64
+            } else {
+                (self.measure_for.as_nanos() / took.as_nanos().max(1)).clamp(2, 64) as u64
+            };
+            n = n.saturating_mul(scale);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("  {name:<40} (no measurement)");
+            return;
+        }
+        let ns_per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let mut line = format!("  {name:<40} {ns_per_iter:>12.1} ns/iter");
+        match throughput {
+            Some(Throughput::Bytes(b)) | Some(Throughput::BytesDecimal(b)) => {
+                let gib_s = b as f64 / ns_per_iter; // bytes/ns == GB/s
+                line.push_str(&format!("  ({gib_s:.3} GB/s)"));
+            }
+            Some(Throughput::Elements(e)) => {
+                let melem_s = e as f64 / ns_per_iter * 1e3;
+                line.push_str(&format!("  ({melem_s:.2} Melem/s)"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,782 @@
+//! Vendored minimal `proptest`.
+//!
+//! The build environment has no network access, so this crate implements
+//! the slice of the proptest API the workspace's property tests use:
+//!
+//! * the `proptest!` macro (`fn name(pat in strategy, ...) { body }`)
+//! * `any::<T>()` for primitives and `String`
+//! * integer-range, tuple, and regex-literal (`"[a-d]{0,3}"`) strategies
+//! * `Just`, `prop_oneof!`, `prop_map`, `prop_recursive`, `boxed`
+//! * `prop::collection::{vec, btree_map}`
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//!
+//! Each test runs `PROPTEST_CASES` (default 64) deterministic random
+//! cases seeded from the test's name. There is no shrinking: a failing
+//! case reports its seed so it can be replayed.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub mod prelude {
+    pub use crate::collection_mod as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Re-export hub so `prop::collection::vec(..)` paths resolve.
+pub mod collection_mod {
+    pub use crate::collection;
+}
+
+/// Default number of cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64)
+}
+
+// ---------------------------------------------------------------------------
+// RNG (self-contained: SplitMix64-seeded xoshiro256++)
+// ---------------------------------------------------------------------------
+
+/// The RNG handed to strategies.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_seed(mut seed: u64) -> Self {
+        let mut split = move || {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [split(), split(), split(), split()] }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Build a strategy for recursive data: `f` receives a strategy for
+    /// the inner recursion sites and must return the composite strategy.
+    /// Depth is bounded by `depth`; `desired_size`/`expected_branch_size`
+    /// are accepted for API compatibility.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            // At each level, mix the base case back in so generation
+            // terminates well before the depth bound on average.
+            strat = OneOf { options: vec![base.clone(), f(strat).boxed()] }.boxed();
+        }
+        strat
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A reference-counted, clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies of a common value type.
+pub struct OneOf<T> {
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+#[doc(hidden)]
+pub fn one_of<T>(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    OneOf { options }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias towards boundary values now and then, like
+                    // real proptest's binary-search-friendly domains.
+                    match rng.next_u64() % 16 {
+                        0 => 0 as $ty,
+                        1 => <$ty>::MAX,
+                        2 => <$ty>::MIN,
+                        3 => 1 as $ty,
+                        _ => rng.next_u64() as $ty,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix plain bit patterns (covers NaN/inf/subnormals) with
+        // ordinary magnitudes.
+        match rng.next_u64() % 4 {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => 0.0,
+            _ => (rng.unit_f64() - 0.5) * 2e6,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.next_u64() % 4 {
+            0 => f32::from_bits(rng.next_u64() as u32),
+            1 => 0.0,
+            _ => ((rng.unit_f64() - 0.5) * 2e6) as f32,
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        loop {
+            let c = match rng.next_u64() % 4 {
+                0 => rng.next_u64() % 0x80,      // ASCII
+                1 => rng.next_u64() % 0x800,     // 2-byte UTF-8
+                _ => rng.next_u64() % 0x11_0000, // anywhere
+            };
+            if let Some(c) = char::from_u32(c as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.next_u64() & 3 == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(9);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(9);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range / tuple / regex-literal strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (((rng.next_u64() as u128) << 64 | rng.next_u64() as u128)
+                        % span) as i128;
+                    (self.start as i128 + off) as $ty
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let off = (((rng.next_u64() as u128) << 64 | rng.next_u64() as u128)
+                        % span) as i128;
+                    (lo as i128 + off) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $n:tt),+),)*) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (S0 0),
+    (S0 0, S1 1),
+    (S0 0, S1 1, S2 2),
+    (S0 0, S1 1, S2 2, S3 3),
+    (S0 0, S1 1, S2 2, S3 3, S4 4),
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5),
+}
+
+/// String literals act as regex-shaped generators. Supported syntax:
+/// literal chars, `[a-z0-9_]` classes, and the `{m,n}`/`{n}`/`?`/`*`/`+`
+/// quantifiers on the preceding atom (unbounded repeats cap at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new(); // (atom, min, max)
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 1;
+                Atom::Literal(chars[i])
+            }
+            c => Atom::Literal(c),
+        };
+        i += 1;
+        // Quantifier?
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                    let close = close.expect("unclosed {} quantifier in pattern");
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = spec.split_once(',') {
+                        (
+                            lo.trim().parse().unwrap_or(0),
+                            hi.trim()
+                                .parse()
+                                .unwrap_or_else(|_| lo.trim().parse().unwrap_or(0) + 8),
+                        )
+                    } else {
+                        let n: usize = spec.trim().parse().expect("bad {} quantifier");
+                        (n, n)
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+
+    let mut out = String::new();
+    for (atom, min, max) in atoms {
+        let count = if max > min { min + rng.below(max - min + 1) } else { min };
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u32 =
+                        ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                    let mut pick = rng.next_u64() as u32 % total.max(1);
+                    for (lo, hi) in ranges {
+                        let span = *hi as u32 - *lo as u32 + 1;
+                        if pick < span {
+                            if let Some(c) = char::from_u32(*lo as u32 + pick) {
+                                out.push(c);
+                            }
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    /// Size specification: a fixed size or a range of sizes.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty collection size range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            *self.start() + rng.below(self.end() - self.start() + 1)
+        }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    pub struct BTreeMapStrategy<K, V, Z> {
+        key: K,
+        value: V,
+        size: Z,
+    }
+
+    impl<K, V, Z> Strategy for BTreeMapStrategy<K, V, Z>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        Z: SizeRange,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = std::collections::BTreeMap::new();
+            // Duplicate keys collapse; best effort toward the target size.
+            for _ in 0..n * 2 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn btree_map<K, V, Z>(key: K, value: V, size: Z) -> BTreeMapStrategy<K, V, Z>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        Z: SizeRange,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    pub struct HashMapStrategy<K, V, Z> {
+        key: K,
+        value: V,
+        size: Z,
+    }
+
+    impl<K, V, Z> Strategy for HashMapStrategy<K, V, Z>
+    where
+        K: Strategy,
+        K::Value: Eq + std::hash::Hash,
+        V: Strategy,
+        Z: SizeRange,
+    {
+        type Value = std::collections::HashMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = std::collections::HashMap::new();
+            for _ in 0..n * 2 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn hash_map<K, V, Z>(key: K, value: V, size: Z) -> HashMapStrategy<K, V, Z>
+    where
+        K: Strategy,
+        K::Value: Eq + std::hash::Hash,
+        V: Strategy,
+        Z: SizeRange,
+    {
+        HashMapStrategy { key, value, size }
+    }
+
+    pub struct HashSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S, Z> Strategy for HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Eq + std::hash::Hash,
+        Z: SizeRange,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = std::collections::HashSet::new();
+            for _ in 0..n * 2 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn hash_set<S, Z>(element: S, size: Z) -> HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Eq + std::hash::Hash,
+        Z: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    pub struct BTreeSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: SizeRange,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = std::collections::BTreeSet::new();
+            for _ in 0..n * 2 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Failure type carried by `prop_assert*` (mirrors proptest's
+/// `TestCaseError` in spirit: a message plus a replay seed slot).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}",
+                format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `left == right` at {}:{}\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `left != right` at {}:{}\n  both: {:?}",
+                file!(),
+                line!(),
+                __l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __seed0 = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..$crate::cases() {
+                    let __seed = __seed0 ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut __rng = $crate::TestRng::from_seed(__seed);
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                    let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest case {} (seed {:#x}) failed: {}",
+                            __case, __seed, e.0
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

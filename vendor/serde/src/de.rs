@@ -1,0 +1,846 @@
+//! Deserialization half of the serde data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Trait for deserialization errors.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+
+    fn invalid_type(unexp: &str, exp: &dyn Expected) -> Self {
+        Error::custom(format_args!("invalid type: {unexp}, expected {exp}"))
+    }
+
+    fn invalid_value(unexp: &str, exp: &dyn Expected) -> Self {
+        Error::custom(format_args!("invalid value: {unexp}, expected {exp}"))
+    }
+
+    fn invalid_length(len: usize, exp: &dyn Expected) -> Self {
+        Error::custom(format_args!("invalid length {len}, expected {exp}"))
+    }
+
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Error::custom(format_args!("unknown variant `{variant}`, expected one of {expected:?}"))
+    }
+
+    fn missing_field(field: &'static str) -> Self {
+        Error::custom(format_args!("missing field `{field}`"))
+    }
+
+    fn duplicate_field(field: &'static str) -> Self {
+        Error::custom(format_args!("duplicate field `{field}`"))
+    }
+}
+
+/// What a `Visitor` expected, for error messages.
+pub trait Expected {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, T: Visitor<'de>> Expected for T {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+impl<'a> Display for dyn Expected + 'a {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Expected::fmt(self, f)
+    }
+}
+
+/// A data structure that can be deserialized from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// Stateful variant of `Deserialize`.
+pub trait DeserializeSeed<'de>: Sized {
+    type Value;
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D>(self, deserializer: D) -> Result<T, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A serde data format that can deserialize any `Deserialize` value.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+macro_rules! visit_default {
+    ($method:ident, $ty:ty, $what:expr) => {
+        fn $method<E: Error>(self, _v: $ty) -> Result<Self::Value, E> {
+            Err(E::invalid_type($what, &self))
+        }
+    };
+}
+
+/// Walks the serde data model, building a `Value`.
+pub trait Visitor<'de>: Sized {
+    type Value;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    visit_default!(visit_bool, bool, "boolean");
+
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    visit_default!(visit_i64, i64, "integer");
+    visit_default!(visit_i128, i128, "128-bit integer");
+
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    visit_default!(visit_u64, u64, "unsigned integer");
+    visit_default!(visit_u128, u128, "128-bit unsigned integer");
+
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+    visit_default!(visit_f64, f64, "float");
+
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+
+    visit_default!(visit_str, &str, "string");
+
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    visit_default!(visit_bytes, &[u8], "bytes");
+
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("Option::None", &self))
+    }
+
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(D::Error::invalid_type("Option::Some", &self))
+    }
+
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("unit", &self))
+    }
+
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(D::Error::invalid_type("newtype struct", &self))
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type("sequence", &self))
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type("map", &self))
+    }
+
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type("enum", &self))
+    }
+}
+
+/// Access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    type Error: Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map.
+pub trait MapAccess<'de> {
+    type Error: Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    type Error: Error;
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of the enum variant selected by `EnumAccess`.
+pub trait VariantAccess<'de>: Sized {
+    type Error: Error;
+
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a plain value into a `Deserializer` (used by data formats
+/// to hand variant indices to a `DeserializeSeed`).
+pub trait IntoDeserializer<'de, E: Error> {
+    type Deserializer: Deserializer<'de, Error = E>;
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+pub mod value {
+    //! Deserializers that wrap plain Rust values.
+
+    use super::*;
+
+    macro_rules! primitive_deserializer {
+        ($name:ident, $ty:ty, $visit:ident, $from:ty) => {
+            pub struct $name<E> {
+                value: $ty,
+                marker: PhantomData<E>,
+            }
+
+            impl<E> $name<E> {
+                pub fn new(value: $ty) -> Self {
+                    $name { value, marker: PhantomData }
+                }
+            }
+
+            impl<'de, E: Error> Deserializer<'de> for $name<E> {
+                type Error = E;
+
+                fn deserialize_any<V: Visitor<'de>>(
+                    self,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    visitor.$visit(self.value)
+                }
+
+                serde_forward_to_any! {
+                    deserialize_bool deserialize_i8 deserialize_i16 deserialize_i32
+                    deserialize_i64 deserialize_i128 deserialize_u8 deserialize_u16
+                    deserialize_u32 deserialize_u64 deserialize_u128 deserialize_f32
+                    deserialize_f64 deserialize_char deserialize_str deserialize_string
+                    deserialize_bytes deserialize_byte_buf deserialize_option
+                    deserialize_unit deserialize_seq deserialize_map
+                    deserialize_identifier deserialize_ignored_any
+                }
+
+                fn deserialize_unit_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+
+                fn deserialize_newtype_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+
+                fn deserialize_tuple<V: Visitor<'de>>(
+                    self,
+                    _len: usize,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+
+                fn deserialize_tuple_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _len: usize,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+
+                fn deserialize_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _fields: &'static [&'static str],
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+
+                fn deserialize_enum<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _variants: &'static [&'static str],
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+            }
+
+            impl<'de, E: Error> IntoDeserializer<'de, E> for $from {
+                type Deserializer = $name<E>;
+                fn into_deserializer(self) -> $name<E> {
+                    $name::new(self)
+                }
+            }
+        };
+    }
+
+    macro_rules! serde_forward_to_any {
+        ($($method:ident)*) => {
+            $(
+                fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+            )*
+        };
+    }
+
+    primitive_deserializer!(U8Deserializer, u8, visit_u8, u8);
+    primitive_deserializer!(U16Deserializer, u16, visit_u16, u16);
+    primitive_deserializer!(U32Deserializer, u32, visit_u32, u32);
+    primitive_deserializer!(U64Deserializer, u64, visit_u64, u64);
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! int_deserialize {
+    ($ty:ident, $deserialize:ident) => {
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct PrimVisitor;
+                impl Visitor<'_> for PrimVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, stringify!($ty))
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!("{v} out of range for {}", stringify!($ty)))
+                        })
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!("{v} out of range for {}", stringify!($ty)))
+                        })
+                    }
+                    fn visit_i128<E: Error>(self, v: i128) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!("{v} out of range for {}", stringify!($ty)))
+                        })
+                    }
+                    fn visit_u128<E: Error>(self, v: u128) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!("{v} out of range for {}", stringify!($ty)))
+                        })
+                    }
+                }
+                deserializer.$deserialize(PrimVisitor)
+            }
+        }
+    };
+}
+
+int_deserialize!(i8, deserialize_i8);
+int_deserialize!(i16, deserialize_i16);
+int_deserialize!(i32, deserialize_i32);
+int_deserialize!(i64, deserialize_i64);
+int_deserialize!(i128, deserialize_i128);
+int_deserialize!(u8, deserialize_u8);
+int_deserialize!(u16, deserialize_u16);
+int_deserialize!(u32, deserialize_u32);
+int_deserialize!(u64, deserialize_u64);
+int_deserialize!(u128, deserialize_u128);
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = u64::deserialize(deserializer)?;
+        usize::try_from(v).map_err(|_| D::Error::custom("u64 out of range for usize"))
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = i64::deserialize(deserializer)?;
+        isize::try_from(v).map_err(|_| D::Error::custom("i64 out of range for isize"))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BoolVisitor;
+        impl Visitor<'_> for BoolVisitor {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a boolean")
+            }
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(BoolVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct F32Visitor;
+        impl Visitor<'_> for F32Visitor {
+            type Value = f32;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an f32")
+            }
+            fn visit_f32<E: Error>(self, v: f32) -> Result<f32, E> {
+                Ok(v)
+            }
+            fn visit_f64<E: Error>(self, v: f64) -> Result<f32, E> {
+                Ok(v as f32)
+            }
+        }
+        deserializer.deserialize_f32(F32Visitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct F64Visitor;
+        impl Visitor<'_> for F64Visitor {
+            type Value = f64;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an f64")
+            }
+            fn visit_f64<E: Error>(self, v: f64) -> Result<f64, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_f64(F64Visitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct CharVisitor;
+        impl Visitor<'_> for CharVisitor {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a char")
+            }
+            fn visit_char<E: Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::invalid_value(v, &self)),
+                }
+            }
+        }
+        deserializer.deserialize_char(CharVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl Visitor<'_> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de: 'a, 'a> Deserialize<'de> for &'a str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StrVisitor;
+        impl<'de> Visitor<'de> for StrVisitor {
+            type Value = &'de str;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a borrowed string")
+            }
+            fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<&'de str, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_str(StrVisitor)
+    }
+}
+
+impl<'de: 'a, 'a> Deserialize<'de> for &'a [u8] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BytesVisitor;
+        impl<'de> Visitor<'de> for BytesVisitor {
+            type Value = &'de [u8];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "borrowed bytes")
+            }
+            fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<&'de [u8], E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bytes(BytesVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl Visitor<'_> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Into::into)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for MapVisitor<K, V>
+        where
+            K: Deserialize<'de> + Ord,
+            V: Deserialize<'de>,
+        {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for MapVisitor<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::with_capacity_and_hasher(0, H::default());
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for std::collections::HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($($len:expr => ($($ty:ident)+),)*) => {
+        $(
+            impl<'de, $($ty: Deserialize<'de>),+> Deserialize<'de> for ($($ty,)+) {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct TupleVisitor<$($ty),+>(PhantomData<($($ty,)+)>);
+                    impl<'de, $($ty: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($ty),+> {
+                        type Value = ($($ty,)+);
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, "a tuple of {} elements", $len)
+                        }
+                        #[allow(non_snake_case)]
+                        fn visit_seq<A: SeqAccess<'de>>(
+                            self,
+                            mut seq: A,
+                        ) -> Result<Self::Value, A::Error> {
+                            let mut count = 0usize;
+                            $(
+                                let $ty: $ty = match seq.next_element()? {
+                                    Some(v) => { count += 1; v }
+                                    None => return Err(A::Error::invalid_length(count, &self)),
+                                };
+                            )+
+                            let _ = count;
+                            Ok(($($ty,)+))
+                        }
+                    }
+                    deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+                }
+            }
+        )*
+    };
+}
+
+tuple_deserialize! {
+    1 => (T0),
+    2 => (T0 T1),
+    3 => (T0 T1 T2),
+    4 => (T0 T1 T2 T3),
+    5 => (T0 T1 T2 T3 T4),
+    6 => (T0 T1 T2 T3 T4 T5),
+    7 => (T0 T1 T2 T3 T4 T5 T6),
+    8 => (T0 T1 T2 T3 T4 T5 T6 T7),
+}

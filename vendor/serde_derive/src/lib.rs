@@ -1,0 +1,638 @@
+//! Vendored minimal `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the shapes this workspace
+//! uses: named/tuple/unit structs, enums with unit/newtype/tuple/struct
+//! variants, and at most lifetime generics (no type parameters). Parsing is
+//! done directly over `proc_macro::TokenTree` (no `syn`/`quote` — the build
+//! environment has no network access), and code is generated as strings and
+//! re-parsed into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    lifetimes: Vec<String>,
+}
+
+struct Parsed {
+    input: Input,
+    data: Data,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advance past any leading `#[...]` attributes (incl. doc comments).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Bracket {
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        panic!("serde_derive: malformed attribute");
+    }
+    i
+}
+
+/// Advance past `pub` / `pub(...)`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        assert!(is_punct(&tokens[i], ':'), "serde_derive: expected `:` after field name");
+        i += 1;
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0usize;
+    let mut seg_nonempty = false;
+    let mut angle = 0i32;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip attribute.
+                i = skip_attrs(&tokens, i);
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                seg_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                seg_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if seg_nonempty {
+                    count += 1;
+                }
+                seg_nonempty = false;
+            }
+            _ => seg_nonempty = true,
+        }
+        i += 1;
+    }
+    if seg_nonempty {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut fields = Fields::Unit;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                fields = match g.delimiter() {
+                    Delimiter::Brace => Fields::Named(parse_named_fields(g.stream())),
+                    Delimiter::Parenthesis => Fields::Tuple(count_tuple_fields(g.stream())),
+                    _ => panic!("serde_derive: unexpected variant delimiter"),
+                };
+                i += 1;
+            }
+        }
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // the comma
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("serde_derive: expected `struct` or `enum`, found {}", tokens[i]);
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Generics: lifetimes only.
+    let mut lifetimes = Vec::new();
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut after_quote = false;
+        while i < tokens.len() && depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == '\'' => after_quote = true,
+                TokenTree::Ident(id) => {
+                    if after_quote {
+                        let lt = id.to_string();
+                        if lt != "static" && !lifetimes.contains(&lt) {
+                            lifetimes.push(lt);
+                        }
+                        after_quote = false;
+                    } else if depth == 1 {
+                        panic!(
+                            "serde_derive: generic type parameters are not supported \
+                             (found `{id}` on `{name}`)"
+                        );
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    if i < tokens.len() && is_ident(&tokens[i], "where") {
+        panic!("serde_derive: `where` clauses are not supported (on `{name}`)");
+    }
+
+    let data = if is_enum {
+        let TokenTree::Group(g) = &tokens[i] else {
+            panic!("serde_derive: expected enum body");
+        };
+        Data::Enum(parse_variants(g.stream()))
+    } else if i >= tokens.len() || is_punct(&tokens[i], ';') {
+        Data::Struct(Fields::Unit)
+    } else {
+        let TokenTree::Group(g) = &tokens[i] else {
+            panic!("serde_derive: expected struct body");
+        };
+        match g.delimiter() {
+            Delimiter::Brace => Data::Struct(Fields::Named(parse_named_fields(g.stream()))),
+            Delimiter::Parenthesis => Data::Struct(Fields::Tuple(count_tuple_fields(g.stream()))),
+            _ => panic!("serde_derive: unexpected struct delimiter"),
+        }
+    };
+
+    Parsed { input: Input { name, lifetimes }, data }
+}
+
+// ---------------------------------------------------------------------------
+// Shared codegen helpers
+// ---------------------------------------------------------------------------
+
+impl Input {
+    /// `<'a, 'b>` or empty.
+    fn ty_args(&self) -> String {
+        if self.lifetimes.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "<{}>",
+                self.lifetimes.iter().map(|l| format!("'{l}")).collect::<Vec<_>>().join(", ")
+            )
+        }
+    }
+
+    /// The full type, e.g. `Borrowed<'a>`.
+    fn full_ty(&self) -> String {
+        format!("{}{}", self.name, self.ty_args())
+    }
+
+    /// Lifetime list for an impl header, e.g. `'a, 'b` (no angle brackets).
+    fn lt_list(&self) -> String {
+        self.lifetimes.iter().map(|l| format!("'{l}")).collect::<Vec<_>>().join(", ")
+    }
+
+    /// `where 'de: 'a, 'de: 'b` or empty.
+    fn de_where(&self) -> String {
+        if self.lifetimes.is_empty() {
+            String::new()
+        } else {
+            let bounds: Vec<String> = self.lifetimes.iter().map(|l| format!("'de: '{l}")).collect();
+            format!("where {}", bounds.join(", "))
+        }
+    }
+
+    /// Declaration + constructor expression for a visitor struct that can
+    /// name the input's lifetimes.
+    fn visitor(&self, vname: &str) -> (String, String, String) {
+        if self.lifetimes.is_empty() {
+            (format!("struct {vname};"), vname.to_string(), String::new())
+        } else {
+            let phantoms: Vec<String> =
+                self.lifetimes.iter().map(|l| format!("&'{l} ()")).collect();
+            (
+                format!(
+                    "struct {vname}{}(::core::marker::PhantomData<({})>);",
+                    self.ty_args(),
+                    phantoms.join(", ")
+                ),
+                format!("{vname}(::core::marker::PhantomData)"),
+                self.ty_args(),
+            )
+        }
+    }
+}
+
+/// `visit_seq` body that builds `ctor_prefix { f1: ..., f2: ... }`.
+fn named_visit_seq(ctor: &str, fields: &[String]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        body.push_str(&format!(
+            "{f}: match ::serde::de::SeqAccess::next_element(&mut __seq)? {{ \
+                 ::core::option::Option::Some(__v) => __v, \
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                     <__A::Error as ::serde::de::Error>::missing_field(\"{f}\")), \
+             }},\n"
+        ));
+    }
+    format!(
+        "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+             -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             ::core::result::Result::Ok({ctor} {{\n{body}\n}})\n\
+         }}"
+    )
+}
+
+/// `visit_seq` body that builds `ctor_prefix(__f0, __f1, ...)`.
+fn tuple_visit_seq(ctor: &str, len: usize) -> String {
+    let mut body = String::new();
+    let mut args = Vec::new();
+    for i in 0..len {
+        body.push_str(&format!(
+            "let __f{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{ \
+                 ::core::option::Option::Some(__v) => __v, \
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                     <__A::Error as ::serde::de::Error>::invalid_length({i}, &self)), \
+             }};\n"
+        ));
+        args.push(format!("__f{i}"));
+    }
+    format!(
+        "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+             -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             {body}\n::core::result::Result::Ok({ctor}({args}))\n\
+         }}",
+        args = args.join(", ")
+    )
+}
+
+fn field_name_list(fields: &[String]) -> String {
+    fields.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", ")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let inp = &parsed.input;
+    let name = &inp.name;
+    let full = inp.full_ty();
+    let impl_generics =
+        if inp.lifetimes.is_empty() { String::new() } else { format!("<{}>", inp.lt_list()) };
+
+    let body = match &parsed.data {
+        Data::Struct(Fields::Unit) => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let mut b = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(\
+                     __serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                         &mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            b.push_str("::serde::ser::SerializeStruct::end(__st)");
+            b
+        }
+        Data::Struct(Fields::Tuple(1)) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Data::Struct(Fields::Tuple(n)) => {
+            let mut b = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_tuple_struct(\
+                     __serializer, \"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                ));
+            }
+            b.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            b
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => \
+                             ::serde::ser::Serializer::serialize_newtype_variant(\
+                                 __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                                 let mut __st = \
+                                     ::serde::ser::Serializer::serialize_tuple_variant(\
+                                         __serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            binds = binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                     &mut __st, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__st)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut __st = \
+                                     ::serde::ser::Serializer::serialize_struct_variant(\
+                                         __serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                     &mut __st, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__st)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::ser::Serialize for {full} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let inp = &parsed.input;
+    let name = &inp.name;
+    let full = inp.full_ty();
+    let de_where = inp.de_where();
+    let lt = inp.lt_list();
+    let impl_lts = if lt.is_empty() { "'de".to_string() } else { format!("'de, {lt}") };
+    let (vis_decl, vis_ctor, vis_ty) = inp.visitor("__SerdeVisitor");
+
+    let expecting = format!(
+        "fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{ \
+             ::core::write!(__f, \"{name}\") \
+         }}"
+    );
+
+    let (visit_body, driver) = match &parsed.data {
+        Data::Struct(Fields::Unit) => (
+            format!(
+                "fn visit_unit<__E: ::serde::de::Error>(self) \
+                     -> ::core::result::Result<Self::Value, __E> {{ \
+                     ::core::result::Result::Ok({name}) \
+                 }}"
+            ),
+            format!(
+                "::serde::de::Deserializer::deserialize_unit_struct(\
+                     __deserializer, \"{name}\", {vis_ctor})"
+            ),
+        ),
+        Data::Struct(Fields::Named(fields)) => (
+            named_visit_seq(name, fields),
+            format!(
+                "::serde::de::Deserializer::deserialize_struct(\
+                     __deserializer, \"{name}\", &[{}], {vis_ctor})",
+                field_name_list(fields)
+            ),
+        ),
+        Data::Struct(Fields::Tuple(1)) => (
+            format!(
+                "fn visit_newtype_struct<__D2: ::serde::de::Deserializer<'de>>(\
+                     self, __d: __D2) -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                     ::core::result::Result::Ok({name}(\
+                         ::serde::de::Deserialize::deserialize(__d)?))\n\
+                 }}\n{}",
+                tuple_visit_seq(name, 1)
+            ),
+            format!(
+                "::serde::de::Deserializer::deserialize_newtype_struct(\
+                     __deserializer, \"{name}\", {vis_ctor})"
+            ),
+        ),
+        Data::Struct(Fields::Tuple(n)) => (
+            tuple_visit_seq(name, *n),
+            format!(
+                "::serde::de::Deserializer::deserialize_tuple_struct(\
+                     __deserializer, \"{name}\", {n}, {vis_ctor})"
+            ),
+        ),
+        Data::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{ \
+                             ::serde::de::VariantAccess::unit_variant(__variant)?; \
+                             ::core::result::Result::Ok({name}::{vname}) \
+                         }}\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{idx}u32 => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let (vd, vc, vt) = inp.visitor("__VariantVisitor");
+                        let seq = tuple_visit_seq(&format!("{name}::{vname}"), *n);
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                                 {vd}\n\
+                                 impl<{impl_lts}> ::serde::de::Visitor<'de> \
+                                     for __VariantVisitor{vt} {de_where} {{\n\
+                                     type Value = {full};\n{expecting}\n{seq}\n\
+                                 }}\n\
+                                 ::serde::de::VariantAccess::tuple_variant(__variant, {n}, {vc})\n\
+                             }}\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let (vd, vc, vt) = inp.visitor("__VariantVisitor");
+                        let seq = named_visit_seq(&format!("{name}::{vname}"), fields);
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                                 {vd}\n\
+                                 impl<{impl_lts}> ::serde::de::Visitor<'de> \
+                                     for __VariantVisitor{vt} {de_where} {{\n\
+                                     type Value = {full};\n{expecting}\n{seq}\n\
+                                 }}\n\
+                                 ::serde::de::VariantAccess::struct_variant(\
+                                     __variant, &[{fields}], {vc})\n\
+                             }}\n",
+                            fields = field_name_list(fields)
+                        ));
+                    }
+                }
+            }
+            (
+                format!(
+                    "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__idx, __variant) = \
+                             ::serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+                         match __idx {{\n{arms}\n\
+                             _ => ::core::result::Result::Err(\
+                                 <__A::Error as ::serde::de::Error>::custom(\
+                                     \"variant index out of range for {name}\")),\n\
+                         }}\n\
+                     }}"
+                ),
+                format!(
+                    "::serde::de::Deserializer::deserialize_enum(\
+                         __deserializer, \"{name}\", &[{}], {vis_ctor})",
+                    variant_names.join(", ")
+                ),
+            )
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl<{impl_lts}> ::serde::de::Deserialize<'de> for {full} {de_where} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {vis_decl}\n\
+                 impl<{impl_lts}> ::serde::de::Visitor<'de> for __SerdeVisitor{vis_ty} \
+                     {de_where} {{\n\
+                     type Value = {full};\n\
+                     {expecting}\n\
+                     {visit_body}\n\
+                 }}\n\
+                 {driver}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
