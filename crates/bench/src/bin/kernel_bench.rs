@@ -1,0 +1,220 @@
+//! `kernel_bench` — microbenchmarks for the simulation-kernel hot paths:
+//! event push/pop (a ping-pong storm through the full `Sim` dispatch
+//! loop), `Metrics::record_send` with interned classes vs. the old
+//! `BTreeMap<&str, Counter>` scheme, and streaming-histogram
+//! record/quantile. Results print as a table and are written to
+//! `BENCH_kernel.json` at the workspace root so later PRs have a perf
+//! trajectory to compare against.
+//!
+//! Run with `cargo run -p pier-bench --release --bin kernel_bench`.
+
+use pier_netsim::{
+    Actor, Ctx, Histogram, MetricClass, Metrics, NodeId, Sim, SimConfig, TimerToken,
+};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+pier_netsim::metric_classes! {
+    BENCH_PING = "bench.ping";
+    BENCH_A = "bench.class_a";
+    BENCH_B = "bench.class_b";
+    BENCH_C = "bench.class_c";
+}
+
+/// Median-of-5 ns/op for `runs` batched invocations of `op(iters)`.
+fn measure(iters: u64, mut op: impl FnMut(u64)) -> f64 {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        op(iters);
+        samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[2]
+}
+
+/// The old `Metrics::record_send`, reconstructed as the comparison
+/// baseline: a string-keyed `BTreeMap` lookup per message.
+#[derive(Default)]
+struct BTreeMapMetrics {
+    counters: BTreeMap<&'static str, (u64, u64)>,
+    total_messages: u64,
+    total_bytes: u64,
+}
+
+impl BTreeMapMetrics {
+    fn record_send(&mut self, class: &'static str, bytes: u64) {
+        let c = self.counters.entry(class).or_default();
+        c.0 += 1;
+        c.1 += bytes;
+        self.total_messages += 1;
+        self.total_bytes += bytes;
+    }
+}
+
+/// Actor pair bouncing one countdown message back and forth: every bounce
+/// is one event push + pop + deliver + `record_send`.
+struct Bouncer {
+    bounces: u64,
+}
+
+impl Actor<u64> for Bouncer {
+    fn on_message(&mut self, ctx: &mut dyn Ctx<u64>, from: NodeId, msg: u64) {
+        self.bounces += 1;
+        if msg > 0 {
+            ctx.send(from, msg - 1, 64, BENCH_PING.id());
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut dyn Ctx<u64>, _token: TimerToken) {}
+}
+
+fn bench_event_loop(events: u64) -> f64 {
+    measure(events, |n| {
+        let mut sim: Sim<u64> = Sim::new(SimConfig::with_seed(7));
+        let b = NodeId::new(1);
+        let a = sim.add_node(Bouncer { bounces: 0 });
+        sim.add_node(Bouncer { bounces: 0 });
+        sim.with_actor_ctx::<Bouncer, _>(a, |_, ctx| ctx.send(b, n, 64, BENCH_PING.id()));
+        sim.run_until_quiescent();
+        black_box(sim.metrics().total_messages);
+    })
+}
+
+fn bench_record_send_interned(iters: u64) -> f64 {
+    let classes: [MetricClass; 3] = [BENCH_A.id(), BENCH_B.id(), BENCH_C.id()];
+    let mut m = Metrics::new();
+    measure(iters, |n| {
+        for i in 0..n {
+            m.record_send(classes[(i % 3) as usize], 100 + i % 7);
+        }
+        black_box(m.total_bytes);
+    })
+}
+
+fn bench_record_send_btreemap(iters: u64) -> f64 {
+    // The realistic key set: every class the workspace registers today.
+    let names: [&'static str; 3] = ["bench.class_a", "bench.class_b", "bench.class_c"];
+    let mut m = BTreeMapMetrics::default();
+    // Pre-populate with the full production class mix so lookups pay
+    // realistic tree depth, as they did when every crate's classes shared
+    // one map.
+    for pad in PAD_CLASSES {
+        m.counters.insert(pad, (0, 0));
+    }
+    measure(iters, |n| {
+        for i in 0..n {
+            m.record_send(names[(i % 3) as usize], 100 + i % 7);
+        }
+        black_box(m.total_bytes);
+    })
+}
+
+/// Stand-ins for the ~40 metric classes a full hybrid run touches.
+static PAD_CLASSES: [&str; 40] = [
+    "dht.req.ping",
+    "dht.req.find_node",
+    "dht.req.store",
+    "dht.req.find_value",
+    "dht.resp.pong",
+    "dht.resp.nodes",
+    "dht.resp.store_ack",
+    "dht.resp.values",
+    "dht.route",
+    "dht.route_store",
+    "dht.app_direct",
+    "dht.rpc_timeout",
+    "dht.republish",
+    "dht.bucket_refresh",
+    "gnutella.query",
+    "gnutella.query_hit",
+    "gnutella.crawl_ping",
+    "gnutella.crawl_pong",
+    "gnutella.qrp",
+    "gnutella.leaf_query",
+    "gnutella.leaf_results",
+    "gnutella.leaf_forward",
+    "gnutella.leaf_hits",
+    "gnutella.browse",
+    "gnutella.browse_reply",
+    "gnutella.queries_started",
+    "gnutella.queries_finished",
+    "gnutella.duplicate_query",
+    "gnutella.leaf_forwards",
+    "pier.install",
+    "pier.batch",
+    "pier.batch_eof",
+    "pier.results",
+    "pier.results_eof",
+    "piersearch.searches",
+    "piersearch.files_published",
+    "hybrid.dht_msg_to_plain_node",
+    "sim.dropped_to_down_node",
+    "crawl.duration_s",
+    "bench.pad_tail",
+];
+
+fn bench_histogram_record(iters: u64) -> f64 {
+    let mut h = Histogram::new();
+    measure(iters, |n| {
+        for i in 0..n {
+            h.record((i % 1000) as f64 * 0.013 + 0.001);
+        }
+        black_box(h.len());
+    })
+}
+
+fn bench_histogram_quantile(iters: u64) -> f64 {
+    let mut h = Histogram::new();
+    for i in 0..100_000u64 {
+        h.record((i % 1000) as f64 * 0.013 + 0.001);
+    }
+    measure(iters, |n| {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += h.quantile((i % 100) as f64 / 100.0);
+        }
+        black_box(acc);
+    })
+}
+
+fn main() {
+    // Warm the registry so registration cost stays out of the loops.
+    let _ = (BENCH_PING.id(), BENCH_A.id(), BENCH_B.id(), BENCH_C.id());
+
+    let results: Vec<(&str, f64)> = vec![
+        ("kernel.event_push_pop_deliver_ns", bench_event_loop(200_000)),
+        ("metrics.record_send_interned_ns", bench_record_send_interned(2_000_000)),
+        ("metrics.record_send_btreemap_baseline_ns", bench_record_send_btreemap(2_000_000)),
+        ("histogram.record_ns", bench_histogram_record(2_000_000)),
+        ("histogram.quantile_ns", bench_histogram_quantile(200_000)),
+    ];
+
+    println!("{:<44} {:>12}", "hot path", "ns/op");
+    for (name, ns) in &results {
+        println!("{name:<44} {ns:>12.1}");
+    }
+    let interned = results[1].1;
+    let btreemap = results[2].1;
+    println!(
+        "\nrecord_send: interned {interned:.1} ns vs BTreeMap baseline {btreemap:.1} ns \
+         ({:.1}x)",
+        btreemap / interned
+    );
+
+    let path = pier_bench::output::results_dir()
+        .parent()
+        .map(|r| r.join("BENCH_kernel.json"))
+        .unwrap_or_else(|| "BENCH_kernel.json".into());
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {ns:.1}{comma}\n"));
+    }
+    json.push_str("}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("→ {}", path.display()),
+        Err(e) => eprintln!("(json write failed: {e})"),
+    }
+}

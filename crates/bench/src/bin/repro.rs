@@ -7,12 +7,16 @@
 //! repro sec7-deploy    # §7 deployment (micro costs + 50-node run)
 //! repro crawl          # §4.1 crawl snapshot (also part of fig8)
 //! repro model-params   # Tables 1 & 2 glossary
+//! repro horizon        # per-vantage zero-result rates (horizon effect)
 //! ```
 //!
-//! `REPRO_SCALE=full` switches to paper-magnitude workloads.
+//! `REPRO_SCALE=full` switches to paper-magnitude workloads;
+//! `REPRO_SCALE=sparse` uses the large sparse topology where even
+//! new-style vantages see only part of the network.
 
 use pier_bench::experiments::{
-    ablations, fig8, figs13to15, figs4to7, figs9to12, model_params, sec5_posting, sec7_deploy,
+    ablations, fig8, figs13to15, figs4to7, figs9to12, horizon, model_params, sec5_posting,
+    sec7_deploy,
 };
 use pier_bench::output::Table;
 use pier_bench::Scale;
@@ -60,6 +64,9 @@ fn main() {
         "ablations" | "ablation-timeout" => {
             emit(ablations::run(scale), "ablations");
         }
+        "horizon" | "sparse" => {
+            emit(horizon::run(scale), "horizon");
+        }
         "all" => {
             emit(figs4to7::run(scale), "figs4to7");
             emit(fig8::run(scale).tables, "fig8");
@@ -72,7 +79,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: fig4..fig15, fig8, crawl, sec5-posting, sec7-deploy, model-params, ablations, all");
+            eprintln!("known: fig4..fig15, fig8, crawl, sec5-posting, sec7-deploy, model-params, ablations, horizon, all");
             std::process::exit(2);
         }
     }

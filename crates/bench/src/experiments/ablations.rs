@@ -21,7 +21,7 @@ use pier_workload::{Catalog, CatalogConfig, QueryConfig, QueryTrace};
 /// re-issued into the DHT (the extra load the timeout gates).
 pub fn timeout_sweep(scale: Scale) -> Table {
     let (ups, hybrid_ups, leaves, distinct, queries) = match scale {
-        Scale::Quick => (80usize, 16usize, 1_600usize, 3_200usize, 60usize),
+        Scale::Quick | Scale::Sparse => (80usize, 16usize, 1_600usize, 3_200usize, 60usize),
         Scale::Full => (240, 48, 4_800, 9_600, 200),
     };
     let timeouts_s = [5u64, 10, 20, 30, 45];
@@ -125,7 +125,7 @@ pub fn timeout_sweep(scale: Scale) -> Table {
 /// popular and a rare query, from the same vantage.
 pub fn flood_vs_dynamic(scale: Scale) -> Table {
     let (ups, leaves) = match scale {
-        Scale::Quick => (150usize, 3_000usize),
+        Scale::Quick | Scale::Sparse => (150usize, 3_000usize),
         Scale::Full => (333, 10_000),
     };
     let mut t = Table::new(

@@ -15,7 +15,7 @@ pub struct CrawlOutcome {
 
 pub fn run(scale: Scale) -> CrawlOutcome {
     let (ups, leaves) = match scale {
-        Scale::Quick => (400usize, 4_000usize),
+        Scale::Quick | Scale::Sparse => (400usize, 4_000usize),
         Scale::Full => (3_333, 96_000),
     };
     let cfg = SimConfig::with_seed(0xC4A5)

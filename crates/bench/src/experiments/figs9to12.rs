@@ -10,7 +10,7 @@ use pier_workload::{Catalog, CatalogConfig, Evaluator, QueryConfig, QueryTrace};
 /// Build the §6.2 trace view (catalog + query ground truth).
 pub fn trace_view(scale: Scale) -> (Catalog, QueryTrace, TraceView) {
     let cfg = match scale {
-        Scale::Quick => CatalogConfig {
+        Scale::Quick | Scale::Sparse => CatalogConfig {
             hosts: 8_000,
             distinct_files: 20_000,
             max_replicas: 800,
@@ -32,7 +32,7 @@ pub fn trace_view(scale: Scale) -> (Catalog, QueryTrace, TraceView) {
     };
     let catalog = Catalog::generate(cfg);
     let queries = match scale {
-        Scale::Quick => 350,
+        Scale::Quick | Scale::Sparse => 350,
         Scale::Full => 350,
     };
     let trace =

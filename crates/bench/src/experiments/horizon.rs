@@ -1,0 +1,114 @@
+//! The horizon experiment: per-vantage-profile zero-result rates.
+//!
+//! At quick scale a new-style (32-neighbor) vantage's dynamic query covers
+//! essentially the whole network, so the paper's partial-coverage effect
+//! (§4.4: many zero-result queries at one node that a Union-of-N would
+//! resolve) only shows through old-style 6-neighbor vantages. The
+//! [`Scale::Sparse`] preset — more ultrapeers, an old-style-heavy degree
+//! mix, single-homed leaves — shrinks every vantage's horizon below the
+//! network size, so `zero_single > zero_union` holds from new-style
+//! vantages too. This is the figs4–7 apparatus, sliced per vantage.
+
+use crate::lab::{union_results, Lab, LabConfig, Scale, VantageResult};
+use crate::output::{f, s, Table};
+
+/// Everything the horizon tables need from one replay of the trace.
+pub struct HorizonData {
+    /// `per_query[q][v]`.
+    pub per_query: Vec<Vec<VantageResult>>,
+    /// `up_neighbors` degree target of each vantage's profile.
+    pub vantage_degrees: Vec<usize>,
+}
+
+/// A vantage with ≥ this degree target is "new-style" (the 32-neighbor
+/// LimeWire profile; old-style is 6).
+pub const NEW_STYLE_DEGREE: usize = 32;
+
+pub fn collect(scale: Scale) -> HorizonData {
+    let mut lab = Lab::build(LabConfig::at(scale));
+    let vantage_degrees = lab.vantage_profiles();
+    let per_query = lab.replay(if scale == Scale::Full { 3.0 } else { 2.0 });
+    HorizonData { per_query, vantage_degrees }
+}
+
+/// Percentage of queries returning zero results from vantage `v`.
+pub fn zero_single_rate(data: &HorizonData, v: usize) -> f64 {
+    let zero = data.per_query.iter().filter(|pv| pv[v].results.is_empty()).count();
+    100.0 * zero as f64 / data.per_query.len().max(1) as f64
+}
+
+/// Percentage of queries returning zero results in the Union-of-all.
+pub fn zero_union_rate(data: &HorizonData) -> f64 {
+    let n = data.vantage_degrees.len();
+    let zero = data.per_query.iter().filter(|pv| union_results(pv, n).is_empty()).count();
+    100.0 * zero as f64 / data.per_query.len().max(1) as f64
+}
+
+/// Does at least one new-style (32-neighbor) vantage see strictly more
+/// zero-result queries than the Union-of-all — i.e. is the horizon effect
+/// visible even from the best-connected vantage profile?
+pub fn new_style_horizon_visible(data: &HorizonData) -> bool {
+    let union = zero_union_rate(data);
+    data.vantage_degrees
+        .iter()
+        .enumerate()
+        .filter(|&(_, &degree)| degree >= NEW_STYLE_DEGREE)
+        .any(|(v, _)| zero_single_rate(data, v) > union)
+}
+
+/// Per-vantage zero-result rates against the Union-of-all baseline.
+pub fn table(data: &HorizonData) -> Table {
+    let union = zero_union_rate(data);
+    let mut t = Table::new(
+        "Horizon: zero-result rate per vantage vs Union-of-all \
+         (partial coverage ⇔ vantage rate above union rate)",
+        &["vantage", "profile", "neighbors", "zero_single_pct", "zero_union_pct"],
+    );
+    for (v, &degree) in data.vantage_degrees.iter().enumerate() {
+        let profile = if degree >= NEW_STYLE_DEGREE { "new" } else { "old" };
+        t.row(vec![s(v), s(profile), s(degree), f(zero_single_rate(data, v), 1), f(union, 1)]);
+    }
+    t
+}
+
+/// Run the experiment (one replay) and return the table.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let data = collect(scale);
+    vec![table(&data)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance property of the sparse preset: the horizon effect
+    /// shows through *new-style* vantages, not just old-style ones.
+    #[test]
+    fn sparse_scale_shows_horizon_from_new_style_vantages() {
+        let data = collect(Scale::Sparse);
+        assert!(!data.per_query.is_empty());
+        assert!(
+            data.vantage_degrees.iter().any(|&d| d >= NEW_STYLE_DEGREE),
+            "sparse vantage set must include a new-style ultrapeer: {:?}",
+            data.vantage_degrees
+        );
+        assert!(
+            data.vantage_degrees.iter().any(|&d| d < NEW_STYLE_DEGREE),
+            "sparse vantage set must include an old-style ultrapeer: {:?}",
+            data.vantage_degrees
+        );
+        let union = zero_union_rate(&data);
+        let new_style_rates: Vec<f64> = data
+            .vantage_degrees
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d >= NEW_STYLE_DEGREE)
+            .map(|(v, _)| zero_single_rate(&data, v))
+            .collect();
+        assert!(
+            new_style_horizon_visible(&data),
+            "no new-style vantage shows partial coverage: \
+             new-style zero_single {new_style_rates:?} vs zero_union {union:.1}"
+        );
+    }
+}

@@ -6,6 +6,7 @@ pub mod fig8;
 pub mod figs13to15;
 pub mod figs4to7;
 pub mod figs9to12;
+pub mod horizon;
 pub mod sec5_posting;
 pub mod sec7_deploy;
 

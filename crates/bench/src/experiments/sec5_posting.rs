@@ -53,7 +53,7 @@ pub fn shipped_entries(eval: &Evaluator<'_>, catalog: &Catalog, q: &Query) -> u6
 
 pub fn run(scale: Scale) -> Vec<Table> {
     let (files, queries) = match scale {
-        Scale::Quick => (40_000usize, 7_000usize),
+        Scale::Quick | Scale::Sparse => (40_000usize, 7_000usize),
         // The paper's 700k files / 70k queries.
         Scale::Full => (700_000, 70_000),
     };

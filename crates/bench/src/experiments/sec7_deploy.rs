@@ -142,7 +142,7 @@ pub struct DeployOutcome {
 pub fn run(scale: Scale) -> DeployOutcome {
     // Parts 1 & 2: micro costs.
     let files = match scale {
-        Scale::Quick => 60,
+        Scale::Quick | Scale::Sparse => 60,
         Scale::Full => 200,
     };
     let pub_plain = micro_publish_cost(IndexMode::Inverted, files);
@@ -160,7 +160,7 @@ pub fn run(scale: Scale) -> DeployOutcome {
 
     // Part 3: the deployment.
     let (ups, hybrid_ups, leaves, distinct, queries) = match scale {
-        Scale::Quick => (100usize, 20usize, 2_000usize, 4_000usize, 120usize),
+        Scale::Quick | Scale::Sparse => (100usize, 20usize, 2_000usize, 4_000usize, 120usize),
         Scale::Full => (300, 50, 6_000, 12_000, 400),
     };
     let cfg = SimConfig::with_seed(0x7003)

@@ -11,10 +11,14 @@ use pier_workload::{Catalog, CatalogConfig, Evaluator, Query, QueryConfig, Query
 use std::collections::HashSet;
 
 /// Experiment scale. `Quick` keeps `cargo bench` under a few minutes;
-/// `Full` approaches the paper's magnitudes where feasible.
+/// `Sparse` is a larger, sparsely-connected topology where even a
+/// 32-neighbor vantage's dynamic query covers only part of the network
+/// (the paper's horizon effect); `Full` approaches the paper's magnitudes
+/// where feasible.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {
     Quick,
+    Sparse,
     Full,
 }
 
@@ -22,6 +26,7 @@ impl Scale {
     pub fn from_env() -> Scale {
         match std::env::var("REPRO_SCALE").as_deref() {
             Ok("full") => Scale::Full,
+            Ok("sparse") => Scale::Sparse,
             _ => Scale::Quick,
         }
     }
@@ -31,9 +36,18 @@ impl Scale {
 pub struct LabConfig {
     pub ultrapeers: usize,
     pub leaves: usize,
+    /// Fraction of ultrapeers with the old 6-neighbor LimeWire profile.
+    pub old_style_fraction: f64,
+    /// Ultrapeer connections per leaf.
+    pub leaf_ups: usize,
     pub distinct_files: usize,
     pub queries: usize,
     pub vantages: usize,
+    /// Force the vantage set to include at least one new-style
+    /// (32-neighbor) and one old-style ultrapeer when the topology has
+    /// both. The sparse preset needs this: with 85% old-style ultrapeers,
+    /// evenly-stepped sampling could miss the new-style profile entirely.
+    pub mixed_profile_vantages: bool,
     pub seed: u64,
 }
 
@@ -43,17 +57,39 @@ impl LabConfig {
             Scale::Quick => LabConfig {
                 ultrapeers: 120,
                 leaves: 2_400,
+                old_style_fraction: 0.3,
+                leaf_ups: 2,
                 distinct_files: 5_000,
                 queries: 160,
                 vantages: 10,
+                mixed_profile_vantages: false,
+                seed: 0x6AB,
+            },
+            // ≥ 5× more ultrapeers than Quick, heavily old-style (sparse
+            // degree mix) and with single-homed leaves: a new-style
+            // vantage's dynamic query now reaches only a fraction of the
+            // network, so partial coverage shows from *every* vantage
+            // profile rather than only the 6-neighbor one.
+            Scale::Sparse => LabConfig {
+                ultrapeers: 640,
+                leaves: 2_560,
+                old_style_fraction: 0.85,
+                leaf_ups: 1,
+                distinct_files: 8_000,
+                queries: 140,
+                vantages: 12,
+                mixed_profile_vantages: true,
                 seed: 0x6AB,
             },
             Scale::Full => LabConfig {
                 ultrapeers: 333,
                 leaves: 10_000,
+                old_style_fraction: 0.3,
+                leaf_ups: 2,
                 distinct_files: 20_000,
                 queries: 700,
                 vantages: 30,
+                mixed_profile_vantages: false,
                 seed: 0x6AB,
             },
         }
@@ -75,6 +111,9 @@ pub struct Lab {
     pub catalog: Catalog,
     pub trace: QueryTrace,
     pub vantages: Vec<NodeId>,
+    /// The generated topology (profiles, edges, leaf homes) — kept so
+    /// experiments can relate per-vantage results to ultrapeer profiles.
+    pub topo: Topology,
     cfg: LabConfig,
 }
 
@@ -85,8 +124,8 @@ impl Lab {
         let topo = Topology::generate(&TopologyConfig {
             ultrapeers: cfg.ultrapeers,
             leaves: cfg.leaves,
-            old_style_fraction: 0.3,
-            leaf_ups: 2,
+            old_style_fraction: cfg.old_style_fraction,
+            leaf_ups: cfg.leaf_ups,
             seed: cfg.seed,
         });
         let catalog = Catalog::generate(CatalogConfig {
@@ -125,14 +164,31 @@ impl Lab {
         // QRP propagation.
         sim.run_for(SimDuration::from_secs(3));
 
-        let vantages: Vec<NodeId> = handles
+        let mut vantages: Vec<NodeId> = handles
             .ups
             .iter()
             .copied()
             .step_by(cfg.ultrapeers / cfg.vantages)
             .take(cfg.vantages)
             .collect();
-        Lab { sim, handles, catalog, trace, vantages, cfg }
+        if cfg.mixed_profile_vantages {
+            ensure_profile(&mut vantages, &handles, &topo, |n| n >= 32, 0);
+            ensure_profile(&mut vantages, &handles, &topo, |n| n < 32, 1);
+        }
+        Lab { sim, handles, catalog, trace, vantages, topo, cfg }
+    }
+
+    /// The `up_neighbors` degree target of each vantage's profile (32 for
+    /// new-style LimeWire ultrapeers, 6 for old-style ones).
+    pub fn vantage_profiles(&self) -> Vec<usize> {
+        self.vantages
+            .iter()
+            .map(|v| {
+                let i =
+                    self.handles.ups.iter().position(|u| u == v).expect("vantages are ultrapeers");
+                self.topo.up_profiles[i].up_neighbors
+            })
+            .collect()
     }
 
     /// Ground-truth evaluator over the catalog.
@@ -194,6 +250,32 @@ impl Lab {
 
     pub fn config(&self) -> &LabConfig {
         &self.cfg
+    }
+}
+
+/// If no chosen vantage satisfies `wanted` (a predicate on the profile's
+/// `up_neighbors` degree), swap in the first matching ultrapeer, replacing
+/// the vantage `slot` positions from the end. No-op when a matching
+/// vantage is already present or the topology has none.
+fn ensure_profile(
+    vantages: &mut [NodeId],
+    handles: &GnutellaHandles,
+    topo: &Topology,
+    wanted: impl Fn(usize) -> bool,
+    slot: usize,
+) {
+    let degree_of = |v: NodeId| {
+        let i = handles.ups.iter().position(|u| *u == v).expect("vantage is an ultrapeer");
+        topo.up_profiles[i].up_neighbors
+    };
+    if vantages.iter().any(|&v| wanted(degree_of(v))) {
+        return;
+    }
+    let replacement =
+        handles.ups.iter().copied().find(|&u| wanted(degree_of(u)) && !vantages.contains(&u));
+    if let Some(candidate) = replacement {
+        let idx = vantages.len() - 1 - slot;
+        vantages[idx] = candidate;
     }
 }
 

@@ -12,7 +12,7 @@ use crate::lookup::{Lookup, LookupKind};
 use crate::msg::{DhtMsg, Request, Response, RpcId};
 use crate::routing::{InsertOutcome, RoutingTable};
 use crate::storage::Storage;
-use pier_netsim::{NodeId, SimRng, SimTime};
+use pier_netsim::{MetricClass, NodeId, SimRng, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Handle for correlating asynchronous DHT operations with their events.
@@ -25,9 +25,9 @@ pub trait DhtNet {
     fn now(&self) -> SimTime;
     fn self_node(&self) -> NodeId;
     fn rng(&mut self) -> &mut SimRng;
-    fn send_dht(&mut self, dst: NodeId, msg: DhtMsg, wire_bytes: usize, class: &'static str);
-    fn count(&mut self, class: &'static str, n: u64);
-    fn observe(&mut self, class: &'static str, value: f64);
+    fn send_dht(&mut self, dst: NodeId, msg: DhtMsg, wire_bytes: usize, class: MetricClass);
+    fn count(&mut self, class: MetricClass, n: u64);
+    fn observe(&mut self, class: MetricClass, value: f64);
 }
 
 /// Asynchronous completions and application deliveries.
@@ -212,19 +212,19 @@ impl DhtCore {
         origin: Contact,
     ) {
         if hops >= self.cfg.max_route_hops {
-            net.count("dht.route.hop_limit_drop", 1);
+            net.count(crate::classes::ROUTE_HOP_LIMIT_DROP.id(), 1);
             return;
         }
         match self.table.next_hop(&key) {
             None => {
                 let expires = net.now() + pier_netsim::SimDuration::from_micros(ttl_us);
                 self.storage.insert(key, value, expires);
-                net.observe("dht.route_store.hops", hops as f64);
+                net.observe(crate::classes::ROUTE_STORE_HOPS.id(), hops as f64);
             }
             Some(hop) => {
                 let msg = DhtMsg::RouteStore { key, value, ttl_us, hops: hops + 1, origin };
                 let wire = msg.encoded_len() + self.cfg.header_bytes;
-                net.send_dht(hop.node, msg, wire, "dht.route_store");
+                net.send_dht(hop.node, msg, wire, crate::classes::ROUTE_STORE.id());
             }
         }
     }
@@ -246,7 +246,7 @@ impl DhtCore {
     pub fn send_direct(&mut self, net: &mut dyn DhtNet, dst: NodeId, payload: Vec<u8>) {
         let msg = DhtMsg::AppDirect { payload, origin: self.local() };
         let wire = msg.encoded_len() + self.cfg.header_bytes;
-        net.send_dht(dst, msg, wire, "dht.app_direct");
+        net.send_dht(dst, msg, wire, crate::classes::APP_DIRECT.id());
     }
 
     /// Periodic maintenance: RPC timeouts, value expiry, republishing,
@@ -319,7 +319,7 @@ impl DhtCore {
 
     fn handle_response(&mut self, net: &mut dyn DhtNet, id: RpcId, from: Contact, body: Response) {
         let Some(pending) = self.pending.remove(&id) else {
-            net.count("dht.stale_response", 1);
+            net.count(crate::classes::STALE_RESPONSE.id(), 1);
             return;
         };
         match pending.purpose {
@@ -394,7 +394,7 @@ impl DhtCore {
 
     fn finish_lookup(&mut self, net: &mut dyn DhtNet, op: OpId) {
         let lookup = self.lookups.remove(&op).expect("finish only called for live lookups");
-        net.observe("dht.lookup.queries", lookup.queries_sent as f64);
+        net.observe(crate::classes::LOOKUP_QUERIES.id(), lookup.queries_sent as f64);
         let responders = lookup.closest_responded(self.cfg.k);
         match lookup.kind {
             LookupKind::Node => {
@@ -512,18 +512,18 @@ impl DhtCore {
         origin: Contact,
     ) {
         if hops >= self.cfg.max_route_hops {
-            net.count("dht.route.hop_limit_drop", 1);
+            net.count(crate::classes::ROUTE_HOP_LIMIT_DROP.id(), 1);
             return;
         }
         match self.table.next_hop(&key) {
             None => {
-                net.observe("dht.route.hops", hops as f64);
+                net.observe(crate::classes::ROUTE_HOPS.id(), hops as f64);
                 self.events.push_back(DhtEvent::RouteDelivered { key, payload, origin, hops });
             }
             Some(hop) => {
                 let msg = DhtMsg::Route { key, payload, hops: hops + 1, origin };
                 let wire = msg.encoded_len() + self.cfg.header_bytes;
-                net.send_dht(hop.node, msg, wire, "dht.route");
+                net.send_dht(hop.node, msg, wire, crate::classes::ROUTE.id());
             }
         }
     }
@@ -537,7 +537,7 @@ impl DhtCore {
             self.pending.iter().filter(|(_, p)| p.deadline <= now).map(|(id, _)| *id).collect();
         for id in expired {
             let p = self.pending.remove(&id).expect("listed above");
-            net.count("dht.rpc_timeout", 1);
+            net.count(crate::classes::RPC_TIMEOUT.id(), 1);
             self.table.remove(&p.dst.key);
             match p.purpose {
                 RpcPurpose::Lookup(op) => {
@@ -574,7 +574,7 @@ impl DhtCore {
                 r.next_at = now + pier_netsim::SimDuration::from_micros(r.ttl_us / 2);
                 (r.key, r.value.clone(), r.ttl_us, r.routed)
             };
-            net.count("dht.republish", 1);
+            net.count(crate::classes::REPUBLISH.id(), 1);
             if routed {
                 let origin = self.local();
                 self.route_store_step(net, key, value, ttl_us, 0, origin);
@@ -595,7 +595,7 @@ impl DhtCore {
         let targets: Vec<Key> =
             self.table.stale_refresh_targets(cutoff).into_iter().take(2).collect();
         for t in targets {
-            net.count("dht.bucket_refresh", 1);
+            net.count(crate::classes::BUCKET_REFRESH.id(), 1);
             self.start_lookup(net, t, LookupKind::Node);
         }
     }

@@ -27,6 +27,7 @@
 //! hybrid ultrapeer) implement [`DhtApp`].
 
 pub mod bootstrap;
+pub mod classes;
 mod config;
 mod contact;
 mod core;

@@ -6,8 +6,10 @@
 //! paper); `AppDirect` is the exception the paper carves out for query
 //! answers, which flow straight back to the query node.
 
+use crate::classes;
 use crate::contact::Contact;
 use crate::key::Key;
+use pier_netsim::MetricClass;
 use serde::{Deserialize, Serialize};
 
 /// Correlates a response with its request (unique per sender).
@@ -94,24 +96,24 @@ impl DhtMsg {
         pier_codec::encoded_size(self).expect("DHT messages always serialize")
     }
 
-    /// Metrics class for this message.
-    pub fn class(&self) -> &'static str {
+    /// Interned metrics class for this message.
+    pub fn class(&self) -> MetricClass {
         match self {
             DhtMsg::Request { body, .. } => match body {
-                Request::Ping => "dht.req.ping",
-                Request::FindNode { .. } => "dht.req.find_node",
-                Request::Store { .. } => "dht.req.store",
-                Request::FindValue { .. } => "dht.req.find_value",
+                Request::Ping => classes::REQ_PING.id(),
+                Request::FindNode { .. } => classes::REQ_FIND_NODE.id(),
+                Request::Store { .. } => classes::REQ_STORE.id(),
+                Request::FindValue { .. } => classes::REQ_FIND_VALUE.id(),
             },
             DhtMsg::Response { body, .. } => match body {
-                Response::Pong => "dht.resp.pong",
-                Response::Nodes { .. } => "dht.resp.nodes",
-                Response::StoreAck => "dht.resp.store_ack",
-                Response::Values { .. } => "dht.resp.values",
+                Response::Pong => classes::RESP_PONG.id(),
+                Response::Nodes { .. } => classes::RESP_NODES.id(),
+                Response::StoreAck => classes::RESP_STORE_ACK.id(),
+                Response::Values { .. } => classes::RESP_VALUES.id(),
             },
-            DhtMsg::Route { .. } => "dht.route",
-            DhtMsg::RouteStore { .. } => "dht.route_store",
-            DhtMsg::AppDirect { .. } => "dht.app_direct",
+            DhtMsg::Route { .. } => classes::ROUTE.id(),
+            DhtMsg::RouteStore { .. } => classes::ROUTE_STORE.id(),
+            DhtMsg::AppDirect { .. } => classes::APP_DIRECT.id(),
         }
     }
 }

@@ -4,7 +4,7 @@
 use crate::contact::Contact;
 use crate::core::{DhtCore, DhtEvent, DhtNet};
 use crate::msg::DhtMsg;
-use pier_netsim::{Actor, Ctx, NodeId, SimRng, SimTime, TimerToken};
+use pier_netsim::{Actor, Ctx, MetricClass, NodeId, SimRng, SimTime, TimerToken};
 
 /// Token used for the periodic maintenance tick.
 pub const TICK_TOKEN: TimerToken = TimerToken(0xD417);
@@ -46,13 +46,13 @@ impl DhtNet for CtxNet<'_> {
     fn rng(&mut self) -> &mut SimRng {
         self.ctx.rng()
     }
-    fn send_dht(&mut self, dst: NodeId, msg: DhtMsg, wire_bytes: usize, class: &'static str) {
+    fn send_dht(&mut self, dst: NodeId, msg: DhtMsg, wire_bytes: usize, class: MetricClass) {
         self.ctx.send(dst, msg, wire_bytes, class);
     }
-    fn count(&mut self, class: &'static str, n: u64) {
+    fn count(&mut self, class: MetricClass, n: u64) {
         self.ctx.count(class, n);
     }
-    fn observe(&mut self, class: &'static str, value: f64) {
+    fn observe(&mut self, class: MetricClass, value: f64) {
         self.ctx.observe(class, value);
     }
 }

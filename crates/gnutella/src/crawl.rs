@@ -82,11 +82,14 @@ impl Crawler {
             self.pending.insert(next, ctx.now() + self.rpc_timeout);
             let msg = GnutellaMsg::CrawlPing;
             let size = msg.wire_size();
-            ctx.send(next, msg, size, "gnutella.crawl_ping");
+            ctx.send(next, msg, size, crate::classes::CRAWL_PING.id());
         }
         if self.pending.is_empty() && self.queue.is_empty() && self.finished_at.is_none() {
             self.finished_at = Some(ctx.now());
-            ctx.observe("crawl.duration_s", (ctx.now() - self.started_at).as_secs_f64());
+            ctx.observe(
+                crate::classes::CRAWL_DURATION_S.id(),
+                (ctx.now() - self.started_at).as_secs_f64(),
+            );
         }
     }
 }

@@ -96,7 +96,7 @@ impl LeafCore {
                     .into_iter()
                     .map(|f| Hit { file: f.clone(), host: net.self_node() })
                     .collect();
-                net.count("gnutella.leaf_matches", hits.len() as u64);
+                net.count(crate::classes::LEAF_MATCHES.id(), hits.len() as u64);
                 if !hits.is_empty() {
                     net.send(from, GnutellaMsg::LeafHits { guid, hits });
                 }
@@ -113,7 +113,7 @@ impl LeafCore {
             GnutellaMsg::BrowseHost => {
                 net.send(from, GnutellaMsg::BrowseHostReply { files: self.store.files().to_vec() });
             }
-            _ => net.count("gnutella.unexpected_msg", 1),
+            _ => net.count(crate::classes::UNEXPECTED_MSG.id(), 1),
         }
     }
 }
@@ -154,8 +154,8 @@ mod tests {
         fn send(&mut self, dst: NodeId, msg: GnutellaMsg) {
             self.sent.push((dst, msg));
         }
-        fn count(&mut self, _class: &'static str, _n: u64) {}
-        fn observe(&mut self, _class: &'static str, _value: f64) {}
+        fn count(&mut self, _class: pier_netsim::MetricClass, _n: u64) {}
+        fn observe(&mut self, _class: pier_netsim::MetricClass, _value: f64) {}
     }
 
     fn leaf_with_files() -> (LeafCore, FakeNet) {

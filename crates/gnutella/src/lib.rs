@@ -19,6 +19,7 @@
 //! ultrapeer (§7).
 
 mod bloom;
+pub mod classes;
 mod config;
 pub mod crawl;
 mod files;

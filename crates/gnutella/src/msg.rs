@@ -3,7 +3,7 @@
 
 use crate::bloom::QrpFilter;
 use crate::files::FileMeta;
-use pier_netsim::NodeId;
+use pier_netsim::{MetricClass, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Gnutella descriptor header: 16-byte GUID + type + TTL + hops + 4-byte
@@ -115,19 +115,21 @@ impl GnutellaMsg {
         }
     }
 
-    pub fn class(&self) -> &'static str {
+    /// Interned metrics class for this message.
+    pub fn class(&self) -> MetricClass {
+        use crate::classes;
         match self {
-            GnutellaMsg::Query { .. } => "gnutella.query",
-            GnutellaMsg::QueryHit { .. } => "gnutella.query_hit",
-            GnutellaMsg::CrawlPing => "gnutella.crawl_ping",
-            GnutellaMsg::CrawlPong { .. } => "gnutella.crawl_pong",
-            GnutellaMsg::QrpUpdate { .. } => "gnutella.qrp",
-            GnutellaMsg::LeafQuery { .. } => "gnutella.leaf_query",
-            GnutellaMsg::LeafResults { .. } => "gnutella.leaf_results",
-            GnutellaMsg::LeafForward { .. } => "gnutella.leaf_forward",
-            GnutellaMsg::LeafHits { .. } => "gnutella.leaf_hits",
-            GnutellaMsg::BrowseHost => "gnutella.browse",
-            GnutellaMsg::BrowseHostReply { .. } => "gnutella.browse_reply",
+            GnutellaMsg::Query { .. } => classes::QUERY.id(),
+            GnutellaMsg::QueryHit { .. } => classes::QUERY_HIT.id(),
+            GnutellaMsg::CrawlPing => classes::CRAWL_PING.id(),
+            GnutellaMsg::CrawlPong { .. } => classes::CRAWL_PONG.id(),
+            GnutellaMsg::QrpUpdate { .. } => classes::QRP.id(),
+            GnutellaMsg::LeafQuery { .. } => classes::LEAF_QUERY.id(),
+            GnutellaMsg::LeafResults { .. } => classes::LEAF_RESULTS.id(),
+            GnutellaMsg::LeafForward { .. } => classes::LEAF_FORWARD.id(),
+            GnutellaMsg::LeafHits { .. } => classes::LEAF_HITS.id(),
+            GnutellaMsg::BrowseHost => classes::BROWSE.id(),
+            GnutellaMsg::BrowseHostReply { .. } => classes::BROWSE_REPLY.id(),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! `pier_dht::DhtNet` so both protocol stacks can share one actor.
 
 use crate::msg::GnutellaMsg;
-use pier_netsim::{Ctx, NodeId, SimRng, SimTime};
+use pier_netsim::{Ctx, MetricClass, NodeId, SimRng, SimTime};
 
 /// How Gnutella protocol cores reach the network.
 pub trait GnutellaNet {
@@ -11,8 +11,8 @@ pub trait GnutellaNet {
     fn rng(&mut self) -> &mut SimRng;
     /// Send a protocol message; implementations account `msg.wire_size()`.
     fn send(&mut self, dst: NodeId, msg: GnutellaMsg);
-    fn count(&mut self, class: &'static str, n: u64);
-    fn observe(&mut self, class: &'static str, value: f64);
+    fn count(&mut self, class: MetricClass, n: u64);
+    fn observe(&mut self, class: MetricClass, value: f64);
 }
 
 /// Adapter for actors whose simulation message type is exactly
@@ -36,10 +36,10 @@ impl GnutellaNet for CtxGnutellaNet<'_> {
         let class = msg.class();
         self.ctx.send(dst, msg, size, class);
     }
-    fn count(&mut self, class: &'static str, n: u64) {
+    fn count(&mut self, class: MetricClass, n: u64) {
         self.ctx.count(class, n);
     }
-    fn observe(&mut self, class: &'static str, value: f64) {
+    fn observe(&mut self, class: MetricClass, value: f64) {
         self.ctx.observe(class, value);
     }
 }

@@ -197,7 +197,7 @@ impl UltrapeerCore {
             );
         }
         record.probes_sent = probe_count as u32;
-        net.count("gnutella.queries_started", 1);
+        net.count(crate::classes::QUERIES_STARTED.id(), 1);
 
         self.dyn_state.insert(
             guid,
@@ -270,7 +270,7 @@ impl UltrapeerCore {
                 net.send(from, reply);
             }
             // Leaf-only or reply messages; an ultrapeer ignores them.
-            _ => net.count("gnutella.unexpected_msg", 1),
+            _ => net.count(crate::classes::UNEXPECTED_MSG.id(), 1),
         }
     }
 
@@ -284,7 +284,7 @@ impl UltrapeerCore {
         terms: String,
     ) {
         if self.seen.contains_key(&guid) {
-            net.count("gnutella.duplicate_query", 1);
+            net.count(crate::classes::DUPLICATE_QUERY.id(), 1);
             return;
         }
         self.seen.insert(guid, SeenEntry { from, at: net.now() });
@@ -311,7 +311,7 @@ impl UltrapeerCore {
             .filter(|(_, qrp)| qrp.as_ref().is_some_and(|f| f.matches_all(&term_list)))
             .map(|(n, _)| *n)
             .collect();
-        net.count("gnutella.leaf_forwards", matching_leaves.len() as u64);
+        net.count(crate::classes::LEAF_FORWARDS.id(), matching_leaves.len() as u64);
         for leaf in matching_leaves {
             net.send(leaf, GnutellaMsg::LeafForward { guid, terms: terms.clone() });
         }
@@ -343,7 +343,7 @@ impl UltrapeerCore {
             if record.first_hit_at.is_none() && !hits.is_empty() {
                 record.first_hit_at = Some(net.now());
                 net.observe(
-                    "gnutella.first_hit_latency_s",
+                    crate::classes::FIRST_HIT_LATENCY_S.id(),
                     (net.now() - record.issued_at).as_secs_f64(),
                 );
             }
@@ -361,7 +361,7 @@ impl UltrapeerCore {
                     net.send(dst, GnutellaMsg::QueryHit { guid, hits: chunk.to_vec() });
                 }
             }
-            _ => net.count("gnutella.orphan_hits", 1),
+            _ => net.count(crate::classes::ORPHAN_HITS.id(), 1),
         }
     }
 
@@ -418,8 +418,8 @@ impl UltrapeerCore {
 
     fn finish(record: &mut QueryRecord, _guid: Guid, net: &mut dyn GnutellaNet) {
         record.finished = true;
-        net.count("gnutella.queries_finished", 1);
-        net.observe("gnutella.results_per_query", record.hits.len() as f64);
+        net.count(crate::classes::QUERIES_FINISHED.id(), 1);
+        net.observe(crate::classes::RESULTS_PER_QUERY.id(), record.hits.len() as f64);
         if let QueryOrigin::Leaf { leaf, qid } = record.origin {
             net.send(leaf, GnutellaMsg::LeafResults { qid, hits: Vec::new(), done: true });
         }
@@ -470,8 +470,8 @@ mod tests {
         fn send(&mut self, dst: NodeId, msg: GnutellaMsg) {
             self.sent.push((dst, msg));
         }
-        fn count(&mut self, _class: &'static str, _n: u64) {}
-        fn observe(&mut self, _class: &'static str, _value: f64) {}
+        fn count(&mut self, _class: pier_netsim::MetricClass, _n: u64) {}
+        fn observe(&mut self, _class: pier_netsim::MetricClass, _value: f64) {}
     }
 
     fn up_with_neighbors(n: usize) -> (UltrapeerCore, FakeNet) {

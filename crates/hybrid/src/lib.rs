@@ -16,6 +16,7 @@
 //!   hybrid ultrapeers inside a stock Gnutella network, with the hybrid
 //!   subset forming its own DHT overlay.
 
+pub mod classes;
 pub mod deploy;
 mod msg;
 mod plain;

@@ -4,6 +4,7 @@
 
 use pier_dht::DhtMsg;
 use pier_gnutella::GnutellaMsg;
+use pier_netsim::MetricClass;
 
 /// A message on the hybrid network.
 #[derive(Clone, Debug)]
@@ -13,7 +14,8 @@ pub enum HybridMsg {
 }
 
 impl HybridMsg {
-    pub fn class(&self) -> &'static str {
+    /// Interned metrics class, delegated to the wrapped protocol message.
+    pub fn class(&self) -> MetricClass {
         match self {
             HybridMsg::G(m) => m.class(),
             HybridMsg::D(m) => m.class(),
@@ -28,6 +30,6 @@ mod tests {
     #[test]
     fn classes_delegate() {
         let g = HybridMsg::G(GnutellaMsg::CrawlPing);
-        assert_eq!(g.class(), "gnutella.crawl_ping");
+        assert_eq!(g.class().name(), "gnutella.crawl_ping");
     }
 }

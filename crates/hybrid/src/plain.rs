@@ -32,7 +32,7 @@ impl Actor<HybridMsg> for PlainUp {
                 let mut net = GNet { ctx };
                 self.core.on_message(&mut net, from, g);
             }
-            HybridMsg::D(_) => ctx.count("hybrid.dht_msg_to_plain_node", 1),
+            HybridMsg::D(_) => ctx.count(crate::classes::DHT_MSG_TO_PLAIN_NODE.id(), 1),
         }
     }
 
@@ -68,7 +68,7 @@ impl Actor<HybridMsg> for PlainLeaf {
                 let mut net = GNet { ctx };
                 self.core.on_message(&mut net, from, g);
             }
-            HybridMsg::D(_) => ctx.count("hybrid.dht_msg_to_plain_node", 1),
+            HybridMsg::D(_) => ctx.count(crate::classes::DHT_MSG_TO_PLAIN_NODE.id(), 1),
         }
     }
 

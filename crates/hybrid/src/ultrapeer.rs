@@ -14,7 +14,7 @@ use pier_dht::{DhtCore, DhtMsg, DhtNet, Key};
 use pier_gnutella::{
     FileMeta, GnutellaMsg, GnutellaNet, Guid, Hit, QueryOrigin, SnoopEvent, UltrapeerCore,
 };
-use pier_netsim::{Actor, Ctx, NodeId, SimDuration, SimRng, SimTime, TimerToken};
+use pier_netsim::{Actor, Ctx, MetricClass, NodeId, SimDuration, SimRng, SimTime, TimerToken};
 use pier_qp::{PierConfig, PierCore};
 use piersearch::{file_id, IndexMode, ItemRecord, Publisher, SearchConfig, SearchEngine};
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -357,10 +357,10 @@ impl GnutellaNet for GNet<'_> {
         let class = msg.class();
         self.ctx.send(dst, HybridMsg::G(msg), size, class);
     }
-    fn count(&mut self, class: &'static str, n: u64) {
+    fn count(&mut self, class: MetricClass, n: u64) {
         self.ctx.count(class, n);
     }
-    fn observe(&mut self, class: &'static str, value: f64) {
+    fn observe(&mut self, class: MetricClass, value: f64) {
         self.ctx.observe(class, value);
     }
 }
@@ -380,13 +380,13 @@ impl DhtNet for DNet<'_> {
     fn rng(&mut self) -> &mut SimRng {
         self.ctx.rng()
     }
-    fn send_dht(&mut self, dst: NodeId, msg: DhtMsg, wire_bytes: usize, class: &'static str) {
+    fn send_dht(&mut self, dst: NodeId, msg: DhtMsg, wire_bytes: usize, class: MetricClass) {
         self.ctx.send(dst, HybridMsg::D(msg), wire_bytes, class);
     }
-    fn count(&mut self, class: &'static str, n: u64) {
+    fn count(&mut self, class: MetricClass, n: u64) {
         self.ctx.count(class, n);
     }
-    fn observe(&mut self, class: &'static str, value: f64) {
+    fn observe(&mut self, class: MetricClass, value: f64) {
         self.ctx.observe(class, value);
     }
 }

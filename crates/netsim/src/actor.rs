@@ -1,6 +1,7 @@
 //! The actor abstraction: simulated processes and their interface to the
 //! simulation kernel.
 
+use crate::metrics::MetricClass;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -60,12 +61,14 @@ pub trait Ctx<M> {
 
     /// Send `msg` to `dst`. `wire_bytes` is the size accounted to the
     /// network (application-level bytes including protocol headers);
-    /// `class` labels the message for metrics (e.g. `"gnutella.query"`).
+    /// `class` labels the message for metrics — an interned
+    /// [`MetricClass`] id, resolved once per call-site (see
+    /// [`crate::LazyMetricClass`] and the `metric_classes!` macro).
     ///
     /// Delivery latency is drawn from the simulation's latency model.
     /// Messages to nodes that are down are silently dropped, as on a real
     /// network.
-    fn send(&mut self, dst: NodeId, msg: M, wire_bytes: usize, class: &'static str);
+    fn send(&mut self, dst: NodeId, msg: M, wire_bytes: usize, class: MetricClass);
 
     /// Arm a one-shot timer that fires after `delay` with the given token.
     fn set_timer(&mut self, delay: SimDuration, token: TimerToken);
@@ -73,12 +76,12 @@ pub trait Ctx<M> {
     /// This node's deterministic RNG stream.
     fn rng(&mut self) -> &mut SimRng;
 
-    /// Increment a named metric counter by `n` (for protocol-level stats
-    /// that are not message sends).
-    fn count(&mut self, class: &'static str, n: u64);
+    /// Increment a metric counter by `n` (for protocol-level stats that
+    /// are not message sends).
+    fn count(&mut self, class: MetricClass, n: u64);
 
-    /// Record a sample in a named histogram metric.
-    fn observe(&mut self, class: &'static str, value: f64);
+    /// Record a sample in a histogram metric.
+    fn observe(&mut self, class: MetricClass, value: f64);
 }
 
 /// A simulated process. `M` is the simulation-wide message type; higher

@@ -20,12 +20,20 @@
 //!   two-cluster WAN model approximating the paper's "two continents"
 //!   PlanetLab deployment.
 //! * **Metrics.** Global and per-class counters for messages and bytes, and
-//!   streaming histograms used to produce the CDFs in the paper's figures.
+//!   bounded streaming histograms used to produce the CDFs in the paper's
+//!   figures. Classes are interned [`MetricClass`] ids resolved once per
+//!   call-site (declare them with [`metric_classes!`]), so the per-message
+//!   hot path never hashes or compares strings.
 //!
 //! # Example
 //!
 //! ```
 //! use pier_netsim::{Actor, Ctx, NodeId, Sim, SimConfig, SimDuration, TimerToken};
+//!
+//! pier_netsim::metric_classes! {
+//!     PING = "ping";
+//!     PONG = "pong";
+//! }
 //!
 //! struct Pinger { peer: NodeId, got: u32 }
 //! enum Msg { Ping, Pong }
@@ -33,12 +41,12 @@
 //! impl Actor<Msg> for Pinger {
 //!     fn on_start(&mut self, ctx: &mut dyn Ctx<Msg>) {
 //!         if ctx.self_id().index() == 0 {
-//!             ctx.send(self.peer, Msg::Ping, 23, "ping");
+//!             ctx.send(self.peer, Msg::Ping, 23, PING.id());
 //!         }
 //!     }
 //!     fn on_message(&mut self, ctx: &mut dyn Ctx<Msg>, from: NodeId, msg: Msg) {
 //!         match msg {
-//!             Msg::Ping => ctx.send(from, Msg::Pong, 23, "pong"),
+//!             Msg::Ping => ctx.send(from, Msg::Pong, 23, PONG.id()),
 //!             Msg::Pong => self.got += 1,
 //!         }
 //!     }
@@ -63,7 +71,7 @@ mod time;
 
 pub use actor::{Actor, Ctx, NodeId, TimerToken};
 pub use latency::{ClusteredWan, ConstantLatency, LatencyModel, UniformLatency};
-pub use metrics::{Cdf, Counter, Histogram, Metrics};
+pub use metrics::{Cdf, Counter, Histogram, LazyMetricClass, MetricClass, Metrics};
 pub use rng::{derive_seed, split_mix64, stream_rng, SimRng};
 pub use sim::{Sim, SimConfig};
 pub use time::{SimDuration, SimTime};

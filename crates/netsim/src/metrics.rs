@@ -1,9 +1,25 @@
-//! Simulation metrics: counters keyed by message class, and streaming
-//! histograms for latency/size distributions. These back the CDF plots and
-//! overhead tables in the paper's evaluation.
+//! Simulation metrics: counters keyed by interned message class, and
+//! bounded streaming histograms for latency/size distributions. These back
+//! the CDF plots and overhead tables in the paper's evaluation.
+//!
+//! # Interned metric classes
+//!
+//! Every simulated message pays for metrics accounting, so the hot path
+//! must not hash or compare strings. A class name is interned once into a
+//! dense [`MetricClass`] id (process-wide registry, assigned in first-come
+//! order) and counters live in a `Vec<Counter>` indexed by that id.
+//! Call-sites resolve their names a single time through
+//! [`LazyMetricClass`] statics (see the [`metric_classes!`] macro); the
+//! steady-state cost of [`Metrics::record_send`] is two array writes.
+//!
+//! The *read* side stays name-keyed ([`Metrics::counter`],
+//! [`Metrics::counter_prefix_sum`], [`Metrics::counters`]) so experiment
+//! drivers and snapshot/diff output are unaffected by registration order.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// A message/byte counter pair for one class of traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -17,15 +33,194 @@ impl Counter {
         self.count += n;
         self.bytes += bytes;
     }
+
+    fn is_zero(&self) -> bool {
+        self.count == 0 && self.bytes == 0
+    }
 }
 
-/// A simple exact histogram over `f64` samples. For the scales in this
-/// workspace (≤ millions of samples per experiment) storing samples exactly
-/// is affordable and keeps quantile computation trivially correct.
+// ---------------------------------------------------------------------------
+// Class interning
+// ---------------------------------------------------------------------------
+
+/// An interned metric class id: a dense index into per-run metric storage.
+/// Obtain one via [`MetricClass::register`] (or a [`LazyMetricClass`]
+/// static, which caches the registration).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricClass(u32);
+
+struct Registry {
+    names: Vec<&'static str>,
+    by_name: HashMap<&'static str, u32>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry { names: Vec::new(), by_name: HashMap::new() }))
+}
+
+impl MetricClass {
+    /// Intern `name`, returning its dense id. Idempotent: the same name
+    /// always maps to the same id for the lifetime of the process. Ids are
+    /// assigned in first-registration order, which is why *read* APIs key
+    /// by name — registration order may differ between runs.
+    pub fn register(name: &'static str) -> MetricClass {
+        let mut reg = registry().lock().expect("metric registry poisoned");
+        if let Some(&id) = reg.by_name.get(name) {
+            return MetricClass(id);
+        }
+        let id = u32::try_from(reg.names.len()).expect("metric class space exhausted");
+        reg.names.push(name);
+        reg.by_name.insert(name, id);
+        MetricClass(id)
+    }
+
+    /// Look up an already-registered name.
+    pub fn lookup(name: &str) -> Option<MetricClass> {
+        let reg = registry().lock().expect("metric registry poisoned");
+        reg.by_name.get(name).map(|&id| MetricClass(id))
+    }
+
+    /// The class name this id was registered under.
+    pub fn name(self) -> &'static str {
+        let reg = registry().lock().expect("metric registry poisoned");
+        reg.names[self.0 as usize]
+    }
+
+    /// Dense index into per-run metric storage.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MetricClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricClass({} = {:?})", self.0, self.name())
+    }
+}
+
+/// Every `(name, Counter)` pair currently registered, in name order.
+fn named_snapshot() -> Vec<(&'static str, u32)> {
+    let reg = registry().lock().expect("metric registry poisoned");
+    let mut v: Vec<(&'static str, u32)> =
+        reg.names.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect();
+    v.sort_unstable_by_key(|(n, _)| *n);
+    v
+}
+
+/// A call-site cache for a [`MetricClass`]: `const`-constructible, resolves
+/// the name through the registry on first use, then answers from a relaxed
+/// atomic load. Declare them once per crate with [`metric_classes!`].
+pub struct LazyMetricClass {
+    name: &'static str,
+    id: AtomicU32,
+}
+
+const UNRESOLVED: u32 = u32::MAX;
+
+impl LazyMetricClass {
+    pub const fn new(name: &'static str) -> Self {
+        LazyMetricClass { name, id: AtomicU32::new(UNRESOLVED) }
+    }
+
+    /// The interned id (registering on first call).
+    #[inline]
+    pub fn id(&self) -> MetricClass {
+        let v = self.id.load(Ordering::Relaxed);
+        if v != UNRESOLVED {
+            return MetricClass(v);
+        }
+        self.resolve()
+    }
+
+    #[cold]
+    fn resolve(&self) -> MetricClass {
+        let class = MetricClass::register(self.name);
+        self.id.store(class.0, Ordering::Relaxed);
+        class
+    }
+
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Declare a block of [`LazyMetricClass`] statics — one per metric class a
+/// crate records — so every call-site resolves its id exactly once:
+///
+/// ```
+/// pier_netsim::metric_classes! {
+///     /// Flooded keyword queries.
+///     pub QUERY = "example.query";
+///     pub QUERY_HIT = "example.query_hit";
+/// }
+/// assert_eq!(QUERY.id(), QUERY.id());
+/// assert_eq!(QUERY.name(), "example.query");
+/// ```
+#[macro_export]
+macro_rules! metric_classes {
+    ($($(#[$meta:meta])* $vis:vis $name:ident = $class:literal;)+) => {
+        $(
+            $(#[$meta])*
+            $vis static $name: $crate::LazyMetricClass =
+                $crate::LazyMetricClass::new($class);
+        )+
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Streaming histogram
+// ---------------------------------------------------------------------------
+
+/// Log-spaced bins per power of two. Relative bin width is
+/// `2^(1/8) − 1 ≈ 9.05%`, so any quantile is reproduced within one bin
+/// width (≤ ~9% relative error) while min/max/mean/count stay exact.
+const BINS_PER_DOUBLING: f64 = 8.0;
+
+/// Smallest positive value with its own bin; anything at or below this
+/// (including zero) lands in the dedicated low bin.
+const MIN_TRACKED: f64 = 1e-9;
+
+/// Hard cap on bin storage: 1024 log-spaced bins cover
+/// `[1e-9, 1e-9 × 2^128)` — far beyond any simulated latency, hop count,
+/// or result-set size. Larger samples clamp into the last bin (and are
+/// still reported exactly through `max`).
+const MAX_BINS: usize = 1024;
+
+/// Growth factor between consecutive bin lower edges.
+fn bin_growth() -> f64 {
+    2f64.powf(1.0 / BINS_PER_DOUBLING)
+}
+
+/// A bounded streaming histogram over non-negative `f64` samples.
+///
+/// Unlike its exact-sample predecessor it never stores samples: memory is
+/// bounded by [`MAX_BINS`] regardless of run length, `record` is O(1) with
+/// no re-sorting, and `quantile` walks the (lazily grown) bin table.
+/// `min`, `max`, `mean`, and `len` are exact; quantiles are accurate to
+/// one log-spaced bin width.
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
-    samples: Vec<f64>,
-    sorted: bool,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Samples `<= MIN_TRACKED` (zeros, mostly).
+    low: u64,
+    /// `bins[i]` counts samples in `[MIN_TRACKED·g^i, MIN_TRACKED·g^(i+1))`;
+    /// grown lazily to the highest index seen.
+    bins: Vec<u64>,
+}
+
+/// Bin index for a positive sample above `MIN_TRACKED`.
+fn bin_index(value: f64) -> usize {
+    let idx = ((value / MIN_TRACKED).log2() * BINS_PER_DOUBLING).floor();
+    (idx.max(0.0) as usize).min(MAX_BINS - 1)
+}
+
+/// Geometric midpoint of bin `i` (its representative value).
+fn bin_mid(i: usize) -> f64 {
+    MIN_TRACKED * bin_growth().powf(i as f64 + 0.5)
 }
 
 impl Histogram {
@@ -35,116 +230,190 @@ impl Histogram {
 
     pub fn record(&mut self, value: f64) {
         debug_assert!(value.is_finite(), "histogram sample must be finite");
-        self.samples.push(value);
-        self.sorted = false;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        if value <= MIN_TRACKED {
+            self.low += 1;
+        } else {
+            let i = bin_index(value);
+            if i >= self.bins.len() {
+                self.bins.resize(i + 1, 0);
+            }
+            self.bins[i] += 1;
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count == 0
     }
 
+    /// Exact mean. Returns 0.0 when empty.
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return 0.0;
         }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        self.sum / self.count as f64
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-            self.sorted = true;
+    /// Exact minimum. Returns 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
         }
+        self.min
     }
 
-    /// Quantile in `[0, 1]` by nearest-rank. Returns 0.0 when empty.
-    pub fn quantile(&mut self, q: f64) -> f64 {
+    /// Exact maximum. Returns 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.max
+    }
+
+    /// Quantile in `[0, 1]` by nearest-rank over the bins, accurate to one
+    /// bin width (the representative is the bin's geometric midpoint,
+    /// clamped into `[min, max]`). Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return 0.0;
         }
-        self.ensure_sorted();
-        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
-        self.samples[rank - 1]
-    }
-
-    pub fn min(&mut self) -> f64 {
-        self.quantile(0.0).min(self.samples.first().copied().unwrap_or(0.0))
-    }
-
-    pub fn max(&mut self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly; answer them exactly.
+        if rank == 1 {
+            return self.min;
         }
-        self.ensure_sorted();
-        *self.samples.last().unwrap()
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = self.low;
+        if rank <= seen {
+            // The low bin holds zeros (and sub-nanosecond values); its
+            // samples are all ≤ MIN_TRACKED, so `min` is the honest answer.
+            return self.min;
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                return bin_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 
-    /// Freeze into a [`Cdf`] for plotting.
-    pub fn cdf(&mut self) -> Cdf {
-        self.ensure_sorted();
-        Cdf { samples: self.samples.clone() }
+    /// Freeze into a [`Cdf`] for plotting: one weighted step per non-empty
+    /// bin at its representative value (clamped into `[min, max]`), so the
+    /// result stays O(bins) regardless of how many samples were recorded.
+    pub fn cdf(&self) -> Cdf {
+        let mut weighted: Vec<(f64, u64)> = Vec::with_capacity(self.bins.len() + 1);
+        let push = |weighted: &mut Vec<(f64, u64)>, v: f64, c: u64| {
+            if c == 0 {
+                return;
+            }
+            match weighted.last_mut() {
+                // Clamping can map adjacent bins onto one value; merge.
+                Some((last, count)) if *last == v => *count += c,
+                _ => weighted.push((v, c)),
+            }
+        };
+        push(&mut weighted, self.min, self.low);
+        for (i, &c) in self.bins.iter().enumerate() {
+            push(&mut weighted, bin_mid(i).clamp(self.min, self.max), c);
+        }
+        Cdf::from_sorted_weighted(weighted)
     }
 }
 
-/// An empirical CDF: `fraction_at_most(x)` is P(X ≤ x).
+/// An empirical CDF: `fraction_at_most(x)` is P(X ≤ x). Stored as a
+/// weighted staircase (one step per distinct value), so a CDF over
+/// millions of samples costs only its distinct values.
 #[derive(Clone, Debug)]
 pub struct Cdf {
-    samples: Vec<f64>, // sorted
+    /// `(value, cumulative count of samples ≤ value)`, strictly increasing
+    /// in both components.
+    steps: Vec<(f64, u64)>,
+    total: u64,
 }
 
 impl Cdf {
     /// Build from raw samples.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-        Cdf { samples }
+        let mut weighted: Vec<(f64, u64)> = Vec::new();
+        for v in samples {
+            match weighted.last_mut() {
+                Some((last, count)) if *last == v => *count += 1,
+                _ => weighted.push((v, 1)),
+            }
+        }
+        Cdf::from_sorted_weighted(weighted)
     }
 
+    /// Build from `(value, count)` pairs sorted by value (duplicates
+    /// already merged).
+    fn from_sorted_weighted(weighted: Vec<(f64, u64)>) -> Self {
+        let mut total = 0;
+        let steps = weighted
+            .into_iter()
+            .map(|(v, c)| {
+                total += c;
+                (v, total)
+            })
+            .collect();
+        Cdf { steps, total }
+    }
+
+    /// Number of samples the CDF was built from.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.total as usize
     }
 
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.total == 0
     }
 
     /// P(X ≤ x), in `[0, 1]`.
     pub fn fraction_at_most(&self, x: f64) -> f64 {
-        if self.samples.is_empty() {
+        if self.total == 0 {
             return 0.0;
         }
-        let idx = self.samples.partition_point(|s| *s <= x);
-        idx as f64 / self.samples.len() as f64
+        let idx = self.steps.partition_point(|(v, _)| *v <= x);
+        if idx == 0 {
+            0.0
+        } else {
+            self.steps[idx - 1].1 as f64 / self.total as f64
+        }
     }
 
     /// The evaluation points `(x, P(X ≤ x))` for each distinct sample value —
     /// the staircase the paper plots in Figures 5 and 6.
     pub fn points(&self) -> Vec<(f64, f64)> {
-        let mut out = Vec::new();
-        let n = self.samples.len() as f64;
-        let mut i = 0;
-        while i < self.samples.len() {
-            let x = self.samples[i];
-            let mut j = i;
-            while j < self.samples.len() && self.samples[j] == x {
-                j += 1;
-            }
-            out.push((x, j as f64 / n));
-            i = j;
-        }
-        out
+        self.steps.iter().map(|&(v, c)| (v, c as f64 / self.total as f64)).collect()
     }
 }
 
-/// All metrics for one simulation run.
+// ---------------------------------------------------------------------------
+// Per-run metrics
+// ---------------------------------------------------------------------------
+
+/// All metrics for one simulation run. Mutation is id-keyed (hot path);
+/// reads are name-keyed so output is independent of registration order.
 #[derive(Default)]
 pub struct Metrics {
-    counters: BTreeMap<&'static str, Counter>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: Vec<Counter>,
+    histograms: Vec<Histogram>,
     /// Total messages delivered (all classes).
     pub total_messages: u64,
     /// Total bytes delivered (all classes).
@@ -156,49 +425,88 @@ impl Metrics {
         Metrics::default()
     }
 
-    pub fn count(&mut self, class: &'static str, n: u64, bytes: u64) {
-        self.counters.entry(class).or_default().add(n, bytes);
+    #[inline]
+    fn counter_slot(&mut self, class: MetricClass) -> &mut Counter {
+        let i = class.index();
+        if i >= self.counters.len() {
+            self.counters.resize(i + 1, Counter::default());
+        }
+        &mut self.counters[i]
     }
 
-    pub fn record_send(&mut self, class: &'static str, bytes: u64) {
-        self.count(class, 1, bytes);
+    /// Add `n` events and `bytes` bytes to `class` (protocol-level stats).
+    #[inline]
+    pub fn count(&mut self, class: MetricClass, n: u64, bytes: u64) {
+        self.counter_slot(class).add(n, bytes);
+    }
+
+    /// Account one sent message of `bytes` bytes to `class`. This is the
+    /// kernel's per-message hot path: two array writes in steady state.
+    #[inline]
+    pub fn record_send(&mut self, class: MetricClass, bytes: u64) {
+        self.counter_slot(class).add(1, bytes);
         self.total_messages += 1;
         self.total_bytes += bytes;
     }
 
-    pub fn observe(&mut self, class: &'static str, value: f64) {
-        self.histograms.entry(class).or_default().record(value);
+    /// Record a sample in the histogram for `class`.
+    #[inline]
+    pub fn observe(&mut self, class: MetricClass, value: f64) {
+        self.histogram_mut(class).record(value);
     }
 
+    /// The histogram for an interned class id (creating it if untouched).
+    pub fn histogram_mut(&mut self, class: MetricClass) -> &mut Histogram {
+        let i = class.index();
+        if i >= self.histograms.len() {
+            self.histograms.resize_with(i + 1, Histogram::default);
+        }
+        &mut self.histograms[i]
+    }
+
+    /// Name-keyed counter read (zero for classes this run never touched).
     pub fn counter(&self, class: &str) -> Counter {
-        self.counters.get(class).copied().unwrap_or_default()
+        MetricClass::lookup(class)
+            .and_then(|c| self.counters.get(c.index()).copied())
+            .unwrap_or_default()
     }
 
+    /// Name-keyed histogram access (registers the class on demand).
     pub fn histogram(&mut self, class: &'static str) -> &mut Histogram {
-        self.histograms.entry(class).or_default()
+        self.histogram_mut(MetricClass::register(class))
     }
 
     /// Counters whose class name starts with `prefix`, summed.
     pub fn counter_prefix_sum(&self, prefix: &str) -> Counter {
         let mut total = Counter::default();
-        for (class, c) in &self.counters {
-            if class.starts_with(prefix) {
-                total.add(c.count, c.bytes);
+        for (name, id) in named_snapshot() {
+            if name.starts_with(prefix) {
+                if let Some(c) = self.counters.get(id as usize) {
+                    total.add(c.count, c.bytes);
+                }
             }
         }
         total
     }
 
-    /// Iterate over all counters in class-name order.
+    /// Iterate over all counters this run touched, in class-name order
+    /// (untouched registered classes are skipped, so snapshots do not
+    /// depend on what other code registered in the same process).
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, Counter)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        named_snapshot()
+            .into_iter()
+            .filter_map(|(name, id)| {
+                self.counters.get(id as usize).filter(|c| !c.is_zero()).map(|c| (name, *c))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 }
 
 impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<40} {:>12} {:>14}", "class", "messages", "bytes")?;
-        for (class, c) in &self.counters {
+        for (class, c) in self.counters() {
             writeln!(f, "{:<40} {:>12} {:>14}", class, c.count, c.bytes)?;
         }
         writeln!(f, "{:<40} {:>12} {:>14}", "TOTAL", self.total_messages, self.total_bytes)
@@ -209,17 +517,55 @@ impl fmt::Display for Metrics {
 mod tests {
     use super::*;
 
+    fn class(name: &'static str) -> MetricClass {
+        MetricClass::register(name)
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_name_keyed() {
+        let a = class("intern.a");
+        let b = class("intern.b");
+        assert_eq!(a, class("intern.a"));
+        assert_ne!(a, b);
+        assert_eq!(a.name(), "intern.a");
+        assert_eq!(MetricClass::lookup("intern.b"), Some(b));
+        assert_eq!(MetricClass::lookup("intern.never-registered"), None);
+    }
+
+    #[test]
+    fn lazy_class_resolves_once() {
+        static LAZY: LazyMetricClass = LazyMetricClass::new("intern.lazy");
+        let first = LAZY.id();
+        assert_eq!(first, LAZY.id());
+        assert_eq!(first, MetricClass::register("intern.lazy"));
+        assert_eq!(LAZY.name(), "intern.lazy");
+    }
+
     #[test]
     fn counter_accumulates() {
         let mut m = Metrics::new();
-        m.record_send("a.x", 100);
-        m.record_send("a.x", 50);
-        m.record_send("a.y", 10);
+        m.record_send(class("a.x"), 100);
+        m.record_send(class("a.x"), 50);
+        m.record_send(class("a.y"), 10);
         assert_eq!(m.counter("a.x"), Counter { count: 2, bytes: 150 });
         assert_eq!(m.counter_prefix_sum("a."), Counter { count: 3, bytes: 160 });
         assert_eq!(m.total_messages, 3);
         assert_eq!(m.total_bytes, 160);
         assert_eq!(m.counter("missing"), Counter::default());
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order_skipping_untouched() {
+        let mut m = Metrics::new();
+        // Register in non-alphabetical order; touch only two of three.
+        let z = class("order.z");
+        let a = class("order.a");
+        let _untouched = class("order.m");
+        m.record_send(z, 1);
+        m.record_send(a, 2);
+        let named: Vec<&str> =
+            m.counters().map(|(n, _)| n).filter(|n| n.starts_with("order.")).collect();
+        assert_eq!(named, vec!["order.a", "order.z"]);
     }
 
     #[test]
@@ -230,18 +576,70 @@ mod tests {
         }
         assert_eq!(h.len(), 5);
         assert_eq!(h.quantile(0.0), 1.0);
-        assert_eq!(h.quantile(0.5), 3.0);
+        let mid = h.quantile(0.5);
+        assert!((mid - 3.0).abs() <= 3.0 * (bin_growth() - 1.0), "p50 {mid} vs exact 3.0");
         assert_eq!(h.quantile(1.0), 5.0);
+        assert_eq!(h.min(), 1.0);
         assert_eq!(h.max(), 5.0);
         assert!((h.mean() - 3.0).abs() < 1e-12);
     }
 
     #[test]
-    fn histogram_empty_is_safe() {
+    fn histogram_min_max_empty_single_many() {
         let mut h = Histogram::new();
+        // Empty.
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        // Single.
+        h.record(7.25);
+        assert_eq!(h.min(), 7.25);
+        assert_eq!(h.max(), 7.25);
+        assert_eq!(h.quantile(0.5), 7.25);
+        // Many (including zero).
+        h.record(0.0);
+        h.record(123.0);
+        h.record(0.5);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 123.0);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn histogram_empty_is_safe() {
+        let h = Histogram::new();
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.mean(), 0.0);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_handles_zero_heavy_streams() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(0.0);
+        }
+        for _ in 0..10 {
+            h.record(50.0);
+        }
+        assert_eq!(h.quantile(0.5), 0.0, "median of a zero-heavy stream is zero");
+        let p95 = h.quantile(0.95);
+        assert!((p95 - 50.0).abs() <= 50.0 * (bin_growth() - 1.0), "p95 {p95}");
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 50.0);
+    }
+
+    #[test]
+    fn histogram_memory_is_bounded() {
+        let mut h = Histogram::new();
+        // A huge spread of magnitudes still uses at most MAX_BINS bins.
+        let mut v = 1e-12;
+        for _ in 0..2_000 {
+            h.record(v);
+            v *= 1.1;
+        }
+        assert!(h.bins.len() <= MAX_BINS);
+        assert_eq!(h.len(), 2_000);
+        assert_eq!(h.quantile(1.0), h.max());
     }
 
     #[test]
@@ -267,9 +665,21 @@ mod tests {
     }
 
     #[test]
+    fn histogram_cdf_preserves_mass_and_endpoints() {
+        let mut h = Histogram::new();
+        for v in [0.0, 1.0, 2.0, 4.0, 8.0, 100.0] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert_eq!(cdf.len(), 6);
+        assert_eq!(cdf.fraction_at_most(h.max()), 1.0);
+        assert!(cdf.fraction_at_most(-1.0) == 0.0);
+    }
+
+    #[test]
     fn metrics_display_contains_totals() {
         let mut m = Metrics::new();
-        m.record_send("z", 9);
+        m.record_send(class("z"), 9);
         let s = format!("{m}");
         assert!(s.contains("TOTAL"));
         assert!(s.contains('z'));

@@ -4,10 +4,15 @@
 use crate::actor::{Actor, Ctx, NodeId, TimerToken};
 use crate::event::{EventKind, EventQueue};
 use crate::latency::{ClusteredWan, LatencyModel};
-use crate::metrics::Metrics;
+use crate::metrics::{MetricClass, Metrics};
 use crate::rng::{stream_rng, SimRng};
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
+
+crate::metric_classes! {
+    /// Deliveries dropped because the destination node was down.
+    DROPPED_TO_DOWN = "sim.dropped_to_down_node";
+}
 
 /// Simulation-wide configuration.
 pub struct SimConfig {
@@ -68,7 +73,7 @@ struct Kernel<M> {
 }
 
 impl<M> Kernel<M> {
-    fn send_from(&mut self, src: NodeId, dst: NodeId, msg: M, bytes: usize, class: &'static str) {
+    fn send_from(&mut self, src: NodeId, dst: NodeId, msg: M, bytes: usize, class: MetricClass) {
         self.metrics.record_send(class, bytes as u64);
         let delay = {
             let rng = &mut self.rngs[src.index()];
@@ -93,7 +98,7 @@ impl<M> Ctx<M> for CtxImpl<'_, M> {
         self.self_id
     }
 
-    fn send(&mut self, dst: NodeId, msg: M, wire_bytes: usize, class: &'static str) {
+    fn send(&mut self, dst: NodeId, msg: M, wire_bytes: usize, class: MetricClass) {
         self.kernel.send_from(self.self_id, dst, msg, wire_bytes, class);
     }
 
@@ -107,11 +112,11 @@ impl<M> Ctx<M> for CtxImpl<'_, M> {
         &mut self.kernel.rngs[self.self_id.index()]
     }
 
-    fn count(&mut self, class: &'static str, n: u64) {
+    fn count(&mut self, class: MetricClass, n: u64) {
         self.kernel.metrics.count(class, n, 0);
     }
 
-    fn observe(&mut self, class: &'static str, value: f64) {
+    fn observe(&mut self, class: MetricClass, value: f64) {
         self.kernel.metrics.observe(class, value);
     }
 }
@@ -243,7 +248,7 @@ impl<M: 'static> Sim<M> {
         match event.kind {
             EventKind::Deliver { from, dst, msg } => {
                 if !self.kernel.up[dst.index()] {
-                    self.kernel.metrics.count("sim.dropped_to_down_node", 1, 0);
+                    self.kernel.metrics.count(DROPPED_TO_DOWN.id(), 1, 0);
                     return true;
                 }
                 let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: dst };
@@ -304,6 +309,11 @@ mod tests {
     use super::*;
     use crate::latency::ConstantLatency;
 
+    crate::metric_classes! {
+        PING = "test.ping";
+        PONG = "test.pong";
+    }
+
     /// Echoes every ping; counts pongs; optionally re-arms a periodic timer.
     struct Echo {
         peer: Option<NodeId>,
@@ -322,14 +332,14 @@ mod tests {
     impl Actor<Msg> for Echo {
         fn on_start(&mut self, ctx: &mut dyn Ctx<Msg>) {
             if let Some(peer) = self.peer {
-                ctx.send(peer, Msg::Ping, 23, "test.ping");
+                ctx.send(peer, Msg::Ping, 23, PING.id());
                 self.pings_sent += 1;
                 ctx.set_timer(SimDuration::from_secs(1), TimerToken(7));
             }
         }
         fn on_message(&mut self, ctx: &mut dyn Ctx<Msg>, from: NodeId, msg: Msg) {
             match msg {
-                Msg::Ping => ctx.send(from, Msg::Pong, 23, "test.pong"),
+                Msg::Ping => ctx.send(from, Msg::Pong, 23, PONG.id()),
                 Msg::Pong => {
                     self.pongs_got += 1;
                     self.last_pong_at = ctx.now();
@@ -446,7 +456,7 @@ mod tests {
         let (mut sim, a, b) = echo_pair();
         sim.run_until_quiescent();
         sim.with_actor_ctx::<Echo, _>(a, |echo, ctx| {
-            ctx.send(b, Msg::Ping, 23, "test.ping");
+            ctx.send(b, Msg::Ping, 23, PING.id());
             echo.pings_sent += 1;
         });
         sim.run_until_quiescent();

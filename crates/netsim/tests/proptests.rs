@@ -1,0 +1,110 @@
+//! Property tests for the bounded streaming histogram: on any sample set,
+//! its quantiles must agree with the old exact (store-and-sort) histogram
+//! within one log-spaced bin width, and its min/max/mean/count must be
+//! exact.
+
+use pier_netsim::Histogram;
+use proptest::prelude::*;
+
+/// The exact nearest-rank histogram the streaming one replaced; kept here
+/// as the reference implementation for the agreement property.
+struct ExactHistogram {
+    samples: Vec<f64>,
+}
+
+impl ExactHistogram {
+    fn new(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        ExactHistogram { samples }
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+}
+
+/// One log-spaced bin spans a factor of 2^(1/8); values within one bin of
+/// each other differ by at most that ratio (plus float fuzz).
+const BIN_RATIO: f64 = 1.0905077326652577; // 2^(1/8)
+const EPS: f64 = 1e-9;
+
+fn within_one_bin(approx: f64, exact: f64) -> bool {
+    if exact <= EPS {
+        // Tiny/zero samples share the histogram's low bin, whose answer is
+        // the exact minimum — allow anything at or below the bin cutoff.
+        return approx <= EPS;
+    }
+    let ratio = approx / exact;
+    (1.0 / BIN_RATIO - 1e-6..=BIN_RATIO + 1e-6).contains(&ratio)
+}
+
+/// Non-negative samples spanning many orders of magnitude (latencies in
+/// seconds, hop counts, result-set sizes — everything the workspace
+/// observes), plus exact zeros.
+fn sample_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0.0f64),
+            (1u64..1_000_000_000).prop_map(|n| n as f64 / 1_000.0),
+            (0u32..60).prop_map(|e| 1.5f64.powi(e as i32) / 7.0),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn streaming_quantiles_match_exact_within_one_bin(samples in sample_strategy()) {
+        let exact = ExactHistogram::new(samples.clone());
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let a = h.quantile(q);
+            let e = exact.quantile(q);
+            prop_assert!(
+                within_one_bin(a, e),
+                "q={} streaming={} exact={} over {} samples",
+                q, a, e, samples.len()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_summary_stats_are_exact(samples in sample_strategy()) {
+        let mut h = Histogram::new();
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &s in &samples {
+            h.record(s);
+            sum += s;
+            min = min.min(s);
+            max = max.max(s);
+        }
+        prop_assert_eq!(h.len(), samples.len());
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        let mean = sum / samples.len() as f64;
+        prop_assert!((h.mean() - mean).abs() <= mean.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(samples in sample_strategy()) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0);
+            prop_assert!(v >= prev, "quantile must be monotone: {} < {}", v, prev);
+            prev = v;
+        }
+    }
+}

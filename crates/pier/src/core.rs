@@ -159,8 +159,8 @@ impl PierCore {
         let bytes = tuple.encode();
         let size = bytes.len();
         dht.put_routed(net, key, bytes, republish);
-        net.count("pier.published_tuples", 1);
-        net.count("pier.published_bytes", size as u64);
+        net.count(crate::classes::PUBLISHED_TUPLES.id(), 1);
+        net.count(crate::classes::PUBLISHED_BYTES.id(), size as u64);
         Ok(size)
     }
 
@@ -183,12 +183,12 @@ impl PierCore {
                 done: false,
             },
         );
-        net.count("pier.queries_issued", 1);
+        net.count(crate::classes::QUERIES_ISSUED.id(), 1);
         // Route the plan to every stage site ("PIER routes the query plan
         // via the DHT to all sites that host a keyword in the query").
         for (i, stage) in plan.stages.iter().enumerate() {
             let msg = PierMsg::Install { plan: plan.clone(), stage: i as u32 };
-            net.count("pier.install_sent", 1);
+            net.count(crate::classes::INSTALL_SENT.id(), 1);
             dht.route(net, stage.site, msg.encode());
         }
     }
@@ -238,7 +238,7 @@ impl PierCore {
             c.done = true;
             let total = c.results;
             self.events.push_back(PierEvent::Done { qid, outcome: QueryOutcome::TimedOut, total });
-            net.count("pier.query_timeout", 1);
+            net.count(crate::classes::QUERY_TIMEOUT.id(), 1);
         }
         self.clients.retain(|_, c| !(c.done && c.deadline <= now));
         // Executor / orphan GC.
@@ -284,10 +284,10 @@ impl PierCore {
         for bytes in raw {
             match Tuple::decode(&bytes) {
                 Ok(t) => scanned.push(t),
-                Err(_) => net.count("pier.scan_decode_error", 1),
+                Err(_) => net.count(crate::classes::SCAN_DECODE_ERROR.id(), 1),
             }
         }
-        net.count("pier.scanned_tuples", scanned.len() as u64);
+        net.count(crate::classes::SCANNED_TUPLES.id(), scanned.len() as u64);
         if let Some(f) = &stage.filter {
             scanned.retain(|t| f.eval_bool(t).unwrap_or(false));
         }
@@ -364,7 +364,7 @@ impl PierCore {
             .join
             .expect("joined stages are the only batch receivers");
         let project = exec.plan.stages[stage as usize].project.clone();
-        net.count("pier.probe_tuples", tuples.len() as u64);
+        net.count(crate::classes::PROBE_TUPLES.id(), tuples.len() as u64);
         for incoming in tuples {
             exec.probed += 1;
             let Some(matches) = exec.build.get(&incoming.0[jc.incoming]) else {
@@ -416,7 +416,7 @@ impl PierCore {
         if exec.in_total == Some(exec.in_batches) {
             Self::flush(exec, dht, net, true, self.cfg.batch_size);
             exec.finished = true;
-            net.observe("pier.stage.probed", exec.probed as f64);
+            net.observe(crate::classes::STAGE_PROBED.id(), exec.probed as f64);
         }
     }
 
@@ -440,12 +440,12 @@ impl PierCore {
             exec.out_seq += 1;
             if is_last {
                 let msg = PierMsg::Results { qid: exec.plan.id, seq, tuples };
-                net.count("pier.result_tuples", emit_count);
+                net.count(crate::classes::RESULT_TUPLES.id(), emit_count);
                 dht.send_direct(net, exec.plan.collector.node, msg.encode());
             } else {
                 let next = &exec.plan.stages[stage_idx + 1];
                 let msg = PierMsg::Batch { qid: exec.plan.id, stage: exec.stage + 1, seq, tuples };
-                net.count("pier.shipped_tuples", emit_count);
+                net.count(crate::classes::SHIPPED_TUPLES.id(), emit_count);
                 dht.route(net, next.site, msg.encode());
             }
         }
@@ -468,7 +468,7 @@ impl PierCore {
 
     fn on_results(&mut self, net: &mut dyn DhtNet, qid: QueryId, tuples: Vec<Tuple>) {
         let Some(c) = self.clients.get_mut(&qid) else {
-            net.count("pier.orphan_results", 1);
+            net.count(crate::classes::ORPHAN_RESULTS.id(), 1);
             return;
         };
         if c.done {
@@ -501,7 +501,7 @@ impl PierCore {
 
     fn on_results_eof(&mut self, net: &mut dyn DhtNet, qid: QueryId, total: u32) {
         let Some(c) = self.clients.get_mut(&qid) else {
-            net.count("pier.orphan_results", 1);
+            net.count(crate::classes::ORPHAN_RESULTS.id(), 1);
             return;
         };
         c.total_batches = Some(total);

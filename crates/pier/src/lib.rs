@@ -20,6 +20,7 @@
 //! live in [`ops`] and are reused by the offline trace-replay experiments.
 
 mod catalog;
+pub mod classes;
 mod core;
 pub mod expr;
 mod msg;

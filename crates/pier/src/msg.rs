@@ -4,6 +4,7 @@
 
 use crate::plan::{QueryId, QueryPlan};
 use crate::value::Tuple;
+use pier_netsim::MetricClass;
 use serde::{Deserialize, Serialize};
 
 /// All engine-to-engine messages.
@@ -31,13 +32,15 @@ impl PierMsg {
         pier_codec::from_bytes(bytes)
     }
 
-    pub fn class(&self) -> &'static str {
+    /// Interned metrics class for this message.
+    pub fn class(&self) -> MetricClass {
+        use crate::classes;
         match self {
-            PierMsg::Install { .. } => "pier.install",
-            PierMsg::Batch { .. } => "pier.batch",
-            PierMsg::BatchEof { .. } => "pier.batch_eof",
-            PierMsg::Results { .. } => "pier.results",
-            PierMsg::ResultsEof { .. } => "pier.results_eof",
+            PierMsg::Install { .. } => classes::INSTALL.id(),
+            PierMsg::Batch { .. } => classes::BATCH.id(),
+            PierMsg::BatchEof { .. } => classes::BATCH_EOF.id(),
+            PierMsg::Results { .. } => classes::RESULTS.id(),
+            PierMsg::ResultsEof { .. } => classes::RESULTS_EOF.id(),
         }
     }
 }

@@ -18,6 +18,7 @@
 //! one simulator actor (Fig. 1). The hybrid crate embeds the same cores
 //! next to a Gnutella ultrapeer.
 
+pub mod classes;
 mod node;
 mod publisher;
 mod schema;

@@ -62,7 +62,7 @@ impl Publisher {
     ) -> Option<PublishStats> {
         let terms = keywords(filename);
         if terms.is_empty() {
-            net.count("piersearch.unindexable_file", 1);
+            net.count(crate::classes::UNINDEXABLE_FILE.id(), 1);
             return None;
         }
         let record = ItemRecord::new(filename, filesize, host, port);
@@ -85,8 +85,8 @@ impl Publisher {
             pier.publish(dht, net, table, &tuple, self.republish).expect("posting conforms");
         }
         stats.keywords = terms.len();
-        net.count("piersearch.files_published", 1);
-        net.count("piersearch.publish_value_bytes", stats.value_bytes as u64);
+        net.count(crate::classes::FILES_PUBLISHED.id(), 1);
+        net.count(crate::classes::PUBLISH_VALUE_BYTES.id(), stats.value_bytes as u64);
         Some(stats)
     }
 }

@@ -115,7 +115,7 @@ impl SearchEngine {
     ) -> Option<u32> {
         let terms = self.order_terms(query_terms(query));
         if terms.is_empty() {
-            net.count("piersearch.unsearchable_query", 1);
+            net.count(crate::classes::UNSEARCHABLE_QUERY.id(), 1);
             return None;
         }
         let qid = pier.next_query_id(dht);
@@ -165,7 +165,7 @@ impl SearchEngine {
                 b.build()
             }
         };
-        net.count("piersearch.searches", 1);
+        net.count(crate::classes::SEARCHES.id(), 1);
         pier.issue(dht, net, plan);
 
         let id = self.next_id;
@@ -225,7 +225,7 @@ impl SearchEngine {
         let s = self.searches.get_mut(&id).expect("caller checked");
         for t in tuples {
             let Some(file_id) = t.get(0).and_then(|v| v.as_key()) else {
-                net.count("piersearch.malformed_match", 1);
+                net.count(crate::classes::MALFORMED_MATCH.id(), 1);
                 continue;
             };
             if !s.file_ids_seen.insert(file_id) {
@@ -256,18 +256,18 @@ impl SearchEngine {
         let want = s.pending_fetches.remove(op).expect("contains_key checked");
         for bytes in values {
             let Ok(t) = Tuple::decode(bytes) else {
-                net.count("piersearch.malformed_item", 1);
+                net.count(crate::classes::MALFORMED_ITEM.id(), 1);
                 continue;
             };
             let Some(rec) = ItemRecord::from_tuple(&t) else {
-                net.count("piersearch.malformed_item", 1);
+                net.count(crate::classes::MALFORMED_ITEM.id(), 1);
                 continue;
             };
             if rec.file_id == want && !s.items.contains(&rec) {
                 if s.first_result_at.is_none() {
                     s.first_result_at = Some(net.now());
                     net.observe(
-                        "piersearch.first_result_latency_s",
+                        crate::classes::FIRST_RESULT_LATENCY_S.id(),
                         (net.now() - s.issued_at).as_secs_f64(),
                     );
                 }
@@ -291,7 +291,7 @@ impl SearchEngine {
             let s = self.searches.get_mut(&id).expect("listed");
             s.done = true;
             s.outcome.get_or_insert(QueryOutcome::TimedOut);
-            net.count("piersearch.search_timeout", 1);
+            net.count(crate::classes::SEARCH_TIMEOUT.id(), 1);
             self.events.push_back(SearchEvent::Done(id));
         }
     }
@@ -300,7 +300,7 @@ impl SearchEngine {
         let s = self.searches.get_mut(&id).expect("caller checked");
         if !s.done && s.pier_done && s.pending_fetches.is_empty() {
             s.done = true;
-            net.observe("piersearch.results_per_search", s.items.len() as f64);
+            net.observe(crate::classes::RESULTS_PER_SEARCH.id(), s.items.len() as f64);
             self.events.push_back(SearchEvent::Done(id));
         }
     }

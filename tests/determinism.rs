@@ -64,6 +64,39 @@ fn same_master_seed_is_bit_reproducible() {
     assert_eq!(a, b, "identical seeds must reproduce every counter exactly");
 }
 
+/// Build the sparse lab preset and drive a short query workload through
+/// it, returning the full metrics snapshot.
+fn sparse_run_and_snapshot() -> Vec<(&'static str, u64, u64)> {
+    use pier_bench::lab::{Lab, LabConfig, Scale};
+    let mut lab = Lab::build(LabConfig::at(Scale::Sparse));
+    let vantages = lab.vantages.clone();
+    for (i, &v) in vantages.iter().enumerate().take(6) {
+        let terms = lab.trace.queries[i].text();
+        lab.sim.with_actor_ctx::<UltrapeerNode, _>(v, |node, ctx| {
+            let mut net = pier_p2p::gnutella::CtxGnutellaNet { ctx };
+            node.core.start_query(&mut net, &terms, QueryOrigin::Driver)
+        });
+        lab.sim.run_for(pier_p2p::netsim::SimDuration::from_secs(2));
+    }
+    lab.sim.run_for(pier_p2p::netsim::SimDuration::from_secs(60));
+
+    let mut counters: Vec<(&'static str, u64, u64)> =
+        lab.sim.metrics().counters().map(|(class, c)| (class, c.count, c.bytes)).collect();
+    counters.sort_unstable();
+    assert!(!counters.is_empty(), "the sparse run must produce traffic");
+    counters
+}
+
+/// The interning refactor must not perturb RNG streams or event ordering:
+/// two identically-seeded sparse-preset runs produce bit-identical
+/// metrics snapshots.
+#[test]
+fn sparse_preset_is_bit_reproducible() {
+    let a = sparse_run_and_snapshot();
+    let b = sparse_run_and_snapshot();
+    assert_eq!(a, b, "sparse preset must reproduce every counter exactly");
+}
+
 #[test]
 fn different_master_seed_diverges() {
     let a = run_and_snapshot(1);
