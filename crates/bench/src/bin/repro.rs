@@ -8,6 +8,9 @@
 //! repro crawl          # §4.1 crawl snapshot (also part of fig8)
 //! repro model-params   # Tables 1 & 2 glossary
 //! repro horizon        # per-vantage zero-result rates (horizon effect)
+//! repro sweep <experiment> [--trials N] [--jobs J] [--seed S]
+//!                      # N seeded trials across J threads, aggregated
+//!                      # (mean/stderr/min/max) into results/sweep_*.json
 //! ```
 //!
 //! `REPRO_SCALE=full` switches to paper-magnitude workloads;
@@ -18,17 +21,61 @@ use pier_bench::experiments::{
     ablations, fig8, figs13to15, figs4to7, figs9to12, horizon, model_params, sec5_posting,
     sec7_deploy,
 };
-use pier_bench::output::Table;
+use pier_bench::output::{self, emit};
+use pier_bench::sweep::{run_sweep, Experiment, SweepConfig, DEFAULT_BASE_SEED};
 use pier_bench::Scale;
 
-fn emit(tables: Vec<Table>, csv_prefix: &str) {
-    for (i, t) in tables.iter().enumerate() {
-        t.print();
-        let name = format!("{csv_prefix}_{i}");
-        match t.write_csv(&name) {
-            Ok(path) => println!("  → {}", path.display()),
-            Err(e) => eprintln!("  (csv write failed: {e})"),
+/// Value of `flag`, accepting decimal or `0x`-prefixed hex (seeds print
+/// as hex, so they must round-trip). A present-but-unparseable value is a
+/// hard error: silently falling back to a default would run a different
+/// sweep than the user asked for.
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    let i = args.iter().position(|a| a == flag)?;
+    let Some(v) = args.get(i + 1) else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    match parsed {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("bad value for {flag}: '{v}' (expected a number, e.g. 4 or 0x5eed)");
+            std::process::exit(2);
         }
+    }
+}
+
+fn run_sweep_cmd(scale: Scale, args: &[String]) {
+    let Some(exp) = args.first().and_then(|name| Experiment::parse(name)) else {
+        eprintln!("usage: repro sweep <experiment> [--trials N] [--jobs J] [--seed S]");
+        let known: Vec<&str> = Experiment::ALL.iter().map(|e| e.name()).collect();
+        eprintln!("known experiments: {}", known.join(", "));
+        std::process::exit(2);
+    };
+    let trials = parse_flag(args, "--trials").unwrap_or(4) as usize;
+    let jobs = parse_flag(args, "--jobs")
+        .map(|j| j as usize)
+        .or_else(|| std::thread::available_parallelism().ok().map(|p| p.get()))
+        .unwrap_or(1);
+    let base_seed = parse_flag(args, "--seed").unwrap_or(DEFAULT_BASE_SEED);
+    if trials == 0 {
+        eprintln!("--trials must be ≥ 1");
+        std::process::exit(2);
+    }
+    println!(
+        "sweep: {} × {trials} trials on {jobs} thread(s), base seed {base_seed:#x}",
+        exp.name()
+    );
+    let result = run_sweep(exp, &SweepConfig { scale, trials, jobs, base_seed });
+    for t in output::sweep_tables(&result) {
+        t.print();
+    }
+    match output::write_sweep_json(&result) {
+        Ok(path) => println!("  → {}", path.display()),
+        Err(e) => eprintln!("  (json write failed: {e})"),
     }
 }
 
@@ -41,45 +88,51 @@ fn main() {
     let t0 = std::time::Instant::now();
     match what {
         "fig4" | "fig5" | "fig6" | "fig7" | "figs4-7" => {
-            emit(figs4to7::run(scale), "figs4to7");
+            emit(&figs4to7::run(scale), "figs4to7");
         }
         "fig8" | "crawl" => {
-            emit(fig8::run(scale).tables, "fig8");
+            emit(&fig8::run(scale).tables, "fig8");
         }
         "fig9" | "fig10" | "fig11" | "fig12" | "figs9-12" => {
-            emit(figs9to12::run(scale), "figs9to12");
+            emit(&figs9to12::run(scale), "figs9to12");
         }
         "fig13" | "fig14" | "fig15" | "figs13-15" => {
-            emit(figs13to15::run(scale), "figs13to15");
+            emit(&figs13to15::run(scale), "figs13to15");
         }
         "sec5-posting" => {
-            emit(sec5_posting::run(scale), "sec5_posting");
+            emit(&sec5_posting::run(scale), "sec5_posting");
         }
         "sec7-deploy" => {
-            emit(sec7_deploy::run(scale).tables, "sec7_deploy");
+            emit(&sec7_deploy::run(scale).tables, "sec7_deploy");
         }
         "model-params" | "table1" | "table2" => {
-            emit(model_params(), "model_params");
+            emit(&model_params(), "model_params");
         }
         "ablations" | "ablation-timeout" => {
-            emit(ablations::run(scale), "ablations");
+            emit(&ablations::run(scale), "ablations");
         }
         "horizon" | "sparse" => {
-            emit(horizon::run(scale), "horizon");
+            emit(&horizon::run(scale), "horizon");
+        }
+        "sweep" => {
+            run_sweep_cmd(scale, &args[1..]);
         }
         "all" => {
-            emit(figs4to7::run(scale), "figs4to7");
-            emit(fig8::run(scale).tables, "fig8");
-            emit(figs9to12::run(scale), "figs9to12");
-            emit(figs13to15::run(scale), "figs13to15");
-            emit(sec5_posting::run(scale), "sec5_posting");
-            emit(sec7_deploy::run(scale).tables, "sec7_deploy");
-            emit(model_params(), "model_params");
-            emit(ablations::run(scale), "ablations");
+            emit(&figs4to7::run(scale), "figs4to7");
+            emit(&fig8::run(scale).tables, "fig8");
+            emit(&figs9to12::run(scale), "figs9to12");
+            emit(&figs13to15::run(scale), "figs13to15");
+            emit(&sec5_posting::run(scale), "sec5_posting");
+            emit(&sec7_deploy::run(scale).tables, "sec7_deploy");
+            emit(&model_params(), "model_params");
+            emit(&ablations::run(scale), "ablations");
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: fig4..fig15, fig8, crawl, sec5-posting, sec7-deploy, model-params, ablations, horizon, all");
+            eprintln!(
+                "known: fig4..fig15, fig8, crawl, sec5-posting, sec7-deploy, model-params, \
+                 ablations, horizon, sweep, all"
+            );
             std::process::exit(2);
         }
     }

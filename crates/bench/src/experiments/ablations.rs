@@ -10,27 +10,61 @@
 
 use crate::lab::Scale;
 use crate::output::{f, s, Table};
+use crate::sweep::Summary;
 use pier_dht::DhtConfig;
 use pier_gnutella::{spawn, FileMeta, QueryOrigin, Topology, TopologyConfig, UltrapeerNode};
 use pier_hybrid::{deploy, HybridConfig, HybridUp, RareScheme};
 use pier_netsim::{Sim, SimConfig, SimDuration, UniformLatency};
 use pier_workload::{Catalog, CatalogConfig, QueryConfig, QueryTrace};
 
+/// Master seeds the single-run entry points use (sweeps pass per-trial
+/// seeds). Sub-seeds derive from the master so the default run reproduces
+/// the historical numbers bit-for-bit.
+const TIMEOUT_SEED: u64 = 0xAB1A;
+const FLOOD_SEED: u64 = 0xF100D;
+
+/// One timeout setting's measurements.
+pub struct TimeoutPoint {
+    pub timeout_s: u64,
+    pub avg_first_result_s: f64,
+    pub pct_queries_to_dht: f64,
+    pub found_pct: f64,
+}
+
 /// Sweep the hybrid Gnutella-timeout and measure, per setting: average
 /// time-to-first-result over rare queries, and the fraction of queries
 /// re-issued into the DHT (the extra load the timeout gates).
 pub fn timeout_sweep(scale: Scale) -> Table {
+    timeout_table(&timeout_points(scale, TIMEOUT_SEED))
+}
+
+/// Render the timeout sweep as a table.
+pub fn timeout_table(points: &[TimeoutPoint]) -> Table {
+    let mut t = Table::new(
+        "Ablation: hybrid timeout vs rare-item latency and DHT load (the paper's stated future work)",
+        &["timeout_s", "avg_first_result_s", "pct_queries_to_dht", "found_pct"],
+    );
+    for p in points {
+        t.row(vec![
+            s(p.timeout_s),
+            f(p.avg_first_result_s, 2),
+            f(p.pct_queries_to_dht, 1),
+            f(p.found_pct, 1),
+        ]);
+    }
+    t
+}
+
+/// The timeout sweep proper, seeded.
+pub fn timeout_points(scale: Scale, seed: u64) -> Vec<TimeoutPoint> {
     let (ups, hybrid_ups, leaves, distinct, queries) = match scale {
         Scale::Quick | Scale::Sparse => (80usize, 16usize, 1_600usize, 3_200usize, 60usize),
         Scale::Full => (240, 48, 4_800, 9_600, 200),
     };
     let timeouts_s = [5u64, 10, 20, 30, 45];
-    let mut t = Table::new(
-        "Ablation: hybrid timeout vs rare-item latency and DHT load (the paper's stated future work)",
-        &["timeout_s", "avg_first_result_s", "pct_queries_to_dht", "found_pct"],
-    );
+    let mut out = Vec::with_capacity(timeouts_s.len());
     for &timeout in &timeouts_s {
-        let cfg = SimConfig::with_seed(0xAB1A + timeout).latency(UniformLatency::new(
+        let cfg = SimConfig::with_seed(seed + timeout).latency(UniformLatency::new(
             SimDuration::from_millis(20),
             SimDuration::from_millis(80),
         ));
@@ -40,7 +74,7 @@ pub fn timeout_sweep(scale: Scale) -> Table {
             leaves,
             old_style_fraction: 0.3,
             leaf_ups: 2,
-            seed: 0xAB1A,
+            seed,
         });
         let catalog = Catalog::generate(CatalogConfig {
             hosts: leaves,
@@ -48,12 +82,12 @@ pub fn timeout_sweep(scale: Scale) -> Table {
             max_replicas: (leaves / 10).max(50),
             vocab: (distinct / 3).max(400),
             phrases: (distinct / 8).max(120),
-            seed: 0xAB1B,
+            seed: seed ^ 1,
             ..Default::default()
         });
         let trace = QueryTrace::generate(
             &catalog,
-            QueryConfig { queries, seed: 0xAB1C, ..Default::default() },
+            QueryConfig { queries, seed: seed ^ 6, ..Default::default() },
         );
         let leaf_files: Vec<Vec<FileMeta>> = catalog
             .host_files
@@ -111,29 +145,59 @@ pub fn timeout_sweep(scale: Scale) -> Table {
             }
         }
         let n = tracked.len() as f64;
-        t.row(vec![
-            s(timeout),
-            f(first.iter().sum::<f64>() / first.len().max(1) as f64, 2),
-            f(100.0 * to_dht as f64 / n, 1),
-            f(100.0 * found as f64 / n, 1),
-        ]);
+        out.push(TimeoutPoint {
+            timeout_s: timeout,
+            avg_first_result_s: first.iter().sum::<f64>() / first.len().max(1) as f64,
+            pct_queries_to_dht: 100.0 * to_dht as f64 / n,
+            found_pct: 100.0 * found as f64 / n,
+        });
     }
-    t
+    out
+}
+
+/// One (strategy, query) measurement from the flood-vs-dynamic ablation.
+pub struct StrategyPoint {
+    pub dynamic: bool,
+    /// "popular" or "rare".
+    pub query: &'static str,
+    pub messages: u64,
+    pub results: usize,
+    pub first_result_s: Option<f64>,
 }
 
 /// Flat TTL-4 flooding vs. dynamic querying: message cost and recall for a
 /// popular and a rare query, from the same vantage.
 pub fn flood_vs_dynamic(scale: Scale) -> Table {
-    let (ups, leaves) = match scale {
-        Scale::Quick | Scale::Sparse => (150usize, 3_000usize),
-        Scale::Full => (333, 10_000),
-    };
+    flood_table(&flood_points(scale, FLOOD_SEED))
+}
+
+/// Render the flood-vs-dynamic ablation as a table.
+pub fn flood_table(points: &[StrategyPoint]) -> Table {
     let mut t = Table::new(
         "Ablation: flat flooding vs dynamic querying (messages / results / first-result latency)",
         &["strategy", "query", "messages", "results", "first_result_s"],
     );
+    for p in points {
+        t.row(vec![
+            s(if p.dynamic { "dynamic" } else { "flood-ttl4" }),
+            s(p.query),
+            s(p.messages),
+            s(p.results),
+            p.first_result_s.map(|v| f(v, 2)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t
+}
+
+/// The flood-vs-dynamic measurements, seeded.
+pub fn flood_points(scale: Scale, seed: u64) -> Vec<StrategyPoint> {
+    let (ups, leaves) = match scale {
+        Scale::Quick | Scale::Sparse => (150usize, 3_000usize),
+        Scale::Full => (333, 10_000),
+    };
+    let mut out = Vec::with_capacity(4);
     for dynamic in [false, true] {
-        let cfg = SimConfig::with_seed(0xF100D).latency(UniformLatency::new(
+        let cfg = SimConfig::with_seed(seed).latency(UniformLatency::new(
             SimDuration::from_millis(20),
             SimDuration::from_millis(80),
         ));
@@ -143,7 +207,7 @@ pub fn flood_vs_dynamic(scale: Scale) -> Table {
             leaves,
             old_style_fraction: 0.3,
             leaf_ups: 2,
-            seed: 0xF100D,
+            seed,
         });
         let mut leaf_files: Vec<Vec<FileMeta>> = (0..leaves)
             .map(|j| {
@@ -174,24 +238,48 @@ pub fn flood_vs_dynamic(scale: Scale) -> Table {
             let msgs = sim.metrics().counter("gnutella.query").count - before;
             let rec =
                 sim.actor_mut::<UltrapeerNode>(vantage).core.take_query(guid).expect("registered");
-            let lat = rec
-                .first_hit_at
-                .map(|tm| format!("{:.2}", (tm - issued).as_secs_f64()))
-                .unwrap_or_else(|| "-".into());
-            t.row(vec![
-                s(if dynamic { "dynamic" } else { "flood-ttl4" }),
-                s(label),
-                s(msgs),
-                s(rec.hits.len()),
-                lat,
-            ]);
+            out.push(StrategyPoint {
+                dynamic,
+                query: label,
+                messages: msgs,
+                results: rec.hits.len(),
+                first_result_s: rec.first_hit_at.map(|tm| (tm - issued).as_secs_f64()),
+            });
         }
     }
-    t
+    out
 }
 
 pub fn run(scale: Scale) -> Vec<Table> {
     vec![timeout_sweep(scale), flood_vs_dynamic(scale)]
+}
+
+/// One sweep trial: the timeout tradeoff endpoints and the flood/dynamic
+/// message ratio, from seeded topologies and workloads.
+pub fn trial(scale: Scale, seed: u64) -> Summary {
+    let timeouts = timeout_points(scale, seed);
+    let floods = flood_points(scale, pier_netsim::derive_seed(seed, 1));
+    let first = timeouts.first().expect("timeout sweep is non-empty");
+    let last = timeouts.last().expect("timeout sweep is non-empty");
+    let pick = |dynamic: bool, query: &str| {
+        floods
+            .iter()
+            .find(|p| p.dynamic == dynamic && p.query == query)
+            .expect("all four strategy points measured")
+    };
+    let mut s = Summary::new();
+    s.set("dht_pct_at_min_timeout", first.pct_queries_to_dht);
+    s.set("dht_pct_at_max_timeout", last.pct_queries_to_dht);
+    s.set("first_result_s_at_min_timeout", first.avg_first_result_s);
+    s.set("first_result_s_at_max_timeout", last.avg_first_result_s);
+    s.set("found_pct_min", timeouts.iter().map(|p| p.found_pct).fold(f64::INFINITY, f64::min));
+    s.set("flood_popular_msgs", pick(false, "popular").messages as f64);
+    s.set("dynamic_popular_msgs", pick(true, "popular").messages as f64);
+    s.set(
+        "flood_over_dynamic_popular",
+        pick(false, "popular").messages as f64 / pick(true, "popular").messages.max(1) as f64,
+    );
+    s
 }
 
 #[cfg(test)]

@@ -4,21 +4,36 @@
 
 use crate::lab::Scale;
 use crate::output::{f, s, Table};
+use crate::sweep::Summary;
 use pier_gnutella::floodstats::{average_flood_curve, marginal_cost};
 use pier_gnutella::{spawn, Crawler, FileMeta, Topology, TopologyConfig};
 use pier_netsim::{Sim, SimConfig, SimDuration, UniformLatency};
 
+/// The master seed single runs use (sweeps pass per-trial seeds).
+const CRAWL_SEED: u64 = 0xC4A5;
+
 pub struct CrawlOutcome {
     pub tables: Vec<Table>,
     pub marginal_rising: bool,
+    pub ups_crawled: usize,
+    pub network_size: usize,
+    pub crawl_duration_s: f64,
+    /// Marginal messages per newly-visited ultrapeer at the first and last
+    /// TTL step with a finite value — the diminishing-returns endpoints.
+    pub marginal_first: f64,
+    pub marginal_last: f64,
 }
 
 pub fn run(scale: Scale) -> CrawlOutcome {
+    run_seeded(scale, CRAWL_SEED)
+}
+
+pub fn run_seeded(scale: Scale, seed: u64) -> CrawlOutcome {
     let (ups, leaves) = match scale {
         Scale::Quick | Scale::Sparse => (400usize, 4_000usize),
         Scale::Full => (3_333, 96_000),
     };
-    let cfg = SimConfig::with_seed(0xC4A5)
+    let cfg = SimConfig::with_seed(seed)
         .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(90)));
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
@@ -26,7 +41,7 @@ pub fn run(scale: Scale) -> CrawlOutcome {
         leaves,
         old_style_fraction: 0.3,
         leaf_ups: 2,
-        seed: 0xC4A5,
+        seed,
     });
     let handles =
         spawn(&mut sim, &topo, vec![Vec::new(); ups], vec![Vec::<FileMeta>::new(); leaves]);
@@ -71,7 +86,28 @@ pub fn run(scale: Scale) -> CrawlOutcome {
     let finite: Vec<f64> = mc.iter().copied().filter(|v| v.is_finite()).collect();
     let marginal_rising = finite.len() >= 2 && finite.last().unwrap() > finite.first().unwrap();
 
-    CrawlOutcome { tables: vec![t_crawl, t8], marginal_rising }
+    CrawlOutcome {
+        tables: vec![t_crawl, t8],
+        marginal_rising,
+        ups_crawled: graph.ultrapeer_count(),
+        network_size: graph.network_size(),
+        crawl_duration_s: duration,
+        marginal_first: finite.first().copied().unwrap_or(f64::NAN),
+        marginal_last: finite.last().copied().unwrap_or(f64::NAN),
+    }
+}
+
+/// One sweep trial: crawl coverage and the flooding-cost endpoints.
+pub fn trial(scale: Scale, seed: u64) -> Summary {
+    let out = run_seeded(scale, seed);
+    let mut s = Summary::new();
+    s.set("ups_crawled", out.ups_crawled as f64);
+    s.set("network_size", out.network_size as f64);
+    s.set("crawl_duration_s", out.crawl_duration_s);
+    s.set("marginal_msgs_per_up_first", out.marginal_first);
+    s.set("marginal_msgs_per_up_last", out.marginal_last);
+    s.set("marginal_rising", out.marginal_rising as u64 as f64);
+    s
 }
 
 #[cfg(test)]

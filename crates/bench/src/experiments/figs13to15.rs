@@ -2,9 +2,10 @@
 //! Perfect, SAM, TPF, TF, Random — on average QR/QDR as a function of the
 //! publishing budget, plus SAM's sample-size sensitivity.
 
-use crate::experiments::figs9to12::trace_view;
+use crate::experiments::figs9to12::{trace_view, trace_view_seeded};
 use crate::lab::Scale;
 use crate::output::{f, s, Table};
+use crate::sweep::Summary;
 use pier_model::{schemes, PublishedSet, SchemeInput, TraceView};
 use pier_workload::Catalog;
 
@@ -156,6 +157,26 @@ pub fn run(scale: Scale) -> Vec<Table> {
     }
 
     vec![t13, t14, t15]
+}
+
+/// One sweep trial: each scheme's QR at the 50% publishing budget
+/// (horizon 5%) from a seeded trace — the paper's Figure 13 mid-axis cut.
+pub fn trial(scale: Scale, seed: u64) -> Summary {
+    let (catalog, _trace, view) = trace_view_seeded(scale, seed);
+    let curves = compute_curves(&catalog, &view, 0.05);
+    let mut s = Summary::new();
+    for c in &curves {
+        let key = format!(
+            "qr_b50_{}_pct",
+            c.name.to_lowercase().replace(['(', '%'], "").replace(')', "")
+        );
+        s.set(&key, 100.0 * at_overhead(c, 0.5, |p| p.1));
+    }
+    s.set("qdr_b50_perfect_pct", {
+        let perfect = curves.iter().find(|c| c.name == "Perfect").expect("Perfect curve");
+        100.0 * at_overhead(perfect, 0.5, |p| p.2)
+    });
+    s
 }
 
 #[cfg(test)]

@@ -2,8 +2,10 @@
 //! network — result sizes vs. replication, result-size CDFs (single vantage
 //! vs. Union-of-N), and first-result latency vs. result size.
 
-use crate::lab::{union_results, Lab, LabConfig, Scale, VantageResult};
+use crate::lab::{union_results, Lab, LabConfig, Scale, VantageResult, DEFAULT_SEED};
 use crate::output::{f, s, Table};
+use crate::sweep::Summary;
+use pier_netsim::MetricsSnapshot;
 use std::collections::HashMap;
 
 /// Everything Figures 4–7 need from one replay of the trace.
@@ -11,16 +13,30 @@ pub struct MeasurementData {
     /// `per_query[q][v]`.
     pub per_query: Vec<Vec<VantageResult>>,
     pub vantage_count: usize,
+    /// Traffic accounting of the replay (merged across sweep trials by
+    /// the sweep runner).
+    pub metrics: MetricsSnapshot,
 }
 
 pub fn collect(scale: Scale) -> MeasurementData {
-    let mut lab = Lab::build(LabConfig::at(scale));
-    let per_query = lab.replay(if scale == Scale::Full { 3.0 } else { 2.0 });
-    MeasurementData { per_query, vantage_count: lab.vantages.len() }
+    collect_seeded(scale, DEFAULT_SEED)
 }
 
-/// Figure 4: query result-set size vs. average replication factor.
-pub fn fig4(data: &MeasurementData) -> Table {
+/// One full replay with every random choice derived from `seed`.
+pub fn collect_seeded(scale: Scale, seed: u64) -> MeasurementData {
+    let mut lab = Lab::build(LabConfig::at_seeded(scale, seed));
+    let per_query = lab.replay(if scale == Scale::Full { 3.0 } else { 2.0 });
+    MeasurementData {
+        per_query,
+        vantage_count: lab.vantages.len(),
+        metrics: lab.sim.metrics().snapshot(),
+    }
+}
+
+/// The Figure 4 scatter reduced to buckets: one
+/// `(single-vantage result size, average replication factor,
+/// observations)` triple per distinct size, sorted by size.
+pub fn fig4_points(data: &MeasurementData) -> Vec<(usize, f64, usize)> {
     // Group queries by single-vantage result size; average the replication
     // factors measured from the Union-of-all results.
     let mut by_size: HashMap<usize, Vec<f64>> = HashMap::new();
@@ -46,16 +62,25 @@ pub fn fig4(data: &MeasurementData) -> Table {
             }
         }
     }
+    let mut sizes: Vec<usize> = by_size.keys().copied().collect();
+    sizes.sort_unstable();
+    sizes
+        .into_iter()
+        .map(|size| {
+            let reps = &by_size[&size];
+            (size, reps.iter().sum::<f64>() / reps.len() as f64, reps.len())
+        })
+        .collect()
+}
+
+/// Figure 4: query result-set size vs. average replication factor.
+pub fn fig4(data: &MeasurementData) -> Table {
     let mut t = Table::new(
         "Figure 4: Query results size vs average replication factor",
         &["results_size", "avg_replication_factor", "observations"],
     );
-    let mut sizes: Vec<usize> = by_size.keys().copied().collect();
-    sizes.sort_unstable();
-    for size in sizes {
-        let reps = &by_size[&size];
-        let avg = reps.iter().sum::<f64>() / reps.len() as f64;
-        t.row(vec![s(size), f(avg, 2), s(reps.len())]);
+    for (size, avg, n) in fig4_points(data) {
+        t.row(vec![s(size), f(avg, 2), s(n)]);
     }
     t
 }
@@ -66,17 +91,15 @@ pub fn fig4(data: &MeasurementData) -> Table {
 /// The paper's scatter is extremely noisy; its claim is that "queries with
 /// small result sets return mostly rare items, while queries with large
 /// result sets … bias towards popular items" — i.e. `large.1 > small.1`.
-pub fn fig4_shape(t: &Table) -> (f64, f64) {
+pub fn fig4_shape(points: &[(usize, f64, usize)]) -> (f64, f64) {
     let mut small = (0.0f64, 0.0f64); // (weight, weighted rep)
     let mut large = (0.0f64, 0.0f64);
-    for r in &t.rows {
-        let size: f64 = r[0].parse().unwrap();
-        let rep: f64 = r[1].parse().unwrap();
-        let n: f64 = r[2].parse().unwrap();
-        if size <= 5.0 {
+    for &(size, rep, n) in points {
+        let n = n as f64;
+        if size <= 5 {
             small.0 += n;
             small.1 += n * rep;
-        } else if size >= 50.0 {
+        } else if size >= 50 {
             large.0 += n;
             large.1 += n * rep;
         }
@@ -135,8 +158,19 @@ pub fn fig6(data: &MeasurementData) -> Table {
     t
 }
 
-/// §4.4 summary statistics extracted from the same replay.
-pub fn summary(data: &MeasurementData) -> Table {
+/// The §4.4 headline statistics of one replay, structured.
+pub struct SummaryStats {
+    /// % of (query, vantage) observations with ≤ 10 results.
+    pub le10_single_pct: f64,
+    /// % of (query, vantage) observations with zero results.
+    pub zero_single_pct: f64,
+    /// % of queries whose Union-of-all-vantages is empty.
+    pub zero_union_pct: f64,
+    /// % of single-node zero-result queries a Union-of-N would resolve.
+    pub reduction_pct: f64,
+}
+
+pub fn summary_stats(data: &MeasurementData) -> SummaryStats {
     let singles: Vec<usize> = pooled_singles(data);
     let unions: Vec<usize> =
         data.per_query.iter().map(|pv| union_results(pv, data.vantage_count).len()).collect();
@@ -144,6 +178,17 @@ pub fn summary(data: &MeasurementData) -> Table {
     let zero_union = pct_at_most(&unions, 0);
     let reduction =
         if zero_single > 0.0 { 100.0 * (zero_single - zero_union) / zero_single } else { 0.0 };
+    SummaryStats {
+        le10_single_pct: pct_at_most(&singles, 10),
+        zero_single_pct: zero_single,
+        zero_union_pct: zero_union,
+        reduction_pct: reduction,
+    }
+}
+
+/// §4.4 summary statistics extracted from the same replay.
+pub fn summary(data: &MeasurementData) -> Table {
+    let st = summary_stats(data);
     // "1 node" rows are rates over query×vantage observations — the expected
     // fraction seen at a random single vantage, the comparable to the
     // paper's one-node measurement.
@@ -151,10 +196,10 @@ pub fn summary(data: &MeasurementData) -> Table {
         "Section 4.4 summary (paper: ≤10: 41%, zero: 18% → union 6%, reduction ≥66%)",
         &["metric", "measured_pct", "paper_pct"],
     );
-    t.row(vec![s("queries with ≤10 results (1 node)"), f(pct_at_most(&singles, 10), 1), s(41)]);
-    t.row(vec![s("queries with 0 results (1 node)"), f(zero_single, 1), s(18)]);
-    t.row(vec![s("queries with 0 results (union)"), f(zero_union, 1), s(6)]);
-    t.row(vec![s("possible zero-result reduction"), f(reduction, 1), s(66)]);
+    t.row(vec![s("queries with ≤10 results (1 node)"), f(st.le10_single_pct, 1), s(41)]);
+    t.row(vec![s("queries with 0 results (1 node)"), f(st.zero_single_pct, 1), s(18)]);
+    t.row(vec![s("queries with 0 results (union)"), f(st.zero_union_pct, 1), s(6)]);
+    t.row(vec![s("possible zero-result reduction"), f(st.reduction_pct, 1), s(66)]);
     t
 }
 
@@ -201,6 +246,23 @@ pub fn run(scale: Scale) -> Vec<Table> {
     vec![fig4(&data), fig5(&data), fig6(&data), summary(&data), fig7(&data)]
 }
 
+/// One sweep trial: a seeded replay reduced to its headline statistics.
+pub fn trial(scale: Scale, seed: u64) -> Summary {
+    let data = collect_seeded(scale, seed);
+    let st = summary_stats(&data);
+    let (small_rep, large_rep) = fig4_shape(&fig4_points(&data));
+    let mut out = Summary::new();
+    out.set("le10_single_pct", st.le10_single_pct);
+    out.set("zero_single", st.zero_single_pct);
+    out.set("zero_union", st.zero_union_pct);
+    out.set("reduction_pct", st.reduction_pct);
+    out.set("fig4_small_result_rep", small_rep);
+    out.set("fig4_large_result_rep", large_rep);
+    out.set("total_messages", data.metrics.total_messages as f64);
+    out.set("total_bytes", data.metrics.total_bytes as f64);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,9 +273,11 @@ mod tests {
         assert!(!data.per_query.is_empty());
 
         // Fig 4: big-result queries return clearly more-replicated content.
+        let points = fig4_points(&data);
         let t4 = fig4(&data);
+        assert_eq!(t4.rows.len(), points.len());
         assert!(t4.rows.len() >= 3, "need several size buckets");
-        let (small, large) = fig4_shape(&t4);
+        let (small, large) = fig4_shape(&points);
         assert!(
             large > small * 1.5,
             "popular bias missing: small-result rep {small:.2} vs large-result rep {large:.2}"

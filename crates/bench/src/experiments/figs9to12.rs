@@ -4,11 +4,31 @@
 
 use crate::lab::Scale;
 use crate::output::{f, s, Table};
+use crate::sweep::Summary;
 use pier_model::{pf_threshold_curve, threshold_sweep, TraceView};
 use pier_workload::{Catalog, CatalogConfig, Evaluator, QueryConfig, QueryTrace};
 
-/// Build the §6.2 trace view (catalog + query ground truth).
+/// Build the §6.2 trace view (catalog + query ground truth) with the
+/// default calibration seeds.
 pub fn trace_view(scale: Scale) -> (Catalog, QueryTrace, TraceView) {
+    trace_view_with_seeds(scale, 0x962, 0x1962)
+}
+
+/// Seeded variant for sweeps: catalog and trace seeds derived from one
+/// per-trial master seed.
+pub fn trace_view_seeded(scale: Scale, seed: u64) -> (Catalog, QueryTrace, TraceView) {
+    trace_view_with_seeds(
+        scale,
+        pier_netsim::derive_seed(seed, 0x962),
+        pier_netsim::derive_seed(seed, 0x1962),
+    )
+}
+
+fn trace_view_with_seeds(
+    scale: Scale,
+    catalog_seed: u64,
+    trace_seed: u64,
+) -> (Catalog, QueryTrace, TraceView) {
     let cfg = match scale {
         Scale::Quick | Scale::Sparse => CatalogConfig {
             hosts: 8_000,
@@ -16,7 +36,7 @@ pub fn trace_view(scale: Scale) -> (Catalog, QueryTrace, TraceView) {
             max_replicas: 800,
             vocab: 6_000,
             phrases: 2_000,
-            seed: 0x962,
+            seed: catalog_seed,
             ..Default::default()
         },
         // The paper's §6.2 trace: 315,546 instances at 75,129 hosts.
@@ -26,7 +46,7 @@ pub fn trace_view(scale: Scale) -> (Catalog, QueryTrace, TraceView) {
             max_replicas: 3_000,
             vocab: 38_900,
             phrases: 12_000,
-            seed: 0x962,
+            seed: catalog_seed,
             ..Default::default()
         },
     };
@@ -35,8 +55,10 @@ pub fn trace_view(scale: Scale) -> (Catalog, QueryTrace, TraceView) {
         Scale::Quick | Scale::Sparse => 350,
         Scale::Full => 350,
     };
-    let trace =
-        QueryTrace::generate(&catalog, QueryConfig { queries, seed: 0x1962, ..Default::default() });
+    let trace = QueryTrace::generate(
+        &catalog,
+        QueryConfig { queries, seed: trace_seed, ..Default::default() },
+    );
     let eval = Evaluator::new(&catalog);
     let view = TraceView {
         replicas: catalog.replica_counts(),
@@ -44,6 +66,23 @@ pub fn trace_view(scale: Scale) -> (Catalog, QueryTrace, TraceView) {
         hosts: catalog.config.hosts as u64,
     };
     (catalog, trace, view)
+}
+
+/// One sweep trial: the paper-anchored points of Figures 10–12 from a
+/// seeded trace, plus the Figure 9 threshold-1 PF levels.
+pub fn trial(scale: Scale, seed: u64) -> Summary {
+    let (_catalog, _trace, view) = trace_view_seeded(scale, seed);
+    let thresholds: Vec<u32> = vec![0, 1, 2];
+    let sweep_h5 = threshold_sweep(&view, 0.05, thresholds.clone());
+    let sweep_h15 = threshold_sweep(&view, 0.15, thresholds);
+    let pf = pf_threshold_curve(view.hosts, 0.15, 1..=1);
+    let mut s = Summary::new();
+    s.set("pub_overhead_t1_pct", 100.0 * sweep_h5[1].overhead);
+    s.set("qr_t1_h5_pct", 100.0 * sweep_h5[1].avg_qr);
+    s.set("qr_t1_h15_pct", 100.0 * sweep_h15[1].avg_qr);
+    s.set("qdr_t2_h15_pct", 100.0 * sweep_h15[2].avg_qdr);
+    s.set("pf_threshold_t1_h15", pf[0].pf_threshold);
+    s
 }
 
 pub fn run(scale: Scale) -> Vec<Table> {

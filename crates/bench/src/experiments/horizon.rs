@@ -9,8 +9,10 @@
 //! network size, so `zero_single > zero_union` holds from new-style
 //! vantages too. This is the figs4–7 apparatus, sliced per vantage.
 
-use crate::lab::{union_results, Lab, LabConfig, Scale, VantageResult};
+use crate::lab::{union_results, Lab, LabConfig, Scale, VantageResult, DEFAULT_SEED};
 use crate::output::{f, s, Table};
+use crate::sweep::Summary;
+use pier_netsim::MetricsSnapshot;
 
 /// Everything the horizon tables need from one replay of the trace.
 pub struct HorizonData {
@@ -18,6 +20,8 @@ pub struct HorizonData {
     pub per_query: Vec<Vec<VantageResult>>,
     /// `up_neighbors` degree target of each vantage's profile.
     pub vantage_degrees: Vec<usize>,
+    /// Traffic accounting of the replay.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A vantage with ≥ this degree target is "new-style" (the 32-neighbor
@@ -25,10 +29,15 @@ pub struct HorizonData {
 pub const NEW_STYLE_DEGREE: usize = 32;
 
 pub fn collect(scale: Scale) -> HorizonData {
-    let mut lab = Lab::build(LabConfig::at(scale));
+    collect_seeded(scale, DEFAULT_SEED)
+}
+
+/// One full replay with every random choice derived from `seed`.
+pub fn collect_seeded(scale: Scale, seed: u64) -> HorizonData {
+    let mut lab = Lab::build(LabConfig::at_seeded(scale, seed));
     let vantage_degrees = lab.vantage_profiles();
     let per_query = lab.replay(if scale == Scale::Full { 3.0 } else { 2.0 });
-    HorizonData { per_query, vantage_degrees }
+    HorizonData { per_query, vantage_degrees, metrics: lab.sim.metrics().snapshot() }
 }
 
 /// Percentage of queries returning zero results from vantage `v`.
@@ -71,10 +80,43 @@ pub fn table(data: &HorizonData) -> Table {
     t
 }
 
+/// Mean zero-result rate over the vantages selected by `wanted` (a
+/// predicate on the vantage's profile degree), or `NaN` when none match.
+pub fn mean_zero_single_rate(data: &HorizonData, wanted: impl Fn(usize) -> bool) -> f64 {
+    let rates: Vec<f64> = data
+        .vantage_degrees
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| wanted(d))
+        .map(|(v, _)| zero_single_rate(data, v))
+        .collect();
+    rates.iter().sum::<f64>() / rates.len() as f64
+}
+
 /// Run the experiment (one replay) and return the table.
 pub fn run(scale: Scale) -> Vec<Table> {
     let data = collect(scale);
     vec![table(&data)]
+}
+
+/// One sweep trial: the zero-result gap (the paper's §4.4 claim) from a
+/// seeded replay. `zero_single` pools every vantage; the per-profile
+/// splits show that the horizon effect survives even at the best-connected
+/// (new-style) vantages.
+pub fn trial(scale: Scale, seed: u64) -> Summary {
+    let data = collect_seeded(scale, seed);
+    let zero_single = mean_zero_single_rate(&data, |_| true);
+    let zero_union = zero_union_rate(&data);
+    let mut out = Summary::new();
+    out.set("zero_single", zero_single);
+    out.set("zero_union", zero_union);
+    out.set("zero_gap", zero_single - zero_union);
+    out.set("zero_single_new_style", mean_zero_single_rate(&data, |d| d >= NEW_STYLE_DEGREE));
+    out.set("zero_single_old_style", mean_zero_single_rate(&data, |d| d < NEW_STYLE_DEGREE));
+    out.set("new_style_horizon_visible", new_style_horizon_visible(&data) as u64 as f64);
+    out.set("total_messages", data.metrics.total_messages as f64);
+    out.set("total_bytes", data.metrics.total_bytes as f64);
+    out
 }
 
 #[cfg(test)]

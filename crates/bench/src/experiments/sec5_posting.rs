@@ -8,6 +8,7 @@
 
 use crate::lab::Scale;
 use crate::output::{f, s, Table};
+use crate::sweep::Summary;
 use pier_workload::{Catalog, CatalogConfig, Evaluator, Query, QueryConfig, QueryTrace};
 use std::collections::HashMap;
 
@@ -51,7 +52,33 @@ pub fn shipped_entries(eval: &Evaluator<'_>, catalog: &Catalog, q: &Query) -> u6
     shipped
 }
 
+/// Headline statistics of one posting-list replay.
+pub struct PostingStats {
+    /// `avg_all / avg_small`: how much cheaper ≤10-result queries join.
+    pub factor: f64,
+    pub avg_entries_all: f64,
+    pub avg_entries_small: f64,
+}
+
 pub fn run(scale: Scale) -> Vec<Table> {
+    vec![replay_with_seeds(scale, 0x5EC5, 0x55EC).0]
+}
+
+/// One sweep trial: the §5 cost factor from a seeded catalog + trace.
+pub fn trial(scale: Scale, seed: u64) -> Summary {
+    let (_t, st) = replay_with_seeds(
+        scale,
+        pier_netsim::derive_seed(seed, 0x5EC5),
+        pier_netsim::derive_seed(seed, 0x55EC),
+    );
+    let mut s = Summary::new();
+    s.set("factor_all_over_le10", st.factor);
+    s.set("avg_entries_all", st.avg_entries_all);
+    s.set("avg_entries_le10", st.avg_entries_small);
+    s
+}
+
+fn replay_with_seeds(scale: Scale, catalog_seed: u64, trace_seed: u64) -> (Table, PostingStats) {
     let (files, queries) = match scale {
         Scale::Quick | Scale::Sparse => (40_000usize, 7_000usize),
         // The paper's 700k files / 70k queries.
@@ -63,11 +90,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
         max_replicas: (files / 40).max(100),
         vocab: (files / 12).max(2_000),
         phrases: (files / 40).max(500),
-        seed: 0x5EC5,
+        seed: catalog_seed,
         ..Default::default()
     });
-    let trace =
-        QueryTrace::generate(&catalog, QueryConfig { queries, seed: 0x55EC, ..Default::default() });
+    let trace = QueryTrace::generate(
+        &catalog,
+        QueryConfig { queries, seed: trace_seed, ..Default::default() },
+    );
     let eval = Evaluator::new(&catalog);
 
     let mut small_ship = 0u64;
@@ -111,7 +140,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     }
     t.row(vec![s("ALL"), s(all_n), f(avg_all, 1)]);
     t.row(vec![s("factor all/≤10"), s(""), f(factor, 2)]);
-    vec![t]
+    (t, PostingStats { factor, avg_entries_all: avg_all, avg_entries_small: avg_small })
 }
 
 /// The factor the run's final row reports (for assertions).

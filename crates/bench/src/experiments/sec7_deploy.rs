@@ -10,6 +10,7 @@
 
 use crate::lab::Scale;
 use crate::output::{f, s, Table};
+use crate::sweep::Summary;
 use pier_dht::{bootstrap, Contact, DhtConfig, DhtCore, DhtMsg, DhtNode};
 use pier_gnutella::{FileMeta, Topology, TopologyConfig};
 use pier_hybrid::{deploy, HybridConfig, HybridUp, RareScheme};
@@ -17,10 +18,19 @@ use pier_netsim::{NodeId, Sim, SimConfig, SimDuration, UniformLatency};
 use pier_workload::{Catalog, CatalogConfig, QueryConfig, QueryTrace};
 use piersearch::{IndexMode, PierSearchApp, PierSearchNode};
 
+/// The master seed single runs use; sweeps pass per-trial seeds. Sub-seeds
+/// are `master + 1 ..= master + 5`, so the default run reproduces the
+/// historical numbers bit-for-bit.
+const DEPLOY_SEED: u64 = 0x7000;
+
 /// Publish `files` filenames into an isolated DHT and measure total DHT
 /// bytes per file.
 pub fn micro_publish_cost(mode: IndexMode, files: usize) -> f64 {
-    let cfg = SimConfig::with_seed(0x7001)
+    micro_publish_cost_seeded(mode, files, DEPLOY_SEED + 1)
+}
+
+pub fn micro_publish_cost_seeded(mode: IndexMode, files: usize, seed: u64) -> f64 {
+    let cfg = SimConfig::with_seed(seed)
         .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)));
     let mut sim = Sim::new(cfg);
     let n = 50u32; // the paper's deployment size
@@ -60,7 +70,16 @@ pub fn micro_publish_cost(mode: IndexMode, files: usize) -> f64 {
 
 /// Publish a shared-keyword corpus and measure engine bytes per query.
 pub fn micro_query_cost(mode: IndexMode, corpus: usize, queries: usize) -> (f64, f64) {
-    let cfg = SimConfig::with_seed(0x7002)
+    micro_query_cost_seeded(mode, corpus, queries, DEPLOY_SEED + 2)
+}
+
+pub fn micro_query_cost_seeded(
+    mode: IndexMode,
+    corpus: usize,
+    queries: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let cfg = SimConfig::with_seed(seed)
         .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)));
     let mut sim = Sim::new(cfg);
     let n = 50u32;
@@ -137,18 +156,30 @@ pub struct DeployOutcome {
     pub tables: Vec<Table>,
     pub zero_result_reduction_pct: f64,
     pub pier_beats_gnutella_latency: bool,
+    pub publish_bytes_plain: f64,
+    pub publish_bytes_cache: f64,
+    pub query_bytes_plain: f64,
+    pub query_bytes_cache: f64,
+    pub avg_gnutella_first_s: f64,
+    pub avg_pier_exec_s: f64,
+    pub files_published: u64,
 }
 
 pub fn run(scale: Scale) -> DeployOutcome {
+    run_seeded(scale, DEPLOY_SEED)
+}
+
+pub fn run_seeded(scale: Scale, master: u64) -> DeployOutcome {
     // Parts 1 & 2: micro costs.
     let files = match scale {
         Scale::Quick | Scale::Sparse => 60,
         Scale::Full => 200,
     };
-    let pub_plain = micro_publish_cost(IndexMode::Inverted, files);
-    let pub_cache = micro_publish_cost(IndexMode::InvertedCache, files);
-    let (q_cache, lat_cache) = micro_query_cost(IndexMode::InvertedCache, 300, 25);
-    let (q_plain, lat_plain) = micro_query_cost(IndexMode::Inverted, 300, 25);
+    let pub_plain = micro_publish_cost_seeded(IndexMode::Inverted, files, master + 1);
+    let pub_cache = micro_publish_cost_seeded(IndexMode::InvertedCache, files, master + 1);
+    let (q_cache, lat_cache) =
+        micro_query_cost_seeded(IndexMode::InvertedCache, 300, 25, master + 2);
+    let (q_plain, lat_plain) = micro_query_cost_seeded(IndexMode::Inverted, 300, 25, master + 2);
 
     let mut t_cost = Table::new(
         "Section 7: PIERSearch costs (paper: publish 3.5/4.0 KB per file; query 20 KB SHJ vs 0.85 KB InvertedCache)",
@@ -163,7 +194,7 @@ pub fn run(scale: Scale) -> DeployOutcome {
         Scale::Quick | Scale::Sparse => (100usize, 20usize, 2_000usize, 4_000usize, 120usize),
         Scale::Full => (300, 50, 6_000, 12_000, 400),
     };
-    let cfg = SimConfig::with_seed(0x7003)
+    let cfg = SimConfig::with_seed(master + 3)
         .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)));
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
@@ -171,7 +202,7 @@ pub fn run(scale: Scale) -> DeployOutcome {
         leaves,
         old_style_fraction: 0.3,
         leaf_ups: 2,
-        seed: 0x7003,
+        seed: master + 3,
     });
     let catalog = Catalog::generate(CatalogConfig {
         hosts: leaves,
@@ -179,11 +210,13 @@ pub fn run(scale: Scale) -> DeployOutcome {
         max_replicas: (leaves / 10).max(50),
         vocab: (distinct / 3).max(500),
         phrases: (distinct / 8).max(200),
-        seed: 0x7004,
+        seed: master + 4,
         ..Default::default()
     });
-    let trace =
-        QueryTrace::generate(&catalog, QueryConfig { queries, seed: 0x7005, ..Default::default() });
+    let trace = QueryTrace::generate(
+        &catalog,
+        QueryConfig { queries, seed: master + 5, ..Default::default() },
+    );
     let leaf_files: Vec<Vec<FileMeta>> = catalog
         .host_files
         .iter()
@@ -273,7 +306,31 @@ pub fn run(scale: Scale) -> DeployOutcome {
         tables: vec![t_cost, t_dep],
         zero_result_reduction_pct: reduction,
         pier_beats_gnutella_latency: pier_ok,
+        publish_bytes_plain: pub_plain,
+        publish_bytes_cache: pub_cache,
+        query_bytes_plain: q_plain,
+        query_bytes_cache: q_cache,
+        avg_gnutella_first_s: avg(&gnutella_first),
+        avg_pier_exec_s: avg(&pier_exec),
+        files_published: published,
     }
+}
+
+/// One sweep trial: the deployment headline numbers from seeded
+/// topologies, catalogs, and traces.
+pub fn trial(scale: Scale, seed: u64) -> Summary {
+    let out = run_seeded(scale, seed);
+    let mut s = Summary::new();
+    s.set("zero_result_reduction_pct", out.zero_result_reduction_pct);
+    s.set("avg_gnutella_first_s", out.avg_gnutella_first_s);
+    s.set("avg_pier_exec_s", out.avg_pier_exec_s);
+    s.set("publish_bytes_plain", out.publish_bytes_plain);
+    s.set("publish_bytes_cache", out.publish_bytes_cache);
+    s.set("query_bytes_plain", out.query_bytes_plain);
+    s.set("query_bytes_cache", out.query_bytes_cache);
+    s.set("files_published", out.files_published as f64);
+    s.set("pier_beats_gnutella_latency", out.pier_beats_gnutella_latency as u64 as f64);
+    s
 }
 
 #[cfg(test)]

@@ -14,7 +14,9 @@ use std::collections::HashSet;
 /// `Sparse` is a larger, sparsely-connected topology where even a
 /// 32-neighbor vantage's dynamic query covers only part of the network
 /// (the paper's horizon effect); `Full` approaches the paper's magnitudes
-/// where feasible.
+/// (thousands of ultrapeers, tens of thousands of leaves) — minutes of CPU
+/// per trial, which is what the parallel sweep runner
+/// (`repro sweep --jobs J`) exists to amortize.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {
     Quick,
@@ -30,7 +32,20 @@ impl Scale {
             _ => Scale::Quick,
         }
     }
+
+    /// Lower-case name, as accepted by `REPRO_SCALE` and emitted in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Sparse => "sparse",
+            Scale::Full => "full",
+        }
+    }
 }
+
+/// The master seed every single-run experiment uses unless a sweep hands
+/// it a derived per-trial seed.
+pub const DEFAULT_SEED: u64 = 0x6AB;
 
 /// Lab parameters per scale.
 pub struct LabConfig {
@@ -53,6 +68,13 @@ pub struct LabConfig {
 
 impl LabConfig {
     pub fn at(scale: Scale) -> LabConfig {
+        LabConfig::at_seeded(scale, DEFAULT_SEED)
+    }
+
+    /// The preset for `scale`, with every random choice derived from
+    /// `seed` — the sweep runner derives one distinct master seed per
+    /// trial and builds each trial's lab through this.
+    pub fn at_seeded(scale: Scale, seed: u64) -> LabConfig {
         match scale {
             Scale::Quick => LabConfig {
                 ultrapeers: 120,
@@ -63,7 +85,7 @@ impl LabConfig {
                 queries: 160,
                 vantages: 10,
                 mixed_profile_vantages: false,
-                seed: 0x6AB,
+                seed,
             },
             // ≥ 5× more ultrapeers than Quick, heavily old-style (sparse
             // degree mix) and with single-homed leaves: a new-style
@@ -79,18 +101,24 @@ impl LabConfig {
                 queries: 140,
                 vantages: 12,
                 mixed_profile_vantages: true,
-                seed: 0x6AB,
+                seed,
             },
+            // The genuinely large preset: an order of magnitude past
+            // Sparse and within sight of the paper's §4.1 crawl (~3,333
+            // ultrapeers / ~100k nodes), with a mixed old/new degree
+            // profile. One trial is minutes of CPU; multi-seed statistics
+            // come from `repro sweep … --jobs J`, which runs trials on
+            // parallel OS threads.
             Scale::Full => LabConfig {
-                ultrapeers: 333,
-                leaves: 10_000,
-                old_style_fraction: 0.3,
+                ultrapeers: 2_000,
+                leaves: 20_000,
+                old_style_fraction: 0.6,
                 leaf_ups: 2,
-                distinct_files: 20_000,
-                queries: 700,
-                vantages: 30,
-                mixed_profile_vantages: false,
-                seed: 0x6AB,
+                distinct_files: 30_000,
+                queries: 220,
+                vantages: 20,
+                mixed_profile_vantages: true,
+                seed,
             },
         }
     }
@@ -286,4 +314,50 @@ pub fn union_results(per_vantage: &[VantageResult], n: usize) -> HashSet<(String
         u.extend(v.results.iter().cloned());
     }
     u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: `Full` once had *fewer* ultrapeers (333) than `Sparse`
+    /// (640), contradicting its doc comment. The preset ladder must be
+    /// strictly increasing, and `Full` must be genuinely large with a
+    /// mixed old/new ultrapeer profile.
+    #[test]
+    fn scale_presets_form_an_increasing_ladder() {
+        let quick = LabConfig::at(Scale::Quick);
+        let sparse = LabConfig::at(Scale::Sparse);
+        let full = LabConfig::at(Scale::Full);
+        assert!(quick.ultrapeers < sparse.ultrapeers);
+        assert!(sparse.ultrapeers < full.ultrapeers);
+        assert!(quick.leaves < full.leaves);
+        assert!(sparse.leaves < full.leaves);
+        assert!(full.ultrapeers >= 2_000, "Full must reach paper-scale ultrapeer counts");
+        assert!(full.leaves >= 20_000, "Full must reach paper-scale leaf counts");
+        assert!(
+            full.old_style_fraction > 0.0 && full.old_style_fraction < 1.0,
+            "Full runs a mixed ultrapeer profile"
+        );
+        assert!(full.mixed_profile_vantages, "Full vantage sets must span both profiles");
+    }
+
+    #[test]
+    fn seeded_config_overrides_only_the_seed() {
+        let a = LabConfig::at(Scale::Sparse);
+        let b = LabConfig::at_seeded(Scale::Sparse, 999);
+        assert_eq!(a.seed, DEFAULT_SEED);
+        assert_eq!(b.seed, 999);
+        assert_eq!(a.ultrapeers, b.ultrapeers);
+        assert_eq!(a.leaves, b.leaves);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn scale_names_round_trip_through_env_convention() {
+        for s in [Scale::Quick, Scale::Sparse, Scale::Full] {
+            assert!(!s.name().is_empty());
+        }
+        assert_eq!(Scale::Full.name(), "full");
+    }
 }

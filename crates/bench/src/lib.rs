@@ -12,9 +12,20 @@
 //! written as CSV under `results/`. Set `REPRO_SCALE=full` for
 //! paper-magnitude runs (minutes); the default quick scale keeps everything
 //! under a few minutes total.
+//!
+//! For multi-seed statistics (mean ± stderr error bars), every experiment
+//! can run as a parallel sweep:
+//!
+//! ```text
+//! cargo run -p pier-bench --release --bin repro -- sweep horizon --trials 4 --jobs 4
+//! ```
+//!
+//! See [`sweep`] for the trial/aggregation machinery and [`output`] for
+//! table/CSV/JSON emission.
 
 pub mod experiments;
 pub mod lab;
 pub mod output;
+pub mod sweep;
 
 pub use lab::Scale;

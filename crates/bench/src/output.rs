@@ -1,6 +1,10 @@
-//! Result presentation: aligned console tables plus CSV files under
-//! `results/` so every figure can be re-plotted.
+//! Result presentation: aligned console tables, CSV files under
+//! `results/` so every figure can be re-plotted, and JSON emission for
+//! sweep results. Experiments return structured values ([`Table`]s and
+//! [`crate::sweep::Summary`]s); everything that prints or writes files
+//! lives here.
 
+use crate::sweep::SweepResult;
 use std::fmt::Display;
 use std::io::Write;
 use std::path::PathBuf;
@@ -61,6 +65,110 @@ impl Table {
     }
 }
 
+/// Print a batch of tables and write each as `results/<prefix>_<i>.csv` —
+/// the presentation step for every `repro` experiment run.
+pub fn emit(tables: &[Table], csv_prefix: &str) {
+    for (i, t) in tables.iter().enumerate() {
+        t.print();
+        let name = format!("{csv_prefix}_{i}");
+        match t.write_csv(&name) {
+            Ok(path) => println!("  → {}", path.display()),
+            Err(e) => eprintln!("  (csv write failed: {e})"),
+        }
+    }
+}
+
+/// Render a sweep as two tables: per-trial statistics (one column per
+/// trial) and the cross-trial aggregate (mean ± stderr, min, max).
+pub fn sweep_tables(result: &SweepResult) -> Vec<Table> {
+    let mut cols: Vec<String> = vec!["stat".to_string()];
+    cols.extend(result.trials.iter().map(|t| format!("t{}", t.trial)));
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut per_trial = Table::new(
+        &format!(
+            "Sweep '{}' at {} scale: per-trial statistics ({} trials, base seed {:#x})",
+            result.experiment,
+            result.scale.name(),
+            result.trials.len(),
+            result.base_seed
+        ),
+        &col_refs,
+    );
+    if let Some(first) = result.trials.first() {
+        for key in first.summary.keys() {
+            let mut row = vec![s(key)];
+            for t in &result.trials {
+                row.push(f(t.summary.get(key).unwrap_or(f64::NAN), 3));
+            }
+            per_trial.row(row);
+        }
+    }
+
+    let mut agg = Table::new(
+        &format!("Sweep '{}': cross-trial aggregate", result.experiment),
+        &["stat", "mean", "stderr", "min", "max"],
+    );
+    for a in &result.aggregates {
+        agg.row(vec![s(&a.key), f(a.mean, 3), f(a.stderr, 3), f(a.min, 3), f(a.max, 3)]);
+    }
+    vec![per_trial, agg]
+}
+
+/// A JSON number: finite floats print with full round-trip precision,
+/// non-finite values become `null` (JSON has no NaN/inf).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize a sweep result (per-trial stats + aggregates) as JSON.
+pub fn sweep_json(result: &SweepResult) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"experiment\": \"{}\",\n", result.experiment));
+    out.push_str(&format!("  \"scale\": \"{}\",\n", result.scale.name()));
+    out.push_str(&format!("  \"base_seed\": {},\n", result.base_seed));
+    out.push_str(&format!("  \"trials\": {},\n", result.trials.len()));
+    out.push_str(&format!("  \"jobs\": {},\n", result.jobs));
+    out.push_str("  \"per_trial\": [\n");
+    for (i, t) in result.trials.iter().enumerate() {
+        out.push_str(&format!("    {{\"trial\": {}, \"seed\": {}, \"stats\": {{", t.trial, t.seed));
+        let stats: Vec<String> =
+            t.summary.iter().map(|(k, v)| format!("\"{k}\": {}", json_num(v))).collect();
+        out.push_str(&stats.join(", "));
+        out.push_str(&format!("}}}}{}\n", if i + 1 == result.trials.len() { "" } else { "," }));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"aggregate\": {\n");
+    for (i, a) in result.aggregates.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"mean\": {}, \"stderr\": {}, \"min\": {}, \"max\": {}}}{}\n",
+            a.key,
+            json_num(a.mean),
+            json_num(a.stderr),
+            json_num(a.min),
+            json_num(a.max),
+            if i + 1 == result.aggregates.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Write a sweep result as `results/sweep_<experiment>_<scale>.json`.
+pub fn write_sweep_json(result: &SweepResult) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let name =
+        format!("sweep_{}_{}.json", result.experiment.replace('-', "_"), result.scale.name());
+    let path = dir.join(name);
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(sweep_json(result).as_bytes())?;
+    Ok(path)
+}
+
 /// `results/` next to the workspace root when available.
 pub fn results_dir() -> PathBuf {
     if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
@@ -105,5 +213,67 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec![s(1)]);
+    }
+
+    fn demo_sweep() -> SweepResult {
+        use crate::sweep::{run_sweep_with, Summary, SweepConfig};
+        run_sweep_with("demo", &SweepConfig::new(crate::Scale::Quick, 3, 2), |_, seed| {
+            let mut s = Summary::new();
+            s.set("value", (seed % 97) as f64);
+            s.set("constant", 1.5);
+            s
+        })
+    }
+
+    #[test]
+    fn sweep_json_shape() {
+        let result = demo_sweep();
+        let json = sweep_json(&result);
+        assert!(json.contains("\"experiment\": \"demo\""));
+        assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"trials\": 3"));
+        assert!(json.contains("\"per_trial\": ["));
+        // Aggregates carry all four moments for every stat.
+        assert!(json.contains("\"value\": {\"mean\": "));
+        assert!(json.contains("\"stderr\": "));
+        assert!(json.contains("\"min\": "));
+        assert!(json.contains("\"max\": "));
+        // A constant stat aggregates to stderr 0.
+        assert!(json.contains(
+            "\"constant\": {\"mean\": 1.5, \"stderr\": 0.0, \"min\": 1.5, \"max\": 1.5}"
+        ));
+        // Balanced braces (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains("NaN"), "non-finite values must become null");
+    }
+
+    #[test]
+    fn sweep_json_written_to_results() {
+        let mut result = demo_sweep();
+        result.experiment = "test-demo".into();
+        let path = write_sweep_json(&result).unwrap();
+        assert!(path.ends_with("sweep_test_demo_quick.json"), "{path:?}");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"experiment\": \"test-demo\""));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn sweep_tables_have_one_column_per_trial() {
+        let result = demo_sweep();
+        let tables = sweep_tables(&result);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].columns.len(), 1 + 3, "stat column + one per trial");
+        assert_eq!(tables[0].rows.len(), 2, "one row per stat");
+        assert_eq!(tables[1].columns, vec!["stat", "mean", "stderr", "min", "max"]);
+        tables[0].print();
+        tables[1].print();
+    }
+
+    #[test]
+    fn json_num_handles_non_finite() {
+        assert_eq!(json_num(1.25), "1.25");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
     }
 }

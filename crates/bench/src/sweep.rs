@@ -1,0 +1,467 @@
+//! Multi-trial sweeps: run N independent trials of an experiment — each
+//! with a distinct master seed derived from a base seed — across J OS
+//! threads, and aggregate every reported statistic across trials
+//! (mean / stderr / min / max).
+//!
+//! The paper's claims are statistical, so a single run at a single seed
+//! can neither carry error bars nor distinguish a real effect from seed
+//! luck. Every experiment therefore exposes a `trial(scale, seed) ->
+//! Summary` entry point returning *structured* statistics (presentation
+//! lives in [`crate::output`]); this module fans trials out with
+//! `std::thread::scope` — each worker builds and runs its own `Lab`/`Sim`,
+//! so nothing inside a simulation needs to be `Send` — and reduces the
+//! per-trial summaries. Per-trial results depend only on `(scale, seed)`,
+//! never on `--jobs` or scheduling, which the determinism tests pin down.
+
+use crate::experiments::{
+    ablations, fig8, figs13to15, figs4to7, figs9to12, horizon, sec5_posting, sec7_deploy,
+};
+use crate::lab::Scale;
+use pier_netsim::derive_seed;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Ordered `name → value` statistics reported by one experiment trial.
+/// Insertion order is preserved (it drives display and JSON order); keys
+/// are unique. A statistic may be `NaN` when undefined for a trial (e.g.
+/// "mean over old-style vantages" when a seed drew none); [`aggregate`]
+/// skips non-finite values per key.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    stats: Vec<(String, f64)>,
+}
+
+/// Bitwise value equality, so `NaN == NaN` — determinism tests compare
+/// summaries for *bit-identity*, where IEEE `NaN != NaN` would report a
+/// spurious mismatch between two byte-identical runs.
+impl PartialEq for Summary {
+    fn eq(&self, other: &Summary) -> bool {
+        self.stats.len() == other.stats.len()
+            && self
+                .stats
+                .iter()
+                .zip(&other.stats)
+                .all(|((ka, va), (kb, vb))| ka == kb && va.to_bits() == vb.to_bits())
+    }
+}
+
+impl Summary {
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Set `key` to `value`, replacing any previous value for the key.
+    pub fn set(&mut self, key: &str, value: f64) {
+        match self.stats.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.stats.push((key.to_string(), value)),
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.stats.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.stats.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &str> + '_ {
+        self.stats.iter().map(|(k, _)| k.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+}
+
+/// One statistic aggregated across trials.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregateStat {
+    pub key: String,
+    pub mean: f64,
+    /// Standard error of the mean: sample stddev / √n (0 for one trial).
+    pub stderr: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Aggregate per-key statistics across trials. Key order follows the
+/// first trial's insertion order. Non-finite per-trial values (a stat
+/// undefined for that seed) are skipped; a key with no finite value at
+/// all aggregates to `NaN` everywhere (emitted as `null` in JSON).
+///
+/// # Panics
+/// Panics if a later trial is missing a key the first trial reported —
+/// trials of one experiment must report the same statistics.
+pub fn aggregate(trials: &[Summary]) -> Vec<AggregateStat> {
+    let Some(first) = trials.first() else {
+        return Vec::new();
+    };
+    first
+        .keys()
+        .map(|key| {
+            let values: Vec<f64> = trials
+                .iter()
+                .map(|t| t.get(key).unwrap_or_else(|| panic!("trial missing stat '{key}'")))
+                .filter(|v| v.is_finite())
+                .collect();
+            if values.is_empty() {
+                let nan = f64::NAN;
+                return AggregateStat {
+                    key: key.to_string(),
+                    mean: nan,
+                    stderr: nan,
+                    min: nan,
+                    max: nan,
+                };
+            }
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let stderr = if values.len() > 1 {
+                let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+                (var / n).sqrt()
+            } else {
+                0.0
+            };
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            AggregateStat { key: key.to_string(), mean, stderr, min, max }
+        })
+        .collect()
+}
+
+/// The sweepable experiments (everything `repro` can run that has a
+/// nontrivial random component).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Experiment {
+    Figs4to7,
+    Horizon,
+    Fig8,
+    Figs9to12,
+    Figs13to15,
+    Sec5Posting,
+    Ablations,
+    Sec7Deploy,
+}
+
+impl Experiment {
+    pub const ALL: [Experiment; 8] = [
+        Experiment::Figs4to7,
+        Experiment::Horizon,
+        Experiment::Fig8,
+        Experiment::Figs9to12,
+        Experiment::Figs13to15,
+        Experiment::Sec5Posting,
+        Experiment::Ablations,
+        Experiment::Sec7Deploy,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Experiment::Figs4to7 => "figs4to7",
+            Experiment::Horizon => "horizon",
+            Experiment::Fig8 => "fig8",
+            Experiment::Figs9to12 => "figs9to12",
+            Experiment::Figs13to15 => "figs13to15",
+            Experiment::Sec5Posting => "sec5-posting",
+            Experiment::Ablations => "ablations",
+            Experiment::Sec7Deploy => "sec7-deploy",
+        }
+    }
+
+    /// Parse an experiment id, accepting the same aliases `repro` accepts
+    /// for single runs.
+    pub fn parse(s: &str) -> Option<Experiment> {
+        match s {
+            "figs4to7" | "figs4-7" | "fig4" | "fig5" | "fig6" | "fig7" => {
+                Some(Experiment::Figs4to7)
+            }
+            "horizon" | "sparse" => Some(Experiment::Horizon),
+            "fig8" | "crawl" => Some(Experiment::Fig8),
+            "figs9to12" | "figs9-12" | "fig9" | "fig10" | "fig11" | "fig12" => {
+                Some(Experiment::Figs9to12)
+            }
+            "figs13to15" | "figs13-15" | "fig13" | "fig14" | "fig15" => {
+                Some(Experiment::Figs13to15)
+            }
+            "sec5-posting" => Some(Experiment::Sec5Posting),
+            "ablations" | "ablation-timeout" => Some(Experiment::Ablations),
+            "sec7-deploy" => Some(Experiment::Sec7Deploy),
+            _ => None,
+        }
+    }
+
+    /// Run one trial at `scale` with master seed `seed` and return its
+    /// structured statistics. Deterministic in `(scale, seed)`.
+    pub fn trial(self, scale: Scale, seed: u64) -> Summary {
+        match self {
+            Experiment::Figs4to7 => figs4to7::trial(scale, seed),
+            Experiment::Horizon => horizon::trial(scale, seed),
+            Experiment::Fig8 => fig8::trial(scale, seed),
+            Experiment::Figs9to12 => figs9to12::trial(scale, seed),
+            Experiment::Figs13to15 => figs13to15::trial(scale, seed),
+            Experiment::Sec5Posting => sec5_posting::trial(scale, seed),
+            Experiment::Ablations => ablations::trial(scale, seed),
+            Experiment::Sec7Deploy => sec7_deploy::trial(scale, seed),
+        }
+    }
+}
+
+/// Sweep parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    pub scale: Scale,
+    pub trials: usize,
+    /// Worker OS threads; clamped to `1..=trials`.
+    pub jobs: usize,
+    pub base_seed: u64,
+}
+
+impl SweepConfig {
+    pub fn new(scale: Scale, trials: usize, jobs: usize) -> SweepConfig {
+        SweepConfig { scale, trials, jobs, base_seed: DEFAULT_BASE_SEED }
+    }
+}
+
+/// Base seed sweeps derive per-trial master seeds from unless overridden.
+pub const DEFAULT_BASE_SEED: u64 = 0x5EED;
+
+/// The master seed of trial `trial` in a sweep with `base_seed`: a
+/// SplitMix64 derivation, so adjacent trials are decorrelated and trial
+/// seeds never collide with the base seed itself.
+pub fn trial_seed(base_seed: u64, trial: usize) -> u64 {
+    derive_seed(base_seed, trial as u64)
+}
+
+/// One trial's result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialResult {
+    pub trial: usize,
+    pub seed: u64,
+    pub summary: Summary,
+}
+
+/// All trials (in trial order) plus cross-trial aggregates.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    pub experiment: String,
+    pub scale: Scale,
+    pub base_seed: u64,
+    pub jobs: usize,
+    pub trials: Vec<TrialResult>,
+    pub aggregates: Vec<AggregateStat>,
+}
+
+/// Sweep an experiment: N trials across J threads, aggregated.
+pub fn run_sweep(experiment: Experiment, cfg: &SweepConfig) -> SweepResult {
+    run_sweep_with(experiment.name(), cfg, |scale, seed| experiment.trial(scale, seed))
+}
+
+/// Generic sweep driver over any `(scale, seed) -> Summary` trial
+/// function. Trials are handed to workers through a shared counter
+/// (work-stealing by index), so stragglers do not serialize the sweep;
+/// results are reassembled in trial order, making the output independent
+/// of `jobs` and thread scheduling for any deterministic trial function.
+pub fn run_sweep_with(
+    name: &str,
+    cfg: &SweepConfig,
+    trial_fn: impl Fn(Scale, u64) -> Summary + Sync,
+) -> SweepResult {
+    assert!(cfg.trials > 0, "a sweep needs at least one trial");
+    let jobs = cfg.jobs.clamp(1, cfg.trials);
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<TrialResult>> = Mutex::new(Vec::with_capacity(cfg.trials));
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let trial = next.fetch_add(1, Ordering::Relaxed);
+                if trial >= cfg.trials {
+                    break;
+                }
+                let seed = trial_seed(cfg.base_seed, trial);
+                // Build and run entirely on this thread: each trial owns
+                // its Lab/Sim, so `Sim` needs no `Send`.
+                let summary = trial_fn(cfg.scale, seed);
+                done.lock().expect("sweep worker poisoned the result lock").push(TrialResult {
+                    trial,
+                    seed,
+                    summary,
+                });
+            });
+        }
+    });
+    let mut trials = done.into_inner().expect("sweep worker poisoned the result lock");
+    trials.sort_by_key(|t| t.trial);
+    assert_eq!(trials.len(), cfg.trials, "every trial must report");
+    let aggregates = aggregate(&trials.iter().map(|t| t.summary.clone()).collect::<Vec<_>>());
+    SweepResult {
+        experiment: name.to_string(),
+        scale: cfg.scale,
+        base_seed: cfg.base_seed,
+        jobs,
+        trials,
+        aggregates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_netsim::stream_rng;
+    use rand::Rng;
+
+    #[test]
+    fn summary_preserves_order_and_replaces() {
+        let mut s = Summary::new();
+        s.set("b", 1.0);
+        s.set("a", 2.0);
+        s.set("b", 3.0);
+        assert_eq!(s.keys().collect::<Vec<_>>(), vec!["b", "a"]);
+        assert_eq!(s.get("b"), Some(3.0));
+        assert_eq!(s.get("missing"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_mean_stderr_min_max() {
+        let mk = |v: f64| {
+            let mut s = Summary::new();
+            s.set("x", v);
+            s.set("y", 10.0 * v);
+            s
+        };
+        let agg = aggregate(&[mk(1.0), mk(2.0), mk(3.0), mk(4.0)]);
+        assert_eq!(agg.len(), 2);
+        let x = &agg[0];
+        assert_eq!(x.key, "x");
+        assert!((x.mean - 2.5).abs() < 1e-12);
+        // Sample stddev of 1,2,3,4 is sqrt(5/3); stderr divides by sqrt(4).
+        let expect = (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((x.stderr - expect).abs() < 1e-12, "stderr {} vs {expect}", x.stderr);
+        assert_eq!((x.min, x.max), (1.0, 4.0));
+        let y = &agg[1];
+        assert!((y.mean - 25.0).abs() < 1e-12);
+        assert!((y.stderr - 10.0 * expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_single_trial_degenerates_cleanly() {
+        let mut s = Summary::new();
+        s.set("only", 7.5);
+        let agg = aggregate(&[s]);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].mean, 7.5);
+        assert_eq!(agg[0].stderr, 0.0, "one trial has no spread");
+        assert_eq!((agg[0].min, agg[0].max), (7.5, 7.5));
+    }
+
+    #[test]
+    fn aggregate_empty_is_empty() {
+        assert!(aggregate(&[]).is_empty());
+    }
+
+    #[test]
+    fn aggregate_skips_non_finite_trial_values() {
+        let mk = |v: f64| {
+            let mut s = Summary::new();
+            s.set("sometimes_undefined", v);
+            s
+        };
+        // One seed drew no vantage of the measured profile: its stat is
+        // NaN, and it must not poison the other trials' aggregate.
+        let agg = aggregate(&[mk(1.0), mk(f64::NAN), mk(3.0)]);
+        assert!((agg[0].mean - 2.0).abs() < 1e-12);
+        assert_eq!((agg[0].min, agg[0].max), (1.0, 3.0));
+        assert!(agg[0].stderr.is_finite());
+        // A key undefined in every trial aggregates to NaN (JSON null).
+        let all_nan = aggregate(&[mk(f64::NAN), mk(f64::NAN)]);
+        assert!(all_nan[0].mean.is_nan());
+        assert!(all_nan[0].min.is_nan());
+    }
+
+    #[test]
+    fn summary_equality_is_bitwise() {
+        let mut a = Summary::new();
+        a.set("x", f64::NAN);
+        let mut b = Summary::new();
+        b.set("x", f64::NAN);
+        assert_eq!(a, b, "bit-identical NaNs must compare equal");
+        b.set("x", 1.0);
+        assert_ne!(a, b);
+        let mut c = Summary::new();
+        c.set("x", -0.0);
+        let mut d = Summary::new();
+        d.set("x", 0.0);
+        assert_ne!(c, d, "-0.0 and 0.0 differ bitwise");
+    }
+
+    #[test]
+    #[should_panic(expected = "trial missing stat")]
+    fn aggregate_rejects_mismatched_keys() {
+        let mut a = Summary::new();
+        a.set("x", 1.0);
+        let b = Summary::new();
+        aggregate(&[a, b]);
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..1_000 {
+            assert!(seen.insert(trial_seed(42, t)), "seed collision at trial {t}");
+        }
+        assert_ne!(trial_seed(1, 0), trial_seed(2, 0), "base seeds must fan out differently");
+    }
+
+    /// A deterministic but seed-sensitive synthetic trial: a few RNG draws
+    /// keyed by the trial seed.
+    fn synthetic(scale: Scale, seed: u64) -> Summary {
+        let mut rng = stream_rng(seed, 0);
+        let mut s = Summary::new();
+        s.set("draw", rng.random::<f64>());
+        s.set("scale_tag", matches!(scale, Scale::Quick) as u64 as f64);
+        s
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let sequential =
+            run_sweep_with("synthetic", &SweepConfig::new(Scale::Quick, 8, 1), synthetic);
+        let parallel =
+            run_sweep_with("synthetic", &SweepConfig::new(Scale::Quick, 8, 4), synthetic);
+        assert_eq!(sequential.trials, parallel.trials, "per-trial results must not depend on jobs");
+        assert_eq!(sequential.trials.len(), 8);
+        for (i, t) in sequential.trials.iter().enumerate() {
+            assert_eq!(t.trial, i, "trials come back in order");
+            assert_eq!(t.seed, trial_seed(DEFAULT_BASE_SEED, i));
+            // And each equals a direct invocation with the same seed.
+            assert_eq!(t.summary, synthetic(Scale::Quick, t.seed));
+        }
+        // Different seeds actually produce different draws.
+        let draws: std::collections::HashSet<u64> =
+            sequential.trials.iter().map(|t| t.summary.get("draw").unwrap().to_bits()).collect();
+        assert_eq!(draws.len(), 8);
+    }
+
+    #[test]
+    fn jobs_clamped_to_trials() {
+        let r = run_sweep_with("synthetic", &SweepConfig::new(Scale::Quick, 2, 64), synthetic);
+        assert_eq!(r.jobs, 2);
+        assert_eq!(r.trials.len(), 2);
+    }
+
+    #[test]
+    fn experiment_parse_round_trips() {
+        for e in Experiment::ALL {
+            assert_eq!(Experiment::parse(e.name()), Some(e));
+        }
+        assert_eq!(Experiment::parse("fig5"), Some(Experiment::Figs4to7));
+        assert_eq!(Experiment::parse("crawl"), Some(Experiment::Fig8));
+        assert_eq!(Experiment::parse("nonsense"), None);
+    }
+}

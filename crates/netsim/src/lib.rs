@@ -71,7 +71,9 @@ mod time;
 
 pub use actor::{Actor, Ctx, NodeId, TimerToken};
 pub use latency::{ClusteredWan, ConstantLatency, LatencyModel, UniformLatency};
-pub use metrics::{Cdf, Counter, Histogram, LazyMetricClass, MetricClass, Metrics};
+pub use metrics::{
+    Cdf, Counter, Histogram, LazyMetricClass, MetricClass, Metrics, MetricsSnapshot,
+};
 pub use rng::{derive_seed, split_mix64, stream_rng, SimRng};
 pub use sim::{Sim, SimConfig};
 pub use time::{SimDuration, SimTime};

@@ -501,6 +501,95 @@ impl Metrics {
             .collect::<Vec<_>>()
             .into_iter()
     }
+
+    /// Freeze every touched counter into an owned, name-keyed
+    /// [`MetricsSnapshot`]. Snapshots are `Send`, so per-trial simulations
+    /// running on worker threads can hand their traffic accounting back to
+    /// a sweep driver, which merges them with [`MetricsSnapshot::merge`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters().collect(),
+            total_messages: self.total_messages,
+            total_bytes: self.total_bytes,
+        }
+    }
+}
+
+/// An owned, name-keyed snapshot of one run's counters — the cross-run
+/// aggregation surface. Unlike [`Metrics`] it has no ties to the live
+/// registry ids, so snapshots taken in different runs (even with different
+/// registration orders) merge correctly by class name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(class name, counter)` in class-name order; untouched classes are
+    /// skipped.
+    counters: Vec<(&'static str, Counter)>,
+    pub total_messages: u64,
+    pub total_bytes: u64,
+}
+
+impl MetricsSnapshot {
+    /// Name-keyed counter read (zero for classes the run never touched).
+    pub fn counter(&self, class: &str) -> Counter {
+        self.counters
+            .binary_search_by_key(&class, |(n, _)| n)
+            .map(|i| self.counters[i].1)
+            .unwrap_or_default()
+    }
+
+    /// All `(class, counter)` pairs, in class-name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, Counter)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// Merge `other` into `self`, summing counters class-by-class.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut merged = Vec::with_capacity(self.counters.len().max(other.counters.len()));
+        let (mut a, mut b) = (self.counters.iter().peekable(), other.counters.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(na, ca)), Some(&&(nb, cb))) => match na.cmp(nb) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((na, ca));
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((nb, cb));
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push((
+                            na,
+                            Counter { count: ca.count + cb.count, bytes: ca.bytes + cb.bytes },
+                        ));
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(&&p), None) => {
+                    merged.push(p);
+                    a.next();
+                }
+                (None, Some(&&p)) => {
+                    merged.push(p);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.counters = merged;
+        self.total_messages += other.total_messages;
+        self.total_bytes += other.total_bytes;
+    }
+
+    /// Sum a set of snapshots (e.g. one per sweep trial) into one.
+    pub fn merged<'a>(snapshots: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+        let mut total = MetricsSnapshot::default();
+        for s in snapshots {
+            total.merge(s);
+        }
+        total
+    }
 }
 
 impl fmt::Display for Metrics {
@@ -674,6 +763,40 @@ mod tests {
         assert_eq!(cdf.len(), 6);
         assert_eq!(cdf.fraction_at_most(h.max()), 1.0);
         assert!(cdf.fraction_at_most(-1.0) == 0.0);
+    }
+
+    #[test]
+    fn snapshot_reads_and_merges_by_name() {
+        let mut m1 = Metrics::new();
+        m1.record_send(class("snap.a"), 10);
+        m1.record_send(class("snap.b"), 5);
+        let mut m2 = Metrics::new();
+        m2.record_send(class("snap.b"), 7);
+        m2.record_send(class("snap.c"), 1);
+
+        let s1 = m1.snapshot();
+        assert_eq!(s1.counter("snap.a"), Counter { count: 1, bytes: 10 });
+        assert_eq!(s1.counter("snap.never"), Counter::default());
+
+        let mut merged = s1.clone();
+        merged.merge(&m2.snapshot());
+        assert_eq!(merged.counter("snap.a"), Counter { count: 1, bytes: 10 });
+        assert_eq!(merged.counter("snap.b"), Counter { count: 2, bytes: 12 });
+        assert_eq!(merged.counter("snap.c"), Counter { count: 1, bytes: 1 });
+        assert_eq!(merged.total_messages, 4);
+        assert_eq!(merged.total_bytes, 23);
+        // Name order is preserved through the merge.
+        let names: Vec<&str> =
+            merged.counters().map(|(n, _)| n).filter(|n| n.starts_with("snap.")).collect();
+        assert_eq!(names, vec!["snap.a", "snap.b", "snap.c"]);
+
+        // Summing the parts equals merging pairwise.
+        let all = MetricsSnapshot::merged([&s1, &m2.snapshot()]);
+        assert_eq!(all, merged);
+        // Merging with an empty snapshot is the identity.
+        let mut id = merged.clone();
+        id.merge(&MetricsSnapshot::default());
+        assert_eq!(id, merged);
     }
 
     #[test]

@@ -194,11 +194,25 @@ impl<M: 'static> Sim<M> {
 
     /// Run an actor handler "from outside" (experiment drivers use this to
     /// issue queries on behalf of a node at the current virtual time).
+    ///
+    /// The node must be up: [`Sim::step`] gates deliveries and timers on
+    /// liveness, so injecting work into a crashed node would let a driver
+    /// observe behavior the simulated network can never produce (e.g. a
+    /// query issued from a down vantage). Check [`Sim::is_up`] first when
+    /// the target may have churned out.
+    ///
+    /// # Panics
+    /// Panics if the node id is out of range, the type does not match, or
+    /// the node is currently down.
     pub fn with_actor_ctx<T: Actor<M> + Any, R>(
         &mut self,
         id: NodeId,
         f: impl FnOnce(&mut T, &mut dyn Ctx<M>) -> R,
     ) -> R {
+        assert!(
+            self.kernel.up[id.index()],
+            "with_actor_ctx on down node {id:?}: handlers only run on live nodes"
+        );
         let actor =
             self.actors[id.index()].as_any_mut().downcast_mut::<T>().expect("actor type mismatch");
         let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: id };
@@ -461,6 +475,31 @@ mod tests {
         });
         sim.run_until_quiescent();
         assert_eq!(sim.actor::<Echo>(a).pongs_got, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_actor_ctx on down node")]
+    fn with_actor_ctx_rejects_down_nodes() {
+        let (mut sim, a, b) = echo_pair();
+        sim.run_until_quiescent();
+        sim.set_down(a);
+        // `step()` would drop any delivery/timer for a down node; injecting
+        // a handler run from the driver must be refused the same way.
+        sim.with_actor_ctx::<Echo, _>(a, |echo, ctx| {
+            ctx.send(b, Msg::Ping, 23, PING.id());
+            echo.pings_sent += 1;
+        });
+    }
+
+    #[test]
+    fn with_actor_ctx_allowed_again_after_revival() {
+        let (mut sim, a, b) = echo_pair();
+        sim.run_until_quiescent();
+        sim.set_down(a);
+        sim.set_up(a);
+        sim.with_actor_ctx::<Echo, _>(a, |_, ctx| ctx.send(b, Msg::Ping, 23, PING.id()));
+        sim.run_until_quiescent();
+        assert!(sim.actor::<Echo>(a).pongs_got >= 2);
     }
 
     #[test]

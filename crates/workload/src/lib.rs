@@ -28,3 +28,4 @@ pub mod zipf;
 pub use catalog::{Catalog, CatalogConfig, DistinctFile};
 pub use queries::{vantage_hosts, Evaluator, GroundTruth, Query, QueryConfig, QueryTrace};
 pub use trace::{TraceBundle, TraceError};
+pub use zipf::{calibrate_beta, PowerLaw, Zipf};

@@ -86,7 +86,10 @@ impl PowerLaw {
     /// Sample a replica count in `1..=max`.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.random();
-        self.cdf.partition_point(|c| *c < u) + 1
+        // Clamp to the end of the CDF (as `Zipf::sample` does): float
+        // normalization can leave `cdf.last()` a hair below 1.0, and a draw
+        // above it would otherwise step past the support to `max + 1`.
+        self.cdf.partition_point(|c| *c < u).min(self.cdf.len() - 1) + 1
     }
 
     /// P(R = r).

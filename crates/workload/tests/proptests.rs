@@ -1,0 +1,43 @@
+//! Property tests for the heavy-tailed samplers: whatever the shape
+//! parameter, samples must stay inside the declared support. The
+//! `PowerLaw` case is a regression test for the missing end-of-CDF clamp
+//! (extreme `beta` pushes almost all normalized mass onto the first rank,
+//! so `cdf.last()` can sit a hair below 1.0 and a draw above it used to
+//! escape to `max + 1`).
+
+use pier_netsim::stream_rng;
+use pier_workload::{PowerLaw, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn power_law_samples_stay_in_support(
+        max in 1usize..2_000,
+        // Extreme shapes on both ends: near-uniform and near-degenerate
+        // (milli-beta, since the vendored proptest has integer ranges only).
+        milli_beta in 0u32..12_000,
+        seed in any::<u64>(),
+    ) {
+        let beta = milli_beta as f64 / 1_000.0;
+        let p = PowerLaw::new(max, beta);
+        let mut rng = stream_rng(seed, 0);
+        for _ in 0..256 {
+            let r = p.sample(&mut rng);
+            prop_assert!((1..=max).contains(&r), "sample {r} outside 1..={max} (beta {beta})");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_support(
+        n in 1usize..2_000,
+        milli_s in 0u32..8_000,
+        seed in any::<u64>(),
+    ) {
+        let z = Zipf::new(n, milli_s as f64 / 1_000.0);
+        let mut rng = stream_rng(seed, 1);
+        for _ in 0..256 {
+            let k = z.sample(&mut rng);
+            prop_assert!(k < n, "sample {k} outside 0..{n}");
+        }
+    }
+}
