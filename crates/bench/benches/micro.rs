@@ -90,7 +90,7 @@ fn bench_qrp(c: &mut Criterion) {
     for i in 0..500 {
         filter.insert(&format!("term{i}"));
     }
-    let query: Vec<String> = vec!["term42".into(), "term123".into()];
+    let query = pier_gnutella::Terms::from_text("term42 term123");
     let mut g = c.benchmark_group("qrp_bloom");
     g.bench_function("matches_all_2_terms", |b| b.iter(|| filter.matches_all(black_box(&query))));
     g.bench_function("insert", |b| {
@@ -110,6 +110,7 @@ fn bench_tokenize(c: &mut Criterion) {
     g.bench_function("piersearch_keywords", |b| {
         b.iter(|| piersearch::tokenize::keywords(black_box(name)))
     });
+    g.bench_function("shared_scan_interned", |b| b.iter(|| pier_vocab::scan(black_box(name))));
     g.bench_function("gnutella_tokens", |b| b.iter(|| pier_gnutella::tokenize(black_box(name))));
     g.finish();
 }

@@ -1,0 +1,56 @@
+//! `flood_bench` — the query-flood hot-path microbenchmark: one
+//! per-ultrapeer relay hop (duplicate check, share matching, last-hop QRP,
+//! relay fan-out, leaf matching) at sparse-preset magnitudes, through the
+//! real interned cores vs. the reconstructed pre-interning data plane
+//! (`String` clones per neighbor, a tokenizer run per hop, per-file
+//! `HashSet<String>` matching, byte-rehashing Bloom checks).
+//!
+//! Results print as a table and are written to `BENCH_flood.json` at the
+//! workspace root (the `kernel_bench` pattern), so later PRs have a perf
+//! trajectory to compare against. The acceptance floor (≥ 2× flood
+//! throughput) is enforced by `crates/bench/tests/flood_perf.rs`.
+//!
+//! Run with `cargo run -p pier-bench --release --bin flood_bench`.
+
+use pier_bench::floodbench::{bench_interned, bench_legacy, sparse_workload};
+use std::io::Write;
+
+fn main() {
+    let w = sparse_workload();
+    const ITERS: u64 = 200_000;
+
+    let interned_ns = bench_interned(&w, ITERS);
+    let legacy_ns = bench_legacy(&w, ITERS);
+    let speedup = legacy_ns / interned_ns;
+    let results: Vec<(&str, f64)> = vec![
+        ("flood.hop_interned_ns", interned_ns),
+        ("flood.hop_legacy_baseline_ns", legacy_ns),
+        ("flood.speedup", speedup),
+        ("flood.hops_per_sec_interned", 1e9 / interned_ns),
+        ("flood.hops_per_sec_legacy", 1e9 / legacy_ns),
+    ];
+
+    println!("{:<36} {:>14}", "query-flood hot path (sparse scale)", "value");
+    for (name, v) in &results {
+        println!("{name:<36} {v:>14.1}");
+    }
+    println!(
+        "\nflood hop: interned {interned_ns:.1} ns vs legacy string plane {legacy_ns:.1} ns \
+         ({speedup:.1}x)"
+    );
+
+    let path = pier_bench::output::results_dir()
+        .parent()
+        .map(|r| r.join("BENCH_flood.json"))
+        .unwrap_or_else(|| "BENCH_flood.json".into());
+    let mut json = String::from("{\n");
+    for (i, (name, v)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {v:.1}{comma}\n"));
+    }
+    json.push_str("}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("→ {}", path.display()),
+        Err(e) => eprintln!("(json write failed: {e})"),
+    }
+}

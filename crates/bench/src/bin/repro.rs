@@ -13,9 +13,11 @@
 //!                      # (mean/stderr/min/max) into results/sweep_*.json
 //! ```
 //!
-//! `REPRO_SCALE=full` switches to paper-magnitude workloads;
-//! `REPRO_SCALE=sparse` uses the large sparse topology where even
-//! new-style vantages see only part of the network.
+//! `--scale quick|sparse|full` (anywhere on the command line) selects the
+//! workload scale; `full` is paper magnitudes, `sparse` the large sparse
+//! topology where even new-style vantages see only part of the network.
+//! The `REPRO_SCALE` environment variable remains as a fallback when the
+//! flag is absent, so existing CI plumbing keeps working.
 
 use pier_bench::experiments::{
     ablations, fig8, figs13to15, figs4to7, figs9to12, horizon, model_params, sec5_posting,
@@ -24,6 +26,27 @@ use pier_bench::experiments::{
 use pier_bench::output::{self, emit};
 use pier_bench::sweep::{run_sweep, Experiment, SweepConfig, DEFAULT_BASE_SEED};
 use pier_bench::Scale;
+
+/// Extract `--scale <name>` from the argument list (any position), so
+/// sweeps and CI don't need env plumbing. A present-but-unparseable value
+/// is a hard error, mirroring `parse_flag`.
+fn parse_scale(args: &mut Vec<String>) -> Option<Scale> {
+    let i = args.iter().position(|a| a == "--scale")?;
+    let Some(v) = args.get(i + 1) else {
+        eprintln!("--scale needs a value (quick|sparse|full)");
+        std::process::exit(2);
+    };
+    match Scale::parse(v) {
+        Some(scale) => {
+            args.drain(i..=i + 1);
+            Some(scale)
+        }
+        None => {
+            eprintln!("bad value for --scale: '{v}' (expected quick, sparse, or full)");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// Value of `flag`, accepting decimal or `0x`-prefixed hex (seeds print
 /// as hex, so they must round-trip). A present-but-unparseable value is a
@@ -80,10 +103,10 @@ fn run_sweep_cmd(scale: Scale, args: &[String]) {
 }
 
 fn main() {
-    let scale = Scale::from_env();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&mut args).unwrap_or_else(Scale::from_env);
     let what = args.first().map(String::as_str).unwrap_or("all");
-    println!("repro: running '{what}' at {scale:?} scale (REPRO_SCALE=full for paper magnitudes)");
+    println!("repro: running '{what}' at {scale:?} scale (--scale quick|sparse|full)");
 
     let t0 = std::time::Instant::now();
     match what {

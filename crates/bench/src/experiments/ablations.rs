@@ -119,9 +119,10 @@ pub fn timeout_points(scale: Scale, seed: u64) -> Vec<TimeoutPoint> {
         let mut tracked = Vec::new();
         for (i, q) in trace.queries.iter().enumerate() {
             let v = deployment.hybrid_ups[i % deployment.hybrid_ups.len()];
-            let text = q.text();
-            let idx =
-                sim.with_actor_ctx::<HybridUp, _>(v, |up, ctx| up.start_hybrid_query(ctx, &text));
+            let terms = pier_gnutella::Terms::from_ids(q.terms.clone());
+            let idx = sim.with_actor_ctx::<HybridUp, _>(v, |up, ctx| {
+                up.start_hybrid_query(ctx, terms.clone())
+            });
             tracked.push((v, idx));
             sim.run_for(SimDuration::from_millis(800));
         }

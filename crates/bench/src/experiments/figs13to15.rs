@@ -49,7 +49,8 @@ pub fn at_overhead(c: &SchemeCurve, x: f64, metric: impl Fn(&(f64, f64, f64)) ->
 
 /// Compute every scheme's curve at the Figure 13 horizon (5%).
 pub fn compute_curves(catalog: &Catalog, view: &TraceView, horizon: f64) -> Vec<SchemeCurve> {
-    let tokens: Vec<Vec<String>> = catalog.files.iter().map(|f| f.tokens.clone()).collect();
+    let tokens: Vec<Vec<pier_vocab::TermId>> =
+        catalog.files.iter().map(|f| f.tokens.clone()).collect();
     let replicas = view.replicas.clone();
     let input = SchemeInput { tokens: &tokens, replicas: &replicas };
     let hosts = view.hosts;

@@ -177,8 +177,8 @@ mod tests {
         let eval = Evaluator::new(&catalog);
         // Single-term query: shipped = that term's instance-weighted list.
         let f0 = &catalog.files[0];
-        let term = f0.tokens[0].clone();
-        let q = Query { terms: vec![term.clone()] };
+        let term = f0.tokens[0];
+        let q = Query { terms: vec![term] };
         let manual: u64 = catalog
             .files
             .iter()
@@ -187,7 +187,7 @@ mod tests {
             .sum();
         assert_eq!(shipped_entries(&eval, &catalog, &q), manual);
         // Nonexistent term ships nothing.
-        let qz = Query { terms: vec!["zzznothing".into()] };
+        let qz = Query { terms: vec![pier_vocab::intern("zzznothing")] };
         assert_eq!(shipped_entries(&eval, &catalog, &qz), 0);
     }
 }

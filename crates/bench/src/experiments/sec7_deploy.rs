@@ -245,8 +245,8 @@ pub fn run_seeded(scale: Scale, master: u64) -> DeployOutcome {
         deployment.hybrid_ups.iter().copied().take(hybrid_ups / 2).collect();
     for (i, q) in trace.queries.iter().enumerate() {
         let v = round1_vantages[i % round1_vantages.len()];
-        let text = q.text();
-        sim.with_actor_ctx::<HybridUp, _>(v, |up, ctx| up.start_hybrid_query(ctx, &text));
+        let terms = pier_gnutella::Terms::from_ids(q.terms.clone());
+        sim.with_actor_ctx::<HybridUp, _>(v, |up, ctx| up.start_hybrid_query(ctx, terms));
         sim.run_for(SimDuration::from_millis(700));
     }
     // Drain round 1 + let QRS windows close and publishing proceed.
@@ -261,8 +261,8 @@ pub fn run_seeded(scale: Scale, master: u64) -> DeployOutcome {
     let mut tracked: Vec<(NodeId, usize)> = Vec::new();
     for (i, q) in trace.queries.iter().enumerate() {
         let v = round2_vantages[i % round2_vantages.len()];
-        let text = q.text();
-        let idx = sim.with_actor_ctx::<HybridUp, _>(v, |up, ctx| up.start_hybrid_query(ctx, &text));
+        let terms = pier_gnutella::Terms::from_ids(q.terms.clone());
+        let idx = sim.with_actor_ctx::<HybridUp, _>(v, |up, ctx| up.start_hybrid_query(ctx, terms));
         tracked.push((v, idx));
         sim.run_for(SimDuration::from_millis(700));
     }

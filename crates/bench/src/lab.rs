@@ -3,8 +3,8 @@
 //! ultrapeers — the apparatus behind Figures 4–7.
 
 use pier_gnutella::{
-    spawn, FileMeta, GnutellaHandles, GnutellaMsg, Guid, QueryOrigin, Topology, TopologyConfig,
-    UltrapeerNode,
+    spawn, FileMeta, GnutellaHandles, GnutellaMsg, Guid, QueryOrigin, Terms, Topology,
+    TopologyConfig, UltrapeerNode,
 };
 use pier_netsim::{NodeId, Sim, SimConfig, SimDuration, SimTime, UniformLatency};
 use pier_workload::{Catalog, CatalogConfig, Evaluator, Query, QueryConfig, QueryTrace};
@@ -25,12 +25,18 @@ pub enum Scale {
 }
 
 impl Scale {
-    pub fn from_env() -> Scale {
-        match std::env::var("REPRO_SCALE").as_deref() {
-            Ok("full") => Scale::Full,
-            Ok("sparse") => Scale::Sparse,
-            _ => Scale::Quick,
+    /// Parse a scale name (the `--scale` flag / `REPRO_SCALE` values).
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "quick" => Some(Scale::Quick),
+            "sparse" => Some(Scale::Sparse),
+            "full" => Some(Scale::Full),
+            _ => None,
         }
+    }
+
+    pub fn from_env() -> Scale {
+        std::env::var("REPRO_SCALE").ok().and_then(|v| Scale::parse(&v)).unwrap_or(Scale::Quick)
     }
 
     /// Lower-case name, as accepted by `REPRO_SCALE` and emitted in JSON.
@@ -233,13 +239,15 @@ impl Lab {
         let gap = SimDuration::from_secs_f64(1.0 / inject_rate_per_s);
         let mut guids: Vec<Vec<(NodeId, Guid, SimTime)>> = Vec::with_capacity(queries.len());
         for q in &queries {
-            let text = q.text();
+            // The trace already carries interned ids; one shared payload
+            // serves every vantage (and every relay hop inside the sim).
+            let terms = Terms::from_ids(q.terms.clone());
             let mut per_vantage = Vec::with_capacity(vantages.len());
             for &v in &vantages {
                 let issued = self.sim.now();
                 let guid = self.sim.with_actor_ctx::<UltrapeerNode, _>(v, |up, ctx| {
                     let mut net = pier_gnutella::CtxGnutellaNet { ctx };
-                    up.core.start_query(&mut net, &text, QueryOrigin::Driver)
+                    up.core.start_query(&mut net, terms.clone(), QueryOrigin::Driver)
                 });
                 per_vantage.push((v, guid, issued));
             }

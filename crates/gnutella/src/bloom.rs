@@ -5,8 +5,14 @@
 //! forwarded to a leaf only if every query term hits the leaf's filter
 //! (footnote 2 of the paper). False positives cause harmless extra
 //! forwards; false negatives cannot occur.
+//!
+//! Terms are interned: the Kirsch–Mitzenmacher double-hash pair of each
+//! term is computed once at intern time and cached in the term table (and
+//! in every [`Terms`] payload), so the flood hot path never re-hashes
+//! string bytes. The cached pair is produced by the exact historical
+//! per-byte mix, so filters are bit-identical to the string-hashing ones.
 
-use pier_netsim::split_mix64;
+use pier_vocab::{intern, TermId, Terms};
 use serde::{Deserialize, Serialize};
 
 /// A fixed-size Bloom filter over lowercase terms.
@@ -35,36 +41,55 @@ impl QrpFilter {
         QrpFilter::new(Self::DEFAULT_BITS, Self::DEFAULT_HASHES)
     }
 
-    fn positions(&self, term: &str) -> impl Iterator<Item = u32> + '_ {
-        // Derive k positions from two SplitMix64 passes (Kirsch–Mitzenmacher
-        // double hashing).
-        let mut state = 0xF11E_D00D_u64;
-        for b in term.as_bytes() {
-            state = state.rotate_left(8) ^ (*b as u64);
-            split_mix64(&mut state);
-        }
-        let h1 = split_mix64(&mut state);
-        let h2 = split_mix64(&mut state) | 1;
+    /// The k bit positions of a term's cached double-hash pair.
+    fn positions(&self, (h1, h2): (u64, u64)) -> impl Iterator<Item = u32> + '_ {
         let m = self.m as u64;
         (0..self.k).map(move |i| ((h1.wrapping_add(h2.wrapping_mul(i as u64))) % m) as u32)
     }
 
-    /// Insert a term (assumed already lowercase).
-    pub fn insert(&mut self, term: &str) {
-        let positions: Vec<u32> = self.positions(term).collect();
+    /// Insert an interned term.
+    pub fn insert_id(&mut self, id: TermId) {
+        self.insert_hashes(pier_vocab::qrp_hashes(id));
+    }
+
+    /// Insert a batch of interned terms with one table read.
+    pub fn insert_ids(&mut self, ids: &[TermId]) {
+        for h in pier_vocab::qrp_hashes_of(ids) {
+            self.insert_hashes(h);
+        }
+    }
+
+    fn insert_hashes(&mut self, h: (u64, u64)) {
+        let positions: Vec<u32> = self.positions(h).collect();
         for p in positions {
             self.bits[(p / 64) as usize] |= 1 << (p % 64);
         }
     }
 
-    /// Might this filter contain `term`?
-    pub fn contains(&self, term: &str) -> bool {
-        self.positions(term).all(|p| self.bits[(p / 64) as usize] & (1 << (p % 64)) != 0)
+    /// Insert a term by text (assumed already lowercase).
+    pub fn insert(&mut self, term: &str) {
+        self.insert_id(intern(term));
     }
 
-    /// Would a query (all of `terms`) route to this filter's owner?
-    pub fn matches_all(&self, terms: &[String]) -> bool {
-        !terms.is_empty() && terms.iter().all(|t| self.contains(t))
+    /// Might this filter contain the term with this cached hash pair?
+    pub fn contains_hashes(&self, h: (u64, u64)) -> bool {
+        self.positions(h).all(|p| self.bits[(p / 64) as usize] & (1 << (p % 64)) != 0)
+    }
+
+    /// Might this filter contain this interned term?
+    pub fn contains_id(&self, id: TermId) -> bool {
+        self.contains_hashes(pier_vocab::qrp_hashes(id))
+    }
+
+    /// Might this filter contain `term`?
+    pub fn contains(&self, term: &str) -> bool {
+        self.contains_id(intern(term))
+    }
+
+    /// Would a query (all of `terms`) route to this filter's owner? Uses
+    /// the hash pairs cached in the payload — no table access, no hashing.
+    pub fn matches_all(&self, terms: &Terms) -> bool {
+        !terms.is_empty() && terms.qrp_hashes().iter().all(|&h| self.contains_hashes(h))
     }
 
     /// Wire size when published leaf→ultrapeer. Real QRP sends a compressed
@@ -114,11 +139,29 @@ mod tests {
         let mut f = QrpFilter::with_defaults();
         f.insert("led");
         f.insert("zeppelin");
-        let q = |s: &str| s.split(' ').map(String::from).collect::<Vec<_>>();
-        assert!(f.matches_all(&q("led zeppelin")));
-        assert!(f.matches_all(&q("led")));
-        assert!(!f.matches_all(&q("led floyd")));
-        assert!(!f.matches_all(&[]), "empty query routes nowhere");
+        assert!(f.matches_all(&Terms::from_text("led zeppelin")));
+        assert!(f.matches_all(&Terms::from_text("led")));
+        assert!(!f.matches_all(&Terms::from_text("led floyd")));
+        assert!(!f.matches_all(&Terms::from_text("")), "empty query routes nowhere");
+    }
+
+    #[test]
+    fn id_and_string_paths_agree() {
+        // The cached-hash path must produce bit-identical filters to the
+        // historical string-hashing path (same bits, same answers).
+        let mut by_str = QrpFilter::new(1024, 3);
+        let mut by_id = QrpFilter::new(1024, 3);
+        let terms = ["led", "zeppelin", "stairway", "07"];
+        for t in &terms {
+            by_str.insert(t);
+        }
+        let ids: Vec<TermId> = terms.iter().map(|t| intern(t)).collect();
+        by_id.insert_ids(&ids);
+        assert_eq!(by_id, by_str, "cached hashes must set the exact same bits");
+        for (t, id) in terms.iter().zip(&ids) {
+            assert!(by_id.contains(t));
+            assert!(by_str.contains_id(*id));
+        }
     }
 
     #[test]

@@ -3,10 +3,19 @@
 //! Matching follows LimeWire semantics: a query matches a file when every
 //! query term appears as a *token* of the filename (case-insensitive).
 //! Unlike PIERSearch (§3.1 of the paper), plain Gnutella does **not** strip
-//! stop-words — that asymmetry is part of the system being reproduced.
+//! stop-words — that asymmetry is part of the system being reproduced, and
+//! it lives in the shared scanner's layering: this crate uses the raw
+//! [`pier_vocab::scan`]; PIERSearch adds the stop-word policy on top.
+//!
+//! Post-interning, matching is sorted-`TermId`-slice intersection (binary
+//! search per query term) instead of per-file `HashSet<String>` probes.
 
+use pier_vocab::{scan, TermId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+
+/// Lowercase alphanumeric tokens of a filename ("Led_Zeppelin-IV.mp3" →
+/// ["led", "zeppelin", "iv", "mp3"]) — the shared scanner, in string form.
+pub use pier_vocab::scan_text as tokenize;
 
 /// One shared file.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -21,35 +30,33 @@ impl FileMeta {
     }
 }
 
-/// Lowercase alphanumeric tokens of a filename ("Led_Zeppelin-IV.mp3" →
-/// ["led", "zeppelin", "iv", "mp3"]).
-pub fn tokenize(name: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    for ch in name.chars() {
-        if ch.is_alphanumeric() {
-            cur.extend(ch.to_lowercase());
-        } else if !cur.is_empty() {
-            out.push(std::mem::take(&mut cur));
-        }
-    }
-    if !cur.is_empty() {
-        out.push(cur);
-    }
-    out
-}
-
-/// A node's share: files plus a token index for fast matching.
+/// A node's share: files plus a sorted term-id index for fast matching.
 #[derive(Clone, Debug, Default)]
 pub struct FileStore {
     files: Vec<FileMeta>,
-    token_sets: Vec<HashSet<String>>,
+    /// Per file, its distinct name tokens, sorted by id.
+    token_sets: Vec<Box<[TermId]>>,
+    /// Distinct tokens across the whole share, sorted — cached once so QRP
+    /// refreshes stop re-allocating and re-cloning the full token set.
+    all_tokens: Vec<TermId>,
 }
 
 impl FileStore {
     pub fn new(files: Vec<FileMeta>) -> Self {
-        let token_sets = files.iter().map(|f| tokenize(&f.name).into_iter().collect()).collect();
-        FileStore { files, token_sets }
+        let token_sets: Vec<Box<[TermId]>> = files
+            .iter()
+            .map(|f| {
+                let mut t = scan(&f.name);
+                t.sort_unstable();
+                t.dedup();
+                t.into_boxed_slice()
+            })
+            .collect();
+        let mut all_tokens: Vec<TermId> =
+            token_sets.iter().flat_map(|s| s.iter().copied()).collect();
+        all_tokens.sort_unstable();
+        all_tokens.dedup();
+        FileStore { files, token_sets, all_tokens }
     }
 
     pub fn len(&self) -> usize {
@@ -64,24 +71,28 @@ impl FileStore {
         &self.files
     }
 
-    /// All distinct tokens across the share (what QRP filters advertise).
-    pub fn all_tokens(&self) -> HashSet<String> {
-        self.token_sets.iter().flatten().cloned().collect()
+    /// All distinct tokens across the share, sorted (what QRP filters
+    /// advertise). Cached at construction; O(1) per QRP refresh.
+    pub fn all_tokens(&self) -> &[TermId] {
+        &self.all_tokens
     }
 
-    /// Files matching a query string (every query token must be a filename
-    /// token).
-    pub fn matching(&self, query: &str) -> Vec<&FileMeta> {
-        let terms = tokenize(query);
+    /// Files matching a query (every query term must be a filename token).
+    pub fn matching(&self, terms: &[TermId]) -> Vec<&FileMeta> {
         if terms.is_empty() {
             return Vec::new();
         }
         self.files
             .iter()
             .zip(&self.token_sets)
-            .filter(|(_, tokens)| terms.iter().all(|t| tokens.contains(t)))
+            .filter(|(_, tokens)| terms.iter().all(|t| tokens.binary_search(t).is_ok()))
             .map(|(f, _)| f)
             .collect()
+    }
+
+    /// Convenience for drivers/tests: tokenize a query string and match.
+    pub fn matching_query(&self, query: &str) -> Vec<&FileMeta> {
+        self.matching(&scan(query))
     }
 }
 
@@ -107,25 +118,52 @@ mod tests {
             FileMeta::new("led_astray.avi", 2),
             FileMeta::new("pink_floyd_wall.mp3", 3),
         ]);
-        assert_eq!(store.matching("led zeppelin").len(), 1);
-        assert_eq!(store.matching("led").len(), 2);
-        assert_eq!(store.matching("LED").len(), 2, "case-insensitive");
-        assert_eq!(store.matching("led floyd").len(), 0);
-        assert_eq!(store.matching("").len(), 0, "empty query matches nothing");
+        assert_eq!(store.matching_query("led zeppelin").len(), 1);
+        assert_eq!(store.matching_query("led").len(), 2);
+        assert_eq!(store.matching_query("LED").len(), 2, "case-insensitive");
+        assert_eq!(store.matching_query("led floyd").len(), 0);
+        assert_eq!(store.matching_query("").len(), 0, "empty query matches nothing");
     }
 
     #[test]
     fn token_match_not_substring() {
         let store = FileStore::new(vec![FileMeta::new("zeppelins.mp3", 1)]);
         // "zeppelin" is a substring of token "zeppelins" but not a token.
-        assert_eq!(store.matching("zeppelin").len(), 0);
-        assert_eq!(store.matching("zeppelins").len(), 1);
+        assert_eq!(store.matching_query("zeppelin").len(), 0);
+        assert_eq!(store.matching_query("zeppelins").len(), 1);
     }
 
     #[test]
-    fn all_tokens_dedup() {
+    fn all_tokens_dedup_and_sorted() {
         let store = FileStore::new(vec![FileMeta::new("a_b.mp3", 1), FileMeta::new("b_c.mp3", 1)]);
         let tokens = store.all_tokens();
         assert_eq!(tokens.len(), 4); // a, b, c, mp3
+        assert!(tokens.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        // The cache holds exactly the union of the per-file sets.
+        let mut names = pier_vocab::texts_of(tokens);
+        names.sort();
+        assert_eq!(names, vec!["a", "b", "c", "mp3"]);
+    }
+
+    /// Sorted-slice matching must agree with the HashSet<String> scheme it
+    /// replaced, on arbitrary names (see also the property test in
+    /// tests/matching_equivalence.rs).
+    #[test]
+    fn sorted_slice_matches_hashset_reference() {
+        let names = ["Some_Song (remix).mp3", "other.track.07.ogg", "Ünïcode-Näme.avi"];
+        let store = FileStore::new(names.iter().map(|n| FileMeta::new(n, 1)).collect());
+        for q in ["some song", "track 07", "näme", "missing term", ""] {
+            let fast: Vec<&str> = store.matching_query(q).iter().map(|f| f.name.as_str()).collect();
+            let terms = tokenize(q);
+            let slow: Vec<&str> = names
+                .iter()
+                .filter(|n| {
+                    let set: std::collections::HashSet<String> = tokenize(n).into_iter().collect();
+                    !terms.is_empty() && terms.iter().all(|t| set.contains(t))
+                })
+                .copied()
+                .collect();
+            assert_eq!(fast, slow, "query {q:?}");
+        }
     }
 }

@@ -8,12 +8,13 @@ use crate::files::FileStore;
 use crate::msg::{GnutellaMsg, Hit};
 use crate::net::GnutellaNet;
 use pier_netsim::{NodeId, SimTime};
+use pier_vocab::Terms;
 use std::collections::HashMap;
 
 /// Results of one leaf-issued search.
 #[derive(Clone, Debug)]
 pub struct LeafSearch {
-    pub terms: String,
+    pub terms: Terms,
     pub issued_at: SimTime,
     pub first_hit_at: Option<SimTime>,
     pub hits: Vec<Hit>,
@@ -51,22 +52,21 @@ impl LeafCore {
     /// ultrapeers").
     pub fn publish_qrp(&self, net: &mut dyn GnutellaNet) {
         let mut filter = QrpFilter::with_defaults();
-        for token in self.store.all_tokens() {
-            filter.insert(&token);
-        }
+        filter.insert_ids(self.store.all_tokens());
         for &up in &self.ultrapeers {
             net.send(up, GnutellaMsg::QrpUpdate { filter: filter.clone() });
         }
     }
 
     /// Issue a search via our first ultrapeer. Returns the local query id.
-    pub fn start_search(&mut self, net: &mut dyn GnutellaNet, terms: &str) -> u32 {
+    pub fn start_search(&mut self, net: &mut dyn GnutellaNet, terms: impl Into<Terms>) -> u32 {
+        let terms: Terms = terms.into();
         let qid = self.next_qid;
         self.next_qid += 1;
         self.searches.insert(
             qid,
             LeafSearch {
-                terms: terms.to_string(),
+                terms: terms.clone(),
                 issued_at: net.now(),
                 first_hit_at: None,
                 hits: Vec::new(),
@@ -74,7 +74,7 @@ impl LeafCore {
             },
         );
         if let Some(&up) = self.ultrapeers.first() {
-            net.send(up, GnutellaMsg::LeafQuery { qid, terms: terms.to_string() });
+            net.send(up, GnutellaMsg::LeafQuery { qid, terms });
         }
         qid
     }

@@ -39,5 +39,6 @@ pub use leaf::{LeafCore, LeafSearch};
 pub use msg::{GnutellaMsg, Guid, Hit, HEADER_BYTES};
 pub use net::{CtxGnutellaNet, GnutellaNet};
 pub use node::{LeafNode, UltrapeerNode, UP_TICK};
+pub use pier_vocab::{TermId, Terms};
 pub use topology::{spawn, GnutellaHandles, Topology, TopologyConfig};
 pub use ultrapeer::{QueryOrigin, QueryRecord, SnoopEvent, UltrapeerCore};

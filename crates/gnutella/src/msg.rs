@@ -1,9 +1,16 @@
 //! Gnutella 0.6 wire protocol (the subset the paper's measurements use),
 //! with wire sizes modelled on the real message formats.
+//!
+//! Keyword payloads are interned [`Terms`] (`Arc`-shared term-id lists):
+//! flooding a query to N neighbors clones a pointer, not N strings, and
+//! `wire_size()` stays faithful to the 0.6 framing because the term table
+//! retains every term's byte length (a query's payload length equals the
+//! length of the space-joined term text, exactly as before).
 
 use crate::bloom::QrpFilter;
 use crate::files::FileMeta;
 use pier_netsim::{MetricClass, NodeId};
+use pier_vocab::Terms;
 use serde::{Deserialize, Serialize};
 
 /// Gnutella descriptor header: 16-byte GUID + type + TTL + hops + 4-byte
@@ -32,7 +39,7 @@ pub enum GnutellaMsg {
         guid: Guid,
         ttl: u8,
         hops: u8,
-        terms: String,
+        terms: Terms,
     },
     /// Search results, routed back along the query's reverse path.
     QueryHit {
@@ -53,7 +60,7 @@ pub enum GnutellaMsg {
     /// Leaf → ultrapeer: please run this search for me.
     LeafQuery {
         qid: u32,
-        terms: String,
+        terms: Terms,
     },
     /// Ultrapeer → leaf: results for a LeafQuery (streaming).
     LeafResults {
@@ -64,7 +71,7 @@ pub enum GnutellaMsg {
     /// Ultrapeer → leaf: last-hop forwarded query (QRP hit).
     LeafForward {
         guid: Guid,
-        terms: String,
+        terms: Terms,
     },
     /// Leaf → ultrapeer: matches for a forwarded query.
     LeafHits {
@@ -82,10 +89,11 @@ impl GnutellaMsg {
     /// Approximate bytes on the wire, following the Gnutella 0.6 formats:
     /// Query = header + 2 (min speed) + terms + NUL; QueryHit = header +
     /// 11 + per-hit (8 + name + 2) + 16 (servent id); pong-style messages
-    /// carry 6 bytes per packed address.
+    /// carry 6 bytes per packed address. Term-list bytes come from the
+    /// interned lengths (Σ term bytes + separators — the joined text).
     pub fn wire_size(&self) -> usize {
         match self {
-            GnutellaMsg::Query { terms, .. } => HEADER_BYTES + 2 + terms.len() + 1,
+            GnutellaMsg::Query { terms, .. } => HEADER_BYTES + 2 + terms.wire_len() + 1,
             GnutellaMsg::QueryHit { hits, .. } => {
                 HEADER_BYTES
                     + 11
@@ -97,14 +105,14 @@ impl GnutellaMsg {
                 HEADER_BYTES + 6 * (neighbors.len() + leaves.len())
             }
             GnutellaMsg::QrpUpdate { filter } => HEADER_BYTES + filter.wire_size(),
-            GnutellaMsg::LeafQuery { terms, .. } => HEADER_BYTES + 2 + terms.len() + 1,
+            GnutellaMsg::LeafQuery { terms, .. } => HEADER_BYTES + 2 + terms.wire_len() + 1,
             GnutellaMsg::LeafResults { hits, .. } => {
                 HEADER_BYTES
                     + 11
                     + hits.iter().map(|h| 8 + h.file.name.len() + 2).sum::<usize>()
                     + 16
             }
-            GnutellaMsg::LeafForward { terms, .. } => HEADER_BYTES + 2 + terms.len() + 1,
+            GnutellaMsg::LeafForward { terms, .. } => HEADER_BYTES + 2 + terms.wire_len() + 1,
             GnutellaMsg::LeafHits { hits, .. } => {
                 HEADER_BYTES + 11 + hits.iter().map(|h| 8 + h.file.name.len() + 2).sum::<usize>()
             }
@@ -157,7 +165,7 @@ mod tests {
         let msgs = [
             GnutellaMsg::CrawlPing,
             GnutellaMsg::BrowseHost,
-            GnutellaMsg::Query { guid: Guid(0), ttl: 1, hops: 0, terms: String::new() },
+            GnutellaMsg::Query { guid: Guid(0), ttl: 1, hops: 0, terms: "".into() },
         ];
         let classes: std::collections::HashSet<_> = msgs.iter().map(|m| m.class()).collect();
         assert_eq!(classes.len(), msgs.len());

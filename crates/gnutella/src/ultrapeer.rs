@@ -4,13 +4,15 @@
 
 use crate::bloom::QrpFilter;
 use crate::config::UltrapeerConfig;
-use crate::files::{tokenize, FileStore};
+use crate::files::FileStore;
 use crate::msg::{GnutellaMsg, Guid, Hit};
 use crate::net::GnutellaNet;
-use pier_netsim::{NodeId, SimTime};
+use pier_netsim::{split_mix64, NodeId, SimTime};
+use pier_vocab::Terms;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Who asked for a query this ultrapeer originated.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -24,7 +26,7 @@ pub enum QueryOrigin {
 /// Live + historical state of one originated query.
 #[derive(Clone, Debug)]
 pub struct QueryRecord {
-    pub terms: String,
+    pub terms: Terms,
     pub origin: QueryOrigin,
     pub issued_at: SimTime,
     pub first_hit_at: Option<SimTime>,
@@ -43,13 +45,38 @@ struct SeenEntry {
     at: SimTime,
 }
 
+/// Hasher for the seen-GUID table: GUIDs are uniform 64-bit randoms, so
+/// one SplitMix64 round replaces SipHash on the per-relay duplicate check
+/// — the hottest lookup on the flood path. (Only `contains`/`insert`/
+/// `remove`/`retain` run against this map, so iteration order never leaks
+/// into behavior.)
+#[derive(Default)]
+struct GuidHasher(u64);
+
+impl Hasher for GuidHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        let mut state = v;
+        self.0 = split_mix64(&mut state);
+    }
+}
+
+type SeenMap = HashMap<Guid, SeenEntry, BuildHasherDefault<GuidHasher>>;
+
 /// Traffic the hybrid proxy snoops off a relaying ultrapeer (§7: "The
 /// queries are also snooped from the Gnutella traffic", and result traffic
 /// feeds the rare-item schemes).
 #[derive(Clone, Debug)]
 pub enum SnoopEvent {
     /// A query relayed (or received) by this ultrapeer.
-    Query { guid: Guid, terms: String },
+    Query { guid: Guid, terms: Terms },
     /// Hits that passed through this ultrapeer on their reverse path.
     Hits { guid: Guid, hits: Vec<Hit> },
 }
@@ -61,7 +88,7 @@ pub struct UltrapeerCore {
     leaves: BTreeMap<NodeId, Option<QrpFilter>>,
     store: FileStore,
     /// GUID → where the query came from (reverse-path routing table).
-    seen: HashMap<Guid, SeenEntry>,
+    seen: SeenMap,
     /// Queries this node originated.
     queries: BTreeMap<Guid, QueryRecord>,
     dyn_state: BTreeMap<Guid, DynState>,
@@ -78,7 +105,7 @@ impl UltrapeerCore {
             neighbors: Vec::new(),
             leaves: BTreeMap::new(),
             store,
-            seen: HashMap::new(),
+            seen: SeenMap::default(),
             queries: BTreeMap::new(),
             dyn_state: BTreeMap::new(),
             snoop: false,
@@ -137,16 +164,17 @@ impl UltrapeerCore {
     pub fn start_query(
         &mut self,
         net: &mut dyn GnutellaNet,
-        terms: &str,
+        terms: impl Into<Terms>,
         origin: QueryOrigin,
     ) -> Guid {
+        let terms: Terms = terms.into();
         let guid = Guid(net.rng().random());
         // Claim the GUID so our own flood cannot route hits elsewhere.
         let me = net.self_node();
         self.seen.insert(guid, SeenEntry { from: me, at: net.now() });
 
         let mut record = QueryRecord {
-            terms: terms.to_string(),
+            terms: terms.clone(),
             origin,
             issued_at: net.now(),
             first_hit_at: None,
@@ -158,7 +186,7 @@ impl UltrapeerCore {
         // Local content answers instantly: own share...
         let own_hits: Vec<Hit> = self
             .store
-            .matching(terms)
+            .matching(&terms)
             .into_iter()
             .map(|f| Hit { file: f.clone(), host: me })
             .collect();
@@ -167,15 +195,10 @@ impl UltrapeerCore {
             record.hits.extend(own_hits);
         }
         // ...and matching leaves (last-hop QRP).
-        let term_list = tokenize(terms);
-        let matching_leaves: Vec<NodeId> = self
-            .leaves
-            .iter()
-            .filter(|(_, qrp)| qrp.as_ref().is_some_and(|f| f.matches_all(&term_list)))
-            .map(|(n, _)| *n)
-            .collect();
-        for leaf in matching_leaves {
-            net.send(leaf, GnutellaMsg::LeafForward { guid, terms: terms.to_string() });
+        for (&leaf, qrp) in &self.leaves {
+            if qrp.as_ref().is_some_and(|f| f.matches_all(&terms)) {
+                net.send(leaf, GnutellaMsg::LeafForward { guid, terms: terms.clone() });
+            }
         }
 
         // Probe phase: a cheap TTL-1 query to a handful of neighbors. The
@@ -188,12 +211,7 @@ impl UltrapeerCore {
         for &n in &order {
             net.send(
                 n,
-                GnutellaMsg::Query {
-                    guid,
-                    ttl: self.cfg.probe_ttl,
-                    hops: 0,
-                    terms: terms.to_string(),
-                },
+                GnutellaMsg::Query { guid, ttl: self.cfg.probe_ttl, hops: 0, terms: terms.clone() },
             );
         }
         record.probes_sent = probe_count as u32;
@@ -210,12 +228,17 @@ impl UltrapeerCore {
     /// Originate a classic pre-dynamic-querying flood: one burst to every
     /// neighbor at `ttl`, no pacing, no target. Used by ablation
     /// experiments comparing flat flooding with dynamic querying.
-    pub fn start_flood_query(&mut self, net: &mut dyn GnutellaNet, terms: &str) -> Guid {
+    pub fn start_flood_query(
+        &mut self,
+        net: &mut dyn GnutellaNet,
+        terms: impl Into<Terms>,
+    ) -> Guid {
+        let terms: Terms = terms.into();
         let guid = Guid(net.rng().random());
         let me = net.self_node();
         self.seen.insert(guid, SeenEntry { from: me, at: net.now() });
         let record = QueryRecord {
-            terms: terms.to_string(),
+            terms: terms.clone(),
             origin: QueryOrigin::Driver,
             issued_at: net.now(),
             first_hit_at: None,
@@ -226,12 +249,7 @@ impl UltrapeerCore {
         for &n in &self.neighbors {
             net.send(
                 n,
-                GnutellaMsg::Query {
-                    guid,
-                    ttl: self.cfg.flood_ttl,
-                    hops: 0,
-                    terms: terms.to_string(),
-                },
+                GnutellaMsg::Query { guid, ttl: self.cfg.flood_ttl, hops: 0, terms: terms.clone() },
             );
         }
         // No dynamic state: the flood completes on its own; the record keeps
@@ -281,7 +299,7 @@ impl UltrapeerCore {
         guid: Guid,
         ttl: u8,
         hops: u8,
-        terms: String,
+        terms: Terms,
     ) {
         if self.seen.contains_key(&guid) {
             net.count(crate::classes::DUPLICATE_QUERY.id(), 1);
@@ -303,18 +321,16 @@ impl UltrapeerCore {
             net.send(from, GnutellaMsg::QueryHit { guid, hits: chunk.to_vec() });
         }
 
-        // Last-hop leaf forwarding via QRP.
-        let term_list = tokenize(&terms);
-        let matching_leaves: Vec<NodeId> = self
-            .leaves
-            .iter()
-            .filter(|(_, qrp)| qrp.as_ref().is_some_and(|f| f.matches_all(&term_list)))
-            .map(|(n, _)| *n)
-            .collect();
-        net.count(crate::classes::LEAF_FORWARDS.id(), matching_leaves.len() as u64);
-        for leaf in matching_leaves {
-            net.send(leaf, GnutellaMsg::LeafForward { guid, terms: terms.clone() });
+        // Last-hop leaf forwarding via QRP (cached hashes: no re-hashing,
+        // no per-query allocation).
+        let mut forwards = 0u64;
+        for (&leaf, qrp) in &self.leaves {
+            if qrp.as_ref().is_some_and(|f| f.matches_all(&terms)) {
+                net.send(leaf, GnutellaMsg::LeafForward { guid, terms: terms.clone() });
+                forwards += 1;
+            }
         }
+        net.count(crate::classes::LEAF_FORWARDS.id(), forwards);
 
         // Relay deeper.
         if ttl > 1 {

@@ -3,8 +3,9 @@
 //! the DHT. The trace-driven counterparts used for Figures 13–15 live in
 //! `pier_model::schemes`; these are the deployable versions.
 
-use pier_gnutella::{tokenize, Hit};
+use pier_gnutella::Hit;
 use pier_netsim::NodeId;
+use pier_vocab::{scan, TermId};
 use std::collections::HashMap;
 
 /// A file instance observed in traffic (a query hit, or a BrowseHost entry).
@@ -35,8 +36,8 @@ impl ObservedItem {
 /// * `Random` — publish a coin-flip fraction (the evaluation baseline).
 pub enum RareScheme {
     Qrs { results_threshold: usize },
-    Tf { threshold: u64, counts: HashMap<String, u64> },
-    Tpf { threshold: u64, counts: HashMap<(String, String), u64> },
+    Tf { threshold: u64, counts: HashMap<TermId, u64> },
+    Tpf { threshold: u64, counts: HashMap<(TermId, TermId), u64> },
     Sam { threshold: u32, counts: HashMap<String, u32> },
     Random { fraction: f64, state: u64 },
 }
@@ -77,14 +78,14 @@ impl RareScheme {
         match self {
             RareScheme::Qrs { .. } | RareScheme::Random { .. } => {}
             RareScheme::Tf { counts, .. } => {
-                for t in tokenize(name) {
+                for t in scan(name) {
                     *counts.entry(t).or_insert(0) += 1;
                 }
             }
             RareScheme::Tpf { counts, .. } => {
-                let toks = tokenize(name);
+                let toks = scan(name);
                 for w in toks.windows(2) {
-                    *counts.entry((w[0].clone(), w[1].clone())).or_insert(0) += 1;
+                    *counts.entry((w[0], w[1])).or_insert(0) += 1;
                 }
             }
             RareScheme::Sam { counts, .. } => {
@@ -99,7 +100,7 @@ impl RareScheme {
         match self {
             RareScheme::Qrs { .. } => None,
             RareScheme::Tf { threshold, counts } => {
-                let min = tokenize(name)
+                let min = scan(name)
                     .iter()
                     .map(|t| counts.get(t).copied().unwrap_or(0))
                     .min()
@@ -107,10 +108,10 @@ impl RareScheme {
                 Some(min < *threshold)
             }
             RareScheme::Tpf { threshold, counts } => {
-                let toks = tokenize(name);
+                let toks = scan(name);
                 let min = toks
                     .windows(2)
-                    .map(|w| counts.get(&(w[0].clone(), w[1].clone())).copied().unwrap_or(0))
+                    .map(|w| counts.get(&(w[0], w[1])).copied().unwrap_or(0))
                     .min()
                     .unwrap_or(0);
                 Some(min < *threshold)

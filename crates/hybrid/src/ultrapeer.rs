@@ -16,6 +16,7 @@ use pier_gnutella::{
 };
 use pier_netsim::{Actor, Ctx, MetricClass, NodeId, SimDuration, SimRng, SimTime, TimerToken};
 use pier_qp::{PierConfig, PierCore};
+use pier_vocab::Terms;
 use piersearch::{file_id, IndexMode, ItemRecord, Publisher, SearchConfig, SearchEngine};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
@@ -59,7 +60,7 @@ impl Default for HybridConfig {
 /// Outcome record of one hybrid-tracked query (driver-visible).
 #[derive(Clone, Debug)]
 pub struct HybridQueryStats {
-    pub terms: String,
+    pub terms: Terms,
     pub issued_at: SimTime,
     /// First Gnutella hit, if any.
     pub gnutella_first: Option<SimTime>,
@@ -139,22 +140,27 @@ impl HybridUp {
 
     /// Issue a hybrid query from the experiment driver. Returns the index
     /// into [`HybridUp::stats`].
-    pub fn start_hybrid_query(&mut self, ctx: &mut dyn Ctx<HybridMsg>, terms: &str) -> usize {
+    pub fn start_hybrid_query(
+        &mut self,
+        ctx: &mut dyn Ctx<HybridMsg>,
+        terms: impl Into<Terms>,
+    ) -> usize {
+        let terms: Terms = terms.into();
         let mut gnet = GNet { ctx };
-        let guid = self.gnutella.start_query(&mut gnet, terms, QueryOrigin::Driver);
+        let guid = self.gnutella.start_query(&mut gnet, terms.clone(), QueryOrigin::Driver);
         self.track(guid, terms, ctx.now(), None)
     }
 
     fn track(
         &mut self,
         guid: Guid,
-        terms: &str,
+        terms: Terms,
         now: SimTime,
         leaf: Option<(NodeId, u32)>,
     ) -> usize {
         let idx = self.stats.len();
         self.stats.push(HybridQueryStats {
-            terms: terms.to_string(),
+            terms,
             issued_at: now,
             gnutella_first: None,
             gnutella_hits: 0,
@@ -273,7 +279,7 @@ impl HybridUp {
                     s.pier_issued_at = Some(now);
                     let mut dnet = DNet { ctx };
                     let sid =
-                        self.engine.start_search(&mut self.pier, &mut self.dht, &mut dnet, &terms);
+                        self.engine.start_search(&mut self.pier, &mut self.dht, &mut dnet, terms);
                     self.queries[qi].search_id = sid;
                     if sid.is_none() {
                         self.stats[stats_idx].done = true;
@@ -426,10 +432,10 @@ impl Actor<HybridMsg> for HybridUp {
                 let mut gnet = GNet { ctx };
                 let guid = self.gnutella.start_query(
                     &mut gnet,
-                    &terms,
+                    terms.clone(),
                     QueryOrigin::Leaf { leaf: from, qid },
                 );
-                self.track(guid, &terms, now, Some((from, qid)));
+                self.track(guid, terms, now, Some((from, qid)));
             }
             HybridMsg::G(g) => {
                 let mut gnet = GNet { ctx };

@@ -4,13 +4,14 @@
 
 use crate::recall::PublishedSet;
 use pier_netsim::{stream_rng, SimRng};
+use pier_vocab::TermId;
 use rand::Rng;
 use std::collections::HashMap;
 
 /// Per-file inputs the schemes inspect: tokenized name + replica count.
 pub struct SchemeInput<'a> {
-    /// Tokens of each distinct file's name.
-    pub tokens: &'a [Vec<String>],
+    /// Interned tokens of each distinct file's name.
+    pub tokens: &'a [Vec<TermId>],
     /// Replica count of each distinct file.
     pub replicas: &'a [u32],
 }
@@ -42,7 +43,7 @@ pub fn random(input: &SchemeInput<'_>, frac: f64, seed: u64) -> PublishedSet {
 /// the same criterion to the same statistics).
 pub fn tf(
     input: &SchemeInput<'_>,
-    term_freq: &HashMap<String, u64>,
+    term_freq: &HashMap<TermId, u64>,
     threshold: u64,
 ) -> PublishedSet {
     input.check();
@@ -67,7 +68,7 @@ pub fn tf(
 /// resistant to rare files that contain one popular keyword.
 pub fn tpf(
     input: &SchemeInput<'_>,
-    pair_freq: &HashMap<(String, String), u64>,
+    pair_freq: &HashMap<(TermId, TermId), u64>,
     threshold: u64,
 ) -> PublishedSet {
     input.check();
@@ -78,7 +79,7 @@ pub fn tpf(
         .map(|(tokens, &r)| {
             let min_pf = tokens
                 .windows(2)
-                .map(|w| pair_freq.get(&(w[0].clone(), w[1].clone())).copied().unwrap_or(0))
+                .map(|w| pair_freq.get(&(w[0], w[1])).copied().unwrap_or(0))
                 .min()
                 // Single-token names fall back to "rare" (no pair evidence).
                 .unwrap_or(0);
@@ -153,11 +154,11 @@ fn binomial(rng: &mut SimRng, n: u32, p: f64) -> u32 {
 mod tests {
     use super::*;
 
-    fn inputs() -> (Vec<Vec<String>>, Vec<u32>) {
+    fn inputs() -> (Vec<Vec<TermId>>, Vec<u32>) {
         // File 0: rare, unique terms. File 1: a rare file made entirely of
         // *popular* terms (a live-remix with the words reordered) — the
         // case that motivates TPF over TF. File 2: popular. File 3: mid.
-        let tok = |s: &str| s.split(' ').map(String::from).collect::<Vec<_>>();
+        let tok = |s: &str| pier_vocab::scan(s);
         let tokens = vec![
             tok("obscure bootleg"),
             tok("hit popular"),
@@ -169,17 +170,17 @@ mod tests {
     }
 
     fn freq_maps(
-        tokens: &[Vec<String>],
+        tokens: &[Vec<TermId>],
         replicas: &[u32],
-    ) -> (HashMap<String, u64>, HashMap<(String, String), u64>) {
+    ) -> (HashMap<TermId, u64>, HashMap<(TermId, TermId), u64>) {
         let mut tf_map = HashMap::new();
         let mut pf_map = HashMap::new();
         for (t, &r) in tokens.iter().zip(replicas) {
             for tok in t {
-                *tf_map.entry(tok.clone()).or_insert(0) += r as u64;
+                *tf_map.entry(*tok).or_insert(0) += r as u64;
             }
             for w in t.windows(2) {
-                *pf_map.entry((w[0].clone(), w[1].clone())).or_insert(0) += r as u64;
+                *pf_map.entry((w[0], w[1])).or_insert(0) += r as u64;
             }
         }
         (tf_map, pf_map)
@@ -219,7 +220,7 @@ mod tests {
         let p = tf(&input, &tf_map, 5);
         assert_eq!(p.per_file, vec![1, 0, 0, 0]);
         // Unknown terms count as frequency 0 → rare.
-        let alien = vec![vec!["neverseen".to_string()]];
+        let alien = vec![vec![pier_vocab::intern("neverseen")]];
         let alien_reps = vec![7u32];
         let p2 = tf(&SchemeInput { tokens: &alien, replicas: &alien_reps }, &tf_map, 5);
         assert_eq!(p2.per_file, vec![7]);
@@ -264,7 +265,7 @@ mod tests {
         // With more sampling, fewer replicas of popular files sneak in
         // under the threshold.
         let replicas = vec![200u32; 40];
-        let tokens = vec![vec!["x".to_string()]; 40];
+        let tokens = vec![vec![pier_vocab::intern("x")]; 40];
         let input = SchemeInput { tokens: &tokens, replicas: &replicas };
         let low = sam(&input, 10_000, 0.01, 3, 9);
         let high = sam(&input, 10_000, 0.30, 3, 9);

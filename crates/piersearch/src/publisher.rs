@@ -73,11 +73,12 @@ impl Publisher {
         stats.tuples += 1;
         pier.publish(dht, net, ITEM, &item, self.republish).expect("item tuple conforms");
 
-        for term in &terms {
+        let words = pier_vocab::texts_of(&terms);
+        for word in &words {
             let (table, tuple) = match self.mode {
-                IndexMode::Inverted => (INVERTED, inverted_tuple(term, record.file_id)),
+                IndexMode::Inverted => (INVERTED, inverted_tuple(word, record.file_id)),
                 IndexMode::InvertedCache => {
-                    (INVERTED_CACHE, inverted_cache_tuple(term, record.file_id, filename))
+                    (INVERTED_CACHE, inverted_cache_tuple(word, record.file_id, filename))
                 }
             };
             stats.value_bytes += tuple.encoded_size();
@@ -102,9 +103,10 @@ mod tests {
         // posting carries the filename redundantly.
         let f = pier_dht::Key::hash(b"f");
         let name = "led_zeppelin_stairway_to_heaven_live.mp3";
-        let plain: usize = keywords(name).iter().map(|t| inverted_tuple(t, f).encoded_size()).sum();
+        let words = pier_vocab::texts_of(&keywords(name));
+        let plain: usize = words.iter().map(|t| inverted_tuple(t, f).encoded_size()).sum();
         let cached: usize =
-            keywords(name).iter().map(|t| inverted_cache_tuple(t, f, name).encoded_size()).sum();
+            words.iter().map(|t| inverted_cache_tuple(t, f, name).encoded_size()).sum();
         assert!(cached > plain + name.len(), "cache mode must cost more: {cached} vs {plain}");
         // But the same number of tuples: led/zeppelin/stairway/heaven/live
         // ("to" and "mp3" are stop-words).
@@ -119,9 +121,10 @@ mod tests {
         let name = "artist_album_track_title.mp3";
         let f = pier_dht::Key::hash(b"x");
         let item = ItemRecord::new(name, 4_000_000, NodeId::new(1), 6346).to_tuple();
-        let inv: usize = keywords(name).iter().map(|t| inverted_tuple(t, f).encoded_size()).sum();
+        let words = pier_vocab::texts_of(&keywords(name));
+        let inv: usize = words.iter().map(|t| inverted_tuple(t, f).encoded_size()).sum();
         let invc: usize =
-            keywords(name).iter().map(|t| inverted_cache_tuple(t, f, name).encoded_size()).sum();
+            words.iter().map(|t| inverted_cache_tuple(t, f, name).encoded_size()).sum();
         let plain_total = item.encoded_size() + inv;
         let cache_total = item.encoded_size() + invc;
         let ratio = cache_total as f64 / plain_total as f64;

@@ -3,12 +3,12 @@
 
 use crate::publisher::IndexMode;
 use crate::schema::{inverted_cache_table, inverted_table, item_table, ItemRecord};
-use crate::tokenize::query_terms;
 use pier_dht::{DhtCore, DhtEvent, DhtNet, Key, OpId};
 use pier_netsim::{SimDuration, SimTime};
 use pier_qp::{
     Expr, JoinChainBuilder, JoinCols, PierCore, PierEvent, QueryId, QueryOutcome, Tuple, Value,
 };
+use pier_vocab::{policy, text, TermId, Terms};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Search-engine configuration.
@@ -32,7 +32,7 @@ impl Default for SearchConfig {
 /// State of one search.
 #[derive(Debug)]
 pub struct SearchState {
-    pub terms: Vec<String>,
+    pub terms: Vec<TermId>,
     pub qid: QueryId,
     pub issued_at: SimTime,
     /// When the first complete result (Item tuple) arrived.
@@ -59,7 +59,7 @@ pub struct SearchEngine {
     /// Optional keyword document frequencies for join ordering ("optimized
     /// to compute smaller posting lists first", §5). Nodes learn these from
     /// observed traffic — the same statistics the TF scheme gathers.
-    pub term_stats: HashMap<String, u64>,
+    pub term_stats: HashMap<TermId, u64>,
     searches: BTreeMap<u32, SearchState>,
     by_qid: HashMap<QueryId, u32>,
     next_id: u32,
@@ -99,21 +99,23 @@ impl SearchEngine {
 
     /// Order terms by ascending observed document frequency; unknown terms
     /// sort first (assumed rare).
-    fn order_terms(&self, mut terms: Vec<String>) -> Vec<String> {
+    fn order_terms(&self, mut terms: Vec<TermId>) -> Vec<TermId> {
         terms.sort_by_key(|t| self.term_stats.get(t).copied().unwrap_or(0));
         terms
     }
 
-    /// Start a keyword search. Returns `None` when the query has no
-    /// indexable terms (all stop-words).
+    /// Start a keyword search. The raw scanned query passes through the
+    /// indexing policy (stop-words out, dedup) before planning. Returns
+    /// `None` when no indexable terms remain.
     pub fn start_search(
         &mut self,
         pier: &mut PierCore,
         dht: &mut DhtCore,
         net: &mut dyn DhtNet,
-        query: &str,
+        query: impl Into<Terms>,
     ) -> Option<u32> {
-        let terms = self.order_terms(query_terms(query));
+        let query: Terms = query.into();
+        let terms = self.order_terms(policy::filter_indexable(query.ids()));
         if terms.is_empty() {
             net.count(crate::classes::UNSEARCHABLE_QUERY.id(), 1);
             return None;
@@ -125,14 +127,14 @@ impl SearchEngine {
                 let inv = inverted_table();
                 let mut b = JoinChainBuilder::new(qid, collector).scan(
                     &inv,
-                    &Value::Str(terms[0].clone()),
+                    &Value::Str(text(terms[0]).to_string()),
                     None,
                     vec![1],
                 );
                 for t in &terms[1..] {
                     b = b.join(
                         &inv,
-                        &Value::Str(t.clone()),
+                        &Value::Str(text(*t).to_string()),
                         JoinCols { incoming: 0, scanned: 1 },
                         None,
                         vec![0],
@@ -147,7 +149,9 @@ impl SearchEngine {
                 let cache = inverted_cache_table();
                 // All remaining terms filter the cached fulltext locally.
                 let filter = if terms.len() > 1 {
-                    Some(Expr::And(terms[1..].iter().map(|t| Expr::contains(2, t)).collect()))
+                    Some(Expr::And(
+                        terms[1..].iter().map(|t| Expr::contains(2, &text(*t))).collect(),
+                    ))
                 } else {
                     None
                 };
@@ -155,7 +159,7 @@ impl SearchEngine {
                 // only they stream back (the cached fulltext stays put).
                 let mut b = JoinChainBuilder::new(qid, collector).scan(
                     &cache,
-                    &Value::Str(terms[0].clone()),
+                    &Value::Str(text(terms[0]).to_string()),
                     filter,
                     vec![1],
                 );

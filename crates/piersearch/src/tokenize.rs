@@ -1,81 +1,68 @@
 //! Keyword extraction for publishing and querying (§3.1 of the paper):
 //! filename terms, minus stop-words — "Stop-words such as 'MP3' and 'the'
 //! are usually not considered."
+//!
+//! The tokenizer itself is the workspace-shared scanner in `pier-vocab`;
+//! this module is the PIERSearch *policy layer* on top of it (stop-words
+//! out, single characters out, first-occurrence dedup). Plain Gnutella
+//! deliberately skips the policy — that asymmetry is part of the system
+//! being reproduced.
 
-/// Stop-words never indexed or queried. Mix of English function words and
-/// filesharing boilerplate (extensions, rip tags).
-pub const STOP_WORDS: &[&str] = &[
-    "the", "a", "an", "of", "and", "or", "to", "in", "on", "for", "by", "at", "vs", "mp3", "mp4",
-    "avi", "mpg", "mpeg", "wav", "ogg", "wma", "mov", "zip", "rar", "exe", "jpg", "gif", "txt",
-    "pdf", "iso", "bin", "cd", "dvd", "divx", "xvid", "rip", "www", "com", "net", "org",
-];
+use pier_vocab::TermId;
 
-/// Is this (lowercase) token a stop-word?
-pub fn is_stop_word(token: &str) -> bool {
-    STOP_WORDS.contains(&token)
-}
+/// Stop-words never indexed or queried (re-exported from the shared
+/// policy layer).
+pub use pier_vocab::policy::{is_stop_word, STOP_WORDS};
 
 /// Tokenize a filename into indexable keywords: lowercase alphanumeric
 /// runs, stop-words removed, single characters dropped, deduplicated
-/// (keeping first-occurrence order).
-pub fn keywords(name: &str) -> Vec<String> {
-    let mut out: Vec<String> = Vec::new();
-    let mut cur = String::new();
-    let push = |s: &mut String, out: &mut Vec<String>| {
-        if s.len() >= 2 && !is_stop_word(s) && !out.iter().any(|t| t == s) {
-            out.push(std::mem::take(s));
-        } else {
-            s.clear();
-        }
-    };
-    for ch in name.chars() {
-        if ch.is_alphanumeric() {
-            cur.extend(ch.to_lowercase());
-        } else {
-            push(&mut cur, &mut out);
-        }
-    }
-    push(&mut cur, &mut out);
-    out
+/// (keeping first-occurrence order) — as interned term ids.
+pub fn keywords(name: &str) -> Vec<TermId> {
+    pier_vocab::policy::keywords(name)
 }
 
 /// Tokenize a user query the same way (queries and the index must agree).
-pub fn query_terms(query: &str) -> Vec<String> {
+pub fn query_terms(query: &str) -> Vec<TermId> {
     keywords(query)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pier_vocab::texts_of;
+
+    fn kw(name: &str) -> Vec<String> {
+        texts_of(&keywords(name))
+    }
 
     #[test]
     fn extracts_and_filters() {
         assert_eq!(
-            keywords("The_Led-Zeppelin.Stairway.To.Heaven.MP3"),
+            kw("The_Led-Zeppelin.Stairway.To.Heaven.MP3"),
             vec!["led", "zeppelin", "stairway", "heaven"]
         );
     }
 
     #[test]
     fn dedups_preserving_order() {
-        assert_eq!(keywords("live live at leeds live.mp3"), vec!["live", "leeds"]);
+        assert_eq!(kw("live live at leeds live.mp3"), vec!["live", "leeds"]);
     }
 
     #[test]
     fn drops_single_chars_and_stop_words() {
-        assert_eq!(keywords("a b c of the mp3"), Vec::<String>::new());
-        assert_eq!(keywords("x zz"), vec!["zz"]);
+        assert_eq!(kw("a b c of the mp3"), Vec::<String>::new());
+        assert_eq!(kw("x zz"), vec!["zz"]);
     }
 
     #[test]
     fn unicode_lowercasing() {
-        assert_eq!(keywords("BJÖRK-Jóga"), vec!["björk", "jóga"]);
+        assert_eq!(kw("BJÖRK-Jóga"), vec!["björk", "jóga"]);
     }
 
     #[test]
     fn empty_and_symbol_only() {
-        assert_eq!(keywords(""), Vec::<String>::new());
-        assert_eq!(keywords("!!!---...///"), Vec::<String>::new());
+        assert_eq!(kw(""), Vec::<String>::new());
+        assert_eq!(kw("!!!---...///"), Vec::<String>::new());
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //! counts, assigned to hosts — the stand-in for the paper's crawled corpus
 //! (315,546 file instances on 75,129 hosts in the §6.2 trace).
 
-use crate::words::{tokenize, word};
+use crate::words::word;
 use crate::zipf::{calibrate_beta, PowerLaw, Zipf};
 use pier_netsim::stream_rng;
+use pier_vocab::{scan, TermId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Catalog generation parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -61,11 +63,11 @@ impl CatalogConfig {
 }
 
 /// One distinct file.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DistinctFile {
     pub name: String,
-    /// Pre-tokenized name (ground-truth matching).
-    pub tokens: Vec<String>,
+    /// Pre-tokenized name as interned term ids (ground-truth matching).
+    pub tokens: Vec<TermId>,
     /// Hosts holding a replica (distinct; the model's "no identical
     /// replicas reside on the same node").
     pub hosts: Vec<u32>,
@@ -74,6 +76,52 @@ pub struct DistinctFile {
 impl DistinctFile {
     pub fn replicas(&self) -> u32 {
         self.hosts.len() as u32
+    }
+}
+
+// Term ids are process-local, so persistence goes through the term
+// *strings*: the wire layout (name, tokens-as-strings, hosts) is identical
+// to what the old `Vec<String>` derive produced.
+impl Serialize for DistinctFile {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        struct Tokens<'a>(&'a [TermId]);
+        impl Serialize for Tokens<'_> {
+            fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                pier_vocab::ser_ids(self.0, s)
+            }
+        }
+        let mut st = s.serialize_struct("DistinctFile", 3)?;
+        st.serialize_field("name", &self.name)?;
+        st.serialize_field("tokens", &Tokens(&self.tokens))?;
+        st.serialize_field("hosts", &self.hosts)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for DistinctFile {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> serde::de::Visitor<'de> for V {
+            type Value = DistinctFile;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "DistinctFile")
+            }
+            fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> Result<DistinctFile, A::Error> {
+                use serde::de::Error;
+                let name: String =
+                    seq.next_element()?.ok_or_else(|| A::Error::missing_field("name"))?;
+                let tokens: pier_vocab::IdsFromStrings =
+                    seq.next_element()?.ok_or_else(|| A::Error::missing_field("tokens"))?;
+                let hosts: Vec<u32> =
+                    seq.next_element()?.ok_or_else(|| A::Error::missing_field("hosts"))?;
+                Ok(DistinctFile { name, tokens: tokens.0, hosts })
+            }
+        }
+        d.deserialize_struct("DistinctFile", &["name", "tokens", "hosts"], V)
     }
 }
 
@@ -133,7 +181,7 @@ impl Catalog {
                 name = format!("{}_{}.{}", parts.join("_"), idx, ext);
                 seen_names.insert(name.clone());
             }
-            let tokens = tokenize(&name);
+            let tokens = scan(&name);
 
             let replicas = replica_dist.sample(&mut rng).min(config.hosts);
             let hosts = sample_distinct_hosts(&mut rng, config.hosts, replicas);
@@ -166,22 +214,22 @@ impl Catalog {
 
     /// Instance-weighted term frequencies — what an ultrapeer observing
     /// result traffic measures, and what the TF scheme thresholds (§5).
-    pub fn term_instance_freq(&self) -> std::collections::HashMap<String, u64> {
-        let mut tf = std::collections::HashMap::new();
+    pub fn term_instance_freq(&self) -> HashMap<TermId, u64> {
+        let mut tf = HashMap::new();
         for f in &self.files {
             for t in &f.tokens {
-                *tf.entry(t.clone()).or_insert(0) += f.replicas() as u64;
+                *tf.entry(*t).or_insert(0) += f.replicas() as u64;
             }
         }
         tf
     }
 
     /// Instance-weighted adjacent-term-pair frequencies (TPF scheme).
-    pub fn pair_instance_freq(&self) -> std::collections::HashMap<(String, String), u64> {
-        let mut pf = std::collections::HashMap::new();
+    pub fn pair_instance_freq(&self) -> HashMap<(TermId, TermId), u64> {
+        let mut pf = HashMap::new();
         for f in &self.files {
             for w in f.tokens.windows(2) {
-                *pf.entry((w[0].clone(), w[1].clone())).or_insert(0) += f.replicas() as u64;
+                *pf.entry((w[0], w[1])).or_insert(0) += f.replicas() as u64;
             }
         }
         pf

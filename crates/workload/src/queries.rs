@@ -6,8 +6,8 @@
 //! paper's measurements highlight (41% of queries returned ≤ 10 results).
 
 use crate::catalog::Catalog;
-use crate::words::matches;
 use pier_netsim::stream_rng;
+use pier_vocab::{intern, join_text, lookup, matches, TermId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -42,15 +42,55 @@ impl Default for QueryConfig {
     }
 }
 
-/// One query.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// One query: a list of interned term ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Query {
-    pub terms: Vec<String>,
+    pub terms: Vec<TermId>,
 }
 
 impl Query {
+    /// The space-joined query text (resolves through the term table).
     pub fn text(&self) -> String {
-        self.terms.join(" ")
+        join_text(&self.terms)
+    }
+}
+
+// Persist queries as their term strings (ids are process-local); the wire
+// layout matches the old `Vec<String>` derive.
+impl Serialize for Query {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        struct TermsField<'a>(&'a [TermId]);
+        impl Serialize for TermsField<'_> {
+            fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                pier_vocab::ser_ids(self.0, s)
+            }
+        }
+        let mut st = s.serialize_struct("Query", 1)?;
+        st.serialize_field("terms", &TermsField(&self.terms))?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Query {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> serde::de::Visitor<'de> for V {
+            type Value = Query;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "Query")
+            }
+            fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> Result<Query, A::Error> {
+                use serde::de::Error;
+                let terms: pier_vocab::IdsFromStrings =
+                    seq.next_element()?.ok_or_else(|| A::Error::missing_field("terms"))?;
+                Ok(Query { terms: terms.0 })
+            }
+        }
+        d.deserialize_struct("Query", &["terms"], V)
     }
 }
 
@@ -80,7 +120,10 @@ impl QueryTrace {
             if rng.random_bool(config.miss_rate) {
                 // A query nothing matches (typos, unshared content).
                 queries.push(Query {
-                    terms: vec![format!("zxq{}nomatch", rng.random_range(0..1_000_000u32))],
+                    terms: vec![intern(&format!(
+                        "zxq{}nomatch",
+                        rng.random_range(0..1_000_000u32)
+                    ))],
                 });
                 continue;
             }
@@ -96,7 +139,7 @@ impl QueryTrace {
             let usable = tokens.len().saturating_sub(1).max(1);
             let want = rng.random_range(config.terms_min..=config.terms_max).min(usable);
             let start = rng.random_range(0..=usable - want);
-            let terms: Vec<String> = tokens[start..start + want].to_vec();
+            let terms: Vec<TermId> = tokens[start..start + want].to_vec();
             if terms.is_empty() {
                 continue;
             }
@@ -123,19 +166,19 @@ pub struct GroundTruth {
     pub instances: u64,
 }
 
-/// Fast ground-truth evaluator: token → files index with smallest-list
+/// Fast ground-truth evaluator: term-id → files index with smallest-list
 /// intersection (the same trick PIERSearch's optimizer uses).
 pub struct Evaluator<'a> {
     catalog: &'a Catalog,
-    index: HashMap<&'a str, Vec<u32>>,
+    index: HashMap<TermId, Vec<u32>>,
 }
 
 impl<'a> Evaluator<'a> {
     pub fn new(catalog: &'a Catalog) -> Self {
-        let mut index: HashMap<&str, Vec<u32>> = HashMap::new();
+        let mut index: HashMap<TermId, Vec<u32>> = HashMap::new();
         for (i, f) in catalog.files.iter().enumerate() {
             for t in &f.tokens {
-                let posting = index.entry(t.as_str()).or_default();
+                let posting = index.entry(*t).or_default();
                 // Tokens may repeat inside one name; dedup postings.
                 if posting.last() != Some(&(i as u32)) {
                     posting.push(i as u32);
@@ -148,7 +191,7 @@ impl<'a> Evaluator<'a> {
     /// Posting-list length for a term (document frequency over distinct
     /// files).
     pub fn df(&self, term: &str) -> usize {
-        self.index.get(term).map_or(0, |v| v.len())
+        lookup(term).and_then(|id| self.index.get(&id)).map_or(0, |v| v.len())
     }
 
     /// All files matching the query, with instance counts.
@@ -159,7 +202,7 @@ impl<'a> Evaluator<'a> {
         // Intersect smallest posting lists first.
         let mut lists: Vec<&Vec<u32>> = Vec::with_capacity(query.terms.len());
         for t in &query.terms {
-            match self.index.get(t.as_str()) {
+            match self.index.get(t) {
                 Some(l) => lists.push(l),
                 None => return GroundTruth::default(),
             }
@@ -264,8 +307,8 @@ mod tests {
     fn df_reflects_postings() {
         let (catalog, _) = setup();
         let eval = Evaluator::new(&catalog);
-        let t = &catalog.files[0].tokens[0];
-        assert!(eval.df(t) >= 1);
+        let t = pier_vocab::text(catalog.files[0].tokens[0]);
+        assert!(eval.df(&t) >= 1);
         assert_eq!(eval.df("zzzznotaterm"), 0);
     }
 

@@ -1,9 +1,14 @@
 //! A deterministic pseudo-word dictionary: pronounceable, distinct terms
-//! for synthetic filenames ("banero", "kiluda", …), plus the tokenizer the
-//! ground-truth matcher uses (mirrors the Gnutella client's token
-//! semantics).
+//! for synthetic filenames ("banero", "kiluda", …). Tokenization and
+//! matching live in `pier-vocab` (the shared scanner); thin re-exports
+//! keep the historical `words::tokenize` spelling working.
 
 use pier_netsim::split_mix64;
+
+/// The shared scanner in string form (lowercase alphanumeric runs —
+/// identical semantics to the Gnutella client's matcher, so ground truth
+/// and protocol agree).
+pub use pier_vocab::scan_text as tokenize;
 
 const ONSETS: &[&str] =
     &["b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st"];
@@ -33,33 +38,10 @@ pub fn word(idx: usize) -> String {
     out
 }
 
-/// Lowercase alphanumeric tokens — identical semantics to the Gnutella
-/// client's matcher so ground truth and protocol agree.
-pub fn tokenize(name: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    for ch in name.chars() {
-        if ch.is_alphanumeric() {
-            cur.extend(ch.to_lowercase());
-        } else if !cur.is_empty() {
-            out.push(std::mem::take(&mut cur));
-        }
-    }
-    if !cur.is_empty() {
-        out.push(cur);
-    }
-    out
-}
-
-/// Does `query` (pre-tokenized) match `filename` under Gnutella token
-/// semantics? (Every query term must be a filename token.)
-pub fn matches(query_terms: &[String], filename_tokens: &[String]) -> bool {
-    !query_terms.is_empty() && query_terms.iter().all(|t| filename_tokens.contains(t))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pier_vocab::{matches, scan};
     use std::collections::HashSet;
 
     #[test]
@@ -86,9 +68,9 @@ mod tests {
 
     #[test]
     fn matching_semantics() {
-        let toks = tokenize("banero_kiluda_live.mp3");
-        assert!(matches(&["banero".into(), "kiluda".into()], &toks));
-        assert!(!matches(&["banero".into(), "zzz".into()], &toks));
+        let toks = scan("banero_kiluda_live.mp3");
+        assert!(matches(&scan("banero kiluda"), &toks));
+        assert!(!matches(&scan("banero zzz"), &toks));
         assert!(!matches(&[], &toks), "empty query matches nothing");
     }
 }

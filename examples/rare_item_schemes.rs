@@ -42,7 +42,8 @@ fn main() {
         100.0 * horizon
     );
 
-    let tokens: Vec<Vec<String>> = catalog.files.iter().map(|f| f.tokens.clone()).collect();
+    let tokens: Vec<Vec<pier_p2p::vocab::TermId>> =
+        catalog.files.iter().map(|f| f.tokens.clone()).collect();
     let replicas = view.replicas.clone();
     let input = SchemeInput { tokens: &tokens, replicas: &replicas };
     let tf_map = catalog.term_instance_freq();

@@ -9,6 +9,8 @@
 //!
 //! * [`netsim`] — deterministic discrete-event network simulator (the
 //!   PlanetLab / wide-area substrate).
+//! * [`vocab`] — the process-wide interned term vocabulary (`TermId` /
+//!   `Terms`) every keyword path runs on.
 //! * [`codec`] — compact binary serde format for wire-size accounting.
 //! * [`dht`] — Kademlia-style structured overlay (the Bamboo substitute).
 //! * [`pier`] — the PIER relational query processor over the DHT.
@@ -31,5 +33,6 @@ pub use pier_hybrid as hybrid;
 pub use pier_model as model;
 pub use pier_netsim as netsim;
 pub use pier_qp as pier;
+pub use pier_vocab as vocab;
 pub use pier_workload as workload;
 pub use piersearch;

@@ -97,6 +97,39 @@ fn sparse_preset_is_bit_reproducible() {
     assert_eq!(a, b, "sparse preset must reproduce every counter exactly");
 }
 
+/// Golden pins for the figs4–7 quick-scale trial at the default seed,
+/// captured from the pre-interning (string-keyed) implementation. The
+/// term-interning refactor is a pure renaming (string ↔ id), so every
+/// statistic — including total traffic accounting — must reproduce these
+/// values bit-for-bit. A legitimate workload change must update the pins
+/// and say why.
+#[test]
+fn figs4to7_quick_summary_matches_golden_values() {
+    use pier_bench::experiments::figs4to7;
+    use pier_bench::lab::DEFAULT_SEED;
+    use pier_bench::Scale;
+
+    let summary = figs4to7::trial(Scale::Quick, DEFAULT_SEED);
+    let golden: [(&str, f64); 8] = [
+        ("le10_single_pct", 43.9375),
+        ("zero_single", 13.6875),
+        ("zero_union", 4.375),
+        ("reduction_pct", 68.03652968036529),
+        ("fig4_small_result_rep", 4.865089792923048),
+        ("fig4_large_result_rep", 11.196654163094017),
+        ("total_messages", 590_553.0),
+        ("total_bytes", 78_668_586.0),
+    ];
+    for (key, want) in golden {
+        let got = summary.get(key).unwrap_or_else(|| panic!("stat {key} missing"));
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "stat {key} drifted from the pre-interning golden value: {got} != {want}"
+        );
+    }
+}
+
 #[test]
 fn different_master_seed_diverges() {
     let a = run_and_snapshot(1);
