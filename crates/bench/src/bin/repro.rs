@@ -8,6 +8,7 @@
 //! repro crawl          # §4.1 crawl snapshot (also part of fig8)
 //! repro model-params   # Tables 1 & 2 glossary
 //! repro horizon        # per-vantage zero-result rates (horizon effect)
+//! repro churn          # recall under churn (§5 soft-state tradeoff)
 //! repro sweep <experiment> [--trials N] [--jobs J] [--seed S]
 //!                      # N seeded trials across J threads, aggregated
 //!                      # (mean/stderr/min/max) into results/sweep_*.json
@@ -20,7 +21,7 @@
 //! flag is absent, so existing CI plumbing keeps working.
 
 use pier_bench::experiments::{
-    ablations, fig8, figs13to15, figs4to7, figs9to12, horizon, model_params, sec5_posting,
+    ablations, churn, fig8, figs13to15, figs4to7, figs9to12, horizon, model_params, sec5_posting,
     sec7_deploy,
 };
 use pier_bench::output::{self, emit};
@@ -137,6 +138,9 @@ fn main() {
         "horizon" | "sparse" => {
             emit(&horizon::run(scale), "horizon");
         }
+        "churn" => {
+            emit(&churn::run(scale), "churn");
+        }
         "sweep" => {
             run_sweep_cmd(scale, &args[1..]);
         }
@@ -149,15 +153,23 @@ fn main() {
             emit(&sec7_deploy::run(scale).tables, "sec7_deploy");
             emit(&model_params(), "model_params");
             emit(&ablations::run(scale), "ablations");
+            emit(&churn::run(scale), "churn");
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "known: fig4..fig15, fig8, crawl, sec5-posting, sec7-deploy, model-params, \
-                 ablations, horizon, sweep, all"
+                 ablations, horizon, churn, sweep, all"
             );
             std::process::exit(2);
         }
     }
-    println!("\nrepro: done in {:.1}s", t0.elapsed().as_secs_f64());
+    // The interned-term gauge: the table is append-only and process-wide,
+    // so this is the run's whole-vocabulary footprint (guarded against
+    // per-token growth by `pier-workload`'s vocab_growth tests).
+    println!(
+        "\nrepro: done in {:.1}s ({} interned terms)",
+        t0.elapsed().as_secs_f64(),
+        pier_vocab::vocab_len()
+    );
 }

@@ -43,7 +43,7 @@ pub fn fig4_points(data: &MeasurementData) -> Vec<(usize, f64, usize)> {
     for per_vantage in &data.per_query {
         let union = union_results(per_vantage, data.vantage_count);
         // Replication factor per distinct filename = #hosts in the union.
-        let mut hosts_per_name: HashMap<&String, usize> = HashMap::new();
+        let mut hosts_per_name: HashMap<&str, usize> = HashMap::new();
         for (name, _) in &union {
             *hosts_per_name.entry(name).or_insert(0) += 1;
         }

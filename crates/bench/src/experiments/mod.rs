@@ -2,6 +2,7 @@
 //! experiment index and EXPERIMENTS.md for paper-vs-measured results.
 
 pub mod ablations;
+pub mod churn;
 pub mod fig8;
 pub mod figs13to15;
 pub mod figs4to7;

@@ -482,12 +482,9 @@ mod tests {
                 if legacy_forwards.contains(dst) {
                     let (_, il, _) = fix.leaves.iter().find(|(id, _, _)| id == dst).expect("leaf");
                     let fast: Vec<&str> =
-                        il.store().matching(q.ids()).iter().map(|f| f.name.as_str()).collect();
-                    let slow: Vec<&str> = store
-                        .matching(&w.queries_text[qi])
-                        .iter()
-                        .map(|f| f.name.as_str())
-                        .collect();
+                        il.store().matching(q.ids()).iter().map(|f| &*f.name).collect();
+                    let slow: Vec<&str> =
+                        store.matching(&w.queries_text[qi]).iter().map(|f| &*f.name).collect();
                     assert_eq!(fast, slow, "query {qi}: leaf matches must agree");
                 }
             }

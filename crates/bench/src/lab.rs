@@ -9,6 +9,7 @@ use pier_gnutella::{
 use pier_netsim::{NodeId, Sim, SimConfig, SimDuration, SimTime, UniformLatency};
 use pier_workload::{Catalog, CatalogConfig, Evaluator, Query, QueryConfig, QueryTrace};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Experiment scale. `Quick` keeps `cargo bench` under a few minutes;
 /// `Sparse` is a larger, sparsely-connected topology where even a
@@ -133,8 +134,9 @@ impl LabConfig {
 /// Results of one query from one vantage.
 #[derive(Clone, Debug)]
 pub struct VantageResult {
-    /// Distinct (filename, host) replica pairs returned.
-    pub results: Vec<(String, NodeId)>,
+    /// Distinct (filename, host) replica pairs returned. Names share the
+    /// hits' `Arc<str>` payloads — collecting a replay clones pointers.
+    pub results: Vec<(Arc<str>, NodeId)>,
     pub first_hit: Option<SimDuration>,
 }
 
@@ -271,7 +273,7 @@ impl Lab {
                             .take_query(guid)
                             .expect("query registered");
                         let mut seen = HashSet::new();
-                        let results: Vec<(String, NodeId)> = rec
+                        let results: Vec<(Arc<str>, NodeId)> = rec
                             .hits
                             .iter()
                             .filter(|h| seen.insert((h.file.name.clone(), h.host)))
@@ -316,7 +318,7 @@ fn ensure_profile(
 }
 
 /// Union of replica results across the first `n` vantages of a query.
-pub fn union_results(per_vantage: &[VantageResult], n: usize) -> HashSet<(String, NodeId)> {
+pub fn union_results(per_vantage: &[VantageResult], n: usize) -> HashSet<(Arc<str>, NodeId)> {
     let mut u = HashSet::new();
     for v in per_vantage.iter().take(n) {
         u.extend(v.results.iter().cloned());

@@ -14,7 +14,7 @@
 //! never on `--jobs` or scheduling, which the determinism tests pin down.
 
 use crate::experiments::{
-    ablations, fig8, figs13to15, figs4to7, figs9to12, horizon, sec5_posting, sec7_deploy,
+    ablations, churn, fig8, figs13to15, figs4to7, figs9to12, horizon, sec5_posting, sec7_deploy,
 };
 use crate::lab::Scale;
 use pier_netsim::derive_seed;
@@ -147,10 +147,11 @@ pub enum Experiment {
     Sec5Posting,
     Ablations,
     Sec7Deploy,
+    Churn,
 }
 
 impl Experiment {
-    pub const ALL: [Experiment; 8] = [
+    pub const ALL: [Experiment; 9] = [
         Experiment::Figs4to7,
         Experiment::Horizon,
         Experiment::Fig8,
@@ -159,6 +160,7 @@ impl Experiment {
         Experiment::Sec5Posting,
         Experiment::Ablations,
         Experiment::Sec7Deploy,
+        Experiment::Churn,
     ];
 
     pub fn name(self) -> &'static str {
@@ -171,6 +173,7 @@ impl Experiment {
             Experiment::Sec5Posting => "sec5-posting",
             Experiment::Ablations => "ablations",
             Experiment::Sec7Deploy => "sec7-deploy",
+            Experiment::Churn => "churn",
         }
     }
 
@@ -192,6 +195,7 @@ impl Experiment {
             "sec5-posting" => Some(Experiment::Sec5Posting),
             "ablations" | "ablation-timeout" => Some(Experiment::Ablations),
             "sec7-deploy" => Some(Experiment::Sec7Deploy),
+            "churn" => Some(Experiment::Churn),
             _ => None,
         }
     }
@@ -208,6 +212,7 @@ impl Experiment {
             Experiment::Sec5Posting => sec5_posting::trial(scale, seed),
             Experiment::Ablations => ablations::trial(scale, seed),
             Experiment::Sec7Deploy => sec7_deploy::trial(scale, seed),
+            Experiment::Churn => churn::trial(scale, seed),
         }
     }
 }

@@ -35,6 +35,36 @@ fn parallel_lab_sweep_matches_sequential() {
     assert_ne!(msgs[0], msgs[1], "different trial seeds must not produce identical traffic");
 }
 
+/// The churn experiment: four simulated arms plus the churn driver per
+/// trial — per-trial results must still be a pure function of
+/// `(scale, seed)`, bit-identical across `--jobs` and equal to a direct
+/// trial invocation (the acceptance criterion's reproducibility half).
+#[test]
+fn parallel_churn_sweep_matches_sequential() {
+    let parallel = run_sweep(Experiment::Churn, &SweepConfig::new(Scale::Quick, 2, 2));
+    let sequential = run_sweep(Experiment::Churn, &SweepConfig::new(Scale::Quick, 2, 1));
+    assert_eq!(
+        parallel.trials, sequential.trials,
+        "churn trials must be bit-identical regardless of --jobs"
+    );
+    let t0 = &parallel.trials[0];
+    assert_eq!(
+        t0.summary,
+        Experiment::Churn.trial(Scale::Quick, t0.seed),
+        "a sweep trial must equal a direct run with its seed"
+    );
+    // The signature statistics exist and traffic varies across seeds.
+    for t in &parallel.trials {
+        assert_eq!(t.summary.get("norefresh_monotone"), Some(1.0));
+    }
+    let msgs: Vec<u64> = parallel
+        .trials
+        .iter()
+        .map(|t| t.summary.get("total_messages").expect("traffic stat") as u64)
+        .collect();
+    assert_ne!(msgs[0], msgs[1], "different trial seeds must differ in traffic");
+}
+
 /// The model path (`figs9to12`, no simulator) at a jobs=4 fan-out.
 #[test]
 fn parallel_model_sweep_matches_sequential_at_jobs_4() {

@@ -1,0 +1,182 @@
+//! Gnutella topology repair under churn.
+//!
+//! Real clients discover replacement peers out of band (GWebCaches, host
+//! caches, pong caches); in the simulation that role falls to the churn
+//! driver, which *is* the membership oracle. [`GnutellaRepair`] implements
+//! [`ChurnHooks`] for two-tier networks spawned by
+//! [`pier_gnutella::spawn`]:
+//!
+//! * **Ultrapeer death** — live neighbors drop the dead edge and refill
+//!   their slots toward the profile target from live ultrapeers; orphaned
+//!   live leaves reattach to a live ultrapeer and re-push their QRP
+//!   filter (the ultrapeer's last-hop routing is blind to them until the
+//!   filter arrives).
+//! * **Ultrapeer revival** — the node rewires up to its profile's degree
+//!   target (its old edges were repaired away while it was gone).
+//! * **Leaf death** — its ultrapeers drop the leaf and its QRP entry.
+//! * **Leaf revival** — dead homes are replaced with live ultrapeers and
+//!   the QRP filter is re-pushed to every home.
+//!
+//! All random choices draw from one seeded RNG owned by the hooks, so the
+//! repaired topology is a pure function of `(initial topology, schedule,
+//! seed)`.
+
+use crate::driver::ChurnHooks;
+use pier_gnutella::{CtxGnutellaNet, GnutellaMsg, LeafNode, UltrapeerNode};
+use pier_netsim::{stream_rng, NodeId, Sim, SimRng};
+use rand::seq::SliceRandom;
+
+/// Churn-repair hooks for a spawned Gnutella network.
+pub struct GnutellaRepair {
+    ups: Vec<NodeId>,
+    leaves: Vec<NodeId>,
+    rng: SimRng,
+}
+
+impl GnutellaRepair {
+    /// `ups` / `leaves` are the spawned node ids
+    /// ([`pier_gnutella::GnutellaHandles`]); `seed` drives replacement
+    /// choices.
+    pub fn new(ups: Vec<NodeId>, leaves: Vec<NodeId>, seed: u64) -> GnutellaRepair {
+        GnutellaRepair { ups, leaves, rng: stream_rng(seed, 0x6E0D) }
+    }
+
+    fn is_up_node(&self, id: NodeId) -> bool {
+        debug_assert!(
+            self.ups.contains(&id) || self.leaves.contains(&id),
+            "churned node {id} is not part of this Gnutella network"
+        );
+        self.ups.contains(&id)
+    }
+
+    /// A uniformly random live ultrapeer not in `exclude`.
+    fn pick_live_up(&mut self, sim: &Sim<GnutellaMsg>, exclude: &[NodeId]) -> Option<NodeId> {
+        let candidates: Vec<NodeId> =
+            self.ups.iter().copied().filter(|&u| sim.is_up(u) && !exclude.contains(&u)).collect();
+        candidates.choose(&mut self.rng).copied()
+    }
+
+    /// Wire `up` to live neighbors until it reaches its profile target
+    /// (both edge endpoints are updated).
+    fn refill_neighbors(&mut self, sim: &mut Sim<GnutellaMsg>, up: NodeId) {
+        loop {
+            let (target, current) = {
+                let core = &sim.actor::<UltrapeerNode>(up).core;
+                (core.cfg.up_neighbors, core.neighbors().to_vec())
+            };
+            if current.len() >= target {
+                return;
+            }
+            let mut exclude = current;
+            exclude.push(up);
+            let Some(peer) = self.pick_live_up(sim, &exclude) else {
+                return;
+            };
+            sim.actor_mut::<UltrapeerNode>(up).core.add_neighbor(peer);
+            sim.actor_mut::<UltrapeerNode>(peer).core.add_neighbor(up);
+        }
+    }
+
+    /// Re-home a live leaf: replace every dead ultrapeer among its homes
+    /// with a live one and push the QRP filter to the replacement.
+    fn rehome_leaf(&mut self, sim: &mut Sim<GnutellaMsg>, leaf: NodeId) {
+        let dead_homes: Vec<NodeId> = sim
+            .actor::<LeafNode>(leaf)
+            .core
+            .ultrapeers()
+            .iter()
+            .copied()
+            .filter(|&u| !sim.is_up(u))
+            .collect();
+        for dead in dead_homes {
+            let live_homes: Vec<NodeId> = sim
+                .actor::<LeafNode>(leaf)
+                .core
+                .ultrapeers()
+                .iter()
+                .copied()
+                .filter(|&u| sim.is_up(u))
+                .collect();
+            let Some(new_up) = self.pick_live_up(sim, &live_homes) else {
+                return;
+            };
+            sim.actor_mut::<LeafNode>(leaf).core.replace_ultrapeer(dead, new_up);
+            sim.actor_mut::<UltrapeerNode>(new_up).core.add_leaf(leaf);
+            sim.with_actor_ctx::<LeafNode, _>(leaf, |node, ctx| {
+                let mut net = CtxGnutellaNet { ctx };
+                node.core.publish_qrp_to(&mut net, new_up);
+            });
+        }
+    }
+}
+
+impl ChurnHooks<GnutellaMsg> for GnutellaRepair {
+    fn on_leave(&mut self, sim: &mut Sim<GnutellaMsg>, node: NodeId) {
+        if self.is_up_node(node) {
+            // Peers drop the dead ultrapeer and refill their slots.
+            let live_neighbors: Vec<NodeId> = sim
+                .actor::<UltrapeerNode>(node)
+                .core
+                .neighbors()
+                .iter()
+                .copied()
+                .filter(|&n| sim.is_up(n))
+                .collect();
+            for &n in &live_neighbors {
+                sim.actor_mut::<UltrapeerNode>(n).core.remove_neighbor(node);
+            }
+            for n in live_neighbors {
+                self.refill_neighbors(sim, n);
+            }
+            // Orphaned live leaves reattach (QRP re-push included).
+            let orphans: Vec<NodeId> =
+                sim.actor::<UltrapeerNode>(node).core.leaves().filter(|&l| sim.is_up(l)).collect();
+            for leaf in orphans {
+                self.rehome_leaf(sim, leaf);
+            }
+        } else {
+            // A dead leaf disappears from its ultrapeers' tables.
+            let live_homes = live_homes_of(sim, node);
+            for up in live_homes {
+                sim.actor_mut::<UltrapeerNode>(up).core.remove_leaf(node);
+            }
+        }
+    }
+
+    fn on_join(&mut self, sim: &mut Sim<GnutellaMsg>, node: NodeId) {
+        if self.is_up_node(node) {
+            // The revived ultrapeer rebuilds its edges. Stale entries from
+            // its pre-death neighbor list are dropped first: those peers
+            // repaired around it and no longer list it.
+            let stale = sim.actor::<UltrapeerNode>(node).core.neighbors().to_vec();
+            for n in stale {
+                sim.actor_mut::<UltrapeerNode>(node).core.remove_neighbor(n);
+            }
+            let stale_leaves: Vec<NodeId> =
+                sim.actor::<UltrapeerNode>(node).core.leaves().collect();
+            for l in stale_leaves {
+                sim.actor_mut::<UltrapeerNode>(node).core.remove_leaf(l);
+            }
+            self.refill_neighbors(sim, node);
+        } else {
+            // `LeafNode::on_start` (run by revival) already re-pushed QRP
+            // to the surviving homes; replace the dead ones too.
+            self.rehome_leaf(sim, node);
+            let live_homes = live_homes_of(sim, node);
+            for up in live_homes {
+                sim.actor_mut::<UltrapeerNode>(up).core.add_leaf(node);
+            }
+        }
+    }
+}
+
+/// The live subset of a leaf's home ultrapeers.
+fn live_homes_of(sim: &Sim<GnutellaMsg>, leaf: NodeId) -> Vec<NodeId> {
+    sim.actor::<LeafNode>(leaf)
+        .core
+        .ultrapeers()
+        .iter()
+        .copied()
+        .filter(|&u| sim.is_up(u))
+        .collect()
+}

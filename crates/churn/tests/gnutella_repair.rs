@@ -1,0 +1,187 @@
+//! End-to-end Gnutella topology repair under churn: kill ultrapeers and
+//! leaves mid-run and verify the network heals — orphaned leaves reattach
+//! (with QRP re-push) and stay searchable, ultrapeers refill neighbor
+//! slots, and revived nodes re-wire themselves.
+
+use pier_churn::{ChurnDriver, ChurnPlan, GnutellaRepair, LifetimeDist, SessionConfig};
+use pier_gnutella::{
+    spawn, CtxGnutellaNet, FileMeta, GnutellaMsg, LeafNode, Topology, TopologyConfig, UltrapeerNode,
+};
+use pier_netsim::{NodeId, Sim, SimConfig, SimDuration, UniformLatency};
+
+struct Net {
+    sim: Sim<GnutellaMsg>,
+    ups: Vec<NodeId>,
+    leaves: Vec<NodeId>,
+}
+
+/// A 20-ultrapeer / 120-leaf network; one leaf shares a unique rare file.
+fn build(seed: u64) -> (Net, NodeId) {
+    let topo = Topology::generate(&TopologyConfig {
+        ultrapeers: 20,
+        leaves: 120,
+        old_style_fraction: 0.5,
+        leaf_ups: 1,
+        seed,
+    });
+    let mut leaf_files: Vec<Vec<FileMeta>> =
+        (0..120).map(|j| vec![FileMeta::new(&format!("filler_{j}.bin"), 1)]).collect();
+    leaf_files[60].push(FileMeta::new("rare_unicorn_bootleg.mp3", 1987));
+    let cfg = SimConfig::with_seed(seed)
+        .latency(UniformLatency::new(SimDuration::from_millis(10), SimDuration::from_millis(40)));
+    let mut sim = Sim::new(cfg);
+    let handles = spawn(&mut sim, &topo, vec![Vec::new(); 20], leaf_files);
+    sim.run_for(SimDuration::from_secs(3)); // QRP propagation
+    let rare_leaf = handles.leaves[60];
+    (Net { sim, ups: handles.ups, leaves: handles.leaves }, rare_leaf)
+}
+
+fn flood_query(net: &mut Net, from: NodeId, what: &str) -> Vec<NodeId> {
+    let guid = net.sim.with_actor_ctx::<UltrapeerNode, _>(from, |up, ctx| {
+        let mut gnet = CtxGnutellaNet { ctx };
+        up.core.start_flood_query(&mut gnet, what)
+    });
+    net.sim.run_for(SimDuration::from_secs(10));
+    let rec = net.sim.actor_mut::<UltrapeerNode>(from).core.take_query(guid).expect("registered");
+    rec.hits.iter().map(|h| h.host).collect()
+}
+
+/// Killing a leaf's only home ultrapeer must not make the leaf's share
+/// unreachable: repair reattaches it to a live ultrapeer and re-pushes its
+/// QRP filter.
+#[test]
+fn orphaned_leaf_reattaches_and_stays_searchable() {
+    let (mut net, rare_leaf) = build(0xC1);
+    let home = net.sim.actor::<LeafNode>(rare_leaf).core.ultrapeers()[0];
+    let vantage = *net.ups.iter().find(|&&u| u != home).unwrap();
+    assert_eq!(flood_query(&mut net, vantage, "rare unicorn bootleg"), vec![rare_leaf]);
+
+    // Kill the home; repair runs from the hooks.
+    let mut repair = GnutellaRepair::new(net.ups.clone(), net.leaves.clone(), 7);
+    net.sim.set_down(home);
+    use pier_churn::ChurnHooks;
+    repair.on_leave(&mut net.sim, home);
+    net.sim.run_for(SimDuration::from_secs(2));
+
+    let new_home = net.sim.actor::<LeafNode>(rare_leaf).core.ultrapeers()[0];
+    assert_ne!(new_home, home, "leaf must be re-homed");
+    assert!(net.sim.is_up(new_home), "replacement must be live");
+
+    // The file is still findable from a (live) vantage.
+    let vantage2 = *net.ups.iter().find(|&&u| net.sim.is_up(u) && u != new_home).unwrap();
+    assert_eq!(
+        flood_query(&mut net, vantage2, "rare unicorn bootleg"),
+        vec![rare_leaf],
+        "reattached leaf must answer via its new ultrapeer's QRP"
+    );
+}
+
+/// Neighbor slots lost to ultrapeer death are refilled from live peers,
+/// and a revived ultrapeer rewires itself to its profile target.
+#[test]
+fn ultrapeer_slots_refill_and_revival_rewires() {
+    use pier_churn::ChurnHooks;
+    let (mut net, _) = build(0xC2);
+    let victim = net.ups[3];
+    let peers = net.sim.actor::<UltrapeerNode>(victim).core.neighbors().to_vec();
+    assert!(!peers.is_empty());
+    let degree_before: Vec<usize> =
+        peers.iter().map(|&p| net.sim.actor::<UltrapeerNode>(p).core.neighbors().len()).collect();
+
+    let mut repair = GnutellaRepair::new(net.ups.clone(), net.leaves.clone(), 9);
+    net.sim.set_down(victim);
+    repair.on_leave(&mut net.sim, victim);
+    for (i, &p) in peers.iter().enumerate() {
+        let nbrs = net.sim.actor::<UltrapeerNode>(p).core.neighbors().to_vec();
+        assert!(!nbrs.contains(&victim), "dead edge must be dropped");
+        assert!(
+            nbrs.len() >= degree_before[i],
+            "slot must be refilled: {} < {}",
+            nbrs.len(),
+            degree_before[i]
+        );
+        assert!(nbrs.iter().all(|&n| net.sim.is_up(n)));
+    }
+
+    net.sim.run_for(SimDuration::from_secs(5));
+    net.sim.set_up(victim);
+    repair.on_join(&mut net.sim, victim);
+    let rewired = net.sim.actor::<UltrapeerNode>(victim).core.neighbors().to_vec();
+    let target = net.sim.actor::<UltrapeerNode>(victim).core.cfg.up_neighbors.min(19);
+    assert!(!rewired.is_empty(), "revived ultrapeer must reconnect");
+    assert!(rewired.len() <= target);
+    assert!(rewired.iter().all(|&n| net.sim.is_up(n)));
+    // Edges are symmetric again.
+    for &n in &rewired {
+        assert!(net.sim.actor::<UltrapeerNode>(n).core.neighbors().contains(&victim));
+    }
+}
+
+/// A full churned run driven by the scheduler: sessions cycle, repair keeps
+/// the rare file reachable, and queries issued at the end still resolve.
+#[test]
+fn churned_run_stays_searchable_end_to_end() {
+    let (mut net, rare_leaf) = build(0xC3);
+    // Churn the ultrapeers except the vantage, and all leaves except the
+    // rare sharer (the measurement endpoints stay up, the fabric churns).
+    let vantage = net.ups[0];
+    let churned: Vec<NodeId> = net
+        .ups
+        .iter()
+        .chain(net.leaves.iter())
+        .copied()
+        .filter(|&n| n != vantage && n != rare_leaf)
+        .collect();
+    let plan = ChurnPlan {
+        session: SessionConfig {
+            lifetime: LifetimeDist::LogNormal { median_s: 60.0, sigma: 0.8 },
+            downtime: LifetimeDist::LogNormal { median_s: 20.0, sigma: 0.5 },
+            stagger_first_session: true,
+        },
+        start: net.sim.now(),
+        horizon: SimDuration::from_secs(180),
+        seed: 0xDEAD,
+    };
+    let mut driver = ChurnDriver::plan(&churned, &plan);
+    assert!(driver.events().len() > 50, "three minutes must cycle many sessions");
+    let mut repair = GnutellaRepair::new(net.ups.clone(), net.leaves.clone(), 5);
+    let deadline = net.sim.now() + SimDuration::from_secs(180);
+    driver.advance(&mut net.sim, deadline, &mut repair);
+    assert_eq!(driver.remaining(), 0);
+
+    // Invariants after the storm: every live leaf is homed on live
+    // ultrapeers only... (dead homes may linger only if no live UP existed)
+    for &l in net.leaves.iter().filter(|&&l| net.sim.is_up(l)) {
+        let homes = net.sim.actor::<LeafNode>(l).core.ultrapeers().to_vec();
+        assert!(homes.iter().all(|&u| net.sim.is_up(u)), "leaf {l} kept a dead home");
+    }
+    // ...and the rare file still resolves from the stable vantage.
+    let hosts = flood_query(&mut net, vantage, "rare unicorn bootleg");
+    assert_eq!(hosts, vec![rare_leaf], "repair must keep the rare share reachable");
+}
+
+/// Revived leaves re-home and re-push QRP through the driver path.
+#[test]
+fn revived_leaf_rehomes_through_driver() {
+    use pier_churn::ChurnHooks;
+    let (mut net, rare_leaf) = build(0xC4);
+    let home = net.sim.actor::<LeafNode>(rare_leaf).core.ultrapeers()[0];
+    let mut repair = GnutellaRepair::new(net.ups.clone(), net.leaves.clone(), 3);
+
+    // The sharer leaves; later its home dies too; then the sharer returns.
+    net.sim.set_down(rare_leaf);
+    repair.on_leave(&mut net.sim, rare_leaf);
+    net.sim.run_for(SimDuration::from_secs(1));
+    net.sim.set_down(home);
+    repair.on_leave(&mut net.sim, home);
+    net.sim.run_for(SimDuration::from_secs(1));
+    net.sim.set_up(rare_leaf);
+    repair.on_join(&mut net.sim, rare_leaf);
+    net.sim.run_for(SimDuration::from_secs(2)); // QRP delivery
+
+    let new_home = net.sim.actor::<LeafNode>(rare_leaf).core.ultrapeers()[0];
+    assert!(net.sim.is_up(new_home));
+    assert_ne!(new_home, home);
+    let vantage = *net.ups.iter().find(|&&u| net.sim.is_up(u) && u != new_home).unwrap();
+    assert_eq!(flood_query(&mut net, vantage, "rare unicorn bootleg"), vec![rare_leaf]);
+}

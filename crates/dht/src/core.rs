@@ -249,6 +249,36 @@ impl DhtCore {
         net.send_dht(dst, msg, wire, crate::classes::APP_DIRECT.id());
     }
 
+    /// Session teardown (the node left the overlay): stored replicas
+    /// vanish with the process and every in-flight operation dies. The
+    /// routing table survives — on rejoin most contacts are still valid
+    /// and [`DhtCore::revive`]'s self-lookup plus the per-RPC failure
+    /// eviction weed out the stale ones. Republish records also survive:
+    /// they are the node's own soft state (the files it shares), and the
+    /// paper's §5 publishing model has a rejoining node re-push them.
+    pub fn end_session(&mut self) {
+        self.storage.clear();
+        self.pending.clear();
+        self.lookups.clear();
+        self.puts.clear();
+        self.evict_in_flight.clear();
+        self.join_op = None;
+        self.events.clear();
+    }
+
+    /// Revival repair: re-prime the routing table with a self-lookup (the
+    /// join walk, but seeded from the surviving table instead of a
+    /// bootstrap contact). Overdue republish records need no special
+    /// handling — their deadlines elapsed during downtime, so the first
+    /// maintenance tick after revival re-pushes them.
+    pub fn revive(&mut self, net: &mut dyn DhtNet) {
+        net.count(crate::classes::REVIVE_REJOIN.id(), 1);
+        if !self.table.is_empty() {
+            let op = self.start_lookup(net, self.local().key, LookupKind::Node);
+            self.join_op = Some(op);
+        }
+    }
+
     /// Periodic maintenance: RPC timeouts, value expiry, republishing,
     /// bucket refresh. The embedding actor calls this on its tick timer.
     pub fn tick(&mut self, net: &mut dyn DhtNet) {

@@ -114,4 +114,21 @@ impl<A: DhtApp + 'static> Actor<DhtMsg> for DhtNode<A> {
         self.app.on_tick(&mut self.core, &mut net);
         self.drain_events(&mut net);
     }
+
+    /// Leaving the overlay drops this node's replicas and in-flight
+    /// operations; only republishing can restore the lost values elsewhere.
+    fn on_down(&mut self, _ctx: &mut dyn Ctx<DhtMsg>) {
+        self.core.end_session();
+    }
+
+    /// Revival re-arms the maintenance tick (cancelled by going down) and
+    /// re-primes the routing table from its surviving contacts instead of
+    /// the original bootstrap contact, which may itself be long gone.
+    fn on_revive(&mut self, ctx: &mut dyn Ctx<DhtMsg>) {
+        let tick = self.core.config().tick;
+        ctx.set_timer(tick, TICK_TOKEN);
+        let mut net = CtxNet { ctx };
+        self.core.revive(&mut net);
+        self.drain_events(&mut net);
+    }
 }

@@ -87,6 +87,13 @@ impl Storage {
     pub fn keys(&self) -> impl Iterator<Item = &Key> {
         self.map.keys()
     }
+
+    /// Drop everything (session teardown: a node leaving the overlay takes
+    /// its replicas with it; only republishing restores them elsewhere).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
 }
 
 #[cfg(test)]

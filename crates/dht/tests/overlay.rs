@@ -160,6 +160,100 @@ fn survives_churn_with_replication() {
     assert!(found, "value must survive the loss of one replica");
 }
 
+/// Session semantics under churn: a leaving holder takes its replica with
+/// it (storage cleared on `on_down`), so without republishing the value is
+/// simply gone — and a publisher-registered republish record restores it
+/// onto live nodes. The revived holder re-arms its maintenance tick and
+/// re-primes its table via a self-lookup.
+#[test]
+fn churned_holder_loses_replica_and_republish_restores_it() {
+    let (mut sim, ids) = build_network(30, 21);
+    sim.run_for(SimDuration::from_secs(60));
+
+    let key = Key::hash_str("soft-state-posting");
+    let publisher = ids[2];
+    // `put` with republish: the record re-publishes at half the value TTL
+    // (60 s under the test config's 120 s TTL).
+    sim.with_actor_ctx::<Node, _>(publisher, |node, ctx| {
+        let mut net = pier_dht::CtxNet { ctx };
+        node.core.put(&mut net, key, b"posting".to_vec(), true);
+    });
+    sim.run_for(SimDuration::from_secs(10));
+
+    let holders = |sim: &Sim<DhtMsg>| -> Vec<NodeId> {
+        ids.iter()
+            .copied()
+            .filter(|&id| {
+                sim.is_up(id)
+                    && sim
+                        .actor::<Node>(id)
+                        .core
+                        .storage()
+                        .get(&key, sim.now())
+                        .iter()
+                        .any(|v| v == b"posting")
+            })
+            .collect()
+    };
+    let initial = holders(&sim);
+    assert!(!initial.is_empty(), "the put must store somewhere");
+
+    // Every holder (except the publisher, whose republish record is the
+    // soft state under test) churns out: their replicas vanish.
+    for &h in initial.iter().filter(|&&h| h != publisher) {
+        sim.set_down(h);
+        assert!(
+            sim.actor::<Node>(h).core.storage().get(&key, sim.now()).is_empty(),
+            "a leaving node must drop its replicas"
+        );
+    }
+    // Within one republish interval the publisher re-stores onto live
+    // nodes; the revived ex-holders rejoin empty.
+    sim.run_for(SimDuration::from_secs(70));
+    for &h in initial.iter().filter(|&&h| h != publisher) {
+        sim.set_up(h);
+    }
+    sim.run_for(SimDuration::from_secs(10));
+    let after = holders(&sim);
+    assert!(!after.is_empty(), "republish must restore the value onto live nodes");
+
+    // A get from an uninvolved node finds it again.
+    let querier = ids.iter().copied().find(|id| !initial.contains(id)).unwrap();
+    sim.with_actor_ctx::<Node, _>(querier, |node, ctx| {
+        let mut net = pier_dht::CtxNet { ctx };
+        node.core.get(&mut net, key);
+    });
+    sim.run_for(SimDuration::from_secs(30));
+    let found = sim.actor::<Node>(querier).app.events.iter().any(
+        |e| matches!(e, DhtEvent::GetDone { values, .. } if values.contains(&b"posting".to_vec())),
+    );
+    assert!(found, "value must be retrievable after churn + republish");
+}
+
+/// A revived node re-primes its routing table through a self-lookup even
+/// though its original bootstrap contact is long gone.
+#[test]
+fn revival_reprimes_routing_table_without_bootstrap() {
+    let (mut sim, ids) = build_network(30, 22);
+    sim.run_for(SimDuration::from_secs(60));
+    let victim = ids[9];
+    let table_before = sim.actor::<Node>(victim).core.table().len();
+    assert!(table_before > 0);
+
+    sim.set_down(victim);
+    // The seed node (its historical bootstrap) dies while it is away.
+    sim.set_down(ids[0]);
+    sim.run_for(SimDuration::from_secs(30));
+    sim.set_up(victim);
+    sim.run_for(SimDuration::from_secs(30));
+
+    let node = sim.actor::<Node>(victim);
+    assert!(!node.core.table().is_empty(), "table re-primed from surviving contacts");
+    // The revival self-lookup completes as a (second) Joined event.
+    let joins = node.app.events.iter().filter(|e| matches!(e, DhtEvent::Joined { .. })).count();
+    assert!(joins >= 2, "revival must re-run the join walk (saw {joins})");
+}
+
 #[test]
 fn warm_start_matches_protocol_join_behaviour() {
     // Build a 200-node overlay with warm tables and verify puts/gets work

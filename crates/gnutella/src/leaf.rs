@@ -43,16 +43,48 @@ impl LeafCore {
         &self.ultrapeers
     }
 
+    /// Topology repair: swap a dead home ultrapeer for a live replacement,
+    /// keeping slot order (slot 0 is the query path). Returns whether the
+    /// dead ultrapeer was actually a home.
+    pub fn replace_ultrapeer(&mut self, dead: NodeId, replacement: NodeId) -> bool {
+        if self.ultrapeers.contains(&replacement) {
+            // Already connected: just drop the dead entry.
+            let before = self.ultrapeers.len();
+            self.ultrapeers.retain(|&u| u != dead);
+            return self.ultrapeers.len() != before;
+        }
+        match self.ultrapeers.iter_mut().find(|u| **u == dead) {
+            Some(slot) => {
+                *slot = replacement;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Push the share's QRP filter to one ultrapeer (re-attachment path;
+    /// the full-broadcast [`LeafCore::publish_qrp`] runs on connect).
+    pub fn publish_qrp_to(&self, net: &mut dyn GnutellaNet, up: NodeId) {
+        net.send(up, GnutellaMsg::QrpUpdate { filter: self.qrp_filter() });
+    }
+
     pub fn store(&self) -> &FileStore {
         &self.store
+    }
+
+    /// The share's QRP filter (one builder for connect and re-attachment,
+    /// so the two paths can never advertise different filters).
+    fn qrp_filter(&self) -> QrpFilter {
+        let mut filter = QrpFilter::with_defaults();
+        filter.insert_ids(self.store.all_tokens());
+        filter
     }
 
     /// Publish the QRP filter of our share to every ultrapeer (done on
     /// connect; the paper's leaves "publish [their] file list to those
     /// ultrapeers").
     pub fn publish_qrp(&self, net: &mut dyn GnutellaNet) {
-        let mut filter = QrpFilter::with_defaults();
-        filter.insert_ids(self.store.all_tokens());
+        let filter = self.qrp_filter();
         for &up in &self.ultrapeers {
             net.send(up, GnutellaMsg::QrpUpdate { filter: filter.clone() });
         }

@@ -37,6 +37,10 @@ impl Actor<GnutellaMsg> for UltrapeerNode {
             self.core.tick(&mut net);
         }
     }
+
+    fn on_down(&mut self, _ctx: &mut dyn Ctx<GnutellaMsg>) {
+        self.core.end_session();
+    }
 }
 
 /// A leaf actor. Publishes its QRP filter on startup.

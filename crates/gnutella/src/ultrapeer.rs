@@ -126,8 +126,40 @@ impl UltrapeerCore {
         &self.neighbors
     }
 
+    /// Topology repair: connect to a new ultrapeer neighbor (idempotent).
+    pub fn add_neighbor(&mut self, n: NodeId) {
+        if !self.neighbors.contains(&n) {
+            self.neighbors.push(n);
+        }
+    }
+
+    /// Topology repair: drop a dead ultrapeer neighbor. Returns whether the
+    /// neighbor was present.
+    pub fn remove_neighbor(&mut self, n: NodeId) -> bool {
+        let before = self.neighbors.len();
+        self.neighbors.retain(|&x| x != n);
+        self.neighbors.len() != before
+    }
+
+    /// Topology repair: drop a dead leaf (its QRP entry goes with it).
+    pub fn remove_leaf(&mut self, leaf: NodeId) -> bool {
+        self.leaves.remove(&leaf).is_some()
+    }
+
     pub fn add_leaf(&mut self, leaf: NodeId) {
         self.leaves.entry(leaf).or_insert(None);
+    }
+
+    /// Session teardown (the node left the network): transient relay state
+    /// — the reverse-path GUID table, dynamic-query pacing, snoop backlog —
+    /// dies with the process. Completed query records stay readable by the
+    /// experiment driver, and topology links stay until repair rewires
+    /// them, exactly as a crashed host's peers only learn of its death
+    /// through their own failure detection.
+    pub fn end_session(&mut self) {
+        self.seen.clear();
+        self.dyn_state.clear();
+        self.snoop_log.clear();
     }
 
     pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {

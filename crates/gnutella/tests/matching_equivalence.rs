@@ -96,7 +96,7 @@ proptest! {
     ) {
         let store = FileStore::new(names.iter().map(|n| FileMeta::new(n, 1)).collect());
         let fast: Vec<String> =
-            store.matching_query(&query).iter().map(|f| f.name.clone()).collect();
+            store.matching_query(&query).iter().map(|f| f.name.to_string()).collect();
         prop_assert_eq!(fast, legacy_matching(&names, &query));
     }
 
@@ -107,7 +107,7 @@ proptest! {
     ) {
         let store = FileStore::new(names.iter().map(|n| FileMeta::new(n, 1)).collect());
         let fast: Vec<String> =
-            store.matching_query(&query).iter().map(|f| f.name.clone()).collect();
+            store.matching_query(&query).iter().map(|f| f.name.to_string()).collect();
         prop_assert_eq!(fast, legacy_matching(&names, &query));
     }
 }

@@ -63,7 +63,7 @@ fn popular_query_reaches_target_fast() {
     assert!(latency < 5.0, "popular first hit should be fast, took {latency}s");
     // Every hit really matches.
     for h in &record.hits {
-        assert_eq!(h.file.name, "popular_hit_song.mp3");
+        assert_eq!(&*h.file.name, "popular_hit_song.mp3");
     }
 }
 

@@ -9,9 +9,11 @@ use pier_vocab::{scan, TermId};
 use std::collections::HashMap;
 
 /// A file instance observed in traffic (a query hit, or a BrowseHost entry).
+/// The name shares the `FileMeta`'s `Arc` — snooping and publish queues
+/// clone pointers, not strings.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ObservedItem {
-    pub name: String,
+    pub name: std::sync::Arc<str>,
     pub size: u64,
     pub host: NodeId,
 }

@@ -464,6 +464,7 @@ impl Actor<HybridMsg> for HybridUp {
                     let mut dnet = DNet { ctx };
                     self.dht.tick(&mut dnet);
                     self.pier.tick(&mut self.dht, &mut dnet);
+                    self.publisher.tick(&mut self.pier, &mut self.dht, &mut dnet);
                     for pe in self.pier.take_events() {
                         self.engine.on_pier_event(&mut self.dht, &mut dnet, &pe);
                     }
@@ -477,5 +478,24 @@ impl Actor<HybridMsg> for HybridUp {
             }
             _ => {}
         }
+    }
+
+    /// Churn teardown: both protocol halves lose their session state (the
+    /// Gnutella relay tables and the DHT replicas/in-flight ops die with
+    /// the process); the rare-scheme statistics and publish dedup survive,
+    /// as an operator's restarted proxy would reload them.
+    fn on_down(&mut self, _ctx: &mut dyn Ctx<HybridMsg>) {
+        self.gnutella.end_session();
+        self.dht.end_session();
+    }
+
+    /// Revival re-arms all three maintenance timers and re-primes the DHT
+    /// routing table; `on_start`'s optional leaf browse also re-runs,
+    /// mirroring a reconnecting proxy re-pulling its leaves' shares.
+    fn on_revive(&mut self, ctx: &mut dyn Ctx<HybridMsg>) {
+        self.on_start(ctx);
+        let mut dnet = DNet { ctx };
+        self.dht.revive(&mut dnet);
+        self.drain_dht_events(ctx);
     }
 }

@@ -199,5 +199,5 @@ fn leaf_queries_get_hybrid_treatment() {
     let search = leaf.core.search(qid).expect("registered");
     assert!(search.done, "leaf must hear completion");
     assert_eq!(search.hits.len(), 1, "the DHT-indexed item must reach the leaf");
-    assert_eq!(search.hits[0].file.name, "ghost_release_promo.mp3");
+    assert_eq!(&*search.hits[0].file.name, "ghost_release_promo.mp3");
 }

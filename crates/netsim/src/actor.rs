@@ -87,7 +87,7 @@ pub trait Ctx<M> {
 /// A simulated process. `M` is the simulation-wide message type; higher
 /// crates define union enums when one actor speaks several protocols.
 pub trait Actor<M> {
-    /// Called once when the node first starts (or restarts after churn).
+    /// Called once when the node first starts.
     fn on_start(&mut self, _ctx: &mut dyn Ctx<M>) {}
 
     /// Called when a message addressed to this node is delivered.
@@ -98,7 +98,23 @@ pub trait Actor<M> {
     fn on_timer(&mut self, ctx: &mut dyn Ctx<M>, token: TimerToken);
 
     /// Called when the node is taken down by the churn model. Default: no-op.
+    /// Session-scoped protocol state (a DHT replica store, in-flight RPCs,
+    /// reverse-path tables) should be dropped here: a leaving peer takes its
+    /// soft state with it, and `on_down` is the only signal it gets.
     fn on_down(&mut self, _ctx: &mut dyn Ctx<M>) {}
+
+    /// Called when the node is revived after churn ([`crate::Sim::set_up`]).
+    ///
+    /// Going down cancels every pending timer (epoch bump), so a revived
+    /// node that does not re-arm its maintenance timers here silently loses
+    /// its republish/repair loops for the rest of the run. The default
+    /// delegates to [`Actor::on_start`], which is the correct re-arm for
+    /// actors whose startup is idempotent; override it when revival must
+    /// differ from a cold start (e.g. re-joining an overlay through an
+    /// already-warm routing table instead of a bootstrap contact).
+    fn on_revive(&mut self, ctx: &mut dyn Ctx<M>) {
+        self.on_start(ctx);
+    }
 }
 
 #[cfg(test)]

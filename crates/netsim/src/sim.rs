@@ -241,7 +241,10 @@ impl<M: 'static> Sim<M> {
         self.actors[id.index()].on_down(&mut ctx);
     }
 
-    /// Bring a node back up; `on_start` runs immediately.
+    /// Bring a node back up; `on_revive` runs immediately (its default
+    /// delegates to `on_start`). Timers the actor arms from the hook carry
+    /// the new epoch, so the maintenance loops cancelled by [`Sim::set_down`]
+    /// resume instead of being silently lost.
     pub fn set_up(&mut self, id: NodeId) {
         if self.kernel.up[id.index()] {
             return;
@@ -249,7 +252,7 @@ impl<M: 'static> Sim<M> {
         self.kernel.up[id.index()] = true;
         self.kernel.timer_epoch[id.index()] += 1;
         let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: id };
-        self.actors[id.index()].on_start(&mut ctx);
+        self.actors[id.index()].on_revive(&mut ctx);
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
@@ -500,6 +503,62 @@ mod tests {
         sim.with_actor_ctx::<Echo, _>(a, |_, ctx| ctx.send(b, Msg::Ping, 23, PING.id()));
         sim.run_until_quiescent();
         assert!(sim.actor::<Echo>(a).pongs_got >= 2);
+    }
+
+    /// A node that keeps a periodic maintenance loop alive by re-arming its
+    /// timer from `on_timer`, the pattern every protocol tick uses.
+    struct Maintainer {
+        ticks: u32,
+        revivals: u32,
+    }
+
+    impl Actor<Msg> for Maintainer {
+        fn on_start(&mut self, ctx: &mut dyn Ctx<Msg>) {
+            ctx.set_timer(SimDuration::from_secs(1), TimerToken(1));
+        }
+        fn on_message(&mut self, _: &mut dyn Ctx<Msg>, _: NodeId, _: Msg) {}
+        fn on_timer(&mut self, ctx: &mut dyn Ctx<Msg>, _: TimerToken) {
+            self.ticks += 1;
+            ctx.set_timer(SimDuration::from_secs(1), TimerToken(1));
+        }
+        fn on_revive(&mut self, ctx: &mut dyn Ctx<Msg>) {
+            self.revivals += 1;
+            self.on_start(ctx);
+        }
+    }
+
+    /// Regression: `set_down` cancels pending timers; revival must re-arm
+    /// the maintenance loop (epoch-checked), or a revived node silently
+    /// stops ticking for the rest of the run.
+    #[test]
+    fn maintenance_loop_survives_revival() {
+        let mut sim = Sim::new(SimConfig::with_seed(3));
+        let a = sim.add_node(Maintainer { ticks: 0, revivals: 0 });
+        sim.run_until(SimTime::from_micros(5_500_000));
+        assert_eq!(sim.actor::<Maintainer>(a).ticks, 5);
+        sim.set_down(a);
+        // Two tick periods pass while down: nothing fires.
+        sim.run_until(SimTime::from_micros(7_500_000));
+        assert_eq!(sim.actor::<Maintainer>(a).ticks, 5);
+        sim.set_up(a);
+        assert_eq!(sim.actor::<Maintainer>(a).revivals, 1, "revival hook must run");
+        // The loop resumes from the revival time and keeps re-arming.
+        sim.run_until(SimTime::from_micros(10_600_000));
+        assert_eq!(sim.actor::<Maintainer>(a).ticks, 8, "ticks at 8.5s, 9.5s, 10.5s");
+    }
+
+    /// The default `on_revive` delegates to `on_start`, so actors that do
+    /// not override it behave exactly as before.
+    #[test]
+    fn default_revive_reruns_on_start() {
+        let (mut sim, a, _b) = echo_pair();
+        sim.run_until_quiescent();
+        sim.set_down(a);
+        sim.set_up(a);
+        sim.run_until_quiescent();
+        // on_start re-ran: a second ping went out and was answered.
+        assert_eq!(sim.actor::<Echo>(a).pings_sent, 2);
+        assert_eq!(sim.actor::<Echo>(a).pongs_got, 2);
     }
 
     #[test]

@@ -164,6 +164,30 @@ impl PierCore {
         Ok(size)
     }
 
+    /// Like [`PierCore::publish`], but through the ack-checked iterative
+    /// put (lookup + replicated STORE RPCs) instead of the one-way
+    /// recursive route. Costlier per tuple, but every hop is confirmed and
+    /// every timed-out RPC evicts a dead contact — the durability tier
+    /// soft-state *refresh* uses under churn, where a fire-and-forget
+    /// RouteStore would silently die on any stale next-hop.
+    pub fn publish_replicated(
+        &mut self,
+        dht: &mut DhtCore,
+        net: &mut dyn DhtNet,
+        table: &str,
+        tuple: &Tuple,
+    ) -> Result<usize, PublishError> {
+        let def = self.catalog.get(table).ok_or(PublishError::NoSuchTable)?;
+        def.schema.check(tuple).map_err(PublishError::Schema)?;
+        let key = def.publish_key(tuple);
+        let bytes = tuple.encode();
+        let size = bytes.len();
+        dht.put(net, key, bytes, false);
+        net.count(crate::classes::PUBLISHED_TUPLES.id(), 1);
+        net.count(crate::classes::PUBLISHED_BYTES.id(), size as u64);
+        Ok(size)
+    }
+
     // ------------------------------------------------------------------
     // Client side
     // ------------------------------------------------------------------

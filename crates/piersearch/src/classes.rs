@@ -10,6 +10,7 @@ pier_netsim::metric_classes! {
     pub UNINDEXABLE_FILE = "piersearch.unindexable_file";
     pub FILES_PUBLISHED = "piersearch.files_published";
     pub PUBLISH_VALUE_BYTES = "piersearch.publish_value_bytes";
+    pub SOFT_REFRESH_FILES = "piersearch.soft_refresh_files";
 
     // Histograms.
     pub FIRST_RESULT_LATENCY_S = "piersearch.first_result_latency_s";

@@ -47,6 +47,7 @@ impl DhtApp for PierSearchApp {
 
     fn on_tick(&mut self, dht: &mut DhtCore, net: &mut dyn DhtNet) {
         self.pier.tick(dht, net);
+        self.publisher.tick(&mut self.pier, dht, net);
         for pe in self.pier.take_events() {
             self.engine.on_pier_event(dht, net, &pe);
         }

@@ -5,8 +5,8 @@ use crate::schema::{
     inverted_cache_tuple, inverted_tuple, ItemRecord, INVERTED, INVERTED_CACHE, ITEM,
 };
 use crate::tokenize::keywords;
-use pier_dht::{DhtCore, DhtNet};
-use pier_netsim::NodeId;
+use pier_dht::{DhtCore, DhtNet, Key};
+use pier_netsim::{NodeId, SimDuration, SimTime};
 use pier_qp::PierCore;
 
 /// Which inverted-index layout to publish (§3.2 discusses the trade-off).
@@ -33,24 +33,111 @@ pub struct PublishStats {
     pub value_bytes: usize,
 }
 
+/// One file under soft-state maintenance: enough to regenerate and re-ship
+/// its whole tuple set, plus its per-file refresh deadline.
+#[derive(Clone, Debug)]
+struct SoftStateEntry {
+    filename: String,
+    filesize: u64,
+    host: NodeId,
+    port: u16,
+    next_at: SimTime,
+}
+
 /// The publishing half of PIERSearch.
 #[derive(Clone, Debug)]
 pub struct Publisher {
     pub mode: IndexMode,
-    /// Re-publish tuples periodically so they survive churn (DHT TTLs).
+    /// Register each tuple with the DHT core's record-level republisher
+    /// (re-put at half the value TTL — the Bamboo-style default).
     pub republish: bool,
+    /// The §5 soft-state loop: when set, every published file is
+    /// remembered and its full tuple set is re-published each interval
+    /// (values carry the DHT's `value_ttl`; the interval must undercut
+    /// both the TTL and the median node session for postings to survive
+    /// churn). Driven by [`Publisher::tick`] from the embedding actor's
+    /// maintenance timer — which revival re-arms, so a publisher that
+    /// churns out resumes refreshing when it returns.
+    pub refresh_interval: Option<SimDuration>,
+    soft_state: Vec<SoftStateEntry>,
+    /// File ids already under maintenance (idempotence guard).
+    tracked: std::collections::HashSet<Key>,
 }
 
 impl Publisher {
     pub fn new(mode: IndexMode) -> Self {
-        Publisher { mode, republish: false }
+        Publisher {
+            mode,
+            republish: false,
+            refresh_interval: None,
+            soft_state: Vec::new(),
+            tracked: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Files currently under soft-state maintenance.
+    pub fn soft_state_len(&self) -> usize {
+        self.soft_state.len()
     }
 
     /// Publish one shared file: an Item tuple keyed by fileID plus one
     /// posting tuple per keyword. Returns what was shipped, or `None` if
-    /// the filename yields no indexable keywords.
+    /// the filename yields no indexable keywords. With a configured
+    /// `refresh_interval` the file also enters the soft-state set and is
+    /// re-published every interval from [`Publisher::tick`].
     #[allow(clippy::too_many_arguments)]
     pub fn publish_file(
+        &mut self,
+        pier: &mut PierCore,
+        dht: &mut DhtCore,
+        net: &mut dyn DhtNet,
+        filename: &str,
+        filesize: u64,
+        host: NodeId,
+        port: u16,
+    ) -> Option<PublishStats> {
+        let stats = self.ship(pier, dht, net, filename, filesize, host, port, false)?;
+        if let Some(interval) = self.refresh_interval {
+            let fid = crate::schema::file_id(filename, filesize, host, port);
+            if self.tracked.insert(fid) {
+                self.soft_state.push(SoftStateEntry {
+                    filename: filename.to_string(),
+                    filesize,
+                    host,
+                    port,
+                    next_at: net.now() + interval,
+                });
+            }
+        }
+        Some(stats)
+    }
+
+    /// Soft-state maintenance: re-publish every file whose refresh deadline
+    /// passed. Call from the embedding actor's periodic tick.
+    pub fn tick(&mut self, pier: &mut PierCore, dht: &mut DhtCore, net: &mut dyn DhtNet) {
+        let Some(interval) = self.refresh_interval else {
+            return;
+        };
+        let now = net.now();
+        for i in 0..self.soft_state.len() {
+            if self.soft_state[i].next_at > now {
+                continue;
+            }
+            let e = &self.soft_state[i];
+            self.ship(pier, dht, net, &e.filename, e.filesize, e.host, e.port, true);
+            net.count(crate::classes::SOFT_REFRESH_FILES.id(), 1);
+            self.soft_state[i].next_at = now + interval;
+        }
+    }
+
+    /// Generate and ship one file's tuple set (the shared path of first
+    /// publish and soft-state refresh). First publish rides the cheap
+    /// Bamboo-style recursive store (the §7 cost numbers); refreshes set
+    /// `replicated` and go through the ack-checked replicated put, whose
+    /// RPC timeouts double as routing-table repair — under churn a
+    /// fire-and-forget RouteStore dies silently on any stale hop.
+    #[allow(clippy::too_many_arguments)]
+    fn ship(
         &self,
         pier: &mut PierCore,
         dht: &mut DhtCore,
@@ -59,6 +146,7 @@ impl Publisher {
         filesize: u64,
         host: NodeId,
         port: u16,
+        replicated: bool,
     ) -> Option<PublishStats> {
         let terms = keywords(filename);
         if terms.is_empty() {
@@ -68,10 +156,17 @@ impl Publisher {
         let record = ItemRecord::new(filename, filesize, host, port);
         let mut stats = PublishStats::default();
 
+        let mut ship_one = |pier: &mut PierCore, table: &str, tuple: &pier_qp::Tuple| {
+            if replicated {
+                pier.publish_replicated(dht, net, table, tuple).expect("tuple conforms");
+            } else {
+                pier.publish(dht, net, table, tuple, self.republish).expect("tuple conforms");
+            }
+        };
         let item = record.to_tuple();
         stats.value_bytes += item.encoded_size();
         stats.tuples += 1;
-        pier.publish(dht, net, ITEM, &item, self.republish).expect("item tuple conforms");
+        ship_one(pier, ITEM, &item);
 
         let words = pier_vocab::texts_of(&terms);
         for word in &words {
@@ -83,7 +178,7 @@ impl Publisher {
             };
             stats.value_bytes += tuple.encoded_size();
             stats.tuples += 1;
-            pier.publish(dht, net, table, &tuple, self.republish).expect("posting conforms");
+            ship_one(pier, table, &tuple);
         }
         stats.keywords = terms.len();
         net.count(crate::classes::FILES_PUBLISHED.id(), 1);

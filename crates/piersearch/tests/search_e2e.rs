@@ -163,3 +163,40 @@ fn inverted_cache_ships_fewer_bytes_per_query() {
     let (shj, cache) = (per_mode[0], per_mode[1]);
     assert!(cache < shj, "InvertedCache must ship fewer engine bytes: cache={cache} shj={shj}");
 }
+
+/// The §5 soft-state loop: with a `refresh_interval`, the Publisher
+/// re-ships every published file's tuple set from the node's maintenance
+/// tick — counted by `piersearch.soft_refresh_files` — and the refreshed
+/// postings stay searchable. Revival re-arms the tick, so the loop also
+/// survives the publisher churning out and back.
+#[test]
+fn soft_state_refresh_loop_republishes() {
+    let (mut sim, ids) = build(30, 91, IndexMode::Inverted);
+    let publisher = ids[3];
+    sim.with_actor_ctx::<PierSearchNode, _>(publisher, |node, _| {
+        node.app.publisher.refresh_interval = Some(SimDuration::from_secs(10));
+    });
+    publish(&mut sim, publisher, "Rare_Soft_State_Bootleg.mp3", 1987);
+    assert_eq!(sim.actor::<PierSearchNode>(publisher).app.publisher.soft_state_len(), 1);
+
+    sim.run_for(SimDuration::from_secs(35));
+    let refreshed = sim.metrics().counter("piersearch.soft_refresh_files").count;
+    assert!((3..=4).contains(&refreshed), "3 intervals elapsed, saw {refreshed} refreshes");
+
+    // Churn the publisher across one interval: the loop resumes on revival.
+    sim.set_down(publisher);
+    sim.run_for(SimDuration::from_secs(30));
+    let while_down = sim.metrics().counter("piersearch.soft_refresh_files").count;
+    assert_eq!(while_down, refreshed, "no refreshes while the publisher is down");
+    sim.set_up(publisher);
+    sim.run_for(SimDuration::from_secs(25));
+    let after = sim.metrics().counter("piersearch.soft_refresh_files").count;
+    assert!(after > while_down, "revival must re-arm the refresh loop");
+
+    // And the posting is searchable end-to-end.
+    let sid = search(&mut sim, ids[20], "rare bootleg");
+    sim.run_for(SimDuration::from_secs(30));
+    let s = sim.actor::<PierSearchNode>(ids[20]).app.engine.search(sid).unwrap();
+    assert_eq!(s.items.len(), 1);
+    assert_eq!(s.items[0].filename, "Rare_Soft_State_Bootleg.mp3");
+}

@@ -19,6 +19,8 @@
 //!   ultrapeers, flooding, dynamic querying, QRP).
 //! * [`hybrid`] — the paper's hybrid search infrastructure plus the
 //!   rare-item identification schemes (QRS/TF/TPF/SAM/Perfect/Random).
+//! * [`churn`] — session-lifetime samplers, the deterministic churn
+//!   driver, and topology-repair hooks (the §5 dynamic-membership story).
 //! * [`model`] — the analytical model of §6 (equations 1–5).
 //! * [`workload`] — synthetic Gnutella-like workloads calibrated to the
 //!   paper's published trace statistics.
@@ -26,6 +28,7 @@
 //! See `README.md` for a tour and `DESIGN.md` for the architecture and the
 //! per-experiment index.
 
+pub use pier_churn as churn;
 pub use pier_codec as codec;
 pub use pier_dht as dht;
 pub use pier_gnutella as gnutella;
