@@ -12,10 +12,10 @@ fn main() {
     let scale = Scale::from_env();
     println!("figures bench: regenerating all paper figures at {scale:?} scale");
     let t0 = std::time::Instant::now();
-    for t in figs4to7::run(scale) {
+    for t in figs4to7::run(scale, 1) {
         t.print();
     }
-    for t in fig8::run(scale).tables {
+    for t in fig8::run(scale, 1).tables {
         t.print();
     }
     for t in figs9to12::run(scale) {
@@ -27,13 +27,13 @@ fn main() {
     for t in sec5_posting::run(scale) {
         t.print();
     }
-    for t in sec7_deploy::run(scale).tables {
+    for t in sec7_deploy::run(scale, 1).tables {
         t.print();
     }
     for t in model_params() {
         t.print();
     }
-    for t in ablations::run(scale) {
+    for t in ablations::run(scale, 1) {
         t.print();
     }
     println!("\nfigures bench: done in {:.1}s", t0.elapsed().as_secs_f64());

@@ -15,7 +15,11 @@
 //! ```
 //!
 //! `--scale quick|sparse|full` (anywhere on the command line) selects the
-//! workload scale; `full` is paper magnitudes, `sparse` the large sparse
+//! workload scale; `--shards S` (also anywhere) runs each simulation on an
+//! S-way sharded kernel — outputs are bit-identical for any shard count,
+//! only wall-clock time changes, and it composes with sweep `--jobs`
+//! (J trial threads × S shard workers each).
+//! The scale flag: `full` is paper magnitudes, `sparse` the large sparse
 //! topology where even new-style vantages see only part of the network.
 //! The `REPRO_SCALE` environment variable remains as a fallback when the
 //! flag is absent, so existing CI plumbing keeps working.
@@ -49,6 +53,27 @@ fn parse_scale(args: &mut Vec<String>) -> Option<Scale> {
     }
 }
 
+/// Extract `--shards <n>` from the argument list (any position): the
+/// kernel shard count for every simulation this invocation runs. Outputs
+/// are bit-identical for any value; this is purely a wall-clock knob.
+fn parse_shards(args: &mut Vec<String>) -> Option<usize> {
+    let i = args.iter().position(|a| a == "--shards")?;
+    let Some(v) = args.get(i + 1) else {
+        eprintln!("--shards needs a value (a positive shard count)");
+        std::process::exit(2);
+    };
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => {
+            args.drain(i..=i + 1);
+            Some(n)
+        }
+        _ => {
+            eprintln!("bad value for --shards: '{v}' (expected a positive integer)");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Value of `flag`, accepting decimal or `0x`-prefixed hex (seeds print
 /// as hex, so they must round-trip). A present-but-unparseable value is a
 /// hard error: silently falling back to a default would run a different
@@ -72,9 +97,11 @@ fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
     }
 }
 
-fn run_sweep_cmd(scale: Scale, args: &[String]) {
+fn run_sweep_cmd(scale: Scale, shards: usize, args: &[String]) {
     let Some(exp) = args.first().and_then(|name| Experiment::parse(name)) else {
-        eprintln!("usage: repro sweep <experiment> [--trials N] [--jobs J] [--seed S]");
+        eprintln!(
+            "usage: repro sweep <experiment> [--trials N] [--jobs J] [--seed S] [--shards K]"
+        );
         let known: Vec<&str> = Experiment::ALL.iter().map(|e| e.name()).collect();
         eprintln!("known experiments: {}", known.join(", "));
         std::process::exit(2);
@@ -90,10 +117,11 @@ fn run_sweep_cmd(scale: Scale, args: &[String]) {
         std::process::exit(2);
     }
     println!(
-        "sweep: {} × {trials} trials on {jobs} thread(s), base seed {base_seed:#x}",
+        "sweep: {} × {trials} trials on {jobs} thread(s) × {shards} shard(s), \
+base seed {base_seed:#x}",
         exp.name()
     );
-    let result = run_sweep(exp, &SweepConfig { scale, trials, jobs, base_seed });
+    let result = run_sweep(exp, &SweepConfig { scale, trials, jobs, base_seed, shards });
     for t in output::sweep_tables(&result) {
         t.print();
     }
@@ -106,16 +134,20 @@ fn run_sweep_cmd(scale: Scale, args: &[String]) {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let scale = parse_scale(&mut args).unwrap_or_else(Scale::from_env);
+    let shards = parse_shards(&mut args).unwrap_or(1);
     let what = args.first().map(String::as_str).unwrap_or("all");
-    println!("repro: running '{what}' at {scale:?} scale (--scale quick|sparse|full)");
+    println!(
+        "repro: running '{what}' at {scale:?} scale, {shards} kernel shard(s) \
+(--scale quick|sparse|full, --shards N)"
+    );
 
     let t0 = std::time::Instant::now();
     match what {
         "fig4" | "fig5" | "fig6" | "fig7" | "figs4-7" => {
-            emit(&figs4to7::run(scale), "figs4to7");
+            emit(&figs4to7::run(scale, shards), "figs4to7");
         }
         "fig8" | "crawl" => {
-            emit(&fig8::run(scale).tables, "fig8");
+            emit(&fig8::run(scale, shards).tables, "fig8");
         }
         "fig9" | "fig10" | "fig11" | "fig12" | "figs9-12" => {
             emit(&figs9to12::run(scale), "figs9to12");
@@ -127,33 +159,33 @@ fn main() {
             emit(&sec5_posting::run(scale), "sec5_posting");
         }
         "sec7-deploy" => {
-            emit(&sec7_deploy::run(scale).tables, "sec7_deploy");
+            emit(&sec7_deploy::run(scale, shards).tables, "sec7_deploy");
         }
         "model-params" | "table1" | "table2" => {
             emit(&model_params(), "model_params");
         }
         "ablations" | "ablation-timeout" => {
-            emit(&ablations::run(scale), "ablations");
+            emit(&ablations::run(scale, shards), "ablations");
         }
         "horizon" | "sparse" => {
-            emit(&horizon::run(scale), "horizon");
+            emit(&horizon::run(scale, shards), "horizon");
         }
         "churn" => {
-            emit(&churn::run(scale), "churn");
+            emit(&churn::run(scale, shards), "churn");
         }
         "sweep" => {
-            run_sweep_cmd(scale, &args[1..]);
+            run_sweep_cmd(scale, shards, &args[1..]);
         }
         "all" => {
-            emit(&figs4to7::run(scale), "figs4to7");
-            emit(&fig8::run(scale).tables, "fig8");
+            emit(&figs4to7::run(scale, shards), "figs4to7");
+            emit(&fig8::run(scale, shards).tables, "fig8");
             emit(&figs9to12::run(scale), "figs9to12");
             emit(&figs13to15::run(scale), "figs13to15");
             emit(&sec5_posting::run(scale), "sec5_posting");
-            emit(&sec7_deploy::run(scale).tables, "sec7_deploy");
+            emit(&sec7_deploy::run(scale, shards).tables, "sec7_deploy");
             emit(&model_params(), "model_params");
-            emit(&ablations::run(scale), "ablations");
-            emit(&churn::run(scale), "churn");
+            emit(&ablations::run(scale, shards), "ablations");
+            emit(&churn::run(scale, shards), "churn");
         }
         other => {
             eprintln!("unknown experiment '{other}'");

@@ -34,8 +34,8 @@ pub struct TimeoutPoint {
 /// Sweep the hybrid Gnutella-timeout and measure, per setting: average
 /// time-to-first-result over rare queries, and the fraction of queries
 /// re-issued into the DHT (the extra load the timeout gates).
-pub fn timeout_sweep(scale: Scale) -> Table {
-    timeout_table(&timeout_points(scale, TIMEOUT_SEED))
+pub fn timeout_sweep(scale: Scale, shards: usize) -> Table {
+    timeout_table(&timeout_points(scale, TIMEOUT_SEED, shards))
 }
 
 /// Render the timeout sweep as a table.
@@ -56,7 +56,7 @@ pub fn timeout_table(points: &[TimeoutPoint]) -> Table {
 }
 
 /// The timeout sweep proper, seeded.
-pub fn timeout_points(scale: Scale, seed: u64) -> Vec<TimeoutPoint> {
+pub fn timeout_points(scale: Scale, seed: u64, shards: usize) -> Vec<TimeoutPoint> {
     let (ups, hybrid_ups, leaves, distinct, queries) = match scale {
         Scale::Quick | Scale::Sparse => (80usize, 16usize, 1_600usize, 3_200usize, 60usize),
         Scale::Full => (240, 48, 4_800, 9_600, 200),
@@ -64,10 +64,12 @@ pub fn timeout_points(scale: Scale, seed: u64) -> Vec<TimeoutPoint> {
     let timeouts_s = [5u64, 10, 20, 30, 45];
     let mut out = Vec::with_capacity(timeouts_s.len());
     for &timeout in &timeouts_s {
-        let cfg = SimConfig::with_seed(seed + timeout).latency(UniformLatency::new(
-            SimDuration::from_millis(20),
-            SimDuration::from_millis(80),
-        ));
+        let cfg = SimConfig::with_seed(seed + timeout)
+            .latency(UniformLatency::new(
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(80),
+            ))
+            .shards(shards);
         let mut sim = Sim::new(cfg);
         let topo = Topology::generate(&TopologyConfig {
             ultrapeers: ups,
@@ -168,8 +170,8 @@ pub struct StrategyPoint {
 
 /// Flat TTL-4 flooding vs. dynamic querying: message cost and recall for a
 /// popular and a rare query, from the same vantage.
-pub fn flood_vs_dynamic(scale: Scale) -> Table {
-    flood_table(&flood_points(scale, FLOOD_SEED))
+pub fn flood_vs_dynamic(scale: Scale, shards: usize) -> Table {
+    flood_table(&flood_points(scale, FLOOD_SEED, shards))
 }
 
 /// Render the flood-vs-dynamic ablation as a table.
@@ -191,17 +193,19 @@ pub fn flood_table(points: &[StrategyPoint]) -> Table {
 }
 
 /// The flood-vs-dynamic measurements, seeded.
-pub fn flood_points(scale: Scale, seed: u64) -> Vec<StrategyPoint> {
+pub fn flood_points(scale: Scale, seed: u64, shards: usize) -> Vec<StrategyPoint> {
     let (ups, leaves) = match scale {
         Scale::Quick | Scale::Sparse => (150usize, 3_000usize),
         Scale::Full => (333, 10_000),
     };
     let mut out = Vec::with_capacity(4);
     for dynamic in [false, true] {
-        let cfg = SimConfig::with_seed(seed).latency(UniformLatency::new(
-            SimDuration::from_millis(20),
-            SimDuration::from_millis(80),
-        ));
+        let cfg = SimConfig::with_seed(seed)
+            .latency(UniformLatency::new(
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(80),
+            ))
+            .shards(shards);
         let mut sim = Sim::new(cfg);
         let topo = Topology::generate(&TopologyConfig {
             ultrapeers: ups,
@@ -251,15 +255,15 @@ pub fn flood_points(scale: Scale, seed: u64) -> Vec<StrategyPoint> {
     out
 }
 
-pub fn run(scale: Scale) -> Vec<Table> {
-    vec![timeout_sweep(scale), flood_vs_dynamic(scale)]
+pub fn run(scale: Scale, shards: usize) -> Vec<Table> {
+    vec![timeout_sweep(scale, shards), flood_vs_dynamic(scale, shards)]
 }
 
 /// One sweep trial: the timeout tradeoff endpoints and the flood/dynamic
 /// message ratio, from seeded topologies and workloads.
-pub fn trial(scale: Scale, seed: u64) -> Summary {
-    let timeouts = timeout_points(scale, seed);
-    let floods = flood_points(scale, pier_netsim::derive_seed(seed, 1));
+pub fn trial(scale: Scale, seed: u64, shards: usize) -> Summary {
+    let timeouts = timeout_points(scale, seed, shards);
+    let floods = flood_points(scale, pier_netsim::derive_seed(seed, 1), shards);
     let first = timeouts.first().expect("timeout sweep is non-empty");
     let last = timeouts.last().expect("timeout sweep is non-empty");
     let pick = |dynamic: bool, query: &str| {
@@ -289,7 +293,7 @@ mod tests {
 
     #[test]
     fn timeout_tradeoff_shape() {
-        let t = timeout_sweep(Scale::Quick);
+        let t = timeout_sweep(Scale::Quick, 1);
         assert_eq!(t.rows.len(), 5);
         // Longer timeouts must not send MORE queries to the DHT (more time
         // for Gnutella to produce a first hit).
@@ -307,7 +311,7 @@ mod tests {
 
     #[test]
     fn flood_burns_more_messages_on_popular_queries() {
-        let t = flood_vs_dynamic(Scale::Quick);
+        let t = flood_vs_dynamic(Scale::Quick, 1);
         let get = |strategy: &str, query: &str, col: usize| -> f64 {
             t.rows.iter().find(|r| r[0] == strategy && r[1] == query).unwrap()[col].parse().unwrap()
         };

@@ -32,7 +32,7 @@ use pier_dht::{
     bootstrap, Contact, DhtApp, DhtConfig, DhtCore, DhtEvent, DhtMsg, DhtNet, DhtNode, Key,
 };
 use pier_netsim::{
-    derive_seed, MetricsSnapshot, NodeId, Sim, SimConfig, SimDuration, UniformLatency,
+    derive_seed, EventStats, MetricsSnapshot, NodeId, Sim, SimConfig, SimDuration, UniformLatency,
 };
 use pier_qp::Value;
 use pier_workload::{Catalog, CatalogConfig};
@@ -150,14 +150,16 @@ struct ArmResult {
     /// the churn window, in KiB.
     publish_kib_node_min: f64,
     metrics: MetricsSnapshot,
+    events: EventStats,
 }
 
 /// Run one arm. Everything derives from `(cfg, master, arm)`; the churn
 /// schedule seed is shared by all churned arms so they face identical
 /// membership dynamics.
-fn run_arm(cfg: &ChurnConfig, master: u64, arm: Arm) -> ArmResult {
+fn run_arm(cfg: &ChurnConfig, master: u64, arm: Arm, shards: usize) -> ArmResult {
     let sim_cfg = SimConfig::with_seed(derive_seed(master, 0x0A + arm as u64))
-        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)));
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)))
+        .shards(shards);
     let mut sim: Sim<DhtMsg> = Sim::new(sim_cfg);
 
     let dht_cfg = DhtConfig {
@@ -308,7 +310,13 @@ fn run_arm(cfg: &ChurnConfig, master: u64, arm: Arm) -> ArmResult {
     let fetch_recall =
         item_keys.iter().filter(|k| found.contains(k)).count() as f64 / item_keys.len() as f64;
 
-    ArmResult { checkpoints, fetch_recall, publish_kib_node_min, metrics: sim.metrics().snapshot() }
+    ArmResult {
+        checkpoints,
+        fetch_recall,
+        publish_kib_node_min,
+        metrics: sim.metrics().snapshot(),
+        events: sim.event_stats(),
+    }
 }
 
 /// All four arms of one trial.
@@ -321,15 +329,28 @@ impl ChurnData {
     fn arm(&self, arm: Arm) -> &ArmResult {
         &self.arms.iter().find(|(a, _)| *a == arm).expect("all arms run").1
     }
+
+    /// Kernel accounting summed over all four arms' simulations.
+    pub fn events(&self) -> EventStats {
+        let mut total = EventStats::default();
+        for (_, r) in &self.arms {
+            total.pending += r.events.pending;
+            total.peak_pending += r.events.peak_pending;
+            total.processed += r.events.processed;
+        }
+        total
+    }
 }
 
 pub fn collect(scale: Scale) -> ChurnData {
-    collect_seeded(scale, crate::lab::DEFAULT_SEED)
+    collect_seeded(scale, crate::lab::DEFAULT_SEED, 1)
 }
 
-pub fn collect_seeded(scale: Scale, master: u64) -> ChurnData {
+/// All four arms with every random choice derived from `master`, each on a
+/// `shards`-way kernel. Results are bit-identical for any shard count.
+pub fn collect_seeded(scale: Scale, master: u64, shards: usize) -> ChurnData {
     let cfg = ChurnConfig::at(scale);
-    let arms = Arm::ALL.iter().map(|&a| (a, run_arm(&cfg, master, a))).collect();
+    let arms = Arm::ALL.iter().map(|&a| (a, run_arm(&cfg, master, a, shards))).collect();
     ChurnData { cfg, arms }
 }
 
@@ -338,8 +359,10 @@ pub fn is_monotone_decay(series: &[f64]) -> bool {
     series.windows(2).all(|w| w[1] <= w[0] + 1e-12)
 }
 
-pub fn run(scale: Scale) -> Vec<Table> {
-    let data = collect(scale);
+pub fn run(scale: Scale, shards: usize) -> Vec<Table> {
+    let t0 = std::time::Instant::now();
+    let data = collect_seeded(scale, crate::lab::DEFAULT_SEED, shards);
+    crate::report_kernel_rate("churn", data.events(), shards, t0.elapsed());
     let mut curve = Table::new(
         "Churn: DHT recall over time (fraction of published files held by a live node)",
         &["t_s", "static", "no_refresh", "refresh_60s", "refresh_30s"],
@@ -377,8 +400,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
 /// signature flags. Deterministic in `(scale, seed)` — the vocab size is
 /// deliberately *not* reported here, because the interning table is
 /// process-global and parallel sweep trials would race on it.
-pub fn trial(scale: Scale, seed: u64) -> Summary {
-    let data = collect_seeded(scale, seed);
+pub fn trial(scale: Scale, seed: u64, shards: usize) -> Summary {
+    let data = collect_seeded(scale, seed, shards);
     let end = |arm: Arm| *data.arm(arm).checkpoints.last().unwrap();
     let mut out = Summary::new();
     out.set("recall_static_end", end(Arm::Static));
@@ -401,6 +424,7 @@ pub fn trial(scale: Scale, seed: u64) -> Summary {
     }
     out.set("total_messages", traffic.total_messages as f64);
     out.set("total_bytes", traffic.total_bytes as f64);
+    out.set("events_processed", data.events().processed as f64);
     out
 }
 
@@ -455,7 +479,7 @@ mod tests {
     /// the bigger overlay, where the fabric-to-stable ratio is harsher.
     #[test]
     fn sparse_scale_shows_sec5_signature() {
-        let t = trial(Scale::Sparse, crate::lab::DEFAULT_SEED);
+        let t = trial(Scale::Sparse, crate::lab::DEFAULT_SEED, 1);
         assert_eq!(t.get("norefresh_monotone"), Some(1.0));
         let static_end = t.get("recall_static_end").unwrap();
         let none_end = t.get("recall_norefresh_end").unwrap();

@@ -22,19 +22,25 @@ pub struct CrawlOutcome {
     /// TTL step with a finite value — the diminishing-returns endpoints.
     pub marginal_first: f64,
     pub marginal_last: f64,
+    /// Kernel event-queue accounting of the crawl simulation.
+    pub events: pier_netsim::EventStats,
 }
 
-pub fn run(scale: Scale) -> CrawlOutcome {
-    run_seeded(scale, CRAWL_SEED)
+pub fn run(scale: Scale, shards: usize) -> CrawlOutcome {
+    let t0 = std::time::Instant::now();
+    let out = run_seeded(scale, CRAWL_SEED, shards);
+    crate::report_kernel_rate("fig8", out.events, shards, t0.elapsed());
+    out
 }
 
-pub fn run_seeded(scale: Scale, seed: u64) -> CrawlOutcome {
+pub fn run_seeded(scale: Scale, seed: u64, shards: usize) -> CrawlOutcome {
     let (ups, leaves) = match scale {
         Scale::Quick | Scale::Sparse => (400usize, 4_000usize),
         Scale::Full => (3_333, 96_000),
     };
     let cfg = SimConfig::with_seed(seed)
-        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(90)));
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(90)))
+        .shards(shards);
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
         ultrapeers: ups,
@@ -95,6 +101,7 @@ pub fn run_seeded(scale: Scale, seed: u64) -> CrawlOutcome {
 
     CrawlOutcome {
         tables: vec![t_crawl, t8],
+        events: sim.event_stats(),
         marginal_rising,
         ups_crawled: graph.ultrapeer_count(),
         network_size: graph.network_size(),
@@ -105,8 +112,8 @@ pub fn run_seeded(scale: Scale, seed: u64) -> CrawlOutcome {
 }
 
 /// One sweep trial: crawl coverage and the flooding-cost endpoints.
-pub fn trial(scale: Scale, seed: u64) -> Summary {
-    let out = run_seeded(scale, seed);
+pub fn trial(scale: Scale, seed: u64, shards: usize) -> Summary {
+    let out = run_seeded(scale, seed, shards);
     let mut s = Summary::new();
     s.set("ups_crawled", out.ups_crawled as f64);
     s.set("network_size", out.network_size as f64);
@@ -114,6 +121,7 @@ pub fn trial(scale: Scale, seed: u64) -> Summary {
     s.set("marginal_msgs_per_up_first", out.marginal_first);
     s.set("marginal_msgs_per_up_last", out.marginal_last);
     s.set("marginal_rising", out.marginal_rising as u64 as f64);
+    s.set("events_processed", out.events.processed as f64);
     s
 }
 
@@ -123,7 +131,7 @@ mod tests {
 
     #[test]
     fn quick_crawl_reproduces_diminishing_returns() {
-        let out = run(Scale::Quick);
+        let out = run(Scale::Quick, 1);
         assert!(out.marginal_rising, "Figure 8's diminishing returns must appear");
         // Crawl found the whole ultrapeer tier.
         let crawled: usize = out.tables[0].rows[0][1].parse().unwrap();

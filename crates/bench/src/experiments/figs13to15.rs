@@ -162,7 +162,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
 /// One sweep trial: each scheme's QR at the 50% publishing budget
 /// (horizon 5%) from a seeded trace — the paper's Figure 13 mid-axis cut.
-pub fn trial(scale: Scale, seed: u64) -> Summary {
+///
+/// Analytic model — `_shards` is accepted for the uniform sweep interface,
+/// but there is no simulation kernel here to shard.
+pub fn trial(scale: Scale, seed: u64, _shards: usize) -> Summary {
     let (catalog, _trace, view) = trace_view_seeded(scale, seed);
     let curves = compute_curves(&catalog, &view, 0.05);
     let mut s = Summary::new();

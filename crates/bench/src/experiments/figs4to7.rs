@@ -16,20 +16,24 @@ pub struct MeasurementData {
     /// Traffic accounting of the replay (merged across sweep trials by
     /// the sweep runner).
     pub metrics: MetricsSnapshot,
+    /// Kernel event-queue accounting of the replay.
+    pub events: pier_netsim::EventStats,
 }
 
 pub fn collect(scale: Scale) -> MeasurementData {
-    collect_seeded(scale, DEFAULT_SEED)
+    collect_seeded(scale, DEFAULT_SEED, 1)
 }
 
-/// One full replay with every random choice derived from `seed`.
-pub fn collect_seeded(scale: Scale, seed: u64) -> MeasurementData {
-    let mut lab = Lab::build(LabConfig::at_seeded(scale, seed));
+/// One full replay with every random choice derived from `seed`, on a
+/// `shards`-way kernel. Results are bit-identical for any shard count.
+pub fn collect_seeded(scale: Scale, seed: u64, shards: usize) -> MeasurementData {
+    let mut lab = Lab::build(LabConfig::at_sharded(scale, seed, shards));
     let per_query = lab.replay(if scale == Scale::Full { 3.0 } else { 2.0 });
     MeasurementData {
         per_query,
         vantage_count: lab.vantages.len(),
         metrics: lab.sim.metrics().snapshot(),
+        events: lab.sim.event_stats(),
     }
 }
 
@@ -240,15 +244,18 @@ fn pct_at_most(values: &[usize], x: usize) -> f64 {
     100.0 * values.iter().filter(|v| **v <= x).count() as f64 / values.len() as f64
 }
 
-/// Run all four figures (one replay) and return the tables.
-pub fn run(scale: Scale) -> Vec<Table> {
-    let data = collect(scale);
+/// Run all four figures (one replay on a `shards`-way kernel) and return
+/// the tables, reporting kernel throughput on stdout.
+pub fn run(scale: Scale, shards: usize) -> Vec<Table> {
+    let t0 = std::time::Instant::now();
+    let data = collect_seeded(scale, DEFAULT_SEED, shards);
+    crate::report_kernel_rate("figs4to7", data.events, shards, t0.elapsed());
     vec![fig4(&data), fig5(&data), fig6(&data), summary(&data), fig7(&data)]
 }
 
 /// One sweep trial: a seeded replay reduced to its headline statistics.
-pub fn trial(scale: Scale, seed: u64) -> Summary {
-    let data = collect_seeded(scale, seed);
+pub fn trial(scale: Scale, seed: u64, shards: usize) -> Summary {
+    let data = collect_seeded(scale, seed, shards);
     let st = summary_stats(&data);
     let (small_rep, large_rep) = fig4_shape(&fig4_points(&data));
     let mut out = Summary::new();
@@ -260,6 +267,7 @@ pub fn trial(scale: Scale, seed: u64) -> Summary {
     out.set("fig4_large_result_rep", large_rep);
     out.set("total_messages", data.metrics.total_messages as f64);
     out.set("total_bytes", data.metrics.total_bytes as f64);
+    out.set("events_processed", data.events.processed as f64);
     out
 }
 

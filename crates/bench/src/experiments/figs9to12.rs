@@ -70,7 +70,10 @@ fn trace_view_with_seeds(
 
 /// One sweep trial: the paper-anchored points of Figures 10–12 from a
 /// seeded trace, plus the Figure 9 threshold-1 PF levels.
-pub fn trial(scale: Scale, seed: u64) -> Summary {
+///
+/// Analytic model — `_shards` is accepted for the uniform sweep interface,
+/// but there is no simulation kernel here to shard.
+pub fn trial(scale: Scale, seed: u64, _shards: usize) -> Summary {
     let (_catalog, _trace, view) = trace_view_seeded(scale, seed);
     let thresholds: Vec<u32> = vec![0, 1, 2];
     let sweep_h5 = threshold_sweep(&view, 0.05, thresholds.clone());

@@ -22,6 +22,8 @@ pub struct HorizonData {
     pub vantage_degrees: Vec<usize>,
     /// Traffic accounting of the replay.
     pub metrics: MetricsSnapshot,
+    /// Kernel event-queue accounting of the replay.
+    pub events: pier_netsim::EventStats,
 }
 
 /// A vantage with ≥ this degree target is "new-style" (the 32-neighbor
@@ -29,15 +31,21 @@ pub struct HorizonData {
 pub const NEW_STYLE_DEGREE: usize = 32;
 
 pub fn collect(scale: Scale) -> HorizonData {
-    collect_seeded(scale, DEFAULT_SEED)
+    collect_seeded(scale, DEFAULT_SEED, 1)
 }
 
-/// One full replay with every random choice derived from `seed`.
-pub fn collect_seeded(scale: Scale, seed: u64) -> HorizonData {
-    let mut lab = Lab::build(LabConfig::at_seeded(scale, seed));
+/// One full replay with every random choice derived from `seed`, on a
+/// `shards`-way kernel. Results are bit-identical for any shard count.
+pub fn collect_seeded(scale: Scale, seed: u64, shards: usize) -> HorizonData {
+    let mut lab = Lab::build(LabConfig::at_sharded(scale, seed, shards));
     let vantage_degrees = lab.vantage_profiles();
     let per_query = lab.replay(if scale == Scale::Full { 3.0 } else { 2.0 });
-    HorizonData { per_query, vantage_degrees, metrics: lab.sim.metrics().snapshot() }
+    HorizonData {
+        per_query,
+        vantage_degrees,
+        metrics: lab.sim.metrics().snapshot(),
+        events: lab.sim.event_stats(),
+    }
 }
 
 /// Percentage of queries returning zero results from vantage `v`.
@@ -93,9 +101,12 @@ pub fn mean_zero_single_rate(data: &HorizonData, wanted: impl Fn(usize) -> bool)
     rates.iter().sum::<f64>() / rates.len() as f64
 }
 
-/// Run the experiment (one replay) and return the table.
-pub fn run(scale: Scale) -> Vec<Table> {
-    let data = collect(scale);
+/// Run the experiment (one replay on a `shards`-way kernel) and return
+/// the table, reporting kernel throughput on stdout.
+pub fn run(scale: Scale, shards: usize) -> Vec<Table> {
+    let t0 = std::time::Instant::now();
+    let data = collect_seeded(scale, DEFAULT_SEED, shards);
+    crate::report_kernel_rate("horizon", data.events, shards, t0.elapsed());
     vec![table(&data)]
 }
 
@@ -103,8 +114,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
 /// seeded replay. `zero_single` pools every vantage; the per-profile
 /// splits show that the horizon effect survives even at the best-connected
 /// (new-style) vantages.
-pub fn trial(scale: Scale, seed: u64) -> Summary {
-    let data = collect_seeded(scale, seed);
+pub fn trial(scale: Scale, seed: u64, shards: usize) -> Summary {
+    let data = collect_seeded(scale, seed, shards);
     let zero_single = mean_zero_single_rate(&data, |_| true);
     let zero_union = zero_union_rate(&data);
     let mut out = Summary::new();
@@ -116,6 +127,7 @@ pub fn trial(scale: Scale, seed: u64) -> Summary {
     out.set("new_style_horizon_visible", new_style_horizon_visible(&data) as u64 as f64);
     out.set("total_messages", data.metrics.total_messages as f64);
     out.set("total_bytes", data.metrics.total_bytes as f64);
+    out.set("events_processed", data.events.processed as f64);
     out
 }
 

@@ -65,7 +65,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
 }
 
 /// One sweep trial: the §5 cost factor from a seeded catalog + trace.
-pub fn trial(scale: Scale, seed: u64) -> Summary {
+///
+/// Analytic model — `_shards` is accepted for the uniform sweep interface,
+/// but there is no simulation kernel here to shard.
+pub fn trial(scale: Scale, seed: u64, _shards: usize) -> Summary {
     let (_t, st) = replay_with_seeds(
         scale,
         pier_netsim::derive_seed(seed, 0x5EC5),

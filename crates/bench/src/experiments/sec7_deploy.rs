@@ -14,7 +14,7 @@ use crate::sweep::Summary;
 use pier_dht::{bootstrap, Contact, DhtConfig, DhtCore, DhtMsg, DhtNode};
 use pier_gnutella::{FileMeta, Topology, TopologyConfig};
 use pier_hybrid::{deploy, HybridConfig, HybridUp, RareScheme};
-use pier_netsim::{NodeId, Sim, SimConfig, SimDuration, UniformLatency};
+use pier_netsim::{EventStats, NodeId, Sim, SimConfig, SimDuration, UniformLatency};
 use pier_workload::{Catalog, CatalogConfig, QueryConfig, QueryTrace};
 use piersearch::{IndexMode, PierSearchApp, PierSearchNode};
 
@@ -163,13 +163,22 @@ pub struct DeployOutcome {
     pub avg_gnutella_first_s: f64,
     pub avg_pier_exec_s: f64,
     pub files_published: u64,
+    /// Kernel event-queue accounting of the deployment replay (part 3).
+    /// The part-1/2 micro-cost sims are tiny and always single-shard, so
+    /// they are excluded here.
+    pub events: EventStats,
 }
 
-pub fn run(scale: Scale) -> DeployOutcome {
-    run_seeded(scale, DEPLOY_SEED)
+pub fn run(scale: Scale, shards: usize) -> DeployOutcome {
+    let t0 = std::time::Instant::now();
+    let out = run_seeded(scale, DEPLOY_SEED, shards);
+    crate::report_kernel_rate("sec7_deploy", out.events, shards, t0.elapsed());
+    out
 }
 
-pub fn run_seeded(scale: Scale, master: u64) -> DeployOutcome {
+/// `shards` applies to the part-3 deployment replay (the only simulation
+/// here big enough to matter); the micro-cost sims stay single-shard.
+pub fn run_seeded(scale: Scale, master: u64, shards: usize) -> DeployOutcome {
     // Parts 1 & 2: micro costs.
     let files = match scale {
         Scale::Quick | Scale::Sparse => 60,
@@ -195,7 +204,8 @@ pub fn run_seeded(scale: Scale, master: u64) -> DeployOutcome {
         Scale::Full => (300, 50, 6_000, 12_000, 400),
     };
     let cfg = SimConfig::with_seed(master + 3)
-        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)));
+        .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)))
+        .shards(shards);
     let mut sim = Sim::new(cfg);
     let topo = Topology::generate(&TopologyConfig {
         ultrapeers: ups,
@@ -304,6 +314,7 @@ pub fn run_seeded(scale: Scale, master: u64) -> DeployOutcome {
     let pier_ok = pier_exec.is_empty() || avg(&pier_exec) < avg(&gnutella_first).max(20.0) + 40.0;
     DeployOutcome {
         tables: vec![t_cost, t_dep],
+        events: sim.event_stats(),
         zero_result_reduction_pct: reduction,
         pier_beats_gnutella_latency: pier_ok,
         publish_bytes_plain: pub_plain,
@@ -318,8 +329,8 @@ pub fn run_seeded(scale: Scale, master: u64) -> DeployOutcome {
 
 /// One sweep trial: the deployment headline numbers from seeded
 /// topologies, catalogs, and traces.
-pub fn trial(scale: Scale, seed: u64) -> Summary {
-    let out = run_seeded(scale, seed);
+pub fn trial(scale: Scale, seed: u64, shards: usize) -> Summary {
+    let out = run_seeded(scale, seed, shards);
     let mut s = Summary::new();
     s.set("zero_result_reduction_pct", out.zero_result_reduction_pct);
     s.set("avg_gnutella_first_s", out.avg_gnutella_first_s);
@@ -330,6 +341,7 @@ pub fn trial(scale: Scale, seed: u64) -> Summary {
     s.set("query_bytes_cache", out.query_bytes_cache);
     s.set("files_published", out.files_published as f64);
     s.set("pier_beats_gnutella_latency", out.pier_beats_gnutella_latency as u64 as f64);
+    s.set("events_processed", out.events.processed as f64);
     s
 }
 

@@ -71,11 +71,22 @@ pub struct LabConfig {
     /// evenly-stepped sampling could miss the new-style profile entirely.
     pub mixed_profile_vantages: bool,
     pub seed: u64,
+    /// Kernel shards for the lab simulation (see `SimConfig::shards`).
+    /// Results are bit-identical for any value; > 1 runs the kernel on
+    /// that many worker threads.
+    pub shards: usize,
 }
 
 impl LabConfig {
     pub fn at(scale: Scale) -> LabConfig {
         LabConfig::at_seeded(scale, DEFAULT_SEED)
+    }
+
+    /// The preset with a sharded simulation kernel (`repro --shards`).
+    pub fn at_sharded(scale: Scale, seed: u64, shards: usize) -> LabConfig {
+        let mut cfg = LabConfig::at_seeded(scale, seed);
+        cfg.shards = shards.max(1);
+        cfg
     }
 
     /// The preset for `scale`, with every random choice derived from
@@ -93,6 +104,7 @@ impl LabConfig {
                 vantages: 10,
                 mixed_profile_vantages: false,
                 seed,
+                shards: 1,
             },
             // ≥ 5× more ultrapeers than Quick, heavily old-style (sparse
             // degree mix) and with single-homed leaves: a new-style
@@ -109,6 +121,7 @@ impl LabConfig {
                 vantages: 12,
                 mixed_profile_vantages: true,
                 seed,
+                shards: 1,
             },
             // The genuinely large preset: an order of magnitude past
             // Sparse and within sight of the paper's §4.1 crawl (~3,333
@@ -126,6 +139,7 @@ impl LabConfig {
                 vantages: 20,
                 mixed_profile_vantages: true,
                 seed,
+                shards: 1,
             },
         }
     }
@@ -191,10 +205,12 @@ impl Lab {
             })
             .collect();
 
-        let sim_cfg = SimConfig::with_seed(cfg.seed).latency(UniformLatency::new(
-            SimDuration::from_millis(20),
-            SimDuration::from_millis(90),
-        ));
+        let sim_cfg = SimConfig::with_seed(cfg.seed)
+            .latency(UniformLatency::new(
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(90),
+            ))
+            .shards(cfg.shards);
         let mut sim = Sim::new(sim_cfg);
         let handles = spawn(&mut sim, &topo, vec![Vec::new(); cfg.ultrapeers], leaf_files);
         // QRP propagation.

@@ -30,3 +30,23 @@ pub mod output;
 pub mod sweep;
 
 pub use lab::Scale;
+
+/// Print one kernel-throughput line for an experiment `run()`: events
+/// processed, wall time, events/sec, shard count. Only `run()` paths call
+/// this — `trial()` must stay print-free so parallel sweep workers don't
+/// interleave output.
+pub fn report_kernel_rate(
+    name: &str,
+    events: pier_netsim::EventStats,
+    shards: usize,
+    elapsed: std::time::Duration,
+) {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "  {name}: {} kernel events in {secs:.2}s ({:.0} events/s, {shards} shard(s), \
+peak {} pending)",
+        events.processed,
+        events.processed as f64 / secs,
+        events.peak_pending,
+    );
+}

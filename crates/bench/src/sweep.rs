@@ -201,18 +201,20 @@ impl Experiment {
     }
 
     /// Run one trial at `scale` with master seed `seed` and return its
-    /// structured statistics. Deterministic in `(scale, seed)`.
-    pub fn trial(self, scale: Scale, seed: u64) -> Summary {
+    /// structured statistics. Deterministic in `(scale, seed)` — `shards`
+    /// only changes how many kernel worker threads execute each simulation,
+    /// never any statistic (the analytic experiments ignore it).
+    pub fn trial(self, scale: Scale, seed: u64, shards: usize) -> Summary {
         match self {
-            Experiment::Figs4to7 => figs4to7::trial(scale, seed),
-            Experiment::Horizon => horizon::trial(scale, seed),
-            Experiment::Fig8 => fig8::trial(scale, seed),
-            Experiment::Figs9to12 => figs9to12::trial(scale, seed),
-            Experiment::Figs13to15 => figs13to15::trial(scale, seed),
-            Experiment::Sec5Posting => sec5_posting::trial(scale, seed),
-            Experiment::Ablations => ablations::trial(scale, seed),
-            Experiment::Sec7Deploy => sec7_deploy::trial(scale, seed),
-            Experiment::Churn => churn::trial(scale, seed),
+            Experiment::Figs4to7 => figs4to7::trial(scale, seed, shards),
+            Experiment::Horizon => horizon::trial(scale, seed, shards),
+            Experiment::Fig8 => fig8::trial(scale, seed, shards),
+            Experiment::Figs9to12 => figs9to12::trial(scale, seed, shards),
+            Experiment::Figs13to15 => figs13to15::trial(scale, seed, shards),
+            Experiment::Sec5Posting => sec5_posting::trial(scale, seed, shards),
+            Experiment::Ablations => ablations::trial(scale, seed, shards),
+            Experiment::Sec7Deploy => sec7_deploy::trial(scale, seed, shards),
+            Experiment::Churn => churn::trial(scale, seed, shards),
         }
     }
 }
@@ -222,14 +224,24 @@ impl Experiment {
 pub struct SweepConfig {
     pub scale: Scale,
     pub trials: usize,
-    /// Worker OS threads; clamped to `1..=trials`.
+    /// Worker OS threads running whole trials; clamped to `1..=trials`.
     pub jobs: usize,
     pub base_seed: u64,
+    /// Kernel shards *within* each trial's simulation; composes with
+    /// `jobs` (total worker threads ≈ `jobs × shards`). Bit-identical
+    /// results for any value.
+    pub shards: usize,
 }
 
 impl SweepConfig {
     pub fn new(scale: Scale, trials: usize, jobs: usize) -> SweepConfig {
-        SweepConfig { scale, trials, jobs, base_seed: DEFAULT_BASE_SEED }
+        SweepConfig { scale, trials, jobs, base_seed: DEFAULT_BASE_SEED, shards: 1 }
+    }
+
+    /// Set the per-trial kernel shard count (clamped to at least 1).
+    pub fn shards(mut self, shards: usize) -> SweepConfig {
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -262,9 +274,11 @@ pub struct SweepResult {
     pub aggregates: Vec<AggregateStat>,
 }
 
-/// Sweep an experiment: N trials across J threads, aggregated.
+/// Sweep an experiment: N trials across J threads (each trial's kernel on
+/// `cfg.shards` more), aggregated.
 pub fn run_sweep(experiment: Experiment, cfg: &SweepConfig) -> SweepResult {
-    run_sweep_with(experiment.name(), cfg, |scale, seed| experiment.trial(scale, seed))
+    let shards = cfg.shards.max(1);
+    run_sweep_with(experiment.name(), cfg, |scale, seed| experiment.trial(scale, seed, shards))
 }
 
 /// Generic sweep driver over any `(scale, seed) -> Summary` trial

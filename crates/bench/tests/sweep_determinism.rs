@@ -21,7 +21,7 @@ fn parallel_lab_sweep_matches_sequential() {
     for t in &parallel.trials {
         assert_eq!(
             t.summary,
-            Experiment::Horizon.trial(Scale::Quick, t.seed),
+            Experiment::Horizon.trial(Scale::Quick, t.seed, 1),
             "trial {} must equal a direct run with its seed",
             t.trial
         );
@@ -50,7 +50,7 @@ fn parallel_churn_sweep_matches_sequential() {
     let t0 = &parallel.trials[0];
     assert_eq!(
         t0.summary,
-        Experiment::Churn.trial(Scale::Quick, t0.seed),
+        Experiment::Churn.trial(Scale::Quick, t0.seed, 1),
         "a sweep trial must equal a direct run with its seed"
     );
     // The signature statistics exist and traffic varies across seeds.

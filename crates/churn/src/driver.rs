@@ -104,7 +104,7 @@ impl ChurnDriver {
 
     /// Apply all events with `at ≤ until`, advancing the simulation to
     /// each event time in order, then run the simulation to `until`.
-    pub fn advance<M: 'static>(
+    pub fn advance<M: Send + 'static>(
         &mut self,
         sim: &mut Sim<M>,
         until: SimTime,

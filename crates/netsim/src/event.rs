@@ -1,12 +1,23 @@
-//! The event queue: a binary heap ordered by `(time, sequence)`.
+//! The event queue: an arena-backed binary heap ordered by a
+//! shard-count-independent key.
 //!
-//! The strictly increasing sequence number breaks ties deterministically
-//! (FIFO among same-time events), which is what makes whole simulations
-//! reproducible run-to-run.
+//! Every event is ordered by [`EventKey`] — `(arrival time, send time,
+//! scheduling node, per-node sequence)`. The per-node sequence number is a
+//! monotone counter over everything a node schedules (message sends and
+//! timers alike), so the key is *intrinsic to the workload*: it does not
+//! depend on which shard pushed the event or on any global push order.
+//! That is what lets the sharded kernel merge cross-shard deliveries at
+//! window barriers and still pop events in the exact order a one-shard run
+//! would — ties at the same arrival time break first by when they were
+//! sent, then by who scheduled them, then FIFO per scheduler.
+//!
+//! Payloads live in a free-listed arena (`slots`), so the heap itself sifts
+//! only small `Copy` entries and arena storage is reused across lockstep
+//! windows instead of reallocated.
 
 use crate::actor::{NodeId, TimerToken};
 use crate::time::SimTime;
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 pub(crate) enum EventKind<M> {
@@ -16,55 +27,85 @@ pub(crate) enum EventKind<M> {
     Timer { dst: NodeId, token: TimerToken, epoch: u32 },
 }
 
-pub(crate) struct Event<M> {
+/// Total order on pending events, independent of shard count and push
+/// order. Lexicographic: arrival time, send time, scheduling node id,
+/// per-node schedule sequence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) struct EventKey {
+    /// Arrival (pop) time.
     pub time: SimTime,
-    pub seq: u64,
-    pub kind: EventKind<M>,
+    /// Virtual time at which the event was scheduled (send time / timer
+    /// arm time). Always `<= time`.
+    pub sent: SimTime,
+    /// The node that scheduled the event (message source; for timers, the
+    /// owner itself).
+    pub src: NodeId,
+    /// The scheduler's per-node monotone sequence number at schedule time.
+    pub seq: u32,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// Heap entry: key plus the arena slot holding the payload. Small and
+/// `Copy`, so sift operations never move message payloads.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry {
+    key: EventKey,
+    slot: u32,
 }
 
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
-/// Min-queue of pending events.
+/// Min-queue of pending events with arena-backed payload storage.
 pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
-    next_seq: u64,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Payload arena; `None` marks a free slot.
+    slots: Vec<Option<EventKind<M>>>,
+    /// Stack of free arena slots, reused before the arena grows.
+    free: Vec<u32>,
+    /// Events popped over the queue's lifetime.
+    processed: u64,
+    /// High-water mark of pending events.
+    peak: usize,
 }
 
 impl<M> EventQueue<M> {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            processed: 0,
+            peak: 0,
+        }
     }
 
-    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+    pub fn push(&mut self, key: EventKey, kind: EventKind<M>) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(kind);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("event arena exceeds u32 slots");
+                self.slots.push(Some(kind));
+                s
+            }
+        };
+        self.heap.push(Reverse(HeapEntry { key, slot }));
+        self.peak = self.peak.max(self.heap.len());
     }
 
-    pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+    pub fn pop(&mut self) -> Option<(EventKey, EventKind<M>)> {
+        let Reverse(entry) = self.heap.pop()?;
+        let kind = self.slots[entry.slot as usize].take().expect("arena slot occupied");
+        self.free.push(entry.slot);
+        self.processed += 1;
+        Some((entry.key, kind))
     }
 
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|Reverse(e)| e.key.time)
+    }
+
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|Reverse(e)| e.key)
     }
 
     pub fn len(&self) -> usize {
@@ -75,50 +116,115 @@ impl<M> EventQueue<M> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Events popped over the queue's lifetime.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// High-water mark of simultaneously pending events.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Arena capacity in slots (memory-diet diagnostics: slots are reused
+    /// across windows, so this tracks the peak, not the current load).
+    #[allow(dead_code)]
+    pub fn arena_slots(&self) -> usize {
+        self.slots.len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn deliver(dst: u32) -> EventKind<u32> {
-        EventKind::Deliver { from: NodeId::new(0), dst: NodeId::new(dst), msg: dst }
+    fn key(time: u64, sent: u64, src: u32, seq: u32) -> EventKey {
+        EventKey {
+            time: SimTime::from_micros(time),
+            sent: SimTime::from_micros(sent),
+            src: NodeId::new(src),
+            seq,
+        }
+    }
+
+    fn deliver(src: u32, tag: u32) -> EventKind<u32> {
+        EventKind::Deliver { from: NodeId::new(src), dst: NodeId::new(0), msg: tag }
+    }
+
+    fn drain_tags(q: &mut EventQueue<u32>) -> Vec<u32> {
+        let mut seen = Vec::new();
+        while let Some((_, kind)) = q.pop() {
+            if let EventKind::Deliver { msg, .. } = kind {
+                seen.push(msg);
+            }
+        }
+        seen
     }
 
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(30), deliver(3));
-        q.push(SimTime::from_micros(10), deliver(1));
-        q.push(SimTime::from_micros(20), deliver(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.time.as_micros())).collect();
+        q.push(key(30, 0, 0, 0), deliver(0, 3));
+        q.push(key(10, 0, 0, 1), deliver(0, 1));
+        q.push(key(20, 0, 0, 2), deliver(0, 2));
+        let order: Vec<u64> =
+            std::iter::from_fn(|| q.pop().map(|(k, _)| k.time.as_micros())).collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 
+    /// Satellite regression: events scheduled by one node for the same
+    /// arrival `SimTime` pop FIFO in schedule order (the per-node sequence
+    /// is the final tie-break). The cross-shard merge depends on this.
     #[test]
     fn ties_break_fifo() {
         let mut q = EventQueue::new();
-        let t = SimTime::from_micros(5);
         for i in 0..10 {
-            q.push(t, deliver(i));
+            q.push(key(5, 1, 0, i), deliver(0, i));
         }
-        let mut seen = Vec::new();
-        while let Some(e) = q.pop() {
-            if let EventKind::Deliver { msg, .. } = e.kind {
-                seen.push(msg);
-            }
-        }
-        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(drain_tags(&mut q), (0..10).collect::<Vec<_>>());
+    }
+
+    /// Ties at the same arrival time across *different* schedulers order by
+    /// (send time, scheduler id) — intrinsic to the workload, so any shard
+    /// layout pops them identically.
+    #[test]
+    fn cross_source_ties_order_by_sent_then_src() {
+        let mut q = EventQueue::new();
+        // Same arrival t=100. Pushed in scrambled order on purpose.
+        q.push(key(100, 40, 1, 9), deliver(1, 2)); // sent later
+        q.push(key(100, 20, 7, 0), deliver(7, 1)); // sent early, high id
+        q.push(key(100, 20, 3, 5), deliver(3, 0)); // sent early, low id
+        q.push(key(100, 40, 1, 10), deliver(1, 3)); // same sender, later seq
+        assert_eq!(drain_tags(&mut q), vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn peek_matches_pop() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(7), deliver(0));
+        q.push(key(7, 0, 2, 4), deliver(2, 0));
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.peek_key(), Some(key(7, 0, 2, 4)));
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    /// The arena reuses freed slots instead of growing, and the queue
+    /// tracks processed/peak stats for `Sim::event_stats`.
+    #[test]
+    fn arena_reuses_slots_and_tracks_stats() {
+        let mut q = EventQueue::new();
+        for round in 0..50u32 {
+            for i in 0..4 {
+                q.push(key(u64::from(round * 10 + i), 0, 0, round * 4 + i), deliver(0, i));
+            }
+            while q.pop().is_some() {}
+        }
+        assert_eq!(q.arena_slots(), 4, "freed slots must be reused across rounds");
+        assert_eq!(q.processed(), 200);
+        assert_eq!(q.peak(), 4);
+        assert_eq!(q.len(), 0);
     }
 }

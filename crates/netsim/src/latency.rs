@@ -4,6 +4,13 @@
 //! [`ClusteredWan`] approximates that: nodes are assigned to clusters
 //! (continents), with low intra-cluster and high inter-cluster one-way
 //! delays plus multiplicative jitter.
+//!
+//! Every model must also report its [`LatencyModel::min_latency`]: the
+//! sharded kernel advances shards in lockstep windows no wider than the
+//! minimum cross-shard link latency, so a message sent in one window can
+//! only arrive in a later one. A zero minimum would collapse the window to
+//! nothing, so the kernel clamps both the window and every sampled delay
+//! to `max(min_latency, 1µs)`.
 
 use crate::actor::NodeId;
 use crate::rng::SimRng;
@@ -11,9 +18,19 @@ use crate::time::SimDuration;
 use rand::Rng;
 
 /// Samples the one-way delivery latency for a message.
-pub trait LatencyModel: Send {
+///
+/// `Send + Sync` because the sharded kernel shares one model instance
+/// across all shard worker threads (sampling takes `&self`; the RNG state
+/// lives per node, not in the model).
+pub trait LatencyModel: Send + Sync {
     /// One-way latency from `src` to `dst`.
     fn sample(&self, rng: &mut SimRng, src: NodeId, dst: NodeId) -> SimDuration;
+
+    /// A lower bound on every value [`sample`](Self::sample) can return,
+    /// over all `(src, dst)` pairs. This bounds the lockstep window of the
+    /// sharded kernel, so it must be *strictly positive*; the kernel clamps
+    /// it (and every sample) up to 1µs if a model under-reports.
+    fn min_latency(&self) -> SimDuration;
 }
 
 /// Fixed latency for every message. Useful in unit tests where hop counts
@@ -23,6 +40,10 @@ pub struct ConstantLatency(pub SimDuration);
 
 impl LatencyModel for ConstantLatency {
     fn sample(&self, _rng: &mut SimRng, _src: NodeId, _dst: NodeId) -> SimDuration {
+        self.0
+    }
+
+    fn min_latency(&self) -> SimDuration {
         self.0
     }
 }
@@ -46,6 +67,10 @@ impl LatencyModel for UniformLatency {
         let lo = self.min.as_micros();
         let hi = self.max.as_micros();
         SimDuration::from_micros(rng.random_range(lo..=hi))
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        self.min
     }
 }
 
@@ -89,6 +114,12 @@ impl LatencyModel for ClusteredWan {
             if self.cluster_of(src) == self.cluster_of(dst) { self.intra } else { self.inter };
         let factor = 1.0 + rng.random_range(0.0..=self.jitter);
         base.mul_f64(factor)
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        // Jitter is multiplicative with factor >= 1.0, so the floor is the
+        // faster (intra-cluster) base delay.
+        self.intra.min(self.inter)
     }
 }
 
@@ -154,5 +185,45 @@ mod tests {
             assert!(d >= m.intra);
             assert!(d <= m.inter.mul_f64(1.5));
         }
+    }
+
+    /// Every vendored model must declare a strictly positive `min_latency`
+    /// in its documented configuration range, and no sample may ever fall
+    /// below it — the sharded kernel's window safety argument rests on both.
+    #[test]
+    fn min_latency_is_positive_and_respected_by_samples() {
+        let models: Vec<Box<dyn LatencyModel>> = vec![
+            Box::new(ConstantLatency(SimDuration::from_millis(15))),
+            Box::new(UniformLatency::new(
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(90),
+            )),
+            Box::new(ClusteredWan::default()),
+            Box::new(ClusteredWan { jitter: 0.0, ..Default::default() }),
+        ];
+        for (k, m) in models.iter().enumerate() {
+            let floor = m.min_latency();
+            assert!(
+                floor > SimDuration::ZERO,
+                "model #{k} reports a zero min_latency; the lockstep window would collapse"
+            );
+            let mut rng = stream_rng(7, k as u64);
+            for i in 0..2000u32 {
+                let d = m.sample(&mut rng, NodeId::new(i % 13), NodeId::new(i));
+                assert!(d >= floor, "model #{k} sampled {d:?} below its declared floor {floor:?}");
+            }
+        }
+    }
+
+    /// The inter/intra floor picks the smaller of the two bases even in a
+    /// misconfigured model where `inter < intra`.
+    #[test]
+    fn wan_min_latency_takes_smaller_base() {
+        let m = ClusteredWan {
+            intra: SimDuration::from_millis(50),
+            inter: SimDuration::from_millis(10),
+            ..Default::default()
+        };
+        assert_eq!(m.min_latency(), SimDuration::from_millis(10));
     }
 }

@@ -9,8 +9,14 @@
 //! # Design
 //!
 //! * **Virtual time.** A 64-bit microsecond clock ([`SimTime`]). Events are
-//!   ordered by `(time, sequence-number)`, so execution is bit-reproducible
-//!   for a fixed master seed.
+//!   ordered by `(arrival time, send time, scheduling node, per-node
+//!   sequence)` — a key intrinsic to the workload — so execution is
+//!   bit-reproducible for a fixed master seed, for any shard count.
+//! * **Sharding.** With `SimConfig::shards > 1` nodes partition across
+//!   shards (fixed hash of [`NodeId`]) that advance in lockstep windows
+//!   bounded by [`LatencyModel::min_latency`], exchanging cross-shard
+//!   sends at window barriers. Results are bit-identical to a one-shard
+//!   run; only wall-clock time changes.
 //! * **Actors.** Each simulated process implements [`Actor`] and interacts
 //!   with the world only through [`Ctx`] (send a message, set a timer, read
 //!   the clock, draw randomness). Protocol logic in the higher crates is
@@ -75,5 +81,5 @@ pub use metrics::{
     Cdf, Counter, Histogram, LazyMetricClass, MetricClass, Metrics, MetricsSnapshot,
 };
 pub use rng::{derive_seed, split_mix64, stream_rng, SimRng};
-pub use sim::{Sim, SimConfig};
+pub use sim::{EventStats, Sim, SimConfig};
 pub use time::{SimDuration, SimTime};

@@ -313,6 +313,43 @@ impl Histogram {
         self.max
     }
 
+    /// Fold another histogram into this one. Exact for `count`, `low`,
+    /// per-bin tallies, `min`, and `max`; the f64 `sum` (and therefore
+    /// [`Histogram::mean`]) can differ from a single-stream accumulation in
+    /// final ULPs because addition reassociates. The sharded kernel merges
+    /// per-shard histograms with this.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.low += other.low;
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (slot, &c) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *slot += c;
+        }
+    }
+
+    /// Zero all state in place, keeping the bin allocation.
+    fn reset(&mut self) {
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = 0.0;
+        self.max = 0.0;
+        self.low = 0;
+        self.bins.iter_mut().for_each(|b| *b = 0);
+    }
+
     /// Freeze into a [`Cdf`] for plotting: one weighted step per non-empty
     /// bin at its representative value (clamped into `[min, max]`), so the
     /// result stays O(bins) regardless of how many samples were recorded.
@@ -500,6 +537,40 @@ impl Metrics {
             })
             .collect::<Vec<_>>()
             .into_iter()
+    }
+
+    /// Zero every counter, histogram, and total in place, reusing the
+    /// existing allocations. The sharded kernel rebuilds its merged
+    /// cross-shard view with `reset` + [`Metrics::merge_from`] after every
+    /// mutating call.
+    pub fn reset(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = Counter::default());
+        self.histograms.iter_mut().for_each(Histogram::reset);
+        self.total_messages = 0;
+        self.total_bytes = 0;
+    }
+
+    /// Fold another live `Metrics` into this one, slot by slot. Both sides
+    /// index by the same process-wide interned [`MetricClass`] ids, so this
+    /// is a positional merge (unlike the name-keyed
+    /// [`MetricsSnapshot::merge`], which survives cross-process id drift).
+    /// Counters and totals merge exactly; histogram `sum`s reassociate (see
+    /// [`Histogram::merge_from`]).
+    pub fn merge_from(&mut self, other: &Metrics) {
+        if other.counters.len() > self.counters.len() {
+            self.counters.resize(other.counters.len(), Counter::default());
+        }
+        for (slot, c) in self.counters.iter_mut().zip(other.counters.iter()) {
+            slot.add(c.count, c.bytes);
+        }
+        if other.histograms.len() > self.histograms.len() {
+            self.histograms.resize_with(other.histograms.len(), Histogram::default);
+        }
+        for (slot, h) in self.histograms.iter_mut().zip(other.histograms.iter()) {
+            slot.merge_from(h);
+        }
+        self.total_messages += other.total_messages;
+        self.total_bytes += other.total_bytes;
     }
 
     /// Freeze every touched counter into an owned, name-keyed
@@ -797,6 +868,64 @@ mod tests {
         let mut id = merged.clone();
         id.merge(&MetricsSnapshot::default());
         assert_eq!(id, merged);
+    }
+
+    /// Sharded-kernel merge surface: splitting one sample stream across
+    /// several `Metrics` and folding them back with `merge_from` must
+    /// reproduce every counter, total, and histogram shape statistic of the
+    /// unsplit run (the f64 sum is allowed to reassociate).
+    #[test]
+    fn metrics_merge_from_matches_unsplit_run() {
+        let ca = class("merge.a");
+        let cb = class("merge.b");
+        let hist = class("merge.h");
+        let mut whole = Metrics::new();
+        let mut parts = [Metrics::new(), Metrics::new(), Metrics::new()];
+        for i in 0..300u64 {
+            let target = &mut parts[(i % 3) as usize];
+            for m in [&mut whole, target] {
+                m.record_send(if i % 2 == 0 { ca } else { cb }, 10 + i);
+                m.observe(hist, (i % 17) as f64 * 0.25);
+            }
+        }
+        let mut merged = Metrics::new();
+        for p in &parts {
+            merged.merge_from(p);
+        }
+        assert_eq!(merged.counter("merge.a"), whole.counter("merge.a"));
+        assert_eq!(merged.counter("merge.b"), whole.counter("merge.b"));
+        assert_eq!(merged.total_messages, whole.total_messages);
+        assert_eq!(merged.total_bytes, whole.total_bytes);
+        let (hm, hw) = (merged.histogram_mut(hist).clone(), whole.histogram_mut(hist).clone());
+        assert_eq!(hm.len(), hw.len());
+        assert_eq!(hm.min().to_bits(), hw.min().to_bits());
+        assert_eq!(hm.max().to_bits(), hw.max().to_bits());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(hm.quantile(q).to_bits(), hw.quantile(q).to_bits());
+        }
+    }
+
+    /// `reset` + `merge_from` is idempotent: rebuilding the merged view
+    /// twice gives identical state, and reset keeps allocations usable.
+    #[test]
+    fn metrics_reset_then_merge_rebuilds_cleanly() {
+        let c = class("reset.a");
+        let h = class("reset.h");
+        let mut src = Metrics::new();
+        src.record_send(c, 100);
+        src.observe(h, 3.0);
+        let mut view = Metrics::new();
+        for _ in 0..3 {
+            view.reset();
+            view.merge_from(&src);
+        }
+        assert_eq!(view.counter("reset.a"), Counter { count: 1, bytes: 100 });
+        assert_eq!(view.total_messages, 1);
+        assert_eq!(view.histogram_mut(h).len(), 1);
+        view.reset();
+        assert_eq!(view.counter("reset.a"), Counter::default());
+        assert_eq!(view.total_messages, 0);
+        assert!(view.histogram_mut(h).is_empty());
     }
 
     #[test]

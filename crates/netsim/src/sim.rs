@@ -1,13 +1,33 @@
-//! The simulation kernel: owns the clock, the event queue, node liveness,
-//! per-node RNG streams, and all metrics.
+//! The simulation kernel: a sharded, deterministic discrete-event engine.
+//!
+//! Nodes partition across `S` shards by a fixed hash of their [`NodeId`].
+//! Each shard owns its own event heap, metrics, and struct-of-arrays node
+//! state (liveness bitset, timer epochs, per-node RNG streams and schedule
+//! counters). Shards advance in lockstep windows no wider than the minimum
+//! link latency ([`LatencyModel::min_latency`]): a message sent inside a
+//! window can only arrive in a later window, so shards exchange cross-shard
+//! sends at window barriers without ever seeing an event "from the past".
+//!
+//! Determinism does not come from the barriers — it comes from the event
+//! ordering key. Every event is keyed by `(arrival, send time, scheduling
+//! node, per-node sequence)` ([`crate::event::EventKey`]), which is
+//! intrinsic to the workload: each node therefore observes the exact same
+//! event sequence (and draws from its private RNG stream in the same
+//! order) no matter how many shards execute the run. Counters and
+//! histograms merge commutatively, so **every statistic is bit-identical
+//! for any shard count, including `S = 1`** (`Histogram` means can differ
+//! in final ULPs across shard counts because f64 sums reassociate; counts,
+//! bins, min/max, and quantiles are exact).
 
 use crate::actor::{Actor, Ctx, NodeId, TimerToken};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKey, EventKind, EventQueue};
 use crate::latency::{ClusteredWan, LatencyModel};
 use crate::metrics::{MetricClass, Metrics};
-use crate::rng::{stream_rng, SimRng};
+use crate::rng::{split_mix64, stream_rng, SimRng};
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Barrier, Mutex};
 
 crate::metric_classes! {
     /// Deliveries dropped because the destination node was down.
@@ -20,11 +40,14 @@ pub struct SimConfig {
     pub seed: u64,
     /// One-way message latency model.
     pub latency: Box<dyn LatencyModel>,
+    /// Number of kernel shards (worker threads during `run_*`). Any value
+    /// produces bit-identical results; `1` runs on the caller's thread.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0xC0FFEE, latency: Box::new(ClusteredWan::default()) }
+        SimConfig { seed: 0xC0FFEE, latency: Box::new(ClusteredWan::default()), shards: 1 }
     }
 }
 
@@ -39,17 +62,23 @@ impl SimConfig {
         self.latency = Box::new(model);
         self
     }
+
+    /// Set the shard count (clamped to at least 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 /// Object-safe actor bound that also supports downcasting, so heterogeneous
 /// actor types can live in one simulation and still be inspected by tests
-/// and experiment drivers.
-trait AnyActor<M>: Actor<M> {
+/// and experiment drivers. `Send` because shards run on worker threads.
+trait AnyActor<M>: Actor<M> + Send {
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-impl<M, T: Actor<M> + Any> AnyActor<M> for T {
+impl<M, T: Actor<M> + Any + Send> AnyActor<M> for T {
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -58,40 +87,208 @@ impl<M, T: Actor<M> + Any> AnyActor<M> for T {
     }
 }
 
-/// Kernel state that must stay borrowable while an actor handler runs.
-struct Kernel<M> {
+/// Where a node lives: owning shard and dense index within it.
+#[derive(Clone, Copy)]
+struct Loc {
+    shard: u32,
+    local: u32,
+}
+
+/// Struct-of-arrays per-shard node state. Liveness is a bitset (one bit per
+/// node instead of the old one-`bool`-per-node vector); epochs, schedule
+/// sequence counters, and RNG streams are parallel dense arrays indexed by
+/// the node's shard-local index.
+struct NodeTable {
+    /// Liveness bitset, one bit per local node.
+    up: Vec<u64>,
+    /// Bumped whenever a node goes down or comes back up; timers armed in an
+    /// older epoch are dropped instead of fired.
+    epoch: Vec<u32>,
+    /// Per-node monotone counter over scheduled events (sends and timers);
+    /// the final component of the event ordering key.
+    seq: Vec<u32>,
+    /// Per-node RNG streams, derived from the master seed and the *global*
+    /// node id, so streams do not depend on the shard layout.
+    rng: Vec<SimRng>,
+    len: usize,
+}
+
+impl NodeTable {
+    fn new() -> Self {
+        NodeTable { up: Vec::new(), epoch: Vec::new(), seq: Vec::new(), rng: Vec::new(), len: 0 }
+    }
+
+    fn push(&mut self, rng: SimRng) -> usize {
+        let i = self.len;
+        if i.is_multiple_of(64) {
+            self.up.push(0);
+        }
+        self.up[i / 64] |= 1 << (i % 64);
+        self.epoch.push(0);
+        self.seq.push(0);
+        self.rng.push(rng);
+        self.len += 1;
+        i
+    }
+
+    #[inline]
+    fn is_up(&self, i: usize) -> bool {
+        (self.up[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_up(&mut self, i: usize, v: bool) {
+        let bit = 1u64 << (i % 64);
+        if v {
+            self.up[i / 64] |= bit;
+        } else {
+            self.up[i / 64] &= !bit;
+        }
+    }
+
+    /// Take the node's next schedule sequence number.
+    #[inline]
+    fn next_seq(&mut self, i: usize) -> u32 {
+        let s = self.seq[i];
+        self.seq[i] += 1;
+        s
+    }
+}
+
+/// Read-only state shared by every shard worker during a run.
+struct Router {
+    /// Global `NodeId` → owning shard and local index.
+    locate: Vec<Loc>,
+    latency: Box<dyn LatencyModel>,
+    /// Lockstep window width: `max(latency.min_latency(), 1µs)`. Sampled
+    /// delays are clamped up to this, which also repairs models that
+    /// under-report their floor.
+    window: SimDuration,
+}
+
+/// A cross-shard event in flight: pushed into the destination shard's
+/// mailbox during a window, drained into its heap at the next barrier. The
+/// intrinsic key travels with it, so no re-sequencing is needed on arrival.
+struct Mail<M> {
+    key: EventKey,
+    kind: EventKind<M>,
+}
+
+/// Kernel state of one shard that must stay borrowable while an actor
+/// handler runs (the actors themselves live alongside in [`Shard`]).
+struct ShardCore<M> {
+    ix: u32,
     now: SimTime,
     queue: EventQueue<M>,
     metrics: Metrics,
-    latency: Box<dyn LatencyModel>,
-    seed: u64,
-    rngs: Vec<SimRng>,
-    up: Vec<bool>,
-    /// Bumped whenever a node goes down or comes back up; timers armed in an
-    /// older epoch are dropped instead of fired.
-    timer_epoch: Vec<u32>,
+    nodes: NodeTable,
 }
 
-impl<M> Kernel<M> {
-    fn send_from(&mut self, src: NodeId, dst: NodeId, msg: M, bytes: usize, class: MetricClass) {
-        self.metrics.record_send(class, bytes as u64);
-        let delay = {
-            let rng = &mut self.rngs[src.index()];
-            self.latency.sample(rng, src, dst)
-        };
-        let at = self.now + delay;
-        self.queue.push(at, EventKind::Deliver { from: src, dst, msg });
+struct Shard<M> {
+    core: ShardCore<M>,
+    actors: Vec<Box<dyn AnyActor<M>>>,
+    /// Reused drain buffer for mailbox exchanges (keeps its capacity across
+    /// windows, like the event arena).
+    scratch: Vec<Mail<M>>,
+}
+
+impl<M: Send + 'static> Shard<M> {
+    fn new(ix: u32) -> Self {
+        Shard {
+            core: ShardCore {
+                ix,
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                metrics: Metrics::new(),
+                nodes: NodeTable::new(),
+            },
+            actors: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Pop-and-run one event that has already been popped from this shard's
+    /// queue.
+    fn dispatch(
+        &mut self,
+        router: &Router,
+        mailboxes: &[Mutex<Vec<Mail<M>>>],
+        key: EventKey,
+        kind: EventKind<M>,
+    ) {
+        debug_assert!(key.time >= self.core.now, "time must not run backwards");
+        self.core.now = key.time;
+        match kind {
+            EventKind::Deliver { from, dst, msg } => {
+                let local = router.locate[dst.index()].local as usize;
+                if !self.core.nodes.is_up(local) {
+                    self.core.metrics.count(DROPPED_TO_DOWN.id(), 1, 0);
+                    return;
+                }
+                let mut ctx = CtxImpl {
+                    core: &mut self.core,
+                    router,
+                    mailboxes,
+                    self_id: dst,
+                    self_local: local,
+                };
+                self.actors[local].on_message(&mut ctx, from, msg);
+            }
+            EventKind::Timer { dst, token, epoch } => {
+                let local = router.locate[dst.index()].local as usize;
+                if !self.core.nodes.is_up(local) || self.core.nodes.epoch[local] != epoch {
+                    return;
+                }
+                let mut ctx = CtxImpl {
+                    core: &mut self.core,
+                    router,
+                    mailboxes,
+                    self_id: dst,
+                    self_local: local,
+                };
+                if token == START_TOKEN {
+                    self.actors[local].on_start(&mut ctx);
+                } else {
+                    self.actors[local].on_timer(&mut ctx, token);
+                }
+            }
+        }
+    }
+
+    /// Process every queued event with `time < lim` (microseconds).
+    fn run_window(&mut self, lim: u64, router: &Router, mailboxes: &[Mutex<Vec<Mail<M>>>]) {
+        while let Some(t) = self.core.queue.peek_time() {
+            if t.as_micros() >= lim {
+                break;
+            }
+            let (key, kind) = self.core.queue.pop().expect("peeked event vanished");
+            self.dispatch(router, mailboxes, key, kind);
+        }
+    }
+
+    /// Move everything from this shard's mailbox into its heap.
+    fn drain_mailbox(&mut self, mailbox: &Mutex<Vec<Mail<M>>>) {
+        {
+            let mut inbox = mailbox.lock().expect("mailbox poisoned");
+            std::mem::swap(&mut *inbox, &mut self.scratch);
+        }
+        for mail in self.scratch.drain(..) {
+            self.core.queue.push(mail.key, mail.kind);
+        }
     }
 }
 
 struct CtxImpl<'a, M> {
-    kernel: &'a mut Kernel<M>,
+    core: &'a mut ShardCore<M>,
+    router: &'a Router,
+    mailboxes: &'a [Mutex<Vec<Mail<M>>>],
     self_id: NodeId,
+    self_local: usize,
 }
 
 impl<M> Ctx<M> for CtxImpl<'_, M> {
     fn now(&self) -> SimTime {
-        self.kernel.now
+        self.core.now
     }
 
     fn self_id(&self) -> NodeId {
@@ -99,84 +296,154 @@ impl<M> Ctx<M> for CtxImpl<'_, M> {
     }
 
     fn send(&mut self, dst: NodeId, msg: M, wire_bytes: usize, class: MetricClass) {
-        self.kernel.send_from(self.self_id, dst, msg, wire_bytes, class);
+        self.core.metrics.record_send(class, wire_bytes as u64);
+        let delay = {
+            let rng = &mut self.core.nodes.rng[self.self_local];
+            self.router.latency.sample(rng, self.self_id, dst)
+        };
+        // Clamp to the lockstep window so a model that under-reports its
+        // floor cannot schedule a cross-shard arrival inside the current
+        // window. Honest models are unaffected (window == their floor).
+        let at = self.core.now + delay.max(self.router.window);
+        let key = EventKey {
+            time: at,
+            sent: self.core.now,
+            src: self.self_id,
+            seq: self.core.nodes.next_seq(self.self_local),
+        };
+        let kind = EventKind::Deliver { from: self.self_id, dst, msg };
+        let loc = self.router.locate[dst.index()];
+        if loc.shard == self.core.ix {
+            self.core.queue.push(key, kind);
+        } else {
+            self.mailboxes[loc.shard as usize]
+                .lock()
+                .expect("mailbox poisoned")
+                .push(Mail { key, kind });
+        }
     }
 
     fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
-        let epoch = self.kernel.timer_epoch[self.self_id.index()];
-        let at = self.kernel.now + delay;
-        self.kernel.queue.push(at, EventKind::Timer { dst: self.self_id, token, epoch });
+        let epoch = self.core.nodes.epoch[self.self_local];
+        let key = EventKey {
+            time: self.core.now + delay,
+            sent: self.core.now,
+            src: self.self_id,
+            seq: self.core.nodes.next_seq(self.self_local),
+        };
+        self.core.queue.push(key, EventKind::Timer { dst: self.self_id, token, epoch });
     }
 
     fn rng(&mut self) -> &mut SimRng {
-        &mut self.kernel.rngs[self.self_id.index()]
+        &mut self.core.nodes.rng[self.self_local]
     }
 
     fn count(&mut self, class: MetricClass, n: u64) {
-        self.kernel.metrics.count(class, n, 0);
+        self.core.metrics.count(class, n, 0);
     }
 
     fn observe(&mut self, class: MetricClass, value: f64) {
-        self.kernel.metrics.observe(class, value);
+        self.core.metrics.observe(class, value);
     }
 }
 
-/// A deterministic discrete-event simulation over message type `M`.
-pub struct Sim<M> {
-    kernel: Kernel<M>,
-    actors: Vec<Box<dyn AnyActor<M>>>,
+/// Event-queue accounting across all shards (see [`Sim::event_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Events currently queued.
+    pub pending: usize,
+    /// Sum of each shard's high-water mark of queued events. (Shard peaks
+    /// need not coincide in time, so this upper-bounds the true global
+    /// peak.)
+    pub peak_pending: usize,
+    /// Events processed over the simulation's lifetime.
+    pub processed: u64,
 }
 
-impl<M: 'static> Sim<M> {
+/// A deterministic discrete-event simulation over message type `M`.
+///
+/// With `SimConfig::shards > 1` the run loops execute shards on scoped
+/// worker threads; results are bit-identical to a one-shard run.
+pub struct Sim<M> {
+    shards: Vec<Shard<M>>,
+    mailboxes: Vec<Mutex<Vec<Mail<M>>>>,
+    router: Router,
+    seed: u64,
+    clock: SimTime,
+    /// Cross-shard merged metrics view, refreshed after every mutating
+    /// call; unused (empty) when `shards == 1`.
+    merged: Metrics,
+}
+
+impl<M: Send + 'static> Sim<M> {
     pub fn new(config: SimConfig) -> Self {
+        let nshards = config.shards.max(1);
+        let window = SimDuration::from_micros(config.latency.min_latency().as_micros().max(1));
         Sim {
-            kernel: Kernel {
-                now: SimTime::ZERO,
-                queue: EventQueue::new(),
-                metrics: Metrics::new(),
-                latency: config.latency,
-                seed: config.seed,
-                rngs: Vec::new(),
-                up: Vec::new(),
-                timer_epoch: Vec::new(),
-            },
-            actors: Vec::new(),
+            shards: (0..nshards).map(|ix| Shard::new(ix as u32)).collect(),
+            mailboxes: (0..nshards).map(|_| Mutex::new(Vec::new())).collect(),
+            router: Router { locate: Vec::new(), latency: config.latency, window },
+            seed: config.seed,
+            clock: SimTime::ZERO,
+            merged: Metrics::new(),
         }
+    }
+
+    /// Number of kernel shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a node would be (or was) assigned to: a fixed hash of the
+    /// id, independent of everything else in the run.
+    fn shard_of(&self, id: NodeId) -> u32 {
+        let mut state = u64::from(id.raw());
+        (split_mix64(&mut state) % self.shards.len() as u64) as u32
     }
 
     /// Register a node. Its `on_start` runs the first time the simulation
     /// advances (it is queued at the current virtual time).
-    pub fn add_node(&mut self, actor: impl Actor<M> + Any) -> NodeId {
-        let id = NodeId::new(self.actors.len() as u32);
-        self.actors.push(Box::new(actor));
-        self.kernel.rngs.push(stream_rng(self.kernel.seed, id.raw() as u64 + 1));
-        self.kernel.up.push(true);
-        self.kernel.timer_epoch.push(0);
+    pub fn add_node(&mut self, actor: impl Actor<M> + Any + Send) -> NodeId {
+        let id = NodeId::new(self.router.locate.len() as u32);
+        let six = self.shard_of(id);
+        let shard = &mut self.shards[six as usize];
+        let local = shard.actors.len();
+        shard.actors.push(Box::new(actor));
+        let slot = shard.core.nodes.push(stream_rng(self.seed, u64::from(id.raw()) + 1));
+        debug_assert_eq!(slot, local);
+        self.router.locate.push(Loc { shard: six, local: local as u32 });
         // A zero-delay timer with a reserved token drives on_start so that
-        // startup interleaves deterministically with other events.
-        self.kernel
-            .queue
-            .push(self.kernel.now, EventKind::Timer { dst: id, token: START_TOKEN, epoch: 0 });
+        // startup interleaves deterministically with other events. Its key
+        // is the node's own first scheduled event, so registration order ==
+        // id order == pop order among same-time starts, for any shard count.
+        let key = EventKey {
+            time: shard.core.now,
+            sent: shard.core.now,
+            src: id,
+            seq: shard.core.nodes.next_seq(local),
+        };
+        shard.core.queue.push(key, EventKind::Timer { dst: id, token: START_TOKEN, epoch: 0 });
         id
     }
 
     /// Number of registered nodes (up or down).
     pub fn len(&self) -> usize {
-        self.actors.len()
+        self.router.locate.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.actors.is_empty()
+        self.router.locate.is_empty()
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.kernel.now
+        self.clock
     }
 
     /// Whether a node is currently up.
     pub fn is_up(&self, id: NodeId) -> bool {
-        self.kernel.up[id.index()]
+        let loc = self.router.locate[id.index()];
+        self.shards[loc.shard as usize].core.nodes.is_up(loc.local as usize)
     }
 
     /// Borrow an actor, downcast to its concrete type.
@@ -184,18 +451,26 @@ impl<M: 'static> Sim<M> {
     /// # Panics
     /// Panics if the node id is out of range or the type does not match.
     pub fn actor<T: Actor<M> + Any>(&self, id: NodeId) -> &T {
-        self.actors[id.index()].as_any().downcast_ref::<T>().expect("actor type mismatch")
+        let loc = self.router.locate[id.index()];
+        self.shards[loc.shard as usize].actors[loc.local as usize]
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("actor type mismatch")
     }
 
     /// Mutable variant of [`Sim::actor`].
     pub fn actor_mut<T: Actor<M> + Any>(&mut self, id: NodeId) -> &mut T {
-        self.actors[id.index()].as_any_mut().downcast_mut::<T>().expect("actor type mismatch")
+        let loc = self.router.locate[id.index()];
+        self.shards[loc.shard as usize].actors[loc.local as usize]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("actor type mismatch")
     }
 
     /// Run an actor handler "from outside" (experiment drivers use this to
     /// issue queries on behalf of a node at the current virtual time).
     ///
-    /// The node must be up: [`Sim::step`] gates deliveries and timers on
+    /// The node must be up: event dispatch gates deliveries and timers on
     /// liveness, so injecting work into a crashed node would let a driver
     /// observe behavior the simulated network can never produce (e.g. a
     /// query issued from a down vantage). Check [`Sim::is_up`] first when
@@ -209,36 +484,74 @@ impl<M: 'static> Sim<M> {
         id: NodeId,
         f: impl FnOnce(&mut T, &mut dyn Ctx<M>) -> R,
     ) -> R {
+        let loc = self.router.locate[id.index()];
+        let shard = &mut self.shards[loc.shard as usize];
         assert!(
-            self.kernel.up[id.index()],
+            shard.core.nodes.is_up(loc.local as usize),
             "with_actor_ctx on down node {id:?}: handlers only run on live nodes"
         );
-        let actor =
-            self.actors[id.index()].as_any_mut().downcast_mut::<T>().expect("actor type mismatch");
-        let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: id };
-        f(actor, &mut ctx)
+        let actor = shard.actors[loc.local as usize]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("actor type mismatch");
+        let mut ctx = CtxImpl {
+            core: &mut shard.core,
+            router: &self.router,
+            mailboxes: &self.mailboxes,
+            self_id: id,
+            self_local: loc.local as usize,
+        };
+        let out = f(actor, &mut ctx);
+        self.drain_all_mailboxes();
+        self.refresh_merged();
+        out
     }
 
-    /// All metrics recorded so far.
+    /// All metrics recorded so far. With more than one shard this is the
+    /// merged cross-shard view (counters, totals, and histogram bins merge
+    /// exactly; histogram f64 *sums* may differ from a one-shard run in
+    /// final ULPs because addition reassociates).
     pub fn metrics(&self) -> &Metrics {
-        &self.kernel.metrics
+        if self.shards.len() == 1 {
+            &self.shards[0].core.metrics
+        } else {
+            &self.merged
+        }
     }
 
     /// Mutable access (experiment drivers pull histograms out this way).
+    /// With more than one shard this borrows the merged view; mutations to
+    /// it are overwritten by the next refresh, so treat it as read/drain
+    /// access to histogram state.
     pub fn metrics_mut(&mut self) -> &mut Metrics {
-        &mut self.kernel.metrics
+        if self.shards.len() == 1 {
+            &mut self.shards[0].core.metrics
+        } else {
+            &mut self.merged
+        }
     }
 
     /// Take a node down: pending timers are cancelled, queued deliveries to
     /// it will be dropped, and `on_down` runs immediately.
     pub fn set_down(&mut self, id: NodeId) {
-        if !self.kernel.up[id.index()] {
+        let loc = self.router.locate[id.index()];
+        let shard = &mut self.shards[loc.shard as usize];
+        let local = loc.local as usize;
+        if !shard.core.nodes.is_up(local) {
             return;
         }
-        self.kernel.up[id.index()] = false;
-        self.kernel.timer_epoch[id.index()] += 1;
-        let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: id };
-        self.actors[id.index()].on_down(&mut ctx);
+        shard.core.nodes.set_up(local, false);
+        shard.core.nodes.epoch[local] += 1;
+        let mut ctx = CtxImpl {
+            core: &mut shard.core,
+            router: &self.router,
+            mailboxes: &self.mailboxes,
+            self_id: id,
+            self_local: local,
+        };
+        shard.actors[local].on_down(&mut ctx);
+        self.drain_all_mailboxes();
+        self.refresh_merged();
     }
 
     /// Bring a node back up; `on_revive` runs immediately (its default
@@ -246,75 +559,200 @@ impl<M: 'static> Sim<M> {
     /// the new epoch, so the maintenance loops cancelled by [`Sim::set_down`]
     /// resume instead of being silently lost.
     pub fn set_up(&mut self, id: NodeId) {
-        if self.kernel.up[id.index()] {
+        let loc = self.router.locate[id.index()];
+        let shard = &mut self.shards[loc.shard as usize];
+        let local = loc.local as usize;
+        if shard.core.nodes.is_up(local) {
             return;
         }
-        self.kernel.up[id.index()] = true;
-        self.kernel.timer_epoch[id.index()] += 1;
-        let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: id };
-        self.actors[id.index()].on_revive(&mut ctx);
+        shard.core.nodes.set_up(local, true);
+        shard.core.nodes.epoch[local] += 1;
+        let mut ctx = CtxImpl {
+            core: &mut shard.core,
+            router: &self.router,
+            mailboxes: &self.mailboxes,
+            self_id: id,
+            self_local: local,
+        };
+        shard.actors[local].on_revive(&mut ctx);
+        self.drain_all_mailboxes();
+        self.refresh_merged();
     }
 
-    /// Process a single event. Returns `false` when the queue is empty.
+    /// Process the single globally-earliest event. Returns `false` when no
+    /// events remain. Works for any shard count (sequentially — the window
+    /// machinery is bypassed), which makes it a handy cross-check against
+    /// the parallel path in tests.
     pub fn step(&mut self) -> bool {
-        let Some(event) = self.kernel.queue.pop() else {
-            return false;
-        };
-        debug_assert!(event.time >= self.kernel.now, "time must not run backwards");
-        self.kernel.now = event.time;
-        match event.kind {
-            EventKind::Deliver { from, dst, msg } => {
-                if !self.kernel.up[dst.index()] {
-                    self.kernel.metrics.count(DROPPED_TO_DOWN.id(), 1, 0);
-                    return true;
-                }
-                let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: dst };
-                self.actors[dst.index()].on_message(&mut ctx, from, msg);
-            }
-            EventKind::Timer { dst, token, epoch } => {
-                if !self.kernel.up[dst.index()] || self.kernel.timer_epoch[dst.index()] != epoch {
-                    return true;
-                }
-                let mut ctx = CtxImpl { kernel: &mut self.kernel, self_id: dst };
-                if token == START_TOKEN {
-                    self.actors[dst.index()].on_start(&mut ctx);
-                } else {
-                    self.actors[dst.index()].on_timer(&mut ctx, token);
+        let mut best: Option<(usize, EventKey)> = None;
+        for (ix, shard) in self.shards.iter().enumerate() {
+            if let Some(k) = shard.core.queue.peek_key() {
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((ix, k));
                 }
             }
         }
+        let Some((ix, key)) = best else {
+            return false;
+        };
+        let (key, kind) = {
+            let shard = &mut self.shards[ix];
+            let popped = shard.core.queue.pop().expect("peeked event vanished");
+            debug_assert_eq!(popped.0, key);
+            popped
+        };
+        let t = key.time;
+        {
+            let (router, mailboxes) = (&self.router, &self.mailboxes[..]);
+            self.shards[ix].dispatch(router, mailboxes, key, kind);
+        }
+        self.drain_all_mailboxes();
+        for shard in &mut self.shards {
+            if shard.core.now < t {
+                shard.core.now = t;
+            }
+        }
+        self.clock = self.clock.max(t);
+        self.refresh_merged();
         true
     }
 
     /// Run until the event queue drains.
     pub fn run_until_quiescent(&mut self) {
-        while self.step() {}
+        if self.shards.len() == 1 {
+            let (router, mailboxes) = (&self.router, &self.mailboxes[..]);
+            let shard = &mut self.shards[0];
+            while let Some((key, kind)) = shard.core.queue.pop() {
+                shard.dispatch(router, mailboxes, key, kind);
+            }
+        } else {
+            self.run_windows(None);
+        }
+        let end = self.shards.iter().map(|s| s.core.now).max().unwrap_or(self.clock);
+        self.finish_run(end.max(self.clock));
     }
 
     /// Run until the clock reaches `deadline` (events at exactly `deadline`
     /// are processed). The clock is advanced to `deadline` even if the queue
     /// drains earlier.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.kernel.queue.peek_time() {
-            if t > deadline {
-                break;
+        if self.shards.len() == 1 {
+            let (router, mailboxes) = (&self.router, &self.mailboxes[..]);
+            let shard = &mut self.shards[0];
+            while let Some(t) = shard.core.queue.peek_time() {
+                if t > deadline {
+                    break;
+                }
+                let (key, kind) = shard.core.queue.pop().expect("peeked event vanished");
+                shard.dispatch(router, mailboxes, key, kind);
             }
-            self.step();
+        } else {
+            self.run_windows(Some(deadline));
         }
-        if self.kernel.now < deadline {
-            self.kernel.now = deadline;
-        }
+        self.finish_run(self.clock.max(deadline));
     }
 
     /// Run for a span of virtual time from now.
     pub fn run_for(&mut self, d: SimDuration) {
-        let deadline = self.kernel.now + d;
+        let deadline = self.clock + d;
         self.run_until(deadline);
     }
 
     /// Number of pending events (for tests and progress reporting).
     pub fn pending_events(&self) -> usize {
-        self.kernel.queue.len()
+        self.shards.iter().map(|s| s.core.queue.len()).sum()
+    }
+
+    /// Event-queue accounting summed across shards: pending events, peak
+    /// heap occupancy, and total events processed. `repro` divides
+    /// `processed` by wall time to report events/sec per experiment.
+    pub fn event_stats(&self) -> EventStats {
+        let mut stats = EventStats::default();
+        for shard in &self.shards {
+            stats.pending += shard.core.queue.len();
+            stats.peak_pending += shard.core.queue.peak();
+            stats.processed += shard.core.queue.processed();
+        }
+        stats
+    }
+
+    /// The conservative lockstep loop for `shards > 1`.
+    ///
+    /// Per iteration each worker: drains its mailbox, publishes its next
+    /// event time, hits a barrier, computes the global minimum `gmin`
+    /// (identically, so the break decision is consensus without
+    /// communication), processes its events in `[gmin, gmin + window)`
+    /// (capped at `deadline + 1`), and hits the second barrier. Messages
+    /// sent inside a window are clamped to arrive at least one full window
+    /// later, so mailbox drains at the loop top see everything that can
+    /// affect the coming window.
+    fn run_windows(&mut self, deadline: Option<SimTime>) {
+        let n = self.shards.len();
+        let window = self.router.window.as_micros();
+        let dl = deadline.map(SimTime::as_micros);
+        let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let barrier = Barrier::new(n);
+        let router = &self.router;
+        let mailboxes = &self.mailboxes[..];
+        std::thread::scope(|scope| {
+            for (ix, shard) in self.shards.iter_mut().enumerate() {
+                let (slots, barrier) = (&slots, &barrier);
+                scope.spawn(move || loop {
+                    shard.drain_mailbox(&mailboxes[ix]);
+                    let next = shard.core.queue.peek_time().map_or(u64::MAX, SimTime::as_micros);
+                    slots[ix].store(next, Relaxed);
+                    barrier.wait();
+                    let gmin = slots.iter().map(|s| s.load(Relaxed)).min().expect("n >= 1");
+                    let stop = match dl {
+                        Some(d) => gmin > d,
+                        None => gmin == u64::MAX,
+                    };
+                    if stop {
+                        break;
+                    }
+                    let mut lim = gmin.saturating_add(window);
+                    if let Some(d) = dl {
+                        lim = lim.min(d.saturating_add(1));
+                    }
+                    shard.run_window(lim, router, mailboxes);
+                    barrier.wait();
+                });
+            }
+        });
+    }
+
+    /// Epilogue for the run loops: align every shard clock (and the global
+    /// one) to `end`, and refresh the merged metrics view. Keeping all
+    /// shard clocks equal between public calls is what makes driver
+    /// injections (`with_actor_ctx`, churn transitions) stamp identical
+    /// event keys regardless of shard count.
+    fn finish_run(&mut self, end: SimTime) {
+        for shard in &mut self.shards {
+            if shard.core.now < end {
+                shard.core.now = end;
+            }
+        }
+        self.clock = end;
+        self.refresh_merged();
+    }
+
+    /// Move queued cross-shard sends into their destination heaps. Called
+    /// after sequential (driver-side) handler runs; the parallel loop
+    /// drains per-worker instead.
+    fn drain_all_mailboxes(&mut self) {
+        for (ix, shard) in self.shards.iter_mut().enumerate() {
+            shard.drain_mailbox(&self.mailboxes[ix]);
+        }
+    }
+
+    fn refresh_merged(&mut self) {
+        if self.shards.len() == 1 {
+            return;
+        }
+        self.merged.reset();
+        for shard in &self.shards {
+            self.merged.merge_from(&shard.core.metrics);
+        }
     }
 }
 
@@ -324,7 +762,7 @@ const START_TOKEN: TimerToken = TimerToken(u64::MAX);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::latency::ConstantLatency;
+    use crate::latency::{ConstantLatency, UniformLatency};
 
     crate::metric_classes! {
         PING = "test.ping";
@@ -429,7 +867,7 @@ mod tests {
     #[test]
     fn identical_seeds_identical_runs() {
         let run = |seed| {
-            let cfg = SimConfig::with_seed(seed).latency(crate::latency::UniformLatency::new(
+            let cfg = SimConfig::with_seed(seed).latency(UniformLatency::new(
                 SimDuration::from_millis(5),
                 SimDuration::from_millis(50),
             ));
@@ -486,7 +924,7 @@ mod tests {
         let (mut sim, a, b) = echo_pair();
         sim.run_until_quiescent();
         sim.set_down(a);
-        // `step()` would drop any delivery/timer for a down node; injecting
+        // Event dispatch drops any delivery/timer for a down node; injecting
         // a handler run from the driver must be refused the same way.
         sim.with_actor_ctx::<Echo, _>(a, |echo, ctx| {
             ctx.send(b, Msg::Ping, 23, PING.id());
@@ -571,5 +1009,179 @@ mod tests {
         }
         let (sim, a, _b) = echo_pair();
         let _ = sim.actor::<Other>(a);
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-kernel coverage.
+    // ------------------------------------------------------------------
+
+    /// A relay mesh that exercises cross-node traffic, per-node randomness,
+    /// timers, and driver injections — the full surface the sharding
+    /// refactor must keep bit-stable.
+    struct Relay {
+        n: u32,
+        forwards: u32,
+        received: u64,
+    }
+
+    #[derive(Debug)]
+    struct Hop(u32);
+
+    impl Actor<Hop> for Relay {
+        fn on_start(&mut self, ctx: &mut dyn Ctx<Hop>) {
+            let me = ctx.self_id().raw();
+            ctx.send(NodeId::new((me * 7 + 1) % self.n), Hop(6), 40, PING.id());
+            ctx.set_timer(SimDuration::from_millis(250), TimerToken(9));
+        }
+        fn on_message(&mut self, ctx: &mut dyn Ctx<Hop>, _from: NodeId, Hop(ttl): Hop) {
+            self.received += 1;
+            if ttl > 0 {
+                use rand::Rng;
+                let next = ctx.rng().random_range(0..self.n);
+                ctx.send(NodeId::new(next), Hop(ttl - 1), 40, PONG.id());
+                self.forwards += 1;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut dyn Ctx<Hop>, _t: TimerToken) {
+            let me = ctx.self_id().raw();
+            ctx.send(NodeId::new((me + 3) % self.n), Hop(2), 24, PING.id());
+        }
+    }
+
+    /// Everything observable from one relay-mesh run: per-class counters,
+    /// total messages/bytes, the final clock, and the hop census.
+    type RelayRun = (Vec<(&'static str, u64, u64)>, u64, u64, SimTime, u64);
+
+    /// Drive the relay mesh (including churn and a driver injection) and
+    /// snapshot everything observable.
+    fn relay_run(shards: usize) -> RelayRun {
+        const N: u32 = 23;
+        let cfg = SimConfig::with_seed(0xFEED)
+            .latency(UniformLatency::new(
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(80),
+            ))
+            .shards(shards);
+        let mut sim = Sim::new(cfg);
+        for _ in 0..N {
+            sim.add_node(Relay { n: N, forwards: 0, received: 0 });
+        }
+        sim.run_for(SimDuration::from_millis(400));
+        sim.set_down(NodeId::new(4));
+        sim.set_down(NodeId::new(17));
+        sim.run_for(SimDuration::from_millis(300));
+        sim.set_up(NodeId::new(4));
+        sim.with_actor_ctx::<Relay, _>(NodeId::new(2), |_, ctx| {
+            ctx.send(NodeId::new(11), Hop(6), 40, PING.id())
+        });
+        sim.run_until_quiescent();
+        let mut counters: Vec<(&'static str, u64, u64)> =
+            sim.metrics().counters().map(|(c, v)| (c, v.count, v.bytes)).collect();
+        counters.sort_unstable();
+        let received: u64 = (0..N).map(|i| sim.actor::<Relay>(NodeId::new(i)).received).sum();
+        (counters, sim.metrics().total_messages, sim.metrics().total_bytes, sim.now(), received)
+    }
+
+    /// The tentpole contract: every observable — counters, totals, final
+    /// clock, per-actor state — is bit-identical across shard counts.
+    #[test]
+    fn shard_counts_are_bit_identical() {
+        let base = relay_run(1);
+        assert!(base.1 > 100, "workload must generate real traffic");
+        for shards in [2, 3, 4] {
+            assert_eq!(relay_run(shards), base, "shards={shards} diverged from shards=1");
+        }
+    }
+
+    /// `step()` executes in global key order for any shard count, so a
+    /// step-driven multi-shard run must match the windowed parallel run.
+    #[test]
+    fn stepped_multishard_matches_windowed() {
+        let windowed = relay_run(2);
+        const N: u32 = 23;
+        let cfg = SimConfig::with_seed(0xFEED)
+            .latency(UniformLatency::new(
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(80),
+            ))
+            .shards(2);
+        let mut sim = Sim::new(cfg);
+        for _ in 0..N {
+            sim.add_node(Relay { n: N, forwards: 0, received: 0 });
+        }
+        sim.run_for(SimDuration::from_millis(400));
+        sim.set_down(NodeId::new(4));
+        sim.set_down(NodeId::new(17));
+        sim.run_for(SimDuration::from_millis(300));
+        sim.set_up(NodeId::new(4));
+        sim.with_actor_ctx::<Relay, _>(NodeId::new(2), |_, ctx| {
+            ctx.send(NodeId::new(11), Hop(6), 40, PING.id())
+        });
+        while sim.step() {}
+        let mut counters: Vec<(&'static str, u64, u64)> =
+            sim.metrics().counters().map(|(c, v)| (c, v.count, v.bytes)).collect();
+        counters.sort_unstable();
+        assert_eq!(counters, windowed.0);
+        assert_eq!(sim.metrics().total_messages, windowed.1);
+    }
+
+    /// Cross-shard sends from a driver injection land and complete.
+    #[test]
+    fn with_actor_ctx_crosses_shards() {
+        let cfg = SimConfig::with_seed(5)
+            .latency(ConstantLatency(SimDuration::from_millis(10)))
+            .shards(4);
+        let mut sim = Sim::new(cfg);
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            ids.push(sim.add_node(Echo {
+                peer: None,
+                pings_sent: 0,
+                pongs_got: 0,
+                timer_fires: 0,
+                last_pong_at: SimTime::ZERO,
+            }));
+        }
+        sim.run_until_quiescent();
+        for i in 0..8 {
+            let dst = ids[(i + 3) % 8];
+            sim.with_actor_ctx::<Echo, _>(ids[i], |_, ctx| ctx.send(dst, Msg::Ping, 23, PING.id()));
+        }
+        sim.run_until_quiescent();
+        let pongs: u32 = ids.iter().map(|&id| sim.actor::<Echo>(id).pongs_got).sum();
+        assert_eq!(pongs, 8, "every cross-shard ping must be echoed back");
+        assert_eq!(sim.metrics().counter("test.ping").count, 8);
+    }
+
+    /// `event_stats` tracks processed and pending work across shards.
+    #[test]
+    fn event_stats_accounts_processed_and_pending() {
+        let (mut sim, _a, _b) = echo_pair();
+        assert_eq!(sim.event_stats().processed, 0);
+        assert_eq!(sim.event_stats().pending, 2, "two start events queued");
+        sim.run_until_quiescent();
+        let stats = sim.event_stats();
+        assert_eq!(stats.pending, 0);
+        // 2 starts + ping + pong + timer.
+        assert_eq!(stats.processed, 5);
+        assert!(stats.peak_pending >= 2);
+    }
+
+    /// Nodes spread across shards under the fixed hash (no shard starves).
+    #[test]
+    fn shard_assignment_spreads_nodes() {
+        let cfg = SimConfig::with_seed(1).shards(4);
+        let mut sim: Sim<Msg> = Sim::new(cfg);
+        for _ in 0..256 {
+            sim.add_node(Maintainer { ticks: 0, revivals: 0 });
+        }
+        let mut by_shard = [0usize; 4];
+        for i in 0..256 {
+            by_shard[sim.shard_of(NodeId::new(i)) as usize] += 1;
+        }
+        assert_eq!(by_shard.iter().sum::<usize>(), 256);
+        for (ix, &c) in by_shard.iter().enumerate() {
+            assert!(c > 32, "shard {ix} got only {c}/256 nodes");
+        }
     }
 }

@@ -109,7 +109,7 @@ fn figs4to7_quick_summary_matches_golden_values() {
     use pier_bench::lab::DEFAULT_SEED;
     use pier_bench::Scale;
 
-    let summary = figs4to7::trial(Scale::Quick, DEFAULT_SEED);
+    let summary = figs4to7::trial(Scale::Quick, DEFAULT_SEED, 1);
     let golden: [(&str, f64); 8] = [
         ("le10_single_pct", 43.9375),
         ("zero_single", 13.6875),
