@@ -1,0 +1,79 @@
+//! `mem_bench` — per-node memory accounting across the scale ladder.
+//!
+//! Builds the measurement lab at each requested scale, walks every actor's
+//! `mem_stats`, and reports bytes/node by subsystem plus the leaf-share
+//! before/after (per-leaf owned metas vs. `Box<[FileId]>` views into the
+//! shared columnar catalog). Results print as a table and are written to
+//! `BENCH_mem.json` at the workspace root (the `kernel_bench` pattern).
+//!
+//! Run with `cargo run -p pier-bench --release --bin mem_bench`.
+//! `--scales quick,sparse,full,metro` selects the rungs (default
+//! `quick,sparse`; `metro` builds a 220k-node simulation and wants a
+//! multi-GB host unless `REPRO_METRO_LITE=1`).
+
+use pier_bench::lab::Scale;
+use pier_bench::membench::measure;
+use std::io::Write;
+
+fn parse_scales() -> Vec<Scale> {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args
+        .iter()
+        .position(|a| a == "--scales")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "quick,sparse".to_string());
+    spec.split(',')
+        .map(|s| {
+            Scale::parse(s.trim()).unwrap_or_else(|| {
+                eprintln!("bad scale '{s}' (expected quick, sparse, full, or metro)");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let scales = parse_scales();
+    let mut reports = Vec::with_capacity(scales.len());
+    for scale in scales {
+        eprintln!("building {} lab…", scale.name());
+        let r = measure(scale);
+        println!(
+            "\n{} — {} nodes, {:.0} bytes/node (kernel {} KiB, catalog {} KiB)",
+            scale.name(),
+            r.nodes,
+            r.bytes_per_node,
+            r.kernel_bytes / 1024,
+            r.catalog_bytes / 1024,
+        );
+        println!("{:<24} {:>14}", "subsystem", "bytes");
+        for (name, bytes) in &r.by_subsystem {
+            println!("{name:<24} {bytes:>14}");
+        }
+        println!(
+            "leaf share: {} KiB columnar (+{} KiB catalog) vs {} KiB legacy — \
+             {:.1}x smaller per leaf, {:.1}x including the catalog",
+            r.share_bytes / 1024,
+            r.catalog_bytes / 1024,
+            r.legacy_share_bytes / 1024,
+            r.per_leaf_reduction,
+            r.share_reduction,
+        );
+        reports.push(r);
+    }
+
+    let path = pier_bench::output::results_dir()
+        .parent()
+        .map(|r| r.join("BENCH_mem.json"))
+        .unwrap_or_else(|| "BENCH_mem.json".into());
+    let mut json = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&r.to_json());
+        json.push_str(if i + 1 == reports.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("]\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("→ {}", path.display()),
+        Err(e) => eprintln!("(json write failed: {e})"),
+    }
+}

@@ -14,12 +14,13 @@
 //!                      # (mean/stderr/min/max) into results/sweep_*.json
 //! ```
 //!
-//! `--scale quick|sparse|full` (anywhere on the command line) selects the
+//! `--scale quick|sparse|full|metro` (anywhere on the command line) selects the
 //! workload scale; `--shards S` (also anywhere) runs each simulation on an
 //! S-way sharded kernel — outputs are bit-identical for any shard count,
 //! only wall-clock time changes, and it composes with sweep `--jobs`
 //! (J trial threads × S shard workers each).
-//! The scale flag: `full` is paper magnitudes, `sparse` the large sparse
+//! The scale flag: `metro` is the 220k-node single-network run, `full`
+//! paper magnitudes, `sparse` the large sparse
 //! topology where even new-style vantages see only part of the network.
 //! The `REPRO_SCALE` environment variable remains as a fallback when the
 //! flag is absent, so existing CI plumbing keeps working.
@@ -38,7 +39,7 @@ use pier_bench::Scale;
 fn parse_scale(args: &mut Vec<String>) -> Option<Scale> {
     let i = args.iter().position(|a| a == "--scale")?;
     let Some(v) = args.get(i + 1) else {
-        eprintln!("--scale needs a value (quick|sparse|full)");
+        eprintln!("--scale needs a value (quick|sparse|full|metro)");
         std::process::exit(2);
     };
     match Scale::parse(v) {
@@ -47,7 +48,7 @@ fn parse_scale(args: &mut Vec<String>) -> Option<Scale> {
             Some(scale)
         }
         None => {
-            eprintln!("bad value for --scale: '{v}' (expected quick, sparse, or full)");
+            eprintln!("bad value for --scale: '{v}' (expected quick, sparse, full, or metro)");
             std::process::exit(2);
         }
     }
@@ -138,7 +139,7 @@ fn main() {
     let what = args.first().map(String::as_str).unwrap_or("all");
     println!(
         "repro: running '{what}' at {scale:?} scale, {shards} kernel shard(s) \
-(--scale quick|sparse|full, --shards N)"
+(--scale quick|sparse|full|metro, --shards N)"
     );
 
     let t0 = std::time::Instant::now();

@@ -70,6 +70,7 @@ impl ChurnConfig {
             Scale::Quick => (40, 6, 100),
             Scale::Sparse => (72, 8, 200),
             Scale::Full => (144, 12, 400),
+            Scale::Metro => (288, 16, 800),
         };
         ChurnConfig {
             nodes,

@@ -37,6 +37,9 @@ pub fn run_seeded(scale: Scale, seed: u64, shards: usize) -> CrawlOutcome {
     let (ups, leaves) = match scale {
         Scale::Quick | Scale::Sparse => (400usize, 4_000usize),
         Scale::Full => (3_333, 96_000),
+        // Double the paper's crawl: the shared-catalog layout makes the
+        // actor population cheap; messages dominate.
+        Scale::Metro => (6_666, 192_000),
     };
     let cfg = SimConfig::with_seed(seed)
         .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(90)))

@@ -28,7 +28,7 @@ pub fn collect(scale: Scale) -> MeasurementData {
 /// `shards`-way kernel. Results are bit-identical for any shard count.
 pub fn collect_seeded(scale: Scale, seed: u64, shards: usize) -> MeasurementData {
     let mut lab = Lab::build(LabConfig::at_sharded(scale, seed, shards));
-    let per_query = lab.replay(if scale == Scale::Full { 3.0 } else { 2.0 });
+    let per_query = lab.replay(if matches!(scale, Scale::Full | Scale::Metro) { 3.0 } else { 2.0 });
     MeasurementData {
         per_query,
         vantage_count: lab.vantages.len(),

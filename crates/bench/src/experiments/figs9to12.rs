@@ -49,11 +49,22 @@ fn trace_view_with_seeds(
             seed: catalog_seed,
             ..Default::default()
         },
+        // Double the §6.2 trace magnitude.
+        Scale::Metro => CatalogConfig {
+            hosts: 150_000,
+            distinct_files: 300_000,
+            max_replicas: 6_000,
+            vocab: 77_800,
+            phrases: 24_000,
+            seed: catalog_seed,
+            ..Default::default()
+        },
     };
     let catalog = Catalog::generate(cfg);
     let queries = match scale {
         Scale::Quick | Scale::Sparse => 350,
         Scale::Full => 350,
+        Scale::Metro => 500,
     };
     let trace = QueryTrace::generate(
         &catalog,

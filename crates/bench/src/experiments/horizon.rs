@@ -39,7 +39,7 @@ pub fn collect(scale: Scale) -> HorizonData {
 pub fn collect_seeded(scale: Scale, seed: u64, shards: usize) -> HorizonData {
     let mut lab = Lab::build(LabConfig::at_sharded(scale, seed, shards));
     let vantage_degrees = lab.vantage_profiles();
-    let per_query = lab.replay(if scale == Scale::Full { 3.0 } else { 2.0 });
+    let per_query = lab.replay(if matches!(scale, Scale::Full | Scale::Metro) { 3.0 } else { 2.0 });
     HorizonData {
         per_query,
         vantage_degrees,

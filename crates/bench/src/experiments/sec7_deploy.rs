@@ -183,6 +183,7 @@ pub fn run_seeded(scale: Scale, master: u64, shards: usize) -> DeployOutcome {
     let files = match scale {
         Scale::Quick | Scale::Sparse => 60,
         Scale::Full => 200,
+        Scale::Metro => 300,
     };
     let pub_plain = micro_publish_cost_seeded(IndexMode::Inverted, files, master + 1);
     let pub_cache = micro_publish_cost_seeded(IndexMode::InvertedCache, files, master + 1);
@@ -202,6 +203,7 @@ pub fn run_seeded(scale: Scale, master: u64, shards: usize) -> DeployOutcome {
     let (ups, hybrid_ups, leaves, distinct, queries) = match scale {
         Scale::Quick | Scale::Sparse => (100usize, 20usize, 2_000usize, 4_000usize, 120usize),
         Scale::Full => (300, 50, 6_000, 12_000, 400),
+        Scale::Metro => (600, 100, 12_000, 24_000, 600),
     };
     let cfg = SimConfig::with_seed(master + 3)
         .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)))

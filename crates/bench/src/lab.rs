@@ -3,8 +3,8 @@
 //! ultrapeers — the apparatus behind Figures 4–7.
 
 use pier_gnutella::{
-    spawn, FileMeta, GnutellaHandles, GnutellaMsg, Guid, QueryOrigin, Terms, Topology,
-    TopologyConfig, UltrapeerNode,
+    spawn_stores, FileMeta, FileStore, GnutellaHandles, GnutellaMsg, Guid, QueryOrigin,
+    ShareCatalog, Terms, Topology, TopologyConfig, UltrapeerNode,
 };
 use pier_netsim::{NodeId, Sim, SimConfig, SimDuration, SimTime, UniformLatency};
 use pier_workload::{Catalog, CatalogConfig, Evaluator, Query, QueryConfig, QueryTrace};
@@ -17,12 +17,16 @@ use std::sync::Arc;
 /// (the paper's horizon effect); `Full` approaches the paper's magnitudes
 /// (thousands of ultrapeers, tens of thousands of leaves) — minutes of CPU
 /// per trial, which is what the parallel sweep runner
-/// (`repro sweep --jobs J`) exists to amortize.
+/// (`repro sweep --jobs J`) exists to amortize; `Metro` is an order of
+/// magnitude past `Full` (20k ultrapeers / 200k leaves, the paper's §4.1
+/// crawl magnitude as a *single* simulated network) and is only feasible
+/// because per-node protocol state shares one columnar catalog copy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {
     Quick,
     Sparse,
     Full,
+    Metro,
 }
 
 impl Scale {
@@ -32,6 +36,7 @@ impl Scale {
             "quick" => Some(Scale::Quick),
             "sparse" => Some(Scale::Sparse),
             "full" => Some(Scale::Full),
+            "metro" => Some(Scale::Metro),
             _ => None,
         }
     }
@@ -46,6 +51,7 @@ impl Scale {
             Scale::Quick => "quick",
             Scale::Sparse => "sparse",
             Scale::Full => "full",
+            Scale::Metro => "metro",
         }
     }
 }
@@ -141,6 +147,41 @@ impl LabConfig {
                 seed,
                 shards: 1,
             },
+            // The §4.1 crawl magnitude as one simulated network: 220k
+            // nodes. Feasible in-memory because every leaf's share is a
+            // `Box<[FileId]>` view into one shared columnar catalog.
+            // `REPRO_METRO_LITE=1` shrinks the preset to a CI-smoke size
+            // that still exercises the metro code path (shared catalog,
+            // metro experiment arms) in seconds instead of minutes.
+            Scale::Metro => {
+                if std::env::var("REPRO_METRO_LITE").map(|v| v == "1").unwrap_or(false) {
+                    LabConfig {
+                        ultrapeers: 300,
+                        leaves: 3_000,
+                        old_style_fraction: 0.6,
+                        leaf_ups: 2,
+                        distinct_files: 6_000,
+                        queries: 40,
+                        vantages: 6,
+                        mixed_profile_vantages: true,
+                        seed,
+                        shards: 1,
+                    }
+                } else {
+                    LabConfig {
+                        ultrapeers: 20_000,
+                        leaves: 200_000,
+                        old_style_fraction: 0.6,
+                        leaf_ups: 2,
+                        distinct_files: 60_000,
+                        queries: 240,
+                        vantages: 24,
+                        mixed_profile_vantages: true,
+                        seed,
+                        shards: 1,
+                    }
+                }
+            }
         }
     }
 }
@@ -164,6 +205,9 @@ pub struct Lab {
     /// The generated topology (profiles, edges, leaf homes) — kept so
     /// experiments can relate per-vantage results to ultrapeer profiles.
     pub topo: Topology,
+    /// The one process-wide copy of every shared file's metadata and token
+    /// set; every leaf's `FileStore` is a `Box<[FileId]>` view into it.
+    pub share_catalog: Arc<ShareCatalog>,
     cfg: LabConfig,
 }
 
@@ -191,19 +235,26 @@ impl Lab {
             &catalog,
             QueryConfig { queries: cfg.queries, seed: cfg.seed ^ 0xBEEF, ..Default::default() },
         );
-        let leaf_files: Vec<Vec<FileMeta>> = catalog
+        // One columnar copy of every distinct file (names scanned once);
+        // `catalog.host_files` entries are already indices into it, so each
+        // leaf's store is just that index list boxed. This is the layout
+        // that makes `Metro` feasible: share state no longer scales with
+        // replicas × (name + token) bytes.
+        let share_catalog = Arc::new(ShareCatalog::build(
+            catalog
+                .files
+                .iter()
+                .enumerate()
+                .map(|(fi, f)| FileMeta::new(&f.name, 1_000_000 + fi as u64)),
+        ));
+        let leaf_stores: Vec<FileStore> = catalog
             .host_files
             .iter()
             .map(|files| {
-                files
-                    .iter()
-                    .map(|&fi| {
-                        let f = &catalog.files[fi as usize];
-                        FileMeta::new(&f.name, 1_000_000 + fi as u64)
-                    })
-                    .collect()
+                FileStore::shared(Arc::clone(&share_catalog), files.clone().into_boxed_slice())
             })
             .collect();
+        let up_stores: Vec<FileStore> = (0..cfg.ultrapeers).map(|_| FileStore::default()).collect();
 
         let sim_cfg = SimConfig::with_seed(cfg.seed)
             .latency(UniformLatency::new(
@@ -212,7 +263,7 @@ impl Lab {
             ))
             .shards(cfg.shards);
         let mut sim = Sim::new(sim_cfg);
-        let handles = spawn(&mut sim, &topo, vec![Vec::new(); cfg.ultrapeers], leaf_files);
+        let handles = spawn_stores(&mut sim, &topo, up_stores, leaf_stores);
         // QRP propagation.
         sim.run_for(SimDuration::from_secs(3));
 
@@ -227,7 +278,7 @@ impl Lab {
             ensure_profile(&mut vantages, &handles, &topo, |n| n >= 32, 0);
             ensure_profile(&mut vantages, &handles, &topo, |n| n < 32, 1);
         }
-        Lab { sim, handles, catalog, trace, vantages, topo, cfg }
+        Lab { sim, handles, catalog, trace, vantages, topo, share_catalog, cfg }
     }
 
     /// The `up_neighbors` degree target of each vantage's profile (32 for
@@ -355,6 +406,7 @@ mod tests {
         let quick = LabConfig::at(Scale::Quick);
         let sparse = LabConfig::at(Scale::Sparse);
         let full = LabConfig::at(Scale::Full);
+        let metro = LabConfig::at(Scale::Metro);
         assert!(quick.ultrapeers < sparse.ultrapeers);
         assert!(sparse.ultrapeers < full.ultrapeers);
         assert!(quick.leaves < full.leaves);
@@ -366,6 +418,11 @@ mod tests {
             "Full runs a mixed ultrapeer profile"
         );
         assert!(full.mixed_profile_vantages, "Full vantage sets must span both profiles");
+        if std::env::var("REPRO_METRO_LITE").is_err() {
+            assert!(metro.ultrapeers >= 10 * full.ultrapeers, "Metro is an order past Full");
+            assert!(metro.leaves >= 10 * full.leaves, "Metro is an order past Full");
+        }
+        assert!(metro.mixed_profile_vantages);
     }
 
     #[test]
@@ -381,9 +438,11 @@ mod tests {
 
     #[test]
     fn scale_names_round_trip_through_env_convention() {
-        for s in [Scale::Quick, Scale::Sparse, Scale::Full] {
+        for s in [Scale::Quick, Scale::Sparse, Scale::Full, Scale::Metro] {
             assert!(!s.name().is_empty());
+            assert_eq!(Scale::parse(s.name()), Some(s));
         }
         assert_eq!(Scale::Full.name(), "full");
+        assert_eq!(Scale::Metro.name(), "metro");
     }
 }

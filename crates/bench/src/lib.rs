@@ -26,6 +26,7 @@
 pub mod experiments;
 pub mod floodbench;
 pub mod lab;
+pub mod membench;
 pub mod output;
 pub mod sweep;
 

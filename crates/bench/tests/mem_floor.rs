@@ -1,0 +1,50 @@
+//! The memory-diet floor: the columnar shared-catalog layout must keep
+//! leaf share state at least 3× smaller than the legacy per-leaf owned
+//! layout (`BENCH_mem.json`'s `leaf_share_reduction_per_leaf`).
+//!
+//! Building even the sparse lab is slow without optimizations and needs
+//! real RAM, so the test self-skips in debug builds and on low-memory
+//! hosts rather than flaking.
+
+use pier_bench::lab::Scale;
+use pier_bench::membench::measure;
+
+/// `MemAvailable` from /proc/meminfo, in bytes (`None` off Linux).
+fn available_ram() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/meminfo").ok()?;
+    let line = text.lines().find(|l| l.starts_with("MemAvailable:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+#[test]
+fn leaf_share_state_shrinks_at_least_3x() {
+    if cfg!(debug_assertions) {
+        eprintln!("mem_floor: skipped (needs --release; debug build is too slow)");
+        return;
+    }
+    const NEED: u64 = 2 << 30; // sparse lab peaks well under 2 GiB
+    if let Some(avail) = available_ram() {
+        if avail < NEED {
+            eprintln!("mem_floor: skipped ({} MiB available < 2 GiB)", avail >> 20);
+            return;
+        }
+    }
+
+    let r = measure(Scale::Sparse);
+    assert!(
+        r.per_leaf_reduction >= 3.0,
+        "leaf share state must be ≥ 3x smaller per leaf: columnar {} B vs legacy {} B ({:.2}x)",
+        r.share_bytes,
+        r.legacy_share_bytes,
+        r.per_leaf_reduction
+    );
+    // The one shared catalog copy must not eat the win: even charging it
+    // entirely against the diet, the new layout stays strictly smaller.
+    assert!(
+        r.share_reduction > 1.0,
+        "catalog + views ({} B) must undercut legacy ({} B)",
+        r.share_bytes + r.catalog_bytes,
+        r.legacy_share_bytes
+    );
+}

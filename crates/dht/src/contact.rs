@@ -12,6 +12,12 @@ pub struct Contact {
     pub node: NodeId,
 }
 
+impl pier_netsim::HeapSize for Contact {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
 impl Contact {
     pub fn new(key: Key, node: NodeId) -> Self {
         Contact { key, node }

@@ -56,10 +56,22 @@ enum RpcPurpose {
     EvictPing { stale: Key },
 }
 
+impl pier_netsim::HeapSize for PendingRpc {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
 struct PendingRpc {
     dst: Contact,
     deadline: SimTime,
     purpose: RpcPurpose,
+}
+
+impl pier_netsim::HeapSize for PutProgress {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
 }
 
 struct PutProgress {
@@ -67,6 +79,12 @@ struct PutProgress {
     want: usize,
     acks: usize,
     pending: usize,
+}
+
+impl pier_netsim::HeapSize for RepublishRecord {
+    fn heap_bytes(&self) -> usize {
+        self.value.heap_bytes()
+    }
 }
 
 struct RepublishRecord {
@@ -149,6 +167,23 @@ impl DhtCore {
 
     pub fn storage(&self) -> &Storage {
         &self.storage
+    }
+
+    /// Heap accounting by subsystem (see `pier_netsim::Sim::mem_stats`).
+    /// Dead arena bytes (swept values awaiting compaction) are reported
+    /// separately so reclaimable space is visible, not hidden in the total.
+    pub fn mem_stats(&self, acc: &mut pier_netsim::MemAcc) {
+        use pier_netsim::HeapSize;
+        acc.add("dht.storage", self.storage.heap_bytes());
+        acc.add("dht.storage.dead", self.storage.dead_bytes());
+        acc.add("dht.routing", self.table.heap_bytes());
+        let ops = self.pending.heap_bytes()
+            + self.lookups.heap_bytes()
+            + self.puts.heap_bytes()
+            + self.republish.heap_bytes()
+            + self.evict_in_flight.heap_bytes()
+            + self.events.capacity() * size_of::<DhtEvent>();
+        acc.add("dht.ops", ops);
     }
 
     // ------------------------------------------------------------------
@@ -335,8 +370,10 @@ impl DhtCore {
                 Response::StoreAck
             }
             Request::FindValue { key } => {
+                // `fetch` sweeps expired values while it reads, so quiet
+                // keys reclaim storage without waiting for the expiry tick.
                 let values: Vec<Vec<u8>> =
-                    self.storage.get(&key, net.now()).into_iter().map(|v| v.to_vec()).collect();
+                    self.storage.fetch(&key, net.now()).into_iter().map(|v| v.to_vec()).collect();
                 let closer = self.table.closest(&key, self.cfg.k);
                 Response::Values { values, closer }
             }

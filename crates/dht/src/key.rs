@@ -14,6 +14,12 @@ pub const KEY_BITS: usize = 160;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Key(pub [u8; 20]);
 
+impl pier_netsim::HeapSize for Key {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
 impl Key {
     /// The all-zero key.
     pub const ZERO: Key = Key([0; 20]);

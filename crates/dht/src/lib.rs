@@ -46,4 +46,4 @@ pub use key::{Distance, Key, KEY_BITS};
 pub use msg::{DhtMsg, Request, Response, RpcId};
 pub use node::{CtxNet, DhtApp, DhtNode, NullApp, TICK_TOKEN};
 pub use routing::{InsertOutcome, RoutingTable};
-pub use storage::{Storage, StoredValue};
+pub use storage::Storage;

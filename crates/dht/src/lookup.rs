@@ -45,6 +45,17 @@ pub struct Lookup {
     pub queries_sent: u32,
 }
 
+impl pier_netsim::HeapSize for Lookup {
+    fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * size_of::<(Contact, EntryState)>()
+            + self.values.heap_bytes()
+            + match &self.kind {
+                LookupKind::Publish { value, .. } => value.heap_bytes(),
+                _ => 0,
+            }
+    }
+}
+
 impl Lookup {
     pub fn new(
         target: Key,

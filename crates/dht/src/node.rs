@@ -22,6 +22,9 @@ pub trait DhtApp {
 
     /// Called once when the node starts (before joining). Default: nothing.
     fn on_start(&mut self, _dht: &mut DhtCore, _net: &mut dyn DhtNet) {}
+
+    /// Report this app's heap use by subsystem. Default: nothing.
+    fn mem_stats(&self, _acc: &mut pier_netsim::MemAcc) {}
 }
 
 /// A no-op application: the node is a pure storage/routing participant.
@@ -119,6 +122,11 @@ impl<A: DhtApp + 'static> Actor<DhtMsg> for DhtNode<A> {
     /// operations; only republishing can restore the lost values elsewhere.
     fn on_down(&mut self, _ctx: &mut dyn Ctx<DhtMsg>) {
         self.core.end_session();
+    }
+
+    fn mem_stats(&self, acc: &mut pier_netsim::MemAcc) {
+        self.core.mem_stats(acc);
+        self.app.mem_stats(acc);
     }
 
     /// Revival re-arms the maintenance tick (cancelled by going down) and

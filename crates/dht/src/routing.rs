@@ -47,6 +47,17 @@ pub struct RoutingTable {
     buckets: Vec<Bucket>,
 }
 
+impl pier_netsim::HeapSize for RoutingTable {
+    fn heap_bytes(&self) -> usize {
+        self.buckets.capacity() * size_of::<Bucket>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.entries.capacity() * size_of::<Contact>())
+                .sum::<usize>()
+    }
+}
+
 impl RoutingTable {
     pub fn new(local: Contact, k: usize) -> Self {
         assert!(k > 0, "bucket capacity must be positive");

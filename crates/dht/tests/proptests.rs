@@ -139,3 +139,91 @@ proptest! {
         prop_assert_eq!(s.total_bytes(), 0);
     }
 }
+
+proptest! {
+    /// The columnar arena `Storage` is observationally equivalent to a
+    /// plain insertion-ordered reference model over arbitrary op
+    /// sequences — inserts (with republish-extension), filtering reads,
+    /// sweeping reads, and global expiry passes, under advancing time.
+    /// Exercises slot reuse and arena compaction incidentally (small key
+    /// and value pools force chain collisions and duplicate values).
+    #[test]
+    fn storage_matches_reference_model(
+        ops in prop::collection::vec(
+            (0u8..4, 0u8..6, 0u8..5, 1u64..30, 0u64..10),
+            1..250,
+        )
+    ) {
+        // key -> insertion-ordered (value, expiry-in-seconds) chain.
+        type Chain = Vec<(Vec<u8>, u64)>;
+        let mut model: Vec<(Key, Chain)> = Vec::new();
+        let mut store = Storage::new();
+        let mut now = 0u64;
+        let t = |s: u64| SimTime::from_micros(s * 1_000_000);
+        for (op, k, v, ttl, dt) in ops {
+            now += dt;
+            let key = Key([k; 20]);
+            let value = vec![v; (v as usize & 3) + 1];
+            let chain = model.iter_mut().find(|(mk, _)| *mk == key).map(|(_, c)| c);
+            match op {
+                0 => {
+                    let expires = now + ttl;
+                    let fresh = store.insert(key, value.clone(), t(expires));
+                    let chain = match chain {
+                        Some(c) => c,
+                        None => {
+                            model.push((key, Vec::new()));
+                            &mut model.last_mut().unwrap().1
+                        }
+                    };
+                    // Republish dedups against even unswept expired values.
+                    match chain.iter_mut().find(|(mv, _)| *mv == value) {
+                        Some((_, e)) => {
+                            prop_assert!(!fresh);
+                            *e = (*e).max(expires);
+                        }
+                        None => {
+                            prop_assert!(fresh);
+                            chain.push((value, expires));
+                        }
+                    }
+                }
+                1 => {
+                    // `get` filters but never sweeps.
+                    let want: Vec<&[u8]> = chain
+                        .map(|c| c.iter().filter(|(_, e)| *e > now).map(|(v, _)| v.as_slice()).collect())
+                        .unwrap_or_default();
+                    prop_assert_eq!(store.get(&key, t(now)), want);
+                    prop_assert_eq!(store.count(&key, t(now)), want.len());
+                }
+                2 => {
+                    // `fetch` sweeps the chain, then returns the live values.
+                    let want: Vec<Vec<u8>> = match chain {
+                        Some(c) => {
+                            c.retain(|(_, e)| *e > now);
+                            c.iter().map(|(v, _)| v.clone()).collect()
+                        }
+                        None => Vec::new(),
+                    };
+                    let got: Vec<Vec<u8>> =
+                        store.fetch(&key, t(now)).into_iter().map(<[u8]>::to_vec).collect();
+                    prop_assert_eq!(got, want);
+                }
+                _ => {
+                    let mut dropped = 0;
+                    for (_, c) in &mut model {
+                        let before = c.len();
+                        c.retain(|(_, e)| *e > now);
+                        dropped += before - c.len();
+                    }
+                    prop_assert_eq!(store.expire(t(now)), dropped);
+                }
+            }
+            model.retain(|(_, c)| !c.is_empty());
+            prop_assert_eq!(store.key_count(), model.len());
+            let live: usize =
+                model.iter().flat_map(|(_, c)| c).map(|(v, _)| v.len()).sum();
+            prop_assert_eq!(store.total_bytes(), live);
+        }
+    }
+}

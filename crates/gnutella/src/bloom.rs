@@ -25,6 +25,12 @@ pub struct QrpFilter {
     k: u32,
 }
 
+impl pier_netsim::HeapSize for QrpFilter {
+    fn heap_bytes(&self) -> usize {
+        self.bits.capacity() * size_of::<u64>()
+    }
+}
+
 impl QrpFilter {
     /// Standard LimeWire table size is 65,536 slots; two hashes keep the
     /// false-positive rate low at leaf-share sizes (hundreds of keywords).

@@ -9,10 +9,28 @@
 //!
 //! Post-interning, matching is sorted-`TermId`-slice intersection (binary
 //! search per query term) instead of per-file `HashSet<String>` probes.
+//!
+//! # Memory layout
+//!
+//! File metadata lives in a [`ShareCatalog`]: one columnar, immutable copy
+//! of every distinct file — names, sizes, and sorted token sets in a flat
+//! `TermId` arena indexed by `u32` offsets. A node's [`FileStore`] holds an
+//! `Arc` to the catalog plus a `Box<[FileId]>` of the files it shares, so
+//! replicating a file onto ten thousand leaves costs 4 bytes per leaf, not
+//! a `FileMeta` + token-set clone per leaf. Matching and QRP advertising
+//! read through the shared arena. (QRP hash pairs are likewise shared: the
+//! process-wide vocab table caches one `(u64, u64)` per interned term — see
+//! `pier_vocab::qrp_hashes` — so no per-node hash state exists either.)
+//!
+//! Sharing is safe because the catalog is read-only after construction: the
+//! network only ever *matches against* shares, it never mutates them, and
+//! churn takes a node's share offline by dropping the `FileStore` (4-byte
+//! ids), never by touching the catalog.
 
+use pier_netsim::HeapSize;
 use pier_vocab::{scan, TermId};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Lowercase alphanumeric tokens of a filename ("Led_Zeppelin-IV.mp3" →
 /// ["led", "zeppelin", "iv", "mp3"]) — the shared scanner, in string form.
@@ -35,33 +53,128 @@ impl FileMeta {
     }
 }
 
-/// A node's share: files plus a sorted term-id index for fast matching.
-#[derive(Clone, Debug, Default)]
+/// Index of a distinct file within a [`ShareCatalog`].
+pub type FileId = u32;
+
+/// The process-wide columnar file catalog: one copy of every distinct
+/// file's metadata and sorted token set, shared by every [`FileStore`]
+/// built from it. Immutable after construction.
+#[derive(Debug, Default)]
+pub struct ShareCatalog {
+    /// One `FileMeta` per distinct file (names are `Arc<str>`, so handing
+    /// them out to `Hit`s clones pointers).
+    metas: Vec<FileMeta>,
+    /// Flat arena of per-file token sets (each sorted, deduplicated).
+    token_arena: Vec<TermId>,
+    /// `token_off[i]..token_off[i + 1]` is file `i`'s slice of the arena.
+    token_off: Vec<u32>,
+}
+
+impl ShareCatalog {
+    /// Build the catalog from distinct files, scanning each name once.
+    pub fn build(files: impl IntoIterator<Item = FileMeta>) -> ShareCatalog {
+        let metas: Vec<FileMeta> = files.into_iter().collect();
+        let mut token_arena = Vec::new();
+        let mut token_off = Vec::with_capacity(metas.len() + 1);
+        token_off.push(0u32);
+        for f in &metas {
+            let mut t = scan(&f.name);
+            t.sort_unstable();
+            t.dedup();
+            token_arena.extend_from_slice(&t);
+            let end = u32::try_from(token_arena.len()).expect("token arena exceeds u32 offsets");
+            token_off.push(end);
+        }
+        token_arena.shrink_to_fit();
+        ShareCatalog { metas, token_arena, token_off }
+    }
+
+    /// The shared empty catalog (what `FileStore::default()` points at), so
+    /// shareless nodes — every ultrapeer in the lab — cost no allocation.
+    pub fn empty() -> &'static Arc<ShareCatalog> {
+        static EMPTY: OnceLock<Arc<ShareCatalog>> = OnceLock::new();
+        EMPTY.get_or_init(|| Arc::new(ShareCatalog::default()))
+    }
+
+    /// Number of distinct files.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    pub fn meta(&self, id: FileId) -> &FileMeta {
+        &self.metas[id as usize]
+    }
+
+    /// File `id`'s distinct name tokens, sorted by `TermId`.
+    pub fn tokens(&self, id: FileId) -> &[TermId] {
+        let (a, b) = (self.token_off[id as usize], self.token_off[id as usize + 1]);
+        &self.token_arena[a as usize..b as usize]
+    }
+
+    /// Does file `id` match the query (every term a token of its name)?
+    pub fn matches(&self, id: FileId, terms: &[TermId]) -> bool {
+        let tokens = self.tokens(id);
+        !terms.is_empty() && terms.iter().all(|t| tokens.binary_search(t).is_ok())
+    }
+}
+
+impl HeapSize for ShareCatalog {
+    fn heap_bytes(&self) -> usize {
+        self.metas.capacity() * size_of::<FileMeta>()
+            + self.metas.iter().map(|m| m.name.heap_bytes()).sum::<usize>()
+            + self.token_arena.capacity() * size_of::<TermId>()
+            + self.token_off.capacity() * size_of::<u32>()
+    }
+}
+
+/// A node's share: a `Box<[FileId]>` into a shared [`ShareCatalog`], plus
+/// the share-wide sorted token union QRP advertises.
+#[derive(Clone, Debug)]
 pub struct FileStore {
-    files: Vec<FileMeta>,
-    /// Per file, its distinct name tokens, sorted by id.
-    token_sets: Vec<Box<[TermId]>>,
+    catalog: Arc<ShareCatalog>,
+    files: Box<[FileId]>,
     /// Distinct tokens across the whole share, sorted — cached once so QRP
     /// refreshes stop re-allocating and re-cloning the full token set.
-    all_tokens: Vec<TermId>,
+    all_tokens: Box<[TermId]>,
+}
+
+impl Default for FileStore {
+    fn default() -> Self {
+        FileStore {
+            catalog: ShareCatalog::empty().clone(),
+            files: Box::default(),
+            all_tokens: Box::default(),
+        }
+    }
 }
 
 impl FileStore {
+    /// A store owning its own single-node catalog — the construction path
+    /// for unit tests and small drivers. Networks whose shares come from a
+    /// workload catalog share one [`ShareCatalog`] via [`FileStore::shared`]
+    /// instead.
     pub fn new(files: Vec<FileMeta>) -> Self {
-        let token_sets: Vec<Box<[TermId]>> = files
-            .iter()
-            .map(|f| {
-                let mut t = scan(&f.name);
-                t.sort_unstable();
-                t.dedup();
-                t.into_boxed_slice()
-            })
-            .collect();
+        let n = files.len();
+        let catalog = Arc::new(ShareCatalog::build(files));
+        FileStore::shared(catalog, (0..n as u32).collect())
+    }
+
+    /// A share of `files` (catalog indices) backed by a shared catalog.
+    pub fn shared(catalog: Arc<ShareCatalog>, files: Box<[FileId]>) -> Self {
         let mut all_tokens: Vec<TermId> =
-            token_sets.iter().flat_map(|s| s.iter().copied()).collect();
+            files.iter().flat_map(|&id| catalog.tokens(id).iter().copied()).collect();
         all_tokens.sort_unstable();
         all_tokens.dedup();
-        FileStore { files, token_sets, all_tokens }
+        FileStore { catalog, files, all_tokens: all_tokens.into_boxed_slice() }
+    }
+
+    /// The catalog this share reads through.
+    pub fn catalog(&self) -> &Arc<ShareCatalog> {
+        &self.catalog
     }
 
     pub fn len(&self) -> usize {
@@ -72,8 +185,15 @@ impl FileStore {
         self.files.is_empty()
     }
 
-    pub fn files(&self) -> &[FileMeta] {
-        &self.files
+    /// The shared files' metadata, in share order.
+    pub fn iter(&self) -> impl Iterator<Item = &FileMeta> + '_ {
+        self.files.iter().map(|&id| self.catalog.meta(id))
+    }
+
+    /// Owned metadata of the whole share (BrowseHost replies; names are
+    /// pointer clones).
+    pub fn metas(&self) -> Vec<FileMeta> {
+        self.iter().cloned().collect()
     }
 
     /// All distinct tokens across the share, sorted (what QRP filters
@@ -89,15 +209,49 @@ impl FileStore {
         }
         self.files
             .iter()
-            .zip(&self.token_sets)
-            .filter(|(_, tokens)| terms.iter().all(|t| tokens.binary_search(t).is_ok()))
-            .map(|(f, _)| f)
+            .filter(|&&id| self.catalog.matches(id, terms))
+            .map(|&id| self.catalog.meta(id))
             .collect()
     }
 
     /// Convenience for drivers/tests: tokenize a query string and match.
     pub fn matching_query(&self, query: &str) -> Vec<&FileMeta> {
         self.matching(&scan(query))
+    }
+
+    /// Heap bytes owned by *this node* for its share — the id list and the
+    /// token union, not the shared catalog (accounted once per process).
+    pub fn own_heap_bytes(&self) -> usize {
+        self.files.len() * size_of::<FileId>() + self.all_tokens.len() * size_of::<TermId>()
+    }
+
+    /// What the pre-catalog layout would have charged this node for the
+    /// same share: a `FileMeta` (with its own `Arc<str>` name allocation)
+    /// and a `Box<[TermId]>` token set per file, plus the `Vec` spines and
+    /// the token-union cache. This is the "before" of `mem_bench`'s
+    /// before-vs-after reduction floor.
+    pub fn legacy_heap_bytes(&self) -> usize {
+        let per_file: usize = self
+            .files
+            .iter()
+            .map(|&id| {
+                let name = &self.catalog.meta(id).name;
+                size_of::<FileMeta>() + name.heap_bytes() + size_of_val(self.catalog.tokens(id))
+            })
+            .sum();
+        // Vec<FileMeta> + Vec<Box<[TermId]>> spines, and the old Vec-backed
+        // all_tokens cache.
+        per_file
+            + self.files.len() * size_of::<Box<[TermId]>>()
+            + self.all_tokens.len() * size_of::<TermId>()
+    }
+}
+
+impl HeapSize for FileStore {
+    /// Charges only per-node state; the shared catalog is accounted once at
+    /// process level, not once per store (see [`FileStore::own_heap_bytes`]).
+    fn heap_bytes(&self) -> usize {
+        self.own_heap_bytes()
     }
 }
 
@@ -170,5 +324,54 @@ mod tests {
                 .collect();
             assert_eq!(fast, slow, "query {q:?}");
         }
+    }
+
+    /// A shared-catalog store must behave exactly like a store built from
+    /// the same metadata via the single-owner path: same share order, same
+    /// matches, same QRP token union.
+    #[test]
+    fn shared_store_equals_owning_store() {
+        let metas: Vec<FileMeta> = ["rare_live_cut.mp3", "common_hit.mp3", "b_side.ogg"]
+            .iter()
+            .map(|n| FileMeta::new(n, 9))
+            .collect();
+        let catalog = Arc::new(ShareCatalog::build(metas.clone()));
+        let shared = FileStore::shared(catalog, vec![2u32, 0].into_boxed_slice());
+        let owning = FileStore::new(vec![metas[2].clone(), metas[0].clone()]);
+        assert_eq!(shared.len(), owning.len());
+        assert_eq!(shared.metas(), owning.metas(), "share order preserved");
+        assert_eq!(shared.all_tokens(), owning.all_tokens());
+        for q in ["rare live", "b side", "common", "nothing here"] {
+            let a: Vec<&str> = shared.matching_query(q).iter().map(|f| &*f.name).collect();
+            let b: Vec<&str> = owning.matching_query(q).iter().map(|f| &*f.name).collect();
+            assert_eq!(a, b, "query {q:?}");
+        }
+    }
+
+    /// The point of the exercise: per-node share state must be a small
+    /// fraction of what the per-node `FileMeta` + token-set layout cost.
+    #[test]
+    fn shared_share_state_is_much_smaller_than_legacy() {
+        let metas: Vec<FileMeta> = (0..200)
+            .map(|i| FileMeta::new(&format!("artist_{i}_album_{i}_track_{i}.mp3"), 1))
+            .collect();
+        let catalog = Arc::new(ShareCatalog::build(metas));
+        let store = FileStore::shared(catalog, (0..200u32).collect());
+        assert!(
+            store.legacy_heap_bytes() >= 3 * store.own_heap_bytes(),
+            "legacy {} vs own {}",
+            store.legacy_heap_bytes(),
+            store.own_heap_bytes()
+        );
+    }
+
+    #[test]
+    fn default_store_shares_the_static_empty_catalog() {
+        let a = FileStore::default();
+        let b = FileStore::default();
+        assert!(Arc::ptr_eq(a.catalog(), b.catalog()));
+        assert_eq!(a.own_heap_bytes(), 0);
+        assert!(a.is_empty() && a.all_tokens().is_empty());
+        assert!(a.matching_query("anything").is_empty());
     }
 }

@@ -21,10 +21,20 @@ pub struct LeafSearch {
     pub done: bool,
 }
 
-/// The leaf protocol state machine.
+impl pier_netsim::HeapSize for LeafSearch {
+    fn heap_bytes(&self) -> usize {
+        // `terms` is an `Arc`-shared payload, charged at its origin.
+        self.hits.heap_bytes()
+    }
+}
+
+/// The leaf protocol state machine. The home-ultrapeer list is a
+/// `Box<[NodeId]>`: it is set once at spawn and only rebuilt on (rare)
+/// churn repair, so the slimmer no-spare-capacity representation wins at
+/// hundreds of thousands of leaves.
 pub struct LeafCore {
     pub cfg: LeafConfig,
-    ultrapeers: Vec<NodeId>,
+    ultrapeers: Box<[NodeId]>,
     store: FileStore,
     next_qid: u32,
     searches: HashMap<u32, LeafSearch>,
@@ -32,11 +42,11 @@ pub struct LeafCore {
 
 impl LeafCore {
     pub fn new(cfg: LeafConfig, store: FileStore) -> Self {
-        LeafCore { cfg, ultrapeers: Vec::new(), store, next_qid: 1, searches: HashMap::new() }
+        LeafCore { cfg, ultrapeers: Box::default(), store, next_qid: 1, searches: HashMap::new() }
     }
 
     pub fn set_ultrapeers(&mut self, ups: Vec<NodeId>) {
-        self.ultrapeers = ups;
+        self.ultrapeers = ups.into_boxed_slice();
     }
 
     pub fn ultrapeers(&self) -> &[NodeId] {
@@ -50,7 +60,7 @@ impl LeafCore {
         if self.ultrapeers.contains(&replacement) {
             // Already connected: just drop the dead entry.
             let before = self.ultrapeers.len();
-            self.ultrapeers.retain(|&u| u != dead);
+            self.ultrapeers = self.ultrapeers.iter().copied().filter(|&u| u != dead).collect();
             return self.ultrapeers.len() != before;
         }
         match self.ultrapeers.iter_mut().find(|u| **u == dead) {
@@ -119,6 +129,15 @@ impl LeafCore {
         self.searches.iter().map(|(q, s)| (*q, s))
     }
 
+    /// Heap accounting by subsystem (see `pier_netsim::Sim::mem_stats`).
+    /// The shared catalog behind the store is *not* charged here.
+    pub fn mem_stats(&self, acc: &mut pier_netsim::MemAcc) {
+        use pier_netsim::HeapSize;
+        acc.add("leaf.share", self.store.own_heap_bytes());
+        acc.add("leaf.topology", self.ultrapeers.heap_bytes());
+        acc.add("leaf.searches", self.searches.heap_bytes());
+    }
+
     pub fn on_message(&mut self, net: &mut dyn GnutellaNet, from: NodeId, msg: GnutellaMsg) {
         match msg {
             GnutellaMsg::LeafForward { guid, terms } => {
@@ -143,7 +162,7 @@ impl LeafCore {
                 }
             }
             GnutellaMsg::BrowseHost => {
-                net.send(from, GnutellaMsg::BrowseHostReply { files: self.store.files().to_vec() });
+                net.send(from, GnutellaMsg::BrowseHostReply { files: self.store.metas() });
             }
             _ => net.count(crate::classes::UNEXPECTED_MSG.id(), 1),
         }

@@ -34,11 +34,11 @@ mod ultrapeer;
 pub use bloom::QrpFilter;
 pub use config::{LeafConfig, UltrapeerConfig};
 pub use crawl::{CrawlGraph, Crawler};
-pub use files::{tokenize, FileMeta, FileStore};
+pub use files::{tokenize, FileId, FileMeta, FileStore, ShareCatalog};
 pub use leaf::{LeafCore, LeafSearch};
 pub use msg::{GnutellaMsg, Guid, Hit, HEADER_BYTES};
 pub use net::{CtxGnutellaNet, GnutellaNet};
 pub use node::{LeafNode, UltrapeerNode, UP_TICK};
 pub use pier_vocab::{TermId, Terms};
-pub use topology::{spawn, GnutellaHandles, Topology, TopologyConfig};
+pub use topology::{spawn, spawn_stores, GnutellaHandles, Topology, TopologyConfig};
 pub use ultrapeer::{QueryOrigin, QueryRecord, SnoopEvent, UltrapeerCore};

@@ -31,6 +31,20 @@ pub struct Hit {
     pub host: NodeId,
 }
 
+impl pier_netsim::HeapSize for Guid {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A hit's name is an `Arc<str>` clone of catalog-owned text; charging it
+/// per hit would multiply the one real allocation across every hop's copy.
+impl pier_netsim::HeapSize for Hit {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
 /// All Gnutella messages.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum GnutellaMsg {

@@ -41,6 +41,10 @@ impl Actor<GnutellaMsg> for UltrapeerNode {
     fn on_down(&mut self, _ctx: &mut dyn Ctx<GnutellaMsg>) {
         self.core.end_session();
     }
+
+    fn mem_stats(&self, acc: &mut pier_netsim::MemAcc) {
+        self.core.mem_stats(acc);
+    }
 }
 
 /// A leaf actor. Publishes its QRP filter on startup.
@@ -66,4 +70,8 @@ impl Actor<GnutellaMsg> for LeafNode {
     }
 
     fn on_timer(&mut self, _ctx: &mut dyn Ctx<GnutellaMsg>, _token: TimerToken) {}
+
+    fn mem_stats(&self, acc: &mut pier_netsim::MemAcc) {
+        self.core.mem_stats(acc);
+    }
 }

@@ -164,23 +164,41 @@ pub struct GnutellaHandles {
 
 /// Spawn the topology into a simulation. `up_files[i]` / `leaf_files[j]`
 /// are the shares of ultrapeer `i` / leaf `j` (commonly empty for
-/// ultrapeers).
+/// ultrapeers). Each node gets a store owning its own catalog; networks
+/// whose shares come from one workload catalog should build shared-catalog
+/// stores and use [`spawn_stores`] instead.
 pub fn spawn(
     sim: &mut Sim<GnutellaMsg>,
     topo: &Topology,
     up_files: Vec<Vec<FileMeta>>,
     leaf_files: Vec<Vec<FileMeta>>,
 ) -> GnutellaHandles {
-    assert_eq!(up_files.len(), topo.ultrapeer_count());
-    assert_eq!(leaf_files.len(), topo.leaf_count());
+    spawn_stores(
+        sim,
+        topo,
+        up_files.into_iter().map(FileStore::new).collect(),
+        leaf_files.into_iter().map(FileStore::new).collect(),
+    )
+}
+
+/// Spawn the topology with pre-built [`FileStore`]s — the shared-catalog
+/// path: one `Arc<ShareCatalog>` process-wide, a `Box<[FileId]>` per node.
+pub fn spawn_stores(
+    sim: &mut Sim<GnutellaMsg>,
+    topo: &Topology,
+    up_stores: Vec<FileStore>,
+    leaf_stores: Vec<FileStore>,
+) -> GnutellaHandles {
+    assert_eq!(up_stores.len(), topo.ultrapeer_count());
+    assert_eq!(leaf_stores.len(), topo.leaf_count());
     let base = sim.len() as u32;
     let up_id = |i: usize| NodeId::new(base + i as u32);
     let leaf_id = |j: usize| NodeId::new(base + topo.ultrapeer_count() as u32 + j as u32);
 
     let adj = topo.up_adjacency();
     let mut ups = Vec::with_capacity(topo.ultrapeer_count());
-    for (i, files) in up_files.into_iter().enumerate() {
-        let mut core = UltrapeerCore::new(topo.up_profiles[i].clone(), FileStore::new(files));
+    for (i, store) in up_stores.into_iter().enumerate() {
+        let mut core = UltrapeerCore::new(topo.up_profiles[i].clone(), store);
         core.set_neighbors(adj[i].iter().map(|&n| up_id(n)).collect());
         for (j, homes) in topo.leaf_homes.iter().enumerate() {
             if homes.contains(&i) {
@@ -192,8 +210,8 @@ pub fn spawn(
         ups.push(id);
     }
     let mut leaves = Vec::with_capacity(topo.leaf_count());
-    for (j, files) in leaf_files.into_iter().enumerate() {
-        let mut core = LeafCore::new(LeafConfig::default(), FileStore::new(files));
+    for (j, store) in leaf_stores.into_iter().enumerate() {
+        let mut core = LeafCore::new(LeafConfig::default(), store);
         core.set_ultrapeers(topo.leaf_homes[j].iter().map(|&u| up_id(u)).collect());
         let id = sim.add_node(LeafNode::new(core));
         debug_assert_eq!(id, leaf_id(j));

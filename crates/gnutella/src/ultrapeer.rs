@@ -45,6 +45,33 @@ struct SeenEntry {
     at: SimTime,
 }
 
+impl pier_netsim::HeapSize for DynState {
+    fn heap_bytes(&self) -> usize {
+        self.unprobed.heap_bytes()
+    }
+}
+
+impl pier_netsim::HeapSize for SeenEntry {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl pier_netsim::HeapSize for QueryRecord {
+    fn heap_bytes(&self) -> usize {
+        self.hits.heap_bytes()
+    }
+}
+
+impl pier_netsim::HeapSize for SnoopEvent {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            SnoopEvent::Query { .. } => 0,
+            SnoopEvent::Hits { hits, .. } => hits.heap_bytes(),
+        }
+    }
+}
+
 /// Hasher for the seen-GUID table: GUIDs are uniform 64-bit randoms, so
 /// one SplitMix64 round replaces SipHash on the per-relay duplicate check
 /// — the hottest lookup on the flood path. (Only `contains`/`insert`/
@@ -81,10 +108,12 @@ pub enum SnoopEvent {
     Hits { guid: Guid, hits: Vec<Hit> },
 }
 
-/// The ultrapeer protocol state machine.
+/// The ultrapeer protocol state machine. The neighbor list is a
+/// `Box<[NodeId]>`: set once at spawn, rebuilt only by (rare) churn
+/// repair, so no spare `Vec` capacity is carried per node.
 pub struct UltrapeerCore {
     pub cfg: UltrapeerConfig,
-    neighbors: Vec<NodeId>,
+    neighbors: Box<[NodeId]>,
     leaves: BTreeMap<NodeId, Option<QrpFilter>>,
     store: FileStore,
     /// GUID → where the query came from (reverse-path routing table).
@@ -102,7 +131,7 @@ impl UltrapeerCore {
     pub fn new(cfg: UltrapeerConfig, store: FileStore) -> Self {
         UltrapeerCore {
             cfg,
-            neighbors: Vec::new(),
+            neighbors: Box::default(),
             leaves: BTreeMap::new(),
             store,
             seen: SeenMap::default(),
@@ -119,7 +148,7 @@ impl UltrapeerCore {
     }
 
     pub fn set_neighbors(&mut self, neighbors: Vec<NodeId>) {
-        self.neighbors = neighbors;
+        self.neighbors = neighbors.into_boxed_slice();
     }
 
     pub fn neighbors(&self) -> &[NodeId] {
@@ -129,7 +158,9 @@ impl UltrapeerCore {
     /// Topology repair: connect to a new ultrapeer neighbor (idempotent).
     pub fn add_neighbor(&mut self, n: NodeId) {
         if !self.neighbors.contains(&n) {
-            self.neighbors.push(n);
+            let mut v = self.neighbors.to_vec();
+            v.push(n);
+            self.neighbors = v.into_boxed_slice();
         }
     }
 
@@ -137,7 +168,9 @@ impl UltrapeerCore {
     /// neighbor was present.
     pub fn remove_neighbor(&mut self, n: NodeId) -> bool {
         let before = self.neighbors.len();
-        self.neighbors.retain(|&x| x != n);
+        if self.neighbors.contains(&n) {
+            self.neighbors = self.neighbors.iter().copied().filter(|&x| x != n).collect();
+        }
         self.neighbors.len() != before
     }
 
@@ -168,6 +201,18 @@ impl UltrapeerCore {
 
     pub fn store(&self) -> &FileStore {
         &self.store
+    }
+
+    /// Heap accounting by subsystem (see `pier_netsim::Sim::mem_stats`).
+    /// Shared payloads (catalog, `Terms`, hit names) are not re-charged.
+    pub fn mem_stats(&self, acc: &mut pier_netsim::MemAcc) {
+        use pier_netsim::HeapSize;
+        acc.add("up.share", self.store.own_heap_bytes());
+        acc.add("up.topology", self.neighbors.heap_bytes());
+        let qrp: usize = self.leaves.values().map(HeapSize::heap_bytes).sum();
+        acc.add("up.qrp", self.leaves.len() * size_of::<(NodeId, Option<QrpFilter>)>() + qrp);
+        acc.add("up.relay", self.seen.heap_bytes() + self.snoop_log.heap_bytes());
+        acc.add("up.queries", self.queries.heap_bytes() + self.dyn_state.heap_bytes());
     }
 
     /// Inspect an originated query (driver API).
@@ -236,7 +281,7 @@ impl UltrapeerCore {
         // Probe phase: a cheap TTL-1 query to a handful of neighbors. The
         // remaining neighbors are kept for the paced deep phase — a probed
         // neighbor has already seen the GUID and would drop a deep re-probe.
-        let mut order = self.neighbors.clone();
+        let mut order = self.neighbors.to_vec();
         order.shuffle(net.rng());
         let probe_count = order.len().min(self.cfg.probe_neighbors);
         let unprobed: Vec<NodeId> = order.split_off(probe_count);
@@ -310,13 +355,13 @@ impl UltrapeerCore {
             }
             GnutellaMsg::CrawlPing => {
                 let reply = GnutellaMsg::CrawlPong {
-                    neighbors: self.neighbors.clone(),
+                    neighbors: self.neighbors.to_vec(),
                     leaves: self.leaves.keys().copied().collect(),
                 };
                 net.send(from, reply);
             }
             GnutellaMsg::BrowseHost => {
-                let reply = GnutellaMsg::BrowseHostReply { files: self.store.files().to_vec() };
+                let reply = GnutellaMsg::BrowseHostReply { files: self.store.metas() };
                 net.send(from, reply);
             }
             // Leaf-only or reply messages; an ultrapeer ignores them.

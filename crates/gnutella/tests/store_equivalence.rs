@@ -1,0 +1,55 @@
+//! Property test: a `FileStore` sharing the process-wide `ShareCatalog`
+//! is observationally identical to one owning its `FileMeta`s outright —
+//! same iteration order, same token union, same query-matching results.
+//! (The columnar layout may only change bytes, never behavior.)
+
+use pier_gnutella::{FileMeta, FileStore, ShareCatalog};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Small word pool, so shares collide and queries hit.
+const WORDS: [&str; 7] = ["alpha", "beta", "gamma", "delta", "live", "mix", "remix"];
+const EXTS: [&str; 3] = ["mp3", "avi", "zip"];
+
+/// Filenames as (word indices, extension index), rendered at use.
+fn name_strategy() -> impl Strategy<Value = String> {
+    (prop::collection::vec(0usize..WORDS.len(), 1..5), 0usize..EXTS.len()).prop_map(|(ws, ext)| {
+        let words: Vec<&str> = ws.iter().map(|&w| WORDS[w]).collect();
+        format!("{}.{}", words.join("_"), EXTS[ext])
+    })
+}
+
+fn flat(metas: Vec<&FileMeta>) -> Vec<(Arc<str>, u64)> {
+    metas.into_iter().map(|m| (m.name.clone(), m.size)).collect()
+}
+
+proptest! {
+    #[test]
+    fn shared_view_equals_owning_store(
+        names in prop::collection::vec(name_strategy(), 1..40),
+        picks in prop::collection::vec(0usize..1_000, 0..25),
+        queries in prop::collection::vec(name_strategy(), 0..8),
+    ) {
+        let metas: Vec<FileMeta> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| FileMeta::new(n, 1_000 + i as u64))
+            .collect();
+        let catalog = Arc::new(ShareCatalog::build(metas.iter().cloned()));
+        // An arbitrary leaf view: any multiset of catalog files, any order.
+        let ids: Vec<u32> = picks.iter().map(|&p| (p % names.len()) as u32).collect();
+
+        let owning = FileStore::new(ids.iter().map(|&i| metas[i as usize].clone()).collect());
+        let shared = FileStore::shared(Arc::clone(&catalog), ids.into_boxed_slice());
+
+        prop_assert_eq!(owning.len(), shared.len());
+        prop_assert_eq!(owning.is_empty(), shared.is_empty());
+        // Iteration order, the QRP token union, and query results must
+        // all be indistinguishable between the two layouts.
+        prop_assert_eq!(flat(owning.iter().collect()), flat(shared.iter().collect()));
+        prop_assert_eq!(owning.all_tokens(), shared.all_tokens());
+        for q in &queries {
+            prop_assert_eq!(flat(owning.matching_query(q)), flat(shared.matching_query(q)));
+        }
+    }
+}

@@ -5,8 +5,7 @@
 
 use pier_gnutella::Hit;
 use pier_netsim::NodeId;
-use pier_vocab::{scan, TermId};
-use std::collections::HashMap;
+use pier_vocab::{intern, pack_pair, scan, IdCounter};
 
 /// A file instance observed in traffic (a query hit, or a BrowseHost entry).
 /// The name shares the `FileMeta`'s `Arc` — snooping and publish queues
@@ -36,11 +35,16 @@ impl ObservedItem {
 ///   (the paper's low-bandwidth alternative to active sampling); rare if
 ///   the estimate is at or below the threshold.
 /// * `Random` — publish a coin-flip fraction (the evaluation baseline).
+///
+/// Counter tables are [`IdCounter`]s keyed by dense term indices: a term
+/// for TF, a packed adjacent pair for TPF, and the *interned lowercased
+/// filename* for SAM (whole names intern like terms do, so SAM needs no
+/// per-node `String` keys — one process-wide copy of each observed name).
 pub enum RareScheme {
     Qrs { results_threshold: usize },
-    Tf { threshold: u64, counts: HashMap<TermId, u64> },
-    Tpf { threshold: u64, counts: HashMap<(TermId, TermId), u64> },
-    Sam { threshold: u32, counts: HashMap<String, u32> },
+    Tf { threshold: u64, counts: IdCounter },
+    Tpf { threshold: u64, counts: IdCounter },
+    Sam { threshold: u32, counts: IdCounter },
     Random { fraction: f64, state: u64 },
 }
 
@@ -50,15 +54,15 @@ impl RareScheme {
     }
 
     pub fn tf(threshold: u64) -> Self {
-        RareScheme::Tf { threshold, counts: HashMap::new() }
+        RareScheme::Tf { threshold, counts: IdCounter::new() }
     }
 
     pub fn tpf(threshold: u64) -> Self {
-        RareScheme::Tpf { threshold, counts: HashMap::new() }
+        RareScheme::Tpf { threshold, counts: IdCounter::new() }
     }
 
     pub fn sam(threshold: u32) -> Self {
-        RareScheme::Sam { threshold, counts: HashMap::new() }
+        RareScheme::Sam { threshold, counts: IdCounter::new() }
     }
 
     pub fn random(fraction: f64, seed: u64) -> Self {
@@ -81,17 +85,17 @@ impl RareScheme {
             RareScheme::Qrs { .. } | RareScheme::Random { .. } => {}
             RareScheme::Tf { counts, .. } => {
                 for t in scan(name) {
-                    *counts.entry(t).or_insert(0) += 1;
+                    counts.add(t.index() as u64, 1);
                 }
             }
             RareScheme::Tpf { counts, .. } => {
                 let toks = scan(name);
                 for w in toks.windows(2) {
-                    *counts.entry((w[0], w[1])).or_insert(0) += 1;
+                    counts.add(pack_pair(w[0].index() as u32, w[1].index() as u32), 1);
                 }
             }
             RareScheme::Sam { counts, .. } => {
-                *counts.entry(name.to_lowercase()).or_insert(0) += 1;
+                counts.add(intern(&name.to_lowercase()).index() as u64, 1);
             }
         }
     }
@@ -104,7 +108,7 @@ impl RareScheme {
             RareScheme::Tf { threshold, counts } => {
                 let min = scan(name)
                     .iter()
-                    .map(|t| counts.get(t).copied().unwrap_or(0))
+                    .map(|t| counts.get(t.index() as u64).unwrap_or(0))
                     .min()
                     .unwrap_or(0);
                 Some(min < *threshold)
@@ -113,19 +117,37 @@ impl RareScheme {
                 let toks = scan(name);
                 let min = toks
                     .windows(2)
-                    .map(|w| counts.get(&(w[0], w[1])).copied().unwrap_or(0))
+                    .map(|w| {
+                        counts.get(pack_pair(w[0].index() as u32, w[1].index() as u32)).unwrap_or(0)
+                    })
                     .min()
                     .unwrap_or(0);
                 Some(min < *threshold)
             }
             RareScheme::Sam { threshold, counts } => {
-                let est = counts.get(&name.to_lowercase()).copied().unwrap_or(1).max(1);
-                Some(est <= *threshold)
+                // `lookup`, not `intern`: probing a never-observed name
+                // must not grow the process-wide table.
+                let est = pier_vocab::lookup(&name.to_lowercase())
+                    .and_then(|id| counts.get(id.index() as u64))
+                    .unwrap_or(1)
+                    .max(1);
+                Some(est <= u64::from(*threshold))
             }
             RareScheme::Random { fraction, state } => {
                 let x = pier_netsim::split_mix64(state);
                 Some((x as f64 / u64::MAX as f64) < *fraction)
             }
+        }
+    }
+
+    /// Heap bytes held by the scheme's counter tables.
+    pub fn heap_bytes(&self) -> usize {
+        use pier_netsim::HeapSize;
+        match self {
+            RareScheme::Qrs { .. } | RareScheme::Random { .. } => 0,
+            RareScheme::Tf { counts, .. }
+            | RareScheme::Tpf { counts, .. }
+            | RareScheme::Sam { counts, .. } => counts.heap_bytes(),
         }
     }
 

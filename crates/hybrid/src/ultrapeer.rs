@@ -398,6 +398,18 @@ impl DhtNet for DNet<'_> {
 }
 
 impl Actor<HybridMsg> for HybridUp {
+    fn mem_stats(&self, acc: &mut pier_netsim::MemAcc) {
+        use pier_netsim::HeapSize;
+        self.gnutella.mem_stats(acc);
+        self.dht.mem_stats(acc);
+        acc.add("hybrid.scheme", self.scheme.heap_bytes());
+        acc.add("pier.term_stats", self.engine.term_stats.heap_bytes());
+        acc.add(
+            "hybrid.proxy",
+            self.publish_queue.capacity() * size_of::<ObservedItem>() + self.published.heap_bytes(),
+        );
+    }
+
     fn on_start(&mut self, ctx: &mut dyn Ctx<HybridMsg>) {
         ctx.set_timer(self.gnutella.cfg.tick, G_TICK);
         ctx.set_timer(self.dht.config().tick, D_TICK);

@@ -115,6 +115,11 @@ pub trait Actor<M> {
     fn on_revive(&mut self, ctx: &mut dyn Ctx<M>) {
         self.on_start(ctx);
     }
+
+    /// Report this node's heap footprint into the per-subsystem accumulator
+    /// (see [`crate::Sim::mem_stats`] and [`crate::HeapSize`]). Default:
+    /// reports nothing — actors opt in subsystem by subsystem.
+    fn mem_stats(&self, _acc: &mut crate::heap::MemAcc) {}
 }
 
 #[cfg(test)]

@@ -108,6 +108,15 @@ impl<M> EventQueue<M> {
         self.heap.peek().map(|Reverse(e)| e.key)
     }
 
+    /// Heap footprint of the queue: heap entries plus the payload arena and
+    /// free-list, all charged at capacity (the arena keeps its high-water
+    /// size by design).
+    pub fn heap_bytes(&self) -> usize {
+        self.heap.capacity() * size_of::<Reverse<HeapEntry>>()
+            + self.slots.capacity() * size_of::<Option<EventKind<M>>>()
+            + self.free.capacity() * size_of::<u32>()
+    }
+
     pub fn len(&self) -> usize {
         self.heap.len()
     }

@@ -69,6 +69,7 @@
 
 mod actor;
 mod event;
+pub mod heap;
 mod latency;
 pub mod metrics;
 mod rng;
@@ -76,6 +77,7 @@ mod sim;
 mod time;
 
 pub use actor::{Actor, Ctx, NodeId, TimerToken};
+pub use heap::{HeapSize, MemAcc, MemStats};
 pub use latency::{ClusteredWan, ConstantLatency, LatencyModel, UniformLatency};
 pub use metrics::{
     Cdf, Counter, Histogram, LazyMetricClass, MetricClass, Metrics, MetricsSnapshot,

@@ -676,6 +676,35 @@ impl<M: Send + 'static> Sim<M> {
         stats
     }
 
+    /// Heap accounting: per-subsystem node-state bytes (every actor's
+    /// [`Actor::mem_stats`] contribution) plus the kernel's own footprint
+    /// (event queues, node tables, mailboxes, the locate table). Read-only;
+    /// callable at any quiescent point of a run.
+    pub fn mem_stats(&self) -> crate::heap::MemStats {
+        let mut subsystems = crate::heap::MemAcc::new();
+        let mut kernel = 0usize;
+        let mut nodes = 0usize;
+        for shard in &self.shards {
+            nodes += shard.actors.len();
+            for actor in &shard.actors {
+                actor.mem_stats(&mut subsystems);
+            }
+            kernel += shard.core.queue.heap_bytes();
+            let nt = &shard.core.nodes;
+            kernel += nt.up.capacity() * size_of::<u64>()
+                + nt.epoch.capacity() * size_of::<u32>()
+                + nt.seq.capacity() * size_of::<u32>()
+                + nt.rng.capacity() * size_of::<SimRng>();
+            kernel += shard.actors.capacity() * size_of::<Box<dyn AnyActor<M>>>();
+            kernel += shard.scratch.capacity() * size_of::<Mail<M>>();
+        }
+        for mailbox in &self.mailboxes {
+            kernel += mailbox.lock().unwrap().capacity() * size_of::<Mail<M>>();
+        }
+        kernel += self.router.locate.capacity() * size_of::<Loc>();
+        crate::heap::MemStats { nodes, subsystems, kernel_bytes: kernel as u64 }
+    }
+
     /// The conservative lockstep loop for `shards > 1`.
     ///
     /// Per iteration each worker: drains its mailbox, publishes its next

@@ -45,6 +45,11 @@ impl DhtApp for PierSearchApp {
         self.events.extend(self.engine.take_events());
     }
 
+    fn mem_stats(&self, acc: &mut pier_netsim::MemAcc) {
+        use pier_netsim::HeapSize;
+        acc.add("pier.term_stats", self.engine.term_stats.heap_bytes());
+    }
+
     fn on_tick(&mut self, dht: &mut DhtCore, net: &mut dyn DhtNet) {
         self.pier.tick(dht, net);
         self.publisher.tick(&mut self.pier, dht, net);

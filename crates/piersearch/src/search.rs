@@ -8,7 +8,7 @@ use pier_netsim::{SimDuration, SimTime};
 use pier_qp::{
     Expr, JoinChainBuilder, JoinCols, PierCore, PierEvent, QueryId, QueryOutcome, Tuple, Value,
 };
-use pier_vocab::{policy, text, TermId, Terms};
+use pier_vocab::{policy, text, IdCounter, TermId, Terms};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Search-engine configuration.
@@ -59,7 +59,9 @@ pub struct SearchEngine {
     /// Optional keyword document frequencies for join ordering ("optimized
     /// to compute smaller posting lists first", §5). Nodes learn these from
     /// observed traffic — the same statistics the TF scheme gathers.
-    pub term_stats: HashMap<TermId, u64>,
+    /// Keyed by the term's dense index (an open-addressed flat map: half
+    /// the memory of a `HashMap<TermId, u64>` and exact accounting).
+    pub term_stats: IdCounter,
     searches: BTreeMap<u32, SearchState>,
     by_qid: HashMap<QueryId, u32>,
     next_id: u32,
@@ -70,7 +72,7 @@ impl SearchEngine {
     pub fn new(cfg: SearchConfig) -> Self {
         SearchEngine {
             cfg,
-            term_stats: HashMap::new(),
+            term_stats: IdCounter::new(),
             searches: BTreeMap::new(),
             by_qid: HashMap::new(),
             next_id: 1,
@@ -100,7 +102,7 @@ impl SearchEngine {
     /// Order terms by ascending observed document frequency; unknown terms
     /// sort first (assumed rare).
     fn order_terms(&self, mut terms: Vec<TermId>) -> Vec<TermId> {
-        terms.sort_by_key(|t| self.term_stats.get(t).copied().unwrap_or(0));
+        terms.sort_by_key(|t| self.term_stats.get(t.index() as u64).unwrap_or(0));
         terms
     }
 

@@ -34,6 +34,10 @@
 //!
 //! [term table]: intern
 
+mod counter;
+
+pub use counter::{pack_pair, IdCounter};
+
 use pier_netsim::split_mix64;
 use std::collections::HashMap;
 use std::fmt;

@@ -11,7 +11,6 @@ use pier_vocab::{intern, join_text, lookup, matches, TermId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Query-trace generation parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -168,30 +167,83 @@ pub struct GroundTruth {
 
 /// Fast ground-truth evaluator: term-id → files index with smallest-list
 /// intersection (the same trick PIERSearch's optimizer uses).
+///
+/// The index is CSR-shaped: one sorted term column, one offset column, and
+/// one concatenated posting arena (ascending file indices per term). Built
+/// in two passes over the catalog; lookups are a binary search returning a
+/// borrowed slice — no hashing, no per-term `Vec` headers.
 pub struct Evaluator<'a> {
     catalog: &'a Catalog,
-    index: HashMap<TermId, Vec<u32>>,
+    /// Distinct indexed terms, ascending. Parallel with `starts`.
+    terms: Box<[TermId]>,
+    /// `starts[r]..starts[r + 1]` is term rank `r`'s run in `postings`.
+    starts: Box<[u32]>,
+    /// Concatenated posting runs: catalog file indices, ascending per run.
+    postings: Box<[u32]>,
+}
+
+/// Is `tokens[j]` the first occurrence of its term within `tokens`?
+/// (Names repeat tokens; each file posts at most once per term.)
+fn first_occurrence(tokens: &[TermId], j: usize) -> bool {
+    !tokens[..j].contains(&tokens[j])
 }
 
 impl<'a> Evaluator<'a> {
     pub fn new(catalog: &'a Catalog) -> Self {
-        let mut index: HashMap<TermId, Vec<u32>> = HashMap::new();
-        for (i, f) in catalog.files.iter().enumerate() {
-            for t in &f.tokens {
-                let posting = index.entry(*t).or_default();
-                // Tokens may repeat inside one name; dedup postings.
-                if posting.last() != Some(&(i as u32)) {
-                    posting.push(i as u32);
+        // Pass 1: one entry per (file, distinct term); sorted runs give
+        // the term column and each run's posting count.
+        let mut occ: Vec<TermId> = Vec::new();
+        for f in &catalog.files {
+            for j in 0..f.tokens.len() {
+                if first_occurrence(&f.tokens, j) {
+                    occ.push(f.tokens[j]);
                 }
             }
         }
-        Evaluator { catalog, index }
+        occ.sort_unstable();
+        let mut terms: Vec<TermId> = Vec::new();
+        let mut starts: Vec<u32> = vec![0];
+        let mut i = 0;
+        while i < occ.len() {
+            let mut j = i;
+            while j < occ.len() && occ[j] == occ[i] {
+                j += 1;
+            }
+            terms.push(occ[i]);
+            starts.push(*starts.last().unwrap() + (j - i) as u32);
+            i = j;
+        }
+        // Pass 2: fill each term's run in file order (so runs ascend).
+        let mut cursors: Vec<u32> = starts[..terms.len()].to_vec();
+        let mut postings = vec![0u32; occ.len()];
+        for (i, f) in catalog.files.iter().enumerate() {
+            for j in 0..f.tokens.len() {
+                if first_occurrence(&f.tokens, j) {
+                    let r = terms.binary_search(&f.tokens[j]).unwrap();
+                    postings[cursors[r] as usize] = i as u32;
+                    cursors[r] += 1;
+                }
+            }
+        }
+        Evaluator {
+            catalog,
+            terms: terms.into_boxed_slice(),
+            starts: starts.into_boxed_slice(),
+            postings: postings.into_boxed_slice(),
+        }
+    }
+
+    /// The posting run for a term: ascending catalog file indices.
+    /// Allocation-free (a borrowed slice into the arena).
+    pub fn posting(&self, t: TermId) -> Option<&[u32]> {
+        let r = self.terms.binary_search(&t).ok()?;
+        Some(&self.postings[self.starts[r] as usize..self.starts[r + 1] as usize])
     }
 
     /// Posting-list length for a term (document frequency over distinct
     /// files).
     pub fn df(&self, term: &str) -> usize {
-        lookup(term).and_then(|id| self.index.get(&id)).map_or(0, |v| v.len())
+        lookup(term).and_then(|id| self.posting(id)).map_or(0, |p| p.len())
     }
 
     /// All files matching the query, with instance counts.
@@ -199,17 +251,24 @@ impl<'a> Evaluator<'a> {
         if query.terms.is_empty() {
             return GroundTruth::default();
         }
-        // Intersect smallest posting lists first.
-        let mut lists: Vec<&Vec<u32>> = Vec::with_capacity(query.terms.len());
+        // Seed candidates from the smallest posting run, then intersect
+        // the others into it (runs are sorted, so by binary search). The
+        // only allocation is the result buffer itself.
+        let mut smallest: Option<&[u32]> = None;
         for t in &query.terms {
-            match self.index.get(t) {
-                Some(l) => lists.push(l),
+            match self.posting(*t) {
+                Some(l) if smallest.is_none_or(|s: &[u32]| l.len() < s.len()) => smallest = Some(l),
+                Some(_) => {}
                 None => return GroundTruth::default(),
             }
         }
-        lists.sort_by_key(|l| l.len());
-        let mut candidates: Vec<u32> = lists[0].clone();
-        for l in &lists[1..] {
+        let smallest = smallest.unwrap();
+        let mut candidates: Vec<u32> = smallest.to_vec();
+        for t in &query.terms {
+            let l = self.posting(*t).unwrap();
+            if std::ptr::eq(l.as_ptr(), smallest.as_ptr()) {
+                continue;
+            }
             candidates.retain(|c| l.binary_search(c).is_ok());
             if candidates.is_empty() {
                 return GroundTruth::default();
