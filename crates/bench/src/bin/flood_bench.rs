@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `flood_bench` — the query-flood hot-path microbenchmark: one
 //! per-ultrapeer relay hop (duplicate check, share matching, last-hop QRP,
 //! relay fan-out, leaf matching) at sparse-preset magnitudes, through the

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `kernel_bench` — microbenchmarks for the simulation-kernel hot paths:
 //! event push/pop (a ping-pong storm through the full `Sim` dispatch
 //! loop), `Metrics::record_send` with interned classes vs. the old

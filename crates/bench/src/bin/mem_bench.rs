@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mem_bench` — per-node memory accounting across the scale ladder.
 //!
 //! Builds the measurement lab at each requested scale, walks every actor's

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `shard_bench` — wall-clock throughput of the sharded kernel on a real
 //! workload: the horizon experiment's full Lab replay at 1, 2, and 4
 //! kernel shards. Every run must produce bit-identical traffic and event

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # pier-churn — the churn & maintenance subsystem
 //!
 //! The paper's hybrid design stands or falls on whether DHT publishing of

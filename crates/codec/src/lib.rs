@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # pier-codec — compact binary serde format
 //!
 //! Every DHT and PIER message in this workspace is serialized with this

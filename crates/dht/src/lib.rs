@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # pier-dht — Kademlia-style structured overlay
 //!
 //! The structured-overlay substrate of the reproduction: the role the Bamboo

@@ -94,10 +94,11 @@ impl Storage {
             tail = s;
             s = self.slots[s as usize].next;
         }
-        let off = self.arena.len() as u32;
+        let off = u32::try_from(self.arena.len()).expect("value arena exceeds u32 offsets");
         self.arena.extend_from_slice(&bytes);
         self.live_bytes += bytes.len();
-        let slot = Slot { off, len: bytes.len() as u32, expires, next: NONE };
+        let len = u32::try_from(bytes.len()).expect("stored value exceeds u32 length");
+        let slot = Slot { off, len, expires, next: NONE };
         let new = match self.free.pop() {
             Some(idx) => {
                 self.slots[idx as usize] = slot;
@@ -105,7 +106,7 @@ impl Storage {
             }
             None => {
                 self.slots.push(slot);
-                (self.slots.len() - 1) as u32
+                u32::try_from(self.slots.len() - 1).expect("slot table exceeds u32 indices")
             }
         };
         if tail == NONE {
@@ -210,7 +211,7 @@ impl Storage {
             let mut s = head;
             while s != NONE {
                 let slot = &mut self.slots[s as usize];
-                let off = arena.len() as u32;
+                let off = u32::try_from(arena.len()).expect("compacted arena exceeds u32 offsets");
                 let (a, b) = (slot.off as usize, (slot.off + slot.len) as usize);
                 slot.off = off;
                 s = slot.next;

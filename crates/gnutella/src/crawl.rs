@@ -34,6 +34,9 @@ impl CrawlGraph {
     /// Degree histogram of the ultrapeer graph.
     pub fn degree_counts(&self) -> HashMap<usize, usize> {
         let mut h = HashMap::new();
+        // pier-lint: allow(det-iter): commutative count-merge into a map
+        // keyed by degree; visit order cannot change any count, and every
+        // consumer (fig8 table, tests) reduces the histogram with sums.
         for neighbors in self.adj.values() {
             *h.entry(neighbors.len()).or_insert(0) += 1;
         }

@@ -92,6 +92,9 @@ impl ShareCatalog {
     /// The shared empty catalog (what `FileStore::default()` points at), so
     /// shareless nodes — every ultrapeer in the lab — cost no allocation.
     pub fn empty() -> &'static Arc<ShareCatalog> {
+        // pier-lint: allow(shard-static): write-once cache of the canonical
+        // empty catalog; its value is a constant, so shards can never
+        // observe different state through it.
         static EMPTY: OnceLock<Arc<ShareCatalog>> = OnceLock::new();
         EMPTY.get_or_init(|| Arc::new(ShareCatalog::default()))
     }
@@ -158,9 +161,9 @@ impl FileStore {
     /// workload catalog share one [`ShareCatalog`] via [`FileStore::shared`]
     /// instead.
     pub fn new(files: Vec<FileMeta>) -> Self {
-        let n = files.len();
+        let n = u32::try_from(files.len()).expect("share catalog exceeds u32 file ids");
         let catalog = Arc::new(ShareCatalog::build(files));
-        FileStore::shared(catalog, (0..n as u32).collect())
+        FileStore::shared(catalog, (0..n).collect())
     }
 
     /// A share of `files` (catalog indices) backed by a shared catalog.

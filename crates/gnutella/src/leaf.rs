@@ -9,7 +9,7 @@ use crate::msg::{GnutellaMsg, Hit};
 use crate::net::GnutellaNet;
 use pier_netsim::{NodeId, SimTime};
 use pier_vocab::Terms;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Results of one leaf-issued search.
 #[derive(Clone, Debug)]
@@ -37,12 +37,15 @@ pub struct LeafCore {
     ultrapeers: Box<[NodeId]>,
     store: FileStore,
     next_qid: u32,
-    searches: HashMap<u32, LeafSearch>,
+    /// Keyed by the densely-allocated qid; a `BTreeMap` so the
+    /// `searches()` driver API iterates in issue order, never in
+    /// hasher order (pier-lint DET-ITER).
+    searches: BTreeMap<u32, LeafSearch>,
 }
 
 impl LeafCore {
     pub fn new(cfg: LeafConfig, store: FileStore) -> Self {
-        LeafCore { cfg, ultrapeers: Box::default(), store, next_qid: 1, searches: HashMap::new() }
+        LeafCore { cfg, ultrapeers: Box::default(), store, next_qid: 1, searches: BTreeMap::new() }
     }
 
     pub fn set_ultrapeers(&mut self, ups: Vec<NodeId>) {

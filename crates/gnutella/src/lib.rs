@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # pier-gnutella — the unstructured filesharing network
 //!
 //! A faithful simulation of the Gnutella 0.6 network as the paper measured

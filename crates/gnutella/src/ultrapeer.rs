@@ -195,6 +195,9 @@ impl UltrapeerCore {
         self.snoop_log.clear();
     }
 
+    /// Leaves in ascending `NodeId` order — `leaves` is a `BTreeMap`, so
+    /// callers that send or sample from this iterator (QRP broadcast,
+    /// crawl pongs) see the same sequence on every run and shard layout.
     pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.leaves.keys().copied()
     }
@@ -464,7 +467,10 @@ impl UltrapeerCore {
 
     pub fn tick(&mut self, net: &mut dyn GnutellaNet) {
         let now = net.now();
-        // Advance dynamic queries.
+        // Advance dynamic queries. `dyn_state` is a `BTreeMap`, so this
+        // snapshot is in ascending GUID order: probe scheduling (and the
+        // sends it triggers) is independent of insertion history, which
+        // the golden determinism pins rely on.
         let guids: Vec<Guid> = self.dyn_state.keys().copied().collect();
         for guid in guids {
             let record = self.queries.get_mut(&guid).expect("dyn state implies record");

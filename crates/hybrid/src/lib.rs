@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # pier-hybrid — the hybrid search infrastructure
 //!
 //! The paper's proposal (§5, §7): keep Gnutella flooding for popular

@@ -1,0 +1,120 @@
+//! The `pier-lint: allow(<rule>): <reason>` annotation grammar.
+//!
+//! A finding can be suppressed by a line comment either trailing the
+//! offending line or on its own line directly above it:
+//!
+//! ```text
+//! // pier-lint: allow(det-iter): commutative count-merge; order never
+//! // reaches sim behavior.
+//! for neighbors in self.adj.values() { ... }
+//! ```
+//!
+//! The reason is mandatory and must carry real words — empty or
+//! single-token reasons are themselves findings (`bad-allow`), and an
+//! annotation that suppresses nothing is an `unused-allow` finding, so
+//! suppressions can never silently rot.
+
+use crate::lexer::{Comment, Tok};
+use crate::report::Rule;
+
+/// One parsed allow-annotation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// The code line this annotation governs: its own line (trailing
+    /// comment) or the first following line holding any token, so a
+    /// reason may wrap over several comment lines. Set by
+    /// [`Annotations::resolve_targets`].
+    pub target: u32,
+    pub rule: Rule,
+    pub reason: String,
+    /// Set when a pass consumes this annotation.
+    pub used: bool,
+}
+
+/// Outcome of scanning a file's comments for annotations.
+#[derive(Debug, Default)]
+pub struct Annotations {
+    pub allows: Vec<Allow>,
+    /// Malformed annotations: (line, problem description).
+    pub malformed: Vec<(u32, String)>,
+}
+
+const MARKER: &str = "pier-lint:";
+
+/// Minimum number of whitespace-separated words a reason must carry to
+/// count as human-readable (one token like "ok" is not an argument).
+const MIN_REASON_WORDS: usize = 3;
+
+pub fn parse(comments: &[Comment]) -> Annotations {
+    let mut out = Annotations::default();
+    for c in comments {
+        // The marker must open the comment: an annotation is a dedicated
+        // comment, so prose (or doc text) *mentioning* the grammar never
+        // parses as one.
+        let Some(rest) = c.text.trim_start().strip_prefix(MARKER) else { continue };
+        let rest = rest.trim_start();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            out.malformed
+                .push((c.line, format!("expected `allow(<rule>): <reason>` after `{MARKER}`")));
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            out.malformed.push((c.line, "unclosed `allow(` annotation".to_string()));
+            continue;
+        };
+        let rule_name = body[..close].trim();
+        let Some(rule) = Rule::from_id(rule_name) else {
+            out.malformed.push((c.line, format!("unknown lint rule `{rule_name}`")));
+            continue;
+        };
+        let tail = body[close + 1..].trim_start();
+        let Some(reason) = tail.strip_prefix(':') else {
+            out.malformed.push((c.line, "missing `: <reason>` after `allow(..)`".to_string()));
+            continue;
+        };
+        let reason = reason.trim();
+        if reason.split_whitespace().count() < MIN_REASON_WORDS {
+            out.malformed.push((
+                c.line,
+                format!(
+                    "allow({}) needs a human-readable reason (≥ {MIN_REASON_WORDS} words)",
+                    rule.id()
+                ),
+            ));
+            continue;
+        }
+        out.allows.push(Allow {
+            line: c.line,
+            target: c.line,
+            rule,
+            reason: reason.to_string(),
+            used: false,
+        });
+    }
+    out
+}
+
+impl Annotations {
+    /// Compute each annotation's governed code line: its own line if any
+    /// token sits there (trailing comment), else the first later line
+    /// holding a token.
+    pub fn resolve_targets(&mut self, toks: &[Tok]) {
+        for a in &mut self.allows {
+            a.target = toks.iter().map(|t| t.line).filter(|&l| l >= a.line).min().unwrap_or(a.line);
+        }
+    }
+
+    /// Try to suppress a finding of `rule` at `line`; marks the matching
+    /// annotation used.
+    pub fn suppress(&mut self, rule: Rule, line: u32) -> bool {
+        for a in &mut self.allows {
+            if a.rule == rule && a.target == line {
+                a.used = true;
+                return true;
+            }
+        }
+        false
+    }
+}

@@ -1,0 +1,63 @@
+#![forbid(unsafe_code)]
+//! The `pier-lint` CLI.
+//!
+//! ```text
+//! pier-lint [--deny] [--json] [--root <workspace>]
+//! ```
+//!
+//! * default: print findings + summary, always exit 0 (report mode)
+//! * `--deny`: exit 1 if any finding — the CI gate
+//! * `--json`: machine-readable report on stdout (diffable artifact)
+//! * `--root`: workspace root (defaults to this crate's `../..`)
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("pier-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: pier-lint [--deny] [--json] [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pier-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| pier_lint::workspace_root_from(env!("CARGO_MANIFEST_DIR")));
+
+    let report = match pier_lint::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pier-lint: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if deny && !report.is_clean() {
+        eprintln!("pier-lint: --deny: {} finding(s)", report.findings.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

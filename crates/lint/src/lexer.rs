@@ -1,0 +1,413 @@
+//! A small Rust lexer for token-level static analysis.
+//!
+//! The build environment is offline (no `syn`), so — like
+//! `vendor/serde_derive` — the analyzer hand-rolls exactly the slice of
+//! lexing it needs: enough to never mistake the *inside* of a comment,
+//! string, raw string, byte string, or char literal for code, and to
+//! tell a lifetime tick (`'a`) from a char literal (`'a'`). Everything
+//! else (numbers, punctuation) is kept deliberately rough; the passes
+//! only match identifier/punct sequences and line numbers.
+
+/// Token classes the passes distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`static`, `as`, `for`, `HashMap`, ...).
+    Ident,
+    /// Lifetime tick, e.g. `'a`, `'static` (one token, tick included).
+    Lifetime,
+    /// Numeric literal (integers and floats, suffix included).
+    Num,
+    /// String-ish literal: `"..."`, `r#"..."#`, `b"..."`, `br"..."`.
+    Str,
+    /// Char-ish literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Single punctuation character (`.`, `:`, `<`, `!`, `#`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A line comment captured during lexing (`//...`, text without the
+/// leading slashes), used for `pier-lint: allow(...)` annotations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the captured line comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens + comments. Never panics on malformed input:
+/// unterminated literals simply run to end-of-file (the workspace is
+/// expected to compile, so this only matters for fuzzed fixtures).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    // Count newlines in b[from..to] into `line`.
+    let bump = |line: &mut u32, b: &[char], from: usize, to: usize| {
+        *line += b[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            if b[i + 1] == '/' {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment { line, text: b[start..j].iter().collect() });
+                i = j; // the '\n' (or EOF) is handled by the whitespace arm
+            } else {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                bump(&mut line, &b, i, j.min(n));
+                i = j;
+            }
+            continue;
+        }
+        // Raw strings / raw identifiers: r"...", r#"..."#, r#ident.
+        // Byte flavors: b"...", b'x', br"...", br#"..."#.
+        if c == 'r' || c == 'b' {
+            let (raw_at, quote_at) = if c == 'r' {
+                (i, i + 1)
+            } else if i + 1 < n && b[i + 1] == 'r' {
+                (i + 1, i + 2)
+            } else {
+                (usize::MAX, i + 1)
+            };
+            if raw_at != usize::MAX {
+                // Possible raw string: skip hashes, then expect a quote.
+                let mut j = quote_at;
+                while j < n && b[j] == '#' {
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    let hashes = j - quote_at;
+                    let start_line = line;
+                    let mut k = j + 1;
+                    'raw: while k < n {
+                        if b[k] == '"' {
+                            let mut h = 0;
+                            while h < hashes && k + 1 + h < n && b[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        k += 1;
+                    }
+                    bump(&mut line, &b, i, k.min(n));
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: b[i..k.min(n)].iter().collect(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+                if c == 'r' && quote_at < n && b[quote_at] == '#' {
+                    // Raw identifier r#ident: lex as the bare identifier.
+                    let mut k = quote_at + 1;
+                    while k < n && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: b[quote_at + 1..k].iter().collect(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            if c == 'b' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
+                // b"..." / b'x': delegate to the string/char arms below by
+                // lexing from the quote and prefixing the text.
+                let quote = b[i + 1];
+                let (tok, next) = lex_quoted(&b, i + 1, quote, &mut line);
+                out.toks.push(Tok {
+                    kind: tok.kind,
+                    text: format!("b{}", tok.text),
+                    line: tok.line,
+                });
+                i = next;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Ident, text: b[i..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Numbers (rough: good enough to skip past them without eating `..`).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (is_ident_continue(b[j]) || b[j] == '.') {
+                if b[j] == '.' {
+                    // Don't eat ranges (`0..n`) or method calls (`1.max(x)`).
+                    if j + 1 < n && (b[j + 1] == '.' || is_ident_start(b[j + 1])) {
+                        break;
+                    }
+                }
+                // `1e-3` / `1E+9` exponents.
+                if (b[j] == 'e' || b[j] == 'E')
+                    && j + 1 < n
+                    && (b[j + 1] == '+' || b[j + 1] == '-')
+                    && j + 2 < n
+                    && b[j + 2].is_ascii_digit()
+                {
+                    j += 2;
+                }
+                j += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Num, text: b[i..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let (tok, next) = lex_quoted(&b, i, '"', &mut line);
+            out.toks.push(tok);
+            i = next;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                // Scan the ident run; a closing tick makes it a char ('a'),
+                // otherwise it's a lifetime ('a, 'static).
+                let mut j = i + 2;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' && j == i + 2 {
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: b[i..=j].iter().collect(),
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // '\n', '\'', '\u{1F600}', or a non-ident char like '→'.
+            let (tok, next) = lex_quoted(&b, i, '\'', &mut line);
+            out.toks.push(tok);
+            i = next;
+            continue;
+        }
+        // Everything else: single-char punct.
+        out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        if c == '\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Lex a quoted literal starting at `b[start] == quote`, honoring `\`
+/// escapes. Returns the token and the index just past the closing quote.
+fn lex_quoted(b: &[char], start: usize, quote: char, line: &mut u32) -> (Tok, usize) {
+    let n = b.len();
+    let start_line = *line;
+    let mut j = start + 1;
+    while j < n {
+        if b[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == quote {
+            j += 1;
+            break;
+        }
+        if b[j] == '\n' {
+            *line += 1;
+        }
+        j += 1;
+    }
+    let j = j.min(n);
+    let kind = if quote == '\'' { TokKind::Char } else { TokKind::Str };
+    (Tok { kind, text: b[start..j].iter().collect(), line: start_line }, j)
+}
+
+/// Compute a per-token mask of `#[cfg(test)]` / `#[test]` regions.
+///
+/// `mask[i] == true` means token `i` is inside test-only code: the
+/// determinism passes skip it (test drivers may iterate hash maps or use
+/// wall clocks freely — they never run inside the simulation).
+///
+/// Recognized shapes: an attribute `#[...]` whose tokens include the
+/// identifier `test` (and not `not`, so `#[cfg(not(test))]` code is still
+/// linted), followed by any further attributes, then an item whose body is
+/// the next top-level `{...}` block. `#[cfg(test)] mod t;` (out-of-line
+/// test module) masks nothing — workspace src trees keep tests inline.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Find the matching `]`.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut is_test = false;
+        let mut negated = false;
+        while j < toks.len() {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[j].is_ident("test") {
+                is_test = true;
+            } else if toks[j].is_ident("not") || toks[j].is_ident("cfg_attr") {
+                // `#[cfg(not(test))]` guards production code and
+                // `#[cfg_attr(test, ...)]` decorates items that also build
+                // outside tests — neither marks a test-only region.
+                negated = true;
+            }
+            j += 1;
+        }
+        if !is_test || negated || j >= toks.len() {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Skip any further attributes (`#[...]`).
+        let mut k = j + 1;
+        while k + 1 < toks.len() && toks[k].is_punct("#") && toks[k + 1].is_punct("[") {
+            let mut d = 0usize;
+            let mut m = k + 1;
+            while m < toks.len() {
+                if toks[m].is_punct("[") {
+                    d += 1;
+                } else if toks[m].is_punct("]") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        // Find the item body: first `{` before any top-level `;`.
+        let mut body_open = None;
+        let mut m = k;
+        let mut paren = 0i32;
+        while m < toks.len() {
+            let t = &toks[m];
+            if t.is_punct("(") || t.is_punct("[") {
+                paren += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                paren -= 1;
+            } else if t.is_punct("{") && paren == 0 {
+                body_open = Some(m);
+                break;
+            } else if t.is_punct(";") && paren == 0 {
+                break; // `mod tests;` — nothing inline to mask
+            }
+            m += 1;
+        }
+        let Some(open) = body_open else {
+            i = m.max(i + 1);
+            continue;
+        };
+        // Match the braces.
+        let mut d = 0usize;
+        let mut close = open;
+        while close < toks.len() {
+            if toks[close].is_punct("{") {
+                d += 1;
+            } else if toks[close].is_punct("}") {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            close += 1;
+        }
+        let close = close.min(toks.len() - 1);
+        for slot in &mut mask[attr_start..=close] {
+            *slot = true;
+        }
+        i = close + 1;
+    }
+    mask
+}

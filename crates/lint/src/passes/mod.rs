@@ -1,0 +1,93 @@
+//! The lint passes. Each pass walks the token stream of one file; a
+//! finding is emitted unless a `pier-lint: allow(<rule>): <reason>`
+//! annotation governs the offending line (see [`crate::annotations`]).
+
+use crate::annotations::Annotations;
+use crate::config::CrateRules;
+use crate::lexer::Tok;
+use crate::report::{Finding, Rule};
+
+pub mod det_iter;
+pub mod shard_static;
+pub mod simple;
+
+/// Everything a pass needs to see about one file.
+pub struct FileCtx<'a> {
+    /// Crate directory name under `crates/` (e.g. `gnutella`).
+    pub crate_dir: &'a str,
+    /// Workspace-relative path (e.g. `crates/gnutella/src/ultrapeer.rs`).
+    pub path: &'a str,
+    /// Crate-relative path (e.g. `src/ultrapeer.rs`).
+    pub rel_path: &'a str,
+    pub toks: &'a [Tok],
+    /// `true` for tokens inside `#[cfg(test)]` / `#[test]` regions.
+    pub mask: &'a [bool],
+}
+
+impl FileCtx<'_> {
+    /// Emit a finding at `line` unless an annotation suppresses it. Extra
+    /// candidate lines (e.g. the first line of a multi-line statement)
+    /// may also carry the annotation.
+    pub fn emit(
+        &self,
+        ann: &mut Annotations,
+        out: &mut Vec<Finding>,
+        rule: Rule,
+        lines: &[u32],
+        msg: String,
+    ) {
+        for &l in lines {
+            if ann.suppress(rule, l) {
+                return;
+            }
+        }
+        out.push(Finding { rule, path: self.path.to_string(), line: lines[0], msg });
+    }
+}
+
+/// Run every enabled per-file pass.
+pub fn run_all(
+    ctx: &FileCtx<'_>,
+    rules: &CrateRules,
+    ann: &mut Annotations,
+    out: &mut Vec<Finding>,
+) {
+    if rules.det_iter {
+        det_iter::run(ctx, ann, out);
+    }
+    if rules.det_clock {
+        simple::det_clock(ctx, ann, out);
+    }
+    if rules.det_entropy {
+        simple::det_entropy(ctx, ann, out);
+    }
+    if rules.shard_static {
+        shard_static::run(ctx, rules, ann, out);
+    }
+    if rules.metric_raw {
+        simple::metric_raw(ctx, ann, out);
+    }
+    if rules.cast_narrow_paths.contains(&ctx.rel_path) {
+        simple::cast_narrow(ctx, ann, out);
+    }
+}
+
+/// Count `unsafe` tokens (test code included: `#![forbid(unsafe_code)]`
+/// is crate-wide, so the audit must be too).
+pub fn count_unsafe(toks: &[Tok]) -> usize {
+    toks.iter().filter(|t| t.is_ident("unsafe")).count()
+}
+
+/// Does the file carry a `#![forbid(unsafe_code)]` inner attribute?
+pub fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+            && w[7].is_punct("]")
+    })
+}

@@ -1,0 +1,127 @@
+//! SHARD-STATIC: process-wide mutable state in protocol crates.
+//!
+//! The sharded kernel (PR 6) re-runs the same node set under any shard
+//! count and demands bit-identical results; a `static mut`, an
+//! interior-mutable `static`, or a `thread_local!` is state that crosses
+//! shard boundaries (or worse, varies with which OS thread a shard
+//! lands on). The only sanctioned process-wide state is the registered
+//! interners and metric registries named in the per-crate config —
+//! content-addressed structures whose iteration order is never exposed.
+
+use crate::annotations::Annotations;
+use crate::config::CrateRules;
+use crate::report::{Finding, Rule};
+
+use super::FileCtx;
+
+/// Type identifiers that give a `static` interior mutability.
+const INTERIOR_MUT: [&str; 10] = [
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+    "Lazy",
+    "Mutex",
+    "RwLock",
+    "LazyMetricClass",
+];
+
+fn is_interior_mut(ident: &str) -> bool {
+    INTERIOR_MUT.contains(&ident) || ident.starts_with("Atomic")
+}
+
+pub fn run(ctx: &FileCtx<'_>, rules: &CrateRules, ann: &mut Annotations, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ctx.mask[i] {
+            i += 1;
+            continue;
+        }
+        // `thread_local! { ... }`
+        if toks[i].is_ident("thread_local") && i + 1 < toks.len() && toks[i + 1].is_punct("!") {
+            ctx.emit(
+                ann,
+                out,
+                Rule::ShardStatic,
+                &[toks[i].line],
+                "`thread_local!` state varies with shard-to-thread placement; \
+                 keep per-node state in the node and per-run state in the Sim"
+                    .to_string(),
+            );
+            i += 2;
+            continue;
+        }
+        if !toks[i].is_ident("static") {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        // `static mut NAME ...` — always a finding.
+        if i + 1 < toks.len() && toks[i + 1].is_ident("mut") {
+            let name = toks.get(i + 2).map(|t| t.text.as_str()).unwrap_or("?");
+            ctx.emit(
+                ann,
+                out,
+                Rule::ShardStatic,
+                &[line],
+                format!("`static mut {name}` leaks mutable state across shard boundaries"),
+            );
+            i += 2;
+            continue;
+        }
+        // `static NAME: <type> = ...` — flag interior mutability unless the
+        // name is a registered interner/metric registry.
+        let (Some(name_tok), Some(colon)) = (toks.get(i + 1), toks.get(i + 2)) else {
+            i += 1;
+            continue;
+        };
+        if name_tok.kind != crate::lexer::TokKind::Ident || !colon.is_punct(":") {
+            // Not a parseable `static NAME :` shape (e.g. macro body using
+            // `static $name:`); nothing to check here — the macro's
+            // *invocations* are what user crates write.
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        // Scan the type region up to `=` (angle-depth aware: `=` may
+        // appear inside `<...>` as an associated-type binding) or `;`.
+        let mut j = i + 3;
+        let mut angle = 0i32;
+        let mut interior: Option<String> = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if (t.is_punct("=") && angle <= 0) || t.is_punct(";") {
+                break;
+            } else if t.kind == crate::lexer::TokKind::Ident
+                && is_interior_mut(&t.text)
+                && interior.is_none()
+            {
+                interior = Some(t.text.clone());
+            }
+            j += 1;
+        }
+        if let Some(ty) = interior {
+            if !rules.shard_static_allow.contains(&name.as_str()) {
+                ctx.emit(
+                    ann,
+                    out,
+                    Rule::ShardStatic,
+                    &[line],
+                    format!(
+                        "interior-mutable `static {name}: ..{ty}..` is process-wide \
+                         state; only registered interners/metric registries \
+                         (config `shard_static_allow`) may do this"
+                    ),
+                );
+            }
+        }
+        i = j;
+    }
+}

@@ -1,0 +1,123 @@
+//! The single-token-pattern passes: DET-CLOCK, DET-ENTROPY, METRIC-RAW,
+//! CAST-NARROW.
+
+use crate::annotations::Annotations;
+use crate::report::{Finding, Rule};
+
+use super::FileCtx;
+
+/// DET-CLOCK: wall-clock reads are forbidden outside bench timing code.
+/// Sim code gets time from `Ctx::now()`; anything keyed to the host
+/// clock diverges run to run and host to host.
+pub fn det_clock(ctx: &FileCtx<'_>, ann: &mut Annotations, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.mask[i] {
+            continue;
+        }
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            ctx.emit(
+                ann,
+                out,
+                Rule::DetClock,
+                &[t.line],
+                format!(
+                    "`{}` reads the wall clock; sim code must use `Ctx::now()` \
+                     (wall-clock timing lives in pier-bench only)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Identifiers that pull ambient entropy into the process. All
+/// randomness must flow from seeded streams (`pier_netsim::rng`), or
+/// runs stop being a pure function of the master seed.
+const ENTROPY_IDENTS: [&str; 6] =
+    ["thread_rng", "ThreadRng", "RandomState", "from_entropy", "OsRng", "getrandom"];
+
+/// DET-ENTROPY: forbidden everywhere, no exceptions by crate.
+pub fn det_entropy(ctx: &FileCtx<'_>, ann: &mut Annotations, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.mask[i] {
+            continue;
+        }
+        if ENTROPY_IDENTS.iter().any(|id| t.is_ident(id)) {
+            ctx.emit(
+                ann,
+                out,
+                Rule::DetEntropy,
+                &[t.line],
+                format!(
+                    "`{}` draws ambient entropy; every random stream must derive \
+                     from the experiment's master seed",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// METRIC-RAW: direct `MetricClass::new` / `LazyMetricClass::new`
+/// registration belongs in the crate's `classes` module (normally via
+/// the `metric_classes!` macro), so the metric namespace stays auditable
+/// in one place per crate.
+pub fn metric_raw(ctx: &FileCtx<'_>, ann: &mut Annotations, out: &mut Vec<Finding>) {
+    if ctx.rel_path.ends_with("classes.rs") {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len().saturating_sub(3) {
+        if ctx.mask[i] {
+            continue;
+        }
+        if (toks[i].is_ident("MetricClass") || toks[i].is_ident("LazyMetricClass"))
+            && toks[i + 1].is_punct(":")
+            && toks[i + 2].is_punct(":")
+            && toks[i + 3].is_ident("new")
+        {
+            ctx.emit(
+                ann,
+                out,
+                Rule::MetricRaw,
+                &[toks[i].line],
+                format!(
+                    "`{}::new` outside a `classes` module: register metric names \
+                     with `metric_classes!` in this crate's `classes` module",
+                    toks[i].text
+                ),
+            );
+        }
+    }
+}
+
+/// Integer targets an `as` cast can silently truncate into.
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// CAST-NARROW: in arena/columnar index code, a bare narrowing `as` cast
+/// silently wraps once an offset outgrows the target type — at metro
+/// scale that corrupts slot offsets instead of failing. Use
+/// `T::try_from(x).expect("<invariant>")` so the bound is checked and
+/// named.
+pub fn cast_narrow(ctx: &FileCtx<'_>, ann: &mut Annotations, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len().saturating_sub(1) {
+        if ctx.mask[i] {
+            continue;
+        }
+        if toks[i].is_ident("as") && NARROW_TARGETS.iter().any(|t| toks[i + 1].is_ident(t)) {
+            ctx.emit(
+                ann,
+                out,
+                Rule::CastNarrow,
+                &[toks[i].line],
+                format!(
+                    "bare `as {}` cast in arena/index code can silently truncate; \
+                     use `{}::try_from(..).expect(..)` naming the capacity invariant",
+                    toks[i + 1].text,
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Findings, rule identifiers, and text/JSON rendering.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The lint catalog. Rule ids are the kebab-case names used in
+/// `pier-lint: allow(<rule>): <reason>` annotations and `--json` output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered `HashMap`/`HashSet` iteration in a sim-affecting crate
+    /// without a sort, an order-insensitive sink, or an annotation.
+    DetIter,
+    /// `Instant::now` / `SystemTime` outside bench timing code.
+    DetClock,
+    /// `thread_rng` / `RandomState` / `from_entropy` / `OsRng` anywhere.
+    DetEntropy,
+    /// Mutable or interior-mutable `static` (or `thread_local!`) that
+    /// could leak state across shard boundaries.
+    ShardStatic,
+    /// `MetricClass::new` / `LazyMetricClass::new` outside a `classes`
+    /// module (use `metric_classes!` in the crate's `classes` module).
+    MetricRaw,
+    /// Bare narrowing `as` cast in arena/columnar index code.
+    CastNarrow,
+    /// Crate contains no `unsafe` but its root doesn't `#![forbid(unsafe_code)]`.
+    UnsafeAudit,
+    /// Malformed allow-annotation (unknown rule, missing/short reason).
+    BadAllow,
+    /// Allow-annotation that suppressed nothing.
+    UnusedAllow,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 9] = [
+        Rule::DetIter,
+        Rule::DetClock,
+        Rule::DetEntropy,
+        Rule::ShardStatic,
+        Rule::MetricRaw,
+        Rule::CastNarrow,
+        Rule::UnsafeAudit,
+        Rule::BadAllow,
+        Rule::UnusedAllow,
+    ];
+
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::DetIter => "det-iter",
+            Rule::DetClock => "det-clock",
+            Rule::DetEntropy => "det-entropy",
+            Rule::ShardStatic => "shard-static",
+            Rule::MetricRaw => "metric-raw",
+            Rule::CastNarrow => "cast-narrow",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::BadAllow => "bad-allow",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+/// Full analysis output for a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// Crate name → number of `unsafe` tokens in its src tree.
+    pub unsafe_counts: BTreeMap<String, usize>,
+    pub files_scanned: usize,
+    /// Allow-annotations that suppressed a finding: (path, line, rule, reason).
+    pub allows_used: Vec<(String, u32, Rule, String)>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Canonical ordering so output is diffable across runs and hosts.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.allows_used.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    }
+
+    /// Human-readable rendering (one finding per line + summary).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        let mut by_rule: BTreeMap<Rule, usize> = BTreeMap::new();
+        for f in &self.findings {
+            *by_rule.entry(f.rule).or_insert(0) += 1;
+        }
+        out.push_str(&format!(
+            "pier-lint: {} finding(s) across {} file(s); {} allow-annotation(s) in effect\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.allows_used.len()
+        ));
+        for (rule, n) in &by_rule {
+            out.push_str(&format!("  {rule}: {n}\n"));
+        }
+        let total_unsafe: usize = self.unsafe_counts.values().sum();
+        out.push_str(&format!("unsafe-audit: {total_unsafe} `unsafe` token(s) workspace-wide\n"));
+        out
+    }
+
+    /// Machine-readable rendering (stable key order; no external deps, so
+    /// the writer is hand-rolled like the rest of the vendored stand-ins).
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"msg\": {}}}",
+                json_str(f.rule.id()),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.msg)
+            ));
+        }
+        s.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"allows\": [");
+        for (i, (path, line, rule, reason)) in self.allows_used.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(rule.id()),
+                json_str(path),
+                line,
+                json_str(reason)
+            ));
+        }
+        s.push_str(if self.allows_used.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"unsafe_counts\": {");
+        for (i, (krate, n)) in self.unsafe_counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: {}", json_str(krate), n));
+        }
+        s.push_str(if self.unsafe_counts.is_empty() { "},\n" } else { "\n  },\n" });
+        s.push_str(&format!("  \"files_scanned\": {}\n}}\n", self.files_scanned));
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,55 @@
+//! Tier-1 gate: the workspace itself must be lint-clean.
+//!
+//! This is the enforcement half of `pier-lint` — CI also runs the binary
+//! with `--deny`, but this test makes a plain `cargo test` fail the
+//! moment anyone reintroduces an unordered iteration, a wall-clock read,
+//! an entropy source, a narrowing cast in a pinned module, or an
+//! unregistered mutable static.
+
+use pier_lint::{analyze_workspace, workspace_root_from};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root_from(env!("CARGO_MANIFEST_DIR"));
+    let report = analyze_workspace(&root).expect("workspace scan must succeed");
+    assert!(
+        report.files_scanned > 100,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    if !report.findings.is_empty() {
+        panic!("pier-lint found {} issue(s):\n{}", report.findings.len(), report.render_text());
+    }
+}
+
+#[test]
+fn workspace_has_no_unsafe_code() {
+    let root = workspace_root_from(env!("CARGO_MANIFEST_DIR"));
+    let report = analyze_workspace(&root).expect("workspace scan must succeed");
+    let total: usize = report.unsafe_counts.values().sum();
+    assert_eq!(total, 0, "unsafe tokens appeared: {:?}", report.unsafe_counts);
+}
+
+#[test]
+fn every_allow_annotation_carries_a_reason() {
+    // `analyze_workspace` rejects malformed/reasonless annotations as
+    // bad-allow findings, so a clean report already implies every
+    // suppression in the tree is justified in writing. This test makes
+    // the count visible: the number of active allows should stay small
+    // and intentional — grow it only with a written argument.
+    let root = workspace_root_from(env!("CARGO_MANIFEST_DIR"));
+    let report = analyze_workspace(&root).expect("workspace scan must succeed");
+    assert!(report.findings.is_empty(), "lint must be clean:\n{}", report.render_text());
+    for (path, line, rule, reason) in &report.allows_used {
+        assert!(
+            reason.split_whitespace().count() >= 3,
+            "{path}:{line} allow({}) reason is too thin: {reason:?}",
+            rule.id()
+        );
+    }
+    assert!(
+        report.allows_used.len() <= 8,
+        "allow-annotation count crept up to {}; audit before raising this bound",
+        report.allows_used.len()
+    );
+}

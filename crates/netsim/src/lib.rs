@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic discrete-event network simulator.
 //!
 //! This crate is the substrate on which every overlay in this workspace runs

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # piersearch — DHT-based keyword search on PIER
 //!
 //! The paper's primary artifact (§3): a search engine for filesharing

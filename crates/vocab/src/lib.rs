@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # pier-vocab — the process-wide interned term vocabulary
 //!
 //! Every layer of the reproduction used to push `Vec<String>` keywords
