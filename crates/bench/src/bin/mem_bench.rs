@@ -9,8 +9,9 @@
 //!
 //! Run with `cargo run -p pier-bench --release --bin mem_bench`.
 //! `--scales quick,sparse,full,metro` selects the rungs (default
-//! `quick,sparse`; `metro` builds a 220k-node simulation and wants a
-//! multi-GB host unless `REPRO_METRO_LITE=1`).
+//! `quick,sparse`; `metro` builds a 1.1M-node simulation — 100k
+//! ultrapeers, 1M leaves — and wants a multi-GB host unless
+//! `REPRO_METRO_LITE=1`).
 
 use pier_bench::lab::Scale;
 use pier_bench::membench::measure;
@@ -59,6 +60,17 @@ fn main() {
             r.legacy_share_bytes / 1024,
             r.per_leaf_reduction,
             r.share_reduction,
+        );
+        println!(
+            "qrp plane: {} refs → {} unique filters ({:.1}x dedup); \
+             {} KiB entries + {} KiB catalog vs {} KiB legacy dense — {:.1}x smaller",
+            r.qrp_refs,
+            r.qrp_unique,
+            r.qrp_dedup,
+            r.up_qrp_bytes / 1024,
+            r.qrp_catalog_bytes / 1024,
+            r.legacy_qrp_bytes / 1024,
+            r.qrp_reduction,
         );
         reports.push(r);
     }

@@ -1,0 +1,48 @@
+#![forbid(unsafe_code)]
+//! `qrp_bench` — QRP filter-plane micro-benchmark.
+//!
+//! Measures one ultrapeer's last-hop working set on both filter planes:
+//! build ns/filter, match ns/(query, leaf), and heap bytes/leaf for the
+//! sparse position-list representation against the dense bit tables it
+//! replaced. Both planes are built from identical term sets and checked to
+//! forward identically before any timing. Results print as a table and are
+//! written to `BENCH_qrp.json` at the workspace root (the `mem_bench`
+//! pattern); `crates/bench/tests/qrp_perf.rs` enforces the floors.
+//!
+//! Run with `cargo run -p pier-bench --release --bin qrp_bench`.
+
+use pier_bench::lab::DEFAULT_SEED;
+use pier_bench::qrpbench;
+use std::io::Write;
+
+fn main() {
+    let r = qrpbench::measure(DEFAULT_SEED);
+    println!(
+        "qrp plane — {} ultrapeers × {} leaf filters, {} queries, {} forwards (planes agree)",
+        r.ups,
+        r.leaves / r.ups,
+        r.queries,
+        r.forwards
+    );
+    println!("{:<26} {:>12} {:>12}", "metric", "sparse", "dense");
+    println!("{:<26} {:>12.0} {:>12.0}", "build ns/filter", r.build_ns_sparse, r.build_ns_dense);
+    println!(
+        "{:<26} {:>12.2} {:>12.2}",
+        "match ns/(query,leaf)", r.match_ns_sparse, r.match_ns_dense
+    );
+    println!(
+        "{:<26} {:>12.0} {:>12.0}",
+        "heap bytes/leaf", r.bytes_per_leaf_sparse, r.bytes_per_leaf_dense
+    );
+    println!("→ match speedup {:.2}x, bytes reduction {:.1}x", r.match_speedup, r.bytes_reduction);
+
+    let path = pier_bench::output::results_dir()
+        .parent()
+        .map(|root| root.join("BENCH_qrp.json"))
+        .unwrap_or_else(|| "BENCH_qrp.json".into());
+    let json = format!("{}\n", r.to_json());
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("→ {}", path.display()),
+        Err(e) => eprintln!("(json write failed: {e})"),
+    }
+}

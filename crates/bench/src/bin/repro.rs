@@ -20,8 +20,9 @@
 //! S-way sharded kernel — outputs are bit-identical for any shard count,
 //! only wall-clock time changes, and it composes with sweep `--jobs`
 //! (J trial threads × S shard workers each).
-//! The scale flag: `metro` is the 220k-node single-network run, `full`
-//! paper magnitudes, `sparse` the large sparse
+//! The scale flag: `metro` is the 1.1M-node single-network run (100k
+//! ultrapeers carrying 1M leaves; `REPRO_METRO_LITE=1` shrinks it to a
+//! CI-smoke size), `full` paper magnitudes, `sparse` the large sparse
 //! topology where even new-style vantages see only part of the network.
 //! The `REPRO_SCALE` environment variable remains as a fallback when the
 //! flag is absent, so existing CI plumbing keeps working.

@@ -37,9 +37,16 @@ pub fn collect(scale: Scale) -> HorizonData {
 /// One full replay with every random choice derived from `seed`, on a
 /// `shards`-way kernel. Results are bit-identical for any shard count.
 pub fn collect_seeded(scale: Scale, seed: u64, shards: usize) -> HorizonData {
-    let mut lab = Lab::build(LabConfig::at_sharded(scale, seed, shards));
+    let rate = if matches!(scale, Scale::Full | Scale::Metro) { 3.0 } else { 2.0 };
+    collect_cfg(LabConfig::at_sharded(scale, seed, shards), rate)
+}
+
+/// One full replay of an explicit lab config (tests drive metro-lite
+/// through this without touching process-global env state).
+pub fn collect_cfg(cfg: LabConfig, inject_rate_per_s: f64) -> HorizonData {
+    let mut lab = Lab::build(cfg);
     let vantage_degrees = lab.vantage_profiles();
-    let per_query = lab.replay(if matches!(scale, Scale::Full | Scale::Metro) { 3.0 } else { 2.0 });
+    let per_query = lab.replay(inject_rate_per_s);
     HorizonData {
         per_query,
         vantage_degrees,
@@ -115,16 +122,21 @@ pub fn run(scale: Scale, shards: usize) -> Vec<Table> {
 /// splits show that the horizon effect survives even at the best-connected
 /// (new-style) vantages.
 pub fn trial(scale: Scale, seed: u64, shards: usize) -> Summary {
-    let data = collect_seeded(scale, seed, shards);
-    let zero_single = mean_zero_single_rate(&data, |_| true);
-    let zero_union = zero_union_rate(&data);
+    summarize(&collect_seeded(scale, seed, shards))
+}
+
+/// The trial summary of an already-collected replay (shared by [`trial`]
+/// and the explicit-config test paths).
+pub fn summarize(data: &HorizonData) -> Summary {
+    let zero_single = mean_zero_single_rate(data, |_| true);
+    let zero_union = zero_union_rate(data);
     let mut out = Summary::new();
     out.set("zero_single", zero_single);
     out.set("zero_union", zero_union);
     out.set("zero_gap", zero_single - zero_union);
-    out.set("zero_single_new_style", mean_zero_single_rate(&data, |d| d >= NEW_STYLE_DEGREE));
-    out.set("zero_single_old_style", mean_zero_single_rate(&data, |d| d < NEW_STYLE_DEGREE));
-    out.set("new_style_horizon_visible", new_style_horizon_visible(&data) as u64 as f64);
+    out.set("zero_single_new_style", mean_zero_single_rate(data, |d| d >= NEW_STYLE_DEGREE));
+    out.set("zero_single_old_style", mean_zero_single_rate(data, |d| d < NEW_STYLE_DEGREE));
+    out.set("new_style_horizon_visible", new_style_horizon_visible(data) as u64 as f64);
     out.set("total_messages", data.metrics.total_messages as f64);
     out.set("total_bytes", data.metrics.total_bytes as f64);
     out.set("events_processed", data.events.processed as f64);

@@ -169,7 +169,7 @@ fn build_interned(w: &FloodWorkload) -> InternedFixture {
         let leaf = LeafCore::new(LeafConfig::default(), FileStore::new(share.clone()));
         let mut filter = QrpFilter::with_defaults();
         filter.insert_ids(leaf.store().all_tokens());
-        up.on_message(&mut net, leaf_id, GnutellaMsg::QrpUpdate { filter });
+        up.on_message(&mut net, leaf_id, GnutellaMsg::QrpUpdate { filter: Box::new(filter) });
         leaves.push((leaf_id, leaf, SinkNet::new(LEAF_BASE + i as u32)));
     }
     InternedFixture { up, leaves }

@@ -17,10 +17,11 @@ use std::sync::Arc;
 /// (the paper's horizon effect); `Full` approaches the paper's magnitudes
 /// (thousands of ultrapeers, tens of thousands of leaves) — minutes of CPU
 /// per trial, which is what the parallel sweep runner
-/// (`repro sweep --jobs J`) exists to amortize; `Metro` is an order of
-/// magnitude past `Full` (20k ultrapeers / 200k leaves, the paper's §4.1
-/// crawl magnitude as a *single* simulated network) and is only feasible
-/// because per-node protocol state shares one columnar catalog copy.
+/// (`repro sweep --jobs J`) exists to amortize; `Metro` is the true metro
+/// rung (100k ultrapeers / 1M leaves, the network the paper's §4.1 crawl
+/// sampled, as a *single* simulated network) and is only feasible because
+/// per-node protocol state shares one columnar catalog copy, QRP filters
+/// are interned sparse position lists, and kernel slot state is packed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {
     Quick,
@@ -147,33 +148,26 @@ impl LabConfig {
                 seed,
                 shards: 1,
             },
-            // The §4.1 crawl magnitude as one simulated network: 220k
-            // nodes. Feasible in-memory because every leaf's share is a
-            // `Box<[FileId]>` view into one shared columnar catalog.
+            // The true metro rung: 100k ultrapeers carrying 1M leaves —
+            // the network the paper's §4.1 crawl sampled, as *one*
+            // simulated network of 1.1M nodes. Feasible in-memory because
+            // every leaf's share is a `Box<[FileId]>` view into one shared
+            // columnar catalog, QRP filters are sparse position lists
+            // interned in a process-wide catalog, and the kernel's
+            // per-node slot state is one packed word.
             // `REPRO_METRO_LITE=1` shrinks the preset to a CI-smoke size
-            // that still exercises the metro code path (shared catalog,
+            // that still exercises the metro code path (shared catalogs,
             // metro experiment arms) in seconds instead of minutes.
             Scale::Metro => {
                 if std::env::var("REPRO_METRO_LITE").map(|v| v == "1").unwrap_or(false) {
-                    LabConfig {
-                        ultrapeers: 300,
-                        leaves: 3_000,
-                        old_style_fraction: 0.6,
-                        leaf_ups: 2,
-                        distinct_files: 6_000,
-                        queries: 40,
-                        vantages: 6,
-                        mixed_profile_vantages: true,
-                        seed,
-                        shards: 1,
-                    }
+                    LabConfig::metro_lite(seed)
                 } else {
                     LabConfig {
-                        ultrapeers: 20_000,
-                        leaves: 200_000,
+                        ultrapeers: 100_000,
+                        leaves: 1_000_000,
                         old_style_fraction: 0.6,
                         leaf_ups: 2,
-                        distinct_files: 60_000,
+                        distinct_files: 150_000,
                         queries: 240,
                         vantages: 24,
                         mixed_profile_vantages: true,
@@ -182,6 +176,25 @@ impl LabConfig {
                     }
                 }
             }
+        }
+    }
+
+    /// The CI-sized metro variant (what `REPRO_METRO_LITE=1` selects):
+    /// same code path — shared catalogs, mixed profiles, metro experiment
+    /// arms — at a size a release test can build in seconds. Tests call
+    /// this directly so they don't depend on process-global env state.
+    pub fn metro_lite(seed: u64) -> LabConfig {
+        LabConfig {
+            ultrapeers: 300,
+            leaves: 3_000,
+            old_style_fraction: 0.6,
+            leaf_ups: 2,
+            distinct_files: 6_000,
+            queries: 40,
+            vantages: 6,
+            mixed_profile_vantages: true,
+            seed,
+            shards: 1,
         }
     }
 }

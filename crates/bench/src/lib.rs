@@ -29,6 +29,7 @@ pub mod floodbench;
 pub mod lab;
 pub mod membench;
 pub mod output;
+pub mod qrpbench;
 pub mod sweep;
 
 pub use lab::Scale;

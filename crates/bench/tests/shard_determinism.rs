@@ -11,7 +11,7 @@
 //! parallelism (shard workers inside one simulation).
 
 use pier_bench::experiments::{churn, horizon};
-use pier_bench::lab::DEFAULT_SEED;
+use pier_bench::lab::{LabConfig, DEFAULT_SEED};
 use pier_bench::sweep::{run_sweep, Experiment, SweepConfig};
 use pier_bench::Scale;
 
@@ -24,6 +24,36 @@ fn horizon_trials_are_bit_identical_across_shard_counts() {
     for shards in [2usize, 4] {
         let sharded = horizon::trial(Scale::Quick, DEFAULT_SEED, shards);
         assert_eq!(base, sharded, "horizon trial diverged between 1 and {shards} kernel shards");
+    }
+    assert!(
+        base.get("events_processed").expect("kernel accounting stat") > 0.0,
+        "the replay must actually exercise the kernel"
+    );
+}
+
+/// The metro-lite rung with the sparse shared QRP plane: interned
+/// `Arc<QrpFilter>`s are probed from every shard's last-hop loops, so
+/// this pins that filter sharing (and the catalog behind it) stays
+/// invisible to the schedule — summaries bit-identical across 1/2/4
+/// kernel shards. Lab builds need optimized code, so debug builds skip.
+#[test]
+fn metro_lite_horizon_is_bit_identical_across_shard_counts() {
+    if cfg!(debug_assertions) {
+        eprintln!("metro-lite determinism: skipped (needs --release; debug build is too slow)");
+        return;
+    }
+    let summary = |shards: usize| {
+        let mut cfg = LabConfig::metro_lite(DEFAULT_SEED);
+        cfg.shards = shards;
+        horizon::summarize(&horizon::collect_cfg(cfg, 3.0))
+    };
+    let base = summary(1);
+    for shards in [2usize, 4] {
+        assert_eq!(
+            base,
+            summary(shards),
+            "metro-lite horizon diverged between 1 and {shards} kernel shards"
+        );
     }
     assert!(
         base.get("events_processed").expect("kernel accounting stat") > 0.0,

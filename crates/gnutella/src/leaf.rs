@@ -10,6 +10,7 @@ use crate::net::GnutellaNet;
 use pier_netsim::{NodeId, SimTime};
 use pier_vocab::Terms;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Results of one leaf-issued search.
 #[derive(Clone, Debug)]
@@ -36,6 +37,10 @@ pub struct LeafCore {
     pub cfg: LeafConfig,
     ultrapeers: Box<[NodeId]>,
     store: FileStore,
+    /// The share's QRP filter, built lazily on first publish and interned
+    /// in the process-wide [`crate::qrp_catalog`]. The share is immutable,
+    /// so connect and churn re-attachment advertise one canonical copy.
+    qrp: Option<Arc<QrpFilter>>,
     next_qid: u32,
     /// Keyed by the densely-allocated qid; a `BTreeMap` so the
     /// `searches()` driver API iterates in issue order, never in
@@ -45,7 +50,14 @@ pub struct LeafCore {
 
 impl LeafCore {
     pub fn new(cfg: LeafConfig, store: FileStore) -> Self {
-        LeafCore { cfg, ultrapeers: Box::default(), store, next_qid: 1, searches: BTreeMap::new() }
+        LeafCore {
+            cfg,
+            ultrapeers: Box::default(),
+            store,
+            qrp: None,
+            next_qid: 1,
+            searches: BTreeMap::new(),
+        }
     }
 
     pub fn set_ultrapeers(&mut self, ups: Vec<NodeId>) {
@@ -77,8 +89,9 @@ impl LeafCore {
 
     /// Push the share's QRP filter to one ultrapeer (re-attachment path;
     /// the full-broadcast [`LeafCore::publish_qrp`] runs on connect).
-    pub fn publish_qrp_to(&self, net: &mut dyn GnutellaNet, up: NodeId) {
-        net.send(up, GnutellaMsg::QrpUpdate { filter: self.qrp_filter() });
+    pub fn publish_qrp_to(&mut self, net: &mut dyn GnutellaNet, up: NodeId) {
+        let filter = Box::new(QrpFilter::clone(self.qrp_filter()));
+        net.send(up, GnutellaMsg::QrpUpdate { filter });
     }
 
     pub fn store(&self) -> &FileStore {
@@ -86,20 +99,24 @@ impl LeafCore {
     }
 
     /// The share's QRP filter (one builder for connect and re-attachment,
-    /// so the two paths can never advertise different filters).
-    fn qrp_filter(&self) -> QrpFilter {
-        let mut filter = QrpFilter::with_defaults();
-        filter.insert_ids(self.store.all_tokens());
-        filter
+    /// so the two paths can never advertise different filters), resolved
+    /// through the process-wide catalog and cached.
+    fn qrp_filter(&mut self) -> &Arc<QrpFilter> {
+        if self.qrp.is_none() {
+            let mut filter = QrpFilter::with_defaults();
+            filter.insert_ids(self.store.all_tokens());
+            self.qrp = Some(crate::qrp_catalog::intern(filter));
+        }
+        self.qrp.as_ref().expect("just built")
     }
 
     /// Publish the QRP filter of our share to every ultrapeer (done on
     /// connect; the paper's leaves "publish [their] file list to those
     /// ultrapeers").
-    pub fn publish_qrp(&self, net: &mut dyn GnutellaNet) {
-        let filter = self.qrp_filter();
+    pub fn publish_qrp(&mut self, net: &mut dyn GnutellaNet) {
+        let shared = Arc::clone(self.qrp_filter());
         for &up in &self.ultrapeers {
-            net.send(up, GnutellaMsg::QrpUpdate { filter: filter.clone() });
+            net.send(up, GnutellaMsg::QrpUpdate { filter: Box::new(QrpFilter::clone(&shared)) });
         }
     }
 
@@ -133,7 +150,9 @@ impl LeafCore {
     }
 
     /// Heap accounting by subsystem (see `pier_netsim::Sim::mem_stats`).
-    /// The shared catalog behind the store is *not* charged here.
+    /// The shared catalog behind the store is *not* charged here, and
+    /// neither is the cached `qrp` filter — it is interned in the
+    /// process-wide `qrp_catalog`, which charges each distinct filter once.
     pub fn mem_stats(&self, acc: &mut pier_netsim::MemAcc) {
         use pier_netsim::HeapSize;
         acc.add("leaf.share", self.store.own_heap_bytes());
@@ -224,7 +243,7 @@ mod tests {
 
     #[test]
     fn qrp_published_to_all_ultrapeers() {
-        let (core, mut net) = leaf_with_files();
+        let (mut core, mut net) = leaf_with_files();
         core.publish_qrp(&mut net);
         let sent = net.drain();
         assert_eq!(sent.len(), 3);

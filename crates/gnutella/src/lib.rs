@@ -29,10 +29,11 @@ mod leaf;
 mod msg;
 mod net;
 mod node;
+pub mod qrp_catalog;
 pub mod topology;
 mod ultrapeer;
 
-pub use bloom::QrpFilter;
+pub use bloom::{QrpFilter, QrpProbe};
 pub use config::{LeafConfig, UltrapeerConfig};
 pub use crawl::{CrawlGraph, Crawler};
 pub use files::{tokenize, FileId, FileMeta, FileStore, ShareCatalog};

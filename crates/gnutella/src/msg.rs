@@ -67,9 +67,11 @@ pub enum GnutellaMsg {
         neighbors: Vec<NodeId>,
         leaves: Vec<NodeId>,
     },
-    /// Leaf → ultrapeer: its QRP keyword filter.
+    /// Leaf → ultrapeer: its QRP keyword filter. Boxed: the filter (with
+    /// its inline probe-summary bitmap) dwarfs every other variant, and
+    /// the receiver interns it rather than keeping the copy.
     QrpUpdate {
-        filter: QrpFilter,
+        filter: Box<QrpFilter>,
     },
     /// Leaf → ultrapeer: please run this search for me.
     LeafQuery {

@@ -13,6 +13,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// Who asked for a query this ultrapeer originated.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -114,7 +115,11 @@ pub enum SnoopEvent {
 pub struct UltrapeerCore {
     pub cfg: UltrapeerConfig,
     neighbors: Box<[NodeId]>,
-    leaves: BTreeMap<NodeId, Option<QrpFilter>>,
+    /// Per-leaf QRP filters for last-hop forwarding. Filters arrive on the
+    /// wire and are interned in the process-wide [`crate::qrp_catalog`], so
+    /// leaves with identical share-views cost one filter copy between all
+    /// their ultrapeers — each entry here is one `Arc` pointer.
+    leaves: BTreeMap<NodeId, Option<Arc<QrpFilter>>>,
     store: FileStore,
     /// GUID → where the query came from (reverse-path routing table).
     seen: SeenMap,
@@ -212,10 +217,20 @@ impl UltrapeerCore {
         use pier_netsim::HeapSize;
         acc.add("up.share", self.store.own_heap_bytes());
         acc.add("up.topology", self.neighbors.heap_bytes());
-        let qrp: usize = self.leaves.values().map(HeapSize::heap_bytes).sum();
-        acc.add("up.qrp", self.leaves.len() * size_of::<(NodeId, Option<QrpFilter>)>() + qrp);
+        // Filters are catalog-interned `Arc`s, charged once process-wide
+        // by `qrp_catalog::stats()` — here each leaf entry costs only its
+        // map slot (BTreeMap model: ~1.5 slots per live entry).
+        let slots = self.leaves.len() + self.leaves.len() / 2;
+        acc.add("up.qrp", slots * size_of::<(NodeId, Option<Arc<QrpFilter>>)>());
         acc.add("up.relay", self.seen.heap_bytes() + self.snoop_log.heap_bytes());
         acc.add("up.queries", self.queries.heap_bytes() + self.dyn_state.heap_bytes());
+    }
+
+    /// Number of leaves that have published a QRP filter here (each is one
+    /// `Arc` reference into the process-wide filter catalog). `mem_bench`
+    /// sums this across ultrapeers to report the dedup ratio.
+    pub fn qrp_refs(&self) -> usize {
+        self.leaves.values().filter(|f| f.is_some()).count()
     }
 
     /// Inspect an originated query (driver API).
@@ -274,9 +289,10 @@ impl UltrapeerCore {
             record.first_hit_at = Some(net.now());
             record.hits.extend(own_hits);
         }
-        // ...and matching leaves (last-hop QRP).
+        // ...and matching leaves (last-hop QRP; one probe, many filters).
+        let probe = crate::bloom::QrpProbe::with_defaults(&terms);
         for (&leaf, qrp) in &self.leaves {
-            if qrp.as_ref().is_some_and(|f| f.matches_all(&terms)) {
+            if qrp.as_ref().is_some_and(|f| f.matches_probe(&probe)) {
                 net.send(leaf, GnutellaMsg::LeafForward { guid, terms: terms.clone() });
             }
         }
@@ -354,7 +370,9 @@ impl UltrapeerCore {
                 self.start_query(net, &terms, QueryOrigin::Leaf { leaf: from, qid });
             }
             GnutellaMsg::QrpUpdate { filter } => {
-                self.leaves.insert(from, Some(filter));
+                // Resolve through the process-wide catalog: leaves with
+                // identical shares hand every ultrapeer the same Arc.
+                self.leaves.insert(from, Some(crate::qrp_catalog::intern(*filter)));
             }
             GnutellaMsg::CrawlPing => {
                 let reply = GnutellaMsg::CrawlPong {
@@ -401,11 +419,12 @@ impl UltrapeerCore {
             net.send(from, GnutellaMsg::QueryHit { guid, hits: chunk.to_vec() });
         }
 
-        // Last-hop leaf forwarding via QRP (cached hashes: no re-hashing,
-        // no per-query allocation).
+        // Last-hop leaf forwarding via QRP (cached hashes: no re-hashing;
+        // one probe's positions shared across every leaf filter).
+        let probe = crate::bloom::QrpProbe::with_defaults(&terms);
         let mut forwards = 0u64;
         for (&leaf, qrp) in &self.leaves {
-            if qrp.as_ref().is_some_and(|f| f.matches_all(&terms)) {
+            if qrp.as_ref().is_some_and(|f| f.matches_probe(&probe)) {
                 net.send(leaf, GnutellaMsg::LeafForward { guid, terms: terms.clone() });
                 forwards += 1;
             }
@@ -743,10 +762,10 @@ mod tests {
         let mut filter = QrpFilter::with_defaults();
         filter.insert("led");
         filter.insert("zeppelin");
-        core.on_message(&mut net, leaf_yes, GnutellaMsg::QrpUpdate { filter });
+        core.on_message(&mut net, leaf_yes, GnutellaMsg::QrpUpdate { filter: Box::new(filter) });
         let mut other = QrpFilter::with_defaults();
         other.insert("floyd");
-        core.on_message(&mut net, leaf_no, GnutellaMsg::QrpUpdate { filter: other });
+        core.on_message(&mut net, leaf_no, GnutellaMsg::QrpUpdate { filter: Box::new(other) });
         net.drain();
 
         core.handle_query(&mut net, NodeId::new(1), Guid(2), 1, 0, "led zeppelin".into());

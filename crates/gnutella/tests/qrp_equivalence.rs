@@ -1,0 +1,88 @@
+//! Property tests pinning the sparse QRP representation to the dense
+//! bit tables it replaced: a filter built from arbitrary term sets must
+//! answer every probe identically before and after `promote_to_dense`,
+//! a hoisted [`QrpProbe`] must agree with per-term matching on either
+//! representation (and across geometry mismatches), and a Bloom filter's
+//! one hard guarantee — no false negatives — must hold for every
+//! inserted term. These are the semantics the golden determinism pins
+//! ride on: if sparse and dense ever diverge, message counts shift.
+
+use pier_gnutella::{QrpFilter, QrpProbe, Terms};
+use proptest::prelude::*;
+
+/// Build one sparse and one (force-promoted) dense filter from the same
+/// term names. The sparse side is only promoted by its density
+/// heuristic, so small term sets keep it sparse — asserted below.
+fn both_planes(names: &[String]) -> (QrpFilter, QrpFilter) {
+    let mut sparse = QrpFilter::with_defaults();
+    for n in names {
+        sparse.insert(n);
+    }
+    let mut dense = sparse.clone();
+    dense.promote_to_dense();
+    (sparse, dense)
+}
+
+proptest! {
+    /// Representation is invisible: equality, content hash, wire size,
+    /// population count, and every single-term probe agree between the
+    /// sparse filter and its promoted copy.
+    #[test]
+    fn sparse_equals_promoted_dense(
+        names in proptest::collection::vec("[a-z0-9]{2,8}", 0..40),
+        probes in proptest::collection::vec("[a-z0-9]{2,8}", 0..20),
+    ) {
+        let (sparse, dense) = both_planes(&names);
+        prop_assert!(sparse.is_sparse(), "40 terms × k=2 stays far under the density threshold");
+        prop_assert!(!dense.is_sparse());
+        prop_assert_eq!(&sparse, &dense);
+        prop_assert_eq!(sparse.content_hash(), dense.content_hash());
+        prop_assert_eq!(sparse.wire_size(), dense.wire_size());
+        prop_assert_eq!(sparse.count_ones(), dense.count_ones());
+        for p in &probes {
+            prop_assert!(sparse.contains(p) == dense.contains(p), "probe {:?} diverged", p);
+        }
+    }
+
+    /// A Bloom filter never lies about membership: every inserted term
+    /// is contained, and any query drawn from the inserted set matches,
+    /// on both representations.
+    #[test]
+    fn no_false_negatives(
+        names in proptest::collection::vec("[a-z0-9]{2,8}", 1..40),
+        pick in proptest::collection::vec(any::<u32>(), 1..5),
+    ) {
+        let (sparse, dense) = both_planes(&names);
+        for n in &names {
+            prop_assert!(sparse.contains(n));
+            prop_assert!(dense.contains(n));
+        }
+        let query: Vec<String> =
+            pick.iter().map(|&i| names[i as usize % names.len()].clone()).collect();
+        let terms = Terms::from_text(&query.join(" "));
+        prop_assert!(sparse.matches_all(&terms));
+        prop_assert!(dense.matches_all(&terms));
+    }
+
+    /// The hoisted probe is a pure optimization: `matches_probe` equals
+    /// `matches_all` on both representations, whether the probe's
+    /// geometry matches the filter's (position fast path) or not
+    /// (stored-hash fallback).
+    #[test]
+    fn probe_equals_per_term_matching(
+        names in proptest::collection::vec("[a-z0-9]{2,8}", 0..40),
+        query in "[a-z0-9 ]{0,30}",
+    ) {
+        let (sparse, dense) = both_planes(&names);
+        let terms = Terms::from_text(&query);
+        let probe = QrpProbe::with_defaults(&terms);
+        prop_assert_eq!(sparse.matches_probe(&probe), sparse.matches_all(&terms));
+        prop_assert_eq!(dense.matches_probe(&probe), dense.matches_all(&terms));
+
+        let mut other = QrpFilter::new(QrpFilter::DEFAULT_BITS / 2, QrpFilter::DEFAULT_HASHES);
+        for n in &names {
+            other.insert(n);
+        }
+        prop_assert_eq!(other.matches_probe(&probe), other.matches_all(&terms));
+    }
+}

@@ -84,5 +84,5 @@ pub use metrics::{
     Cdf, Counter, Histogram, LazyMetricClass, MetricClass, Metrics, MetricsSnapshot,
 };
 pub use rng::{derive_seed, split_mix64, stream_rng, SimRng};
-pub use sim::{EventStats, Sim, SimConfig};
+pub use sim::{EventStats, Sim, SimConfig, MAX_SHARDS};
 pub use time::{SimDuration, SimTime};

@@ -2,8 +2,8 @@
 //!
 //! Nodes partition across `S` shards by a fixed hash of their [`NodeId`].
 //! Each shard owns its own event heap, metrics, and struct-of-arrays node
-//! state (liveness bitset, timer epochs, per-node RNG streams and schedule
-//! counters). Shards advance in lockstep windows no wider than the minimum
+//! state (one packed liveness/epoch/sequence slot word plus an RNG stream
+//! per node). Shards advance in lockstep windows no wider than the minimum
 //! link latency ([`LatencyModel::min_latency`]): a message sent inside a
 //! window can only arrive in a later window, so shards exchange cross-shard
 //! sends at window barriers without ever seeing an event "from the past".
@@ -63,9 +63,10 @@ impl SimConfig {
         self
     }
 
-    /// Set the shard count (clamped to at least 1).
+    /// Set the shard count (clamped to `1..=MAX_SHARDS`; every value is
+    /// bit-identical, so the clamp only caps worker threads).
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards.max(1);
+        self.shards = shards.clamp(1, MAX_SHARDS);
         self
     }
 }
@@ -87,71 +88,111 @@ impl<M, T: Actor<M> + Any + Send> AnyActor<M> for T {
     }
 }
 
-/// Where a node lives: owning shard and dense index within it.
-#[derive(Clone, Copy)]
-struct Loc {
-    shard: u32,
-    local: u32,
+/// Where a node lives, packed into one word: bits 31..24 the owning shard,
+/// bits 23..0 the dense index within it. The limits this encodes — at most
+/// [`MAX_SHARDS`] shards and 2²⁴ (≈16.7M) nodes per shard — are asserted at
+/// registration; within them the locate table costs half the bytes of the
+/// old two-`u32` layout, which matters at millions of nodes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Loc(u32);
+
+/// Upper bound on the kernel shard count ([`Loc`] packs the shard into
+/// 8 bits). `SimConfig::shards` is clamped here — far above any useful
+/// worker-thread count, and results are bit-identical for every value.
+pub const MAX_SHARDS: usize = 256;
+
+impl Loc {
+    const LOCAL_BITS: u32 = 24;
+    const LOCAL_MASK: u32 = (1 << Self::LOCAL_BITS) - 1;
+
+    #[inline]
+    fn new(shard: u32, local: usize) -> Loc {
+        debug_assert!((shard as usize) < MAX_SHARDS);
+        assert!(local < (1 << Self::LOCAL_BITS) as usize, "shard full: 2^24 nodes");
+        Loc(shard << Self::LOCAL_BITS | local as u32)
+    }
+
+    #[inline]
+    fn shard(self) -> u32 {
+        self.0 >> Self::LOCAL_BITS
+    }
+
+    #[inline]
+    fn local(self) -> usize {
+        (self.0 & Self::LOCAL_MASK) as usize
+    }
 }
 
-/// Struct-of-arrays per-shard node state. Liveness is a bitset (one bit per
-/// node instead of the old one-`bool`-per-node vector); epochs, schedule
-/// sequence counters, and RNG streams are parallel dense arrays indexed by
-/// the node's shard-local index.
+/// Struct-of-arrays per-shard node state. The kernel bookkeeping that used
+/// to be a liveness bitset plus two parallel `u32` arrays is packed into
+/// one `u64` slot per node — bit 63 liveness, bits 62..32 the 31-bit timer
+/// epoch, bits 31..0 the schedule sequence counter — so per-node slot state
+/// is a single word next to the RNG stream.
 struct NodeTable {
-    /// Liveness bitset, one bit per local node.
-    up: Vec<u64>,
-    /// Bumped whenever a node goes down or comes back up; timers armed in an
-    /// older epoch are dropped instead of fired.
-    epoch: Vec<u32>,
-    /// Per-node monotone counter over scheduled events (sends and timers);
-    /// the final component of the event ordering key.
-    seq: Vec<u32>,
+    /// Packed per-node slot: `up:1 | epoch:31 | seq:32`. The epoch is
+    /// bumped whenever the node goes down or comes back up (timers armed in
+    /// an older epoch are dropped instead of fired); the sequence counter
+    /// is monotone over scheduled events (sends and timers) and is the
+    /// final component of the event ordering key. Both wrap far beyond any
+    /// realizable run length (2³¹ churn flips, 2³² events per node).
+    slot: Vec<u64>,
     /// Per-node RNG streams, derived from the master seed and the *global*
     /// node id, so streams do not depend on the shard layout.
     rng: Vec<SimRng>,
-    len: usize,
 }
 
 impl NodeTable {
+    const UP_BIT: u64 = 1 << 63;
+    const EPOCH_SHIFT: u32 = 32;
+    const EPOCH_MASK: u64 = 0x7FFF_FFFF;
+    const SEQ_MASK: u64 = 0xFFFF_FFFF;
+
     fn new() -> Self {
-        NodeTable { up: Vec::new(), epoch: Vec::new(), seq: Vec::new(), rng: Vec::new(), len: 0 }
+        NodeTable { slot: Vec::new(), rng: Vec::new() }
     }
 
     fn push(&mut self, rng: SimRng) -> usize {
-        let i = self.len;
-        if i.is_multiple_of(64) {
-            self.up.push(0);
-        }
-        self.up[i / 64] |= 1 << (i % 64);
-        self.epoch.push(0);
-        self.seq.push(0);
+        let i = self.slot.len();
+        self.slot.push(Self::UP_BIT);
         self.rng.push(rng);
-        self.len += 1;
         i
     }
 
     #[inline]
     fn is_up(&self, i: usize) -> bool {
-        (self.up[i / 64] >> (i % 64)) & 1 == 1
+        self.slot[i] & Self::UP_BIT != 0
     }
 
     #[inline]
     fn set_up(&mut self, i: usize, v: bool) {
-        let bit = 1u64 << (i % 64);
         if v {
-            self.up[i / 64] |= bit;
+            self.slot[i] |= Self::UP_BIT;
         } else {
-            self.up[i / 64] &= !bit;
+            self.slot[i] &= !Self::UP_BIT;
         }
+    }
+
+    /// The node's current timer epoch (31 bits).
+    #[inline]
+    fn epoch(&self, i: usize) -> u32 {
+        (self.slot[i] >> Self::EPOCH_SHIFT & Self::EPOCH_MASK) as u32
+    }
+
+    /// Advance the timer epoch (wrapping in its 31-bit field), cancelling
+    /// every timer armed under the old epoch.
+    #[inline]
+    fn bump_epoch(&mut self, i: usize) {
+        let next = (self.epoch(i) as u64 + 1) & Self::EPOCH_MASK;
+        self.slot[i] =
+            (self.slot[i] & !(Self::EPOCH_MASK << Self::EPOCH_SHIFT)) | next << Self::EPOCH_SHIFT;
     }
 
     /// Take the node's next schedule sequence number.
     #[inline]
     fn next_seq(&mut self, i: usize) -> u32 {
-        let s = self.seq[i];
-        self.seq[i] += 1;
-        s
+        let s = self.slot[i] & Self::SEQ_MASK;
+        self.slot[i] = (self.slot[i] & !Self::SEQ_MASK) | (s + 1) & Self::SEQ_MASK;
+        s as u32
     }
 }
 
@@ -220,7 +261,7 @@ impl<M: Send + 'static> Shard<M> {
         self.core.now = key.time;
         match kind {
             EventKind::Deliver { from, dst, msg } => {
-                let local = router.locate[dst.index()].local as usize;
+                let local = router.locate[dst.index()].local();
                 if !self.core.nodes.is_up(local) {
                     self.core.metrics.count(DROPPED_TO_DOWN.id(), 1, 0);
                     return;
@@ -235,8 +276,8 @@ impl<M: Send + 'static> Shard<M> {
                 self.actors[local].on_message(&mut ctx, from, msg);
             }
             EventKind::Timer { dst, token, epoch } => {
-                let local = router.locate[dst.index()].local as usize;
-                if !self.core.nodes.is_up(local) || self.core.nodes.epoch[local] != epoch {
+                let local = router.locate[dst.index()].local();
+                if !self.core.nodes.is_up(local) || self.core.nodes.epoch(local) != epoch {
                     return;
                 }
                 let mut ctx = CtxImpl {
@@ -313,10 +354,10 @@ impl<M> Ctx<M> for CtxImpl<'_, M> {
         };
         let kind = EventKind::Deliver { from: self.self_id, dst, msg };
         let loc = self.router.locate[dst.index()];
-        if loc.shard == self.core.ix {
+        if loc.shard() == self.core.ix {
             self.core.queue.push(key, kind);
         } else {
-            self.mailboxes[loc.shard as usize]
+            self.mailboxes[loc.shard() as usize]
                 .lock()
                 .expect("mailbox poisoned")
                 .push(Mail { key, kind });
@@ -324,7 +365,7 @@ impl<M> Ctx<M> for CtxImpl<'_, M> {
     }
 
     fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
-        let epoch = self.core.nodes.epoch[self.self_local];
+        let epoch = self.core.nodes.epoch(self.self_local);
         let key = EventKey {
             time: self.core.now + delay,
             sent: self.core.now,
@@ -377,7 +418,7 @@ pub struct Sim<M> {
 
 impl<M: Send + 'static> Sim<M> {
     pub fn new(config: SimConfig) -> Self {
-        let nshards = config.shards.max(1);
+        let nshards = config.shards.clamp(1, MAX_SHARDS);
         let window = SimDuration::from_micros(config.latency.min_latency().as_micros().max(1));
         Sim {
             shards: (0..nshards).map(|ix| Shard::new(ix as u32)).collect(),
@@ -411,7 +452,7 @@ impl<M: Send + 'static> Sim<M> {
         shard.actors.push(Box::new(actor));
         let slot = shard.core.nodes.push(stream_rng(self.seed, u64::from(id.raw()) + 1));
         debug_assert_eq!(slot, local);
-        self.router.locate.push(Loc { shard: six, local: local as u32 });
+        self.router.locate.push(Loc::new(six, local));
         // A zero-delay timer with a reserved token drives on_start so that
         // startup interleaves deterministically with other events. Its key
         // is the node's own first scheduled event, so registration order ==
@@ -443,7 +484,7 @@ impl<M: Send + 'static> Sim<M> {
     /// Whether a node is currently up.
     pub fn is_up(&self, id: NodeId) -> bool {
         let loc = self.router.locate[id.index()];
-        self.shards[loc.shard as usize].core.nodes.is_up(loc.local as usize)
+        self.shards[loc.shard() as usize].core.nodes.is_up(loc.local())
     }
 
     /// Borrow an actor, downcast to its concrete type.
@@ -452,7 +493,7 @@ impl<M: Send + 'static> Sim<M> {
     /// Panics if the node id is out of range or the type does not match.
     pub fn actor<T: Actor<M> + Any>(&self, id: NodeId) -> &T {
         let loc = self.router.locate[id.index()];
-        self.shards[loc.shard as usize].actors[loc.local as usize]
+        self.shards[loc.shard() as usize].actors[loc.local()]
             .as_any()
             .downcast_ref::<T>()
             .expect("actor type mismatch")
@@ -461,7 +502,7 @@ impl<M: Send + 'static> Sim<M> {
     /// Mutable variant of [`Sim::actor`].
     pub fn actor_mut<T: Actor<M> + Any>(&mut self, id: NodeId) -> &mut T {
         let loc = self.router.locate[id.index()];
-        self.shards[loc.shard as usize].actors[loc.local as usize]
+        self.shards[loc.shard() as usize].actors[loc.local()]
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("actor type mismatch")
@@ -485,12 +526,12 @@ impl<M: Send + 'static> Sim<M> {
         f: impl FnOnce(&mut T, &mut dyn Ctx<M>) -> R,
     ) -> R {
         let loc = self.router.locate[id.index()];
-        let shard = &mut self.shards[loc.shard as usize];
+        let shard = &mut self.shards[loc.shard() as usize];
         assert!(
-            shard.core.nodes.is_up(loc.local as usize),
+            shard.core.nodes.is_up(loc.local()),
             "with_actor_ctx on down node {id:?}: handlers only run on live nodes"
         );
-        let actor = shard.actors[loc.local as usize]
+        let actor = shard.actors[loc.local()]
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("actor type mismatch");
@@ -499,7 +540,7 @@ impl<M: Send + 'static> Sim<M> {
             router: &self.router,
             mailboxes: &self.mailboxes,
             self_id: id,
-            self_local: loc.local as usize,
+            self_local: loc.local(),
         };
         let out = f(actor, &mut ctx);
         self.drain_all_mailboxes();
@@ -535,13 +576,13 @@ impl<M: Send + 'static> Sim<M> {
     /// it will be dropped, and `on_down` runs immediately.
     pub fn set_down(&mut self, id: NodeId) {
         let loc = self.router.locate[id.index()];
-        let shard = &mut self.shards[loc.shard as usize];
-        let local = loc.local as usize;
+        let shard = &mut self.shards[loc.shard() as usize];
+        let local = loc.local();
         if !shard.core.nodes.is_up(local) {
             return;
         }
         shard.core.nodes.set_up(local, false);
-        shard.core.nodes.epoch[local] += 1;
+        shard.core.nodes.bump_epoch(local);
         let mut ctx = CtxImpl {
             core: &mut shard.core,
             router: &self.router,
@@ -560,13 +601,13 @@ impl<M: Send + 'static> Sim<M> {
     /// resume instead of being silently lost.
     pub fn set_up(&mut self, id: NodeId) {
         let loc = self.router.locate[id.index()];
-        let shard = &mut self.shards[loc.shard as usize];
-        let local = loc.local as usize;
+        let shard = &mut self.shards[loc.shard() as usize];
+        let local = loc.local();
         if shard.core.nodes.is_up(local) {
             return;
         }
         shard.core.nodes.set_up(local, true);
-        shard.core.nodes.epoch[local] += 1;
+        shard.core.nodes.bump_epoch(local);
         let mut ctx = CtxImpl {
             core: &mut shard.core,
             router: &self.router,
@@ -691,10 +732,8 @@ impl<M: Send + 'static> Sim<M> {
             }
             kernel += shard.core.queue.heap_bytes();
             let nt = &shard.core.nodes;
-            kernel += nt.up.capacity() * size_of::<u64>()
-                + nt.epoch.capacity() * size_of::<u32>()
-                + nt.seq.capacity() * size_of::<u32>()
-                + nt.rng.capacity() * size_of::<SimRng>();
+            kernel +=
+                nt.slot.capacity() * size_of::<u64>() + nt.rng.capacity() * size_of::<SimRng>();
             kernel += shard.actors.capacity() * size_of::<Box<dyn AnyActor<M>>>();
             kernel += shard.scratch.capacity() * size_of::<Mail<M>>();
         }
@@ -1194,6 +1233,77 @@ mod tests {
         // 2 starts + ping + pong + timer.
         assert_eq!(stats.processed, 5);
         assert!(stats.peak_pending >= 2);
+    }
+
+    /// The kernel slot diet pin: per-node bookkeeping is one packed word
+    /// (`up:1 | epoch:31 | seq:32`) plus a 4-byte packed locate entry, and
+    /// the fields never clobber each other.
+    #[test]
+    fn per_node_kernel_slot_is_packed() {
+        assert_eq!(size_of::<Loc>(), 4);
+        let loc = Loc::new(255, (1 << 24) - 1);
+        assert_eq!(loc.shard(), 255);
+        assert_eq!(loc.local(), (1 << 24) - 1);
+
+        let mut nt = NodeTable::new();
+        let a = nt.push(stream_rng(1, 1));
+        let b = nt.push(stream_rng(1, 2));
+        assert_eq!(size_of_val(&nt.slot[a]), 8);
+        assert!(nt.is_up(a) && nt.is_up(b));
+        // Sequence numbers advance per node, independently.
+        assert_eq!(nt.next_seq(a), 0);
+        assert_eq!(nt.next_seq(a), 1);
+        assert_eq!(nt.next_seq(b), 0);
+        // Epoch bumps don't disturb liveness or the sequence counter.
+        nt.set_up(a, false);
+        nt.bump_epoch(a);
+        assert!(!nt.is_up(a));
+        assert_eq!(nt.epoch(a), 1);
+        assert_eq!(nt.next_seq(a), 2);
+        nt.set_up(a, true);
+        nt.bump_epoch(a);
+        assert!(nt.is_up(a));
+        assert_eq!(nt.epoch(a), 2);
+        assert_eq!(nt.epoch(b), 0, "epochs are per-node");
+        // The 31-bit epoch wraps in-field instead of bleeding into the
+        // liveness bit (seed the field at its max directly — 2^31 bumps
+        // would take most of a minute).
+        nt.slot[b] = (nt.slot[b] & !(NodeTable::EPOCH_MASK << NodeTable::EPOCH_SHIFT))
+            | NodeTable::EPOCH_MASK << NodeTable::EPOCH_SHIFT;
+        assert_eq!(nt.epoch(b), NodeTable::EPOCH_MASK as u32);
+        nt.bump_epoch(b);
+        assert_eq!(nt.epoch(b), 0, "wraps at 2^31");
+        assert!(nt.is_up(b), "wrap must not flip liveness");
+        assert_eq!(nt.next_seq(b), 1, "wrap must not disturb the sequence field");
+    }
+
+    /// `mem_stats` kernel accounting tracks the dieted tables: growing the
+    /// node count by N adds ~one slot word + RNG + locate entry per node.
+    #[test]
+    fn mem_stats_audits_packed_node_state() {
+        struct Idle;
+        impl Actor<Msg> for Idle {
+            fn on_message(&mut self, _: &mut dyn Ctx<Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, _: &mut dyn Ctx<Msg>, _: TimerToken) {}
+        }
+        let per_node =
+            size_of::<u64>() + size_of::<SimRng>() + size_of::<Loc>() + size_of::<usize>();
+        let mut sim: Sim<Msg> = Sim::new(SimConfig::with_seed(7));
+        for _ in 0..1024 {
+            sim.add_node(Idle);
+        }
+        sim.run_until_quiescent();
+        let before = sim.mem_stats().kernel_bytes;
+        for _ in 0..1024 {
+            sim.add_node(Idle);
+        }
+        sim.run_until_quiescent();
+        let grown = sim.mem_stats().kernel_bytes - before;
+        // Vec growth doubles capacities, so the marginal cost per node is
+        // bounded by 2× the packed layout (plus slack for the event
+        // queue's retained arena, whose peak the first batch already set).
+        let bound = (2 * per_node * 1024 + 4096) as u64;
+        assert!(grown <= bound, "kernel grew {grown} B for 1024 nodes (bound {bound})");
     }
 
     /// Nodes spread across shards under the fixed hash (no shard starves).
