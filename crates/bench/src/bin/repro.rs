@@ -15,17 +15,30 @@
 //!                      # (mean/stderr/min/max) into results/sweep_*.json
 //! ```
 //!
-//! `--scale quick|sparse|full|metro` (anywhere on the command line) selects the
-//! workload scale; `--shards S` (also anywhere) runs each simulation on an
-//! S-way sharded kernel — outputs are bit-identical for any shard count,
-//! only wall-clock time changes, and it composes with sweep `--jobs`
-//! (J trial threads × S shard workers each).
+//! `--scale quick|sparse|full|metro|metro-lite` (anywhere on the command
+//! line) selects the workload scale; `--shards S` (also anywhere) runs each
+//! simulation on an S-way sharded kernel — outputs are bit-identical for
+//! any shard count, only wall-clock time changes, and it composes with
+//! sweep `--jobs` (J trial threads × S shard workers each).
 //! The scale flag: `metro` is the 1.1M-node single-network run (100k
 //! ultrapeers carrying 1M leaves; `REPRO_METRO_LITE=1` shrinks it to a
-//! CI-smoke size), `full` paper magnitudes, `sparse` the large sparse
-//! topology where even new-style vantages see only part of the network.
+//! CI-smoke size), `metro-lite` that CI-smoke size addressed directly,
+//! `full` paper magnitudes, `sparse` the large sparse topology where even
+//! new-style vantages see only part of the network.
 //! The `REPRO_SCALE` environment variable remains as a fallback when the
 //! flag is absent, so existing CI plumbing keeps working.
+//!
+//! Observability (all stat-neutral — pinned outputs are bit-identical with
+//! these on or off):
+//!
+//! * `--profile` — wall-clock phase profile of the run: a self-time-sorted
+//!   table on stderr plus `results/profile_<exp>_<scale>.json` (including
+//!   per-shard kernel window counters).
+//! * `--trace-queries N` — causally trace a deterministic evenly-spaced
+//!   sample of N query injections (lab experiments: figs4-7, horizon);
+//!   events land in `results/trace_<exp>_<scale>.jsonl`, readable by the
+//!   `trace_report` bin.
+//! * `--progress` — a ~2 s heartbeat on stderr (sim-time, events/s, ETA).
 
 use pier_bench::experiments::{
     ablations, churn, fig8, figs13to15, figs4to7, figs9to12, horizon, model_params, sec5_posting,
@@ -34,6 +47,7 @@ use pier_bench::experiments::{
 use pier_bench::output::{self, emit};
 use pier_bench::sweep::{run_sweep, Experiment, SweepConfig, DEFAULT_BASE_SEED};
 use pier_bench::Scale;
+use pier_trace::Obs;
 
 /// Extract `--scale <name>` from the argument list (any position), so
 /// sweeps and CI don't need env plumbing. A present-but-unparseable value
@@ -41,7 +55,7 @@ use pier_bench::Scale;
 fn parse_scale(args: &mut Vec<String>) -> Option<Scale> {
     let i = args.iter().position(|a| a == "--scale")?;
     let Some(v) = args.get(i + 1) else {
-        eprintln!("--scale needs a value (quick|sparse|full|metro)");
+        eprintln!("--scale needs a value (quick|sparse|full|metro|metro-lite)");
         std::process::exit(2);
     };
     match Scale::parse(v) {
@@ -50,7 +64,41 @@ fn parse_scale(args: &mut Vec<String>) -> Option<Scale> {
             Some(scale)
         }
         None => {
-            eprintln!("bad value for --scale: '{v}' (expected quick, sparse, full, or metro)");
+            eprintln!(
+                "bad value for --scale: '{v}' (expected quick, sparse, full, metro, or metro-lite)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Remove a boolean flag (e.g. `--profile`) from the argument list,
+/// returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Extract `--trace-queries <n>` from the argument list (any position):
+/// how many query injections to causally trace (0 = tracing off).
+fn parse_trace_queries(args: &mut Vec<String>) -> Option<usize> {
+    let i = args.iter().position(|a| a == "--trace-queries")?;
+    let Some(v) = args.get(i + 1) else {
+        eprintln!("--trace-queries needs a value (how many queries to trace)");
+        std::process::exit(2);
+    };
+    match v.parse::<usize>() {
+        Ok(n) => {
+            args.drain(i..=i + 1);
+            Some(n)
+        }
+        _ => {
+            eprintln!("bad value for --trace-queries: '{v}' (expected a non-negative integer)");
             std::process::exit(2);
         }
     }
@@ -138,16 +186,25 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let scale = parse_scale(&mut args).unwrap_or_else(Scale::from_env);
     let shards = parse_shards(&mut args).unwrap_or(1);
+    let profile = take_flag(&mut args, "--profile");
+    let progress = take_flag(&mut args, "--progress");
+    let trace_queries = parse_trace_queries(&mut args).unwrap_or(0);
+    let obs = Obs::configure(profile, trace_queries, progress);
     let what = args.first().map(String::as_str).unwrap_or("all");
     println!(
         "repro: running '{what}' at {scale:?} scale, {shards} kernel shard(s) \
-(--scale quick|sparse|full|metro, --shards N)"
+(--scale quick|sparse|full|metro|metro-lite, --shards N, --profile, \
+--trace-queries N, --progress)"
     );
 
     let t0 = std::time::Instant::now();
+    // One phase around the whole dispatch: with `--profile`, phase
+    // self-times then account for (almost) every wall-clock second the
+    // run spends, nested lab phases included.
+    let dispatch_phase = obs.phase(&format!("exp.{what}"));
     match what {
         "fig4" | "fig5" | "fig6" | "fig7" | "figs4-7" => {
-            emit(&figs4to7::run(scale, shards), "figs4to7");
+            emit(&figs4to7::run_with(scale, shards, &obs), "figs4to7");
         }
         "fig8" | "crawl" => {
             emit(&fig8::run(scale, shards).tables, "fig8");
@@ -171,7 +228,7 @@ fn main() {
             emit(&ablations::run(scale, shards), "ablations");
         }
         "horizon" | "sparse" => {
-            emit(&horizon::run(scale, shards), "horizon");
+            emit(&horizon::run_with(scale, shards, &obs), "horizon");
         }
         "churn" => {
             emit(&churn::run(scale, shards), "churn");
@@ -180,7 +237,7 @@ fn main() {
             run_sweep_cmd(scale, shards, &args[1..]);
         }
         "all" => {
-            emit(&figs4to7::run(scale, shards), "figs4to7");
+            emit(&figs4to7::run_with(scale, shards, &obs), "figs4to7");
             emit(&fig8::run(scale, shards).tables, "fig8");
             emit(&figs9to12::run(scale), "figs9to12");
             emit(&figs13to15::run(scale), "figs13to15");
@@ -198,6 +255,21 @@ fn main() {
             );
             std::process::exit(2);
         }
+    }
+    drop(dispatch_phase);
+    output::print_profile(&obs);
+    match output::write_profile_json(&obs, what, scale) {
+        Ok(Some(path)) => println!("  → {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("  (profile json write failed: {e})"),
+    }
+    match output::write_trace_jsonl(&obs, what, scale) {
+        Ok(Some(path)) => println!(
+            "  → {} (read with: cargo run -p pier-bench --bin trace_report -- <path>)",
+            path.display()
+        ),
+        Ok(None) => {}
+        Err(e) => eprintln!("  (trace jsonl write failed: {e})"),
     }
     // The interned-term gauge: the table is append-only and process-wide,
     // so this is the run's whole-vocabulary footprint (guarded against

@@ -7,6 +7,11 @@
 //! are written to `BENCH_shard.json` at the workspace root so later PRs
 //! have a perf trajectory to compare against.
 //!
+//! Besides the `REPRO_SCALE`-selected rung, every run also times the
+//! `metro-lite` preset — the metro code path (shared share catalog, mixed
+//! profiles, metro experiment arms) at a size a CI box replays in under a
+//! second — so the trajectory always carries a metro-path datapoint.
+//!
 //! Honest numbers: the JSON records `shard.host_parallelism`. On a
 //! single-core host the sharded runs pay barrier overhead with no
 //! parallelism to buy back, so a sub-1× "speedup" there is expected and
@@ -28,6 +33,8 @@ struct Point {
     total_messages: u64,
 }
 
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
 /// One timed replay. The trailing replay state (interned vocabulary,
 /// allocator warmth) is shared process-wide, so callers should discard a
 /// warm-up run before comparing.
@@ -40,6 +47,61 @@ fn replay(scale: Scale, shards: usize) -> Point {
         events: data.events.processed,
         total_messages: data.metrics.total_messages,
     }
+}
+
+/// Interleaved min-of-3 over the shard counts. Shared hosts drift: rounds
+/// interleave (1,2,4,1,2,4,…) so slow background phases don't land on one
+/// configuration, and min wall time is the robust estimator — noise only
+/// ever adds time. Also re-asserts the determinism contract: sharding must
+/// not change what was simulated.
+fn bench_scale(scale: Scale) -> Vec<Point> {
+    let mut points: Vec<Point> = SHARD_COUNTS.iter().map(|&s| replay(scale, s)).collect();
+    for _ in 0..2 {
+        for (i, &s) in SHARD_COUNTS.iter().enumerate() {
+            let p = replay(scale, s);
+            assert_eq!(p.events, points[i].events, "replay diverged between rounds");
+            if p.wall_s < points[i].wall_s {
+                points[i] = p;
+            }
+        }
+    }
+    for p in &points[1..] {
+        assert_eq!(
+            (p.events, p.total_messages),
+            (points[0].events, points[0].total_messages),
+            "{}-shard replay diverged from the 1-shard run",
+            p.shards
+        );
+    }
+    points
+}
+
+fn print_points(points: &[Point]) {
+    println!("{:<8} {:>10} {:>14} {:>14}", "shards", "best wall_s", "events", "events/s");
+    for p in points {
+        println!(
+            "{:<8} {:>10.2} {:>14} {:>14.0}",
+            p.shards,
+            p.wall_s,
+            p.events,
+            p.events as f64 / p.wall_s.max(1e-9)
+        );
+    }
+}
+
+/// The JSON keys of one benched scale, under `shard.<prefix>`.
+fn push_keys(results: &mut Vec<(String, f64)>, prefix: &str, points: &[Point]) {
+    let speedup2 = points[0].wall_s / points[1].wall_s.max(1e-9);
+    let speedup4 = points[0].wall_s / points[2].wall_s.max(1e-9);
+    let k = |name: &str| format!("shard.{prefix}{name}");
+    results.push((k("events"), points[0].events as f64));
+    results.push((k("s1_wall_s"), points[0].wall_s));
+    results.push((k("s2_wall_s"), points[1].wall_s));
+    results.push((k("s4_wall_s"), points[2].wall_s));
+    results.push((k("s1_events_per_s"), points[0].events as f64 / points[0].wall_s.max(1e-9)));
+    results.push((k("s4_events_per_s"), points[2].events as f64 / points[2].wall_s.max(1e-9)));
+    results.push((k("speedup_2x"), speedup2));
+    results.push((k("speedup_4x"), speedup4));
 }
 
 fn main() {
@@ -55,62 +117,29 @@ fn main() {
     // not process start-up.
     let _ = replay(scale, 1);
 
-    // Shared hosts drift: take the best of three rounds per shard count,
-    // interleaved (1,2,4,1,2,4,…) so slow background phases don't land on
-    // one configuration. Min wall time is the robust estimator here —
-    // noise only ever adds time.
-    let mut points: Vec<Point> = [1usize, 2, 4].iter().map(|&s| replay(scale, s)).collect();
-    for _ in 0..2 {
-        for (i, &s) in [1usize, 2, 4].iter().enumerate() {
-            let p = replay(scale, s);
-            assert_eq!(p.events, points[i].events, "replay diverged between rounds");
-            if p.wall_s < points[i].wall_s {
-                points[i] = p;
-            }
-        }
-    }
-
-    println!("{:<8} {:>10} {:>14} {:>14}", "shards", "best wall_s", "events", "events/s");
-    for p in &points {
-        println!(
-            "{:<8} {:>10.2} {:>14} {:>14.0}",
-            p.shards,
-            p.wall_s,
-            p.events,
-            p.events as f64 / p.wall_s.max(1e-9)
-        );
-    }
-
-    // The determinism contract, enforced even in the benchmark: sharding
-    // must not change what was simulated.
-    for p in &points[1..] {
-        assert_eq!(
-            (p.events, p.total_messages),
-            (points[0].events, points[0].total_messages),
-            "{}-shard replay diverged from the 1-shard run",
-            p.shards
-        );
-    }
-
+    let points = bench_scale(scale);
+    print_points(&points);
     let speedup2 = points[0].wall_s / points[1].wall_s.max(1e-9);
     let speedup4 = points[0].wall_s / points[2].wall_s.max(1e-9);
     println!("\nspeedup vs 1 shard: 2 shards {speedup2:.2}x, 4 shards {speedup4:.2}x");
+
+    // The metro-path datapoint, always present regardless of REPRO_SCALE.
+    let lite_points = if scale == Scale::MetroLite {
+        None
+    } else {
+        println!("\nmetro-lite rung (shared-catalog metro code path at CI size):");
+        let lp = bench_scale(Scale::MetroLite);
+        print_points(&lp);
+        Some(lp)
+    };
 
     let path = pier_bench::output::results_dir()
         .parent()
         .map(|r| r.join("BENCH_shard.json"))
         .unwrap_or_else(|| "BENCH_shard.json".into());
-    let results: Vec<(String, f64)> = vec![
-        ("shard.host_parallelism".into(), host as f64),
-        ("shard.events".into(), points[0].events as f64),
-        ("shard.s1_wall_s".into(), points[0].wall_s),
-        ("shard.s2_wall_s".into(), points[1].wall_s),
-        ("shard.s4_wall_s".into(), points[2].wall_s),
-        ("shard.s1_events_per_s".into(), points[0].events as f64 / points[0].wall_s.max(1e-9)),
-        ("shard.s4_events_per_s".into(), points[2].events as f64 / points[2].wall_s.max(1e-9)),
-        ("shard.speedup_2x".into(), speedup2),
-        ("shard.speedup_4x".into(), speedup4),
-    ];
+    let mut results: Vec<(String, f64)> = vec![("shard.host_parallelism".into(), host as f64)];
+    push_keys(&mut results, "", &points);
+    push_keys(&mut results, "metro_lite_", lite_points.as_deref().unwrap_or(&points));
     let mut json = String::from("{\n");
     for (i, (name, v)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };

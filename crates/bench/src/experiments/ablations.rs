@@ -60,7 +60,7 @@ pub fn timeout_points(scale: Scale, seed: u64, shards: usize) -> Vec<TimeoutPoin
     let (ups, hybrid_ups, leaves, distinct, queries) = match scale {
         Scale::Quick | Scale::Sparse => (80usize, 16usize, 1_600usize, 3_200usize, 60usize),
         Scale::Full => (240, 48, 4_800, 9_600, 200),
-        Scale::Metro => (480, 96, 9_600, 19_200, 300),
+        Scale::Metro | Scale::MetroLite => (480, 96, 9_600, 19_200, 300),
     };
     let timeouts_s = [5u64, 10, 20, 30, 45];
     let mut out = Vec::with_capacity(timeouts_s.len());
@@ -198,7 +198,7 @@ pub fn flood_points(scale: Scale, seed: u64, shards: usize) -> Vec<StrategyPoint
     let (ups, leaves) = match scale {
         Scale::Quick | Scale::Sparse => (150usize, 3_000usize),
         Scale::Full => (333, 10_000),
-        Scale::Metro => (666, 20_000),
+        Scale::Metro | Scale::MetroLite => (666, 20_000),
     };
     let mut out = Vec::with_capacity(4);
     for dynamic in [false, true] {
@@ -230,7 +230,7 @@ pub fn flood_points(scale: Scale, seed: u64, shards: usize) -> Vec<StrategyPoint
         sim.run_for(SimDuration::from_secs(3));
 
         for (label, terms) in [("popular", "popular evergreen"), ("rare", "rare single copy")] {
-            let before = sim.metrics().counter("gnutella.query").count;
+            let baseline = sim.metrics().snapshot();
             let vantage = handles.ups[7];
             let issued = sim.now();
             let guid = sim.with_actor_ctx::<UltrapeerNode, _>(vantage, |up, ctx| {
@@ -242,7 +242,7 @@ pub fn flood_points(scale: Scale, seed: u64, shards: usize) -> Vec<StrategyPoint
                 }
             });
             sim.run_for(SimDuration::from_secs(120));
-            let msgs = sim.metrics().counter("gnutella.query").count - before;
+            let msgs = sim.metrics().snapshot().diff(&baseline).counter("gnutella.query").count;
             let rec =
                 sim.actor_mut::<UltrapeerNode>(vantage).core.take_query(guid).expect("registered");
             out.push(StrategyPoint {

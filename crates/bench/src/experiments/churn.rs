@@ -70,7 +70,7 @@ impl ChurnConfig {
             Scale::Quick => (40, 6, 100),
             Scale::Sparse => (72, 8, 200),
             Scale::Full => (144, 12, 400),
-            Scale::Metro => (288, 16, 800),
+            Scale::Metro | Scale::MetroLite => (288, 16, 800),
         };
         ChurnConfig {
             nodes,
@@ -267,12 +267,7 @@ fn run_arm(cfg: &ChurnConfig, master: u64, arm: Arm, shards: usize) -> ArmResult
     // store-carrying RPCs of the replicated refresh put. The refresh
     // lookup's FIND_NODE share is indistinguishable from bucket refreshes
     // and deliberately excluded.
-    let bytes_at = |sim: &Sim<DhtMsg>| {
-        sim.metrics().counter("dht.route_store").bytes
-            + sim.metrics().counter("dht.req.store").bytes
-            + sim.metrics().counter("dht.resp.store_ack").bytes
-    };
-    let publish_bytes_start = bytes_at(&sim);
+    let publish_baseline = sim.metrics().snapshot();
 
     let mut checkpoints = vec![storage_recall(&sim)];
     let steps = (cfg.run.as_micros() / cfg.checkpoint.as_micros()).max(1);
@@ -284,7 +279,11 @@ fn run_arm(cfg: &ChurnConfig, master: u64, arm: Arm, shards: usize) -> ArmResult
         }
         checkpoints.push(storage_recall(&sim));
     }
-    let publish_bytes = bytes_at(&sim) - publish_bytes_start;
+    let publish_delta = sim.metrics().snapshot().diff(&publish_baseline);
+    let publish_bytes: u64 = ["dht.route_store", "dht.req.store", "dht.resp.store_ack"]
+        .iter()
+        .map(|c| publish_delta.counter(c).bytes)
+        .sum();
     let publish_kib_node_min =
         publish_bytes as f64 / 1024.0 / cfg.nodes as f64 / (cfg.run.as_secs_f64() / 60.0);
 

@@ -39,7 +39,7 @@ pub fn run_seeded(scale: Scale, seed: u64, shards: usize) -> CrawlOutcome {
         Scale::Full => (3_333, 96_000),
         // Double the paper's crawl: the shared-catalog layout makes the
         // actor population cheap; messages dominate.
-        Scale::Metro => (6_666, 192_000),
+        Scale::Metro | Scale::MetroLite => (6_666, 192_000),
     };
     let cfg = SimConfig::with_seed(seed)
         .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(90)))

@@ -6,6 +6,7 @@ use crate::lab::{union_results, Lab, LabConfig, Scale, VantageResult, DEFAULT_SE
 use crate::output::{f, s, Table};
 use crate::sweep::Summary;
 use pier_netsim::MetricsSnapshot;
+use pier_trace::Obs;
 use std::collections::HashMap;
 
 /// Everything Figures 4–7 need from one replay of the trace.
@@ -27,8 +28,17 @@ pub fn collect(scale: Scale) -> MeasurementData {
 /// One full replay with every random choice derived from `seed`, on a
 /// `shards`-way kernel. Results are bit-identical for any shard count.
 pub fn collect_seeded(scale: Scale, seed: u64, shards: usize) -> MeasurementData {
-    let mut lab = Lab::build(LabConfig::at_sharded(scale, seed, shards));
-    let per_query = lab.replay(if matches!(scale, Scale::Full | Scale::Metro) { 3.0 } else { 2.0 });
+    collect_seeded_obs(scale, seed, shards, &Obs::default())
+}
+
+/// [`collect_seeded`] under an observability config: profiled phases,
+/// progress heartbeat, and sampled query tracing. Measured statistics are
+/// bit-identical to the unobserved run.
+pub fn collect_seeded_obs(scale: Scale, seed: u64, shards: usize, obs: &Obs) -> MeasurementData {
+    let mut lab = Lab::build_with(LabConfig::at_sharded(scale, seed, shards), obs);
+    let rate =
+        if matches!(scale, Scale::Full | Scale::Metro | Scale::MetroLite) { 3.0 } else { 2.0 };
+    let per_query = lab.replay_with(rate, obs);
     MeasurementData {
         per_query,
         vantage_count: lab.vantages.len(),
@@ -247,8 +257,13 @@ fn pct_at_most(values: &[usize], x: usize) -> f64 {
 /// Run all four figures (one replay on a `shards`-way kernel) and return
 /// the tables, reporting kernel throughput on stdout.
 pub fn run(scale: Scale, shards: usize) -> Vec<Table> {
+    run_with(scale, shards, &Obs::default())
+}
+
+/// [`run`] under an observability config (`repro --profile` / `--trace-queries`).
+pub fn run_with(scale: Scale, shards: usize, obs: &Obs) -> Vec<Table> {
     let t0 = std::time::Instant::now();
-    let data = collect_seeded(scale, DEFAULT_SEED, shards);
+    let data = collect_seeded_obs(scale, DEFAULT_SEED, shards, obs);
     crate::report_kernel_rate("figs4to7", data.events, shards, t0.elapsed());
     vec![fig4(&data), fig5(&data), fig6(&data), summary(&data), fig7(&data)]
 }

@@ -50,7 +50,7 @@ fn trace_view_with_seeds(
             ..Default::default()
         },
         // Double the §6.2 trace magnitude.
-        Scale::Metro => CatalogConfig {
+        Scale::Metro | Scale::MetroLite => CatalogConfig {
             hosts: 150_000,
             distinct_files: 300_000,
             max_replicas: 6_000,
@@ -64,7 +64,7 @@ fn trace_view_with_seeds(
     let queries = match scale {
         Scale::Quick | Scale::Sparse => 350,
         Scale::Full => 350,
-        Scale::Metro => 500,
+        Scale::Metro | Scale::MetroLite => 500,
     };
     let trace = QueryTrace::generate(
         &catalog,

@@ -13,6 +13,7 @@ use crate::lab::{union_results, Lab, LabConfig, Scale, VantageResult, DEFAULT_SE
 use crate::output::{f, s, Table};
 use crate::sweep::Summary;
 use pier_netsim::MetricsSnapshot;
+use pier_trace::Obs;
 
 /// Everything the horizon tables need from one replay of the trace.
 pub struct HorizonData {
@@ -37,16 +38,29 @@ pub fn collect(scale: Scale) -> HorizonData {
 /// One full replay with every random choice derived from `seed`, on a
 /// `shards`-way kernel. Results are bit-identical for any shard count.
 pub fn collect_seeded(scale: Scale, seed: u64, shards: usize) -> HorizonData {
-    let rate = if matches!(scale, Scale::Full | Scale::Metro) { 3.0 } else { 2.0 };
-    collect_cfg(LabConfig::at_sharded(scale, seed, shards), rate)
+    collect_seeded_obs(scale, seed, shards, &Obs::default())
+}
+
+/// [`collect_seeded`] under an observability config: profiled phases,
+/// progress heartbeat, and sampled query tracing. Measured statistics are
+/// bit-identical to the unobserved run.
+pub fn collect_seeded_obs(scale: Scale, seed: u64, shards: usize, obs: &Obs) -> HorizonData {
+    let rate =
+        if matches!(scale, Scale::Full | Scale::Metro | Scale::MetroLite) { 3.0 } else { 2.0 };
+    collect_cfg_obs(LabConfig::at_sharded(scale, seed, shards), rate, obs)
 }
 
 /// One full replay of an explicit lab config (tests drive metro-lite
 /// through this without touching process-global env state).
 pub fn collect_cfg(cfg: LabConfig, inject_rate_per_s: f64) -> HorizonData {
-    let mut lab = Lab::build(cfg);
+    collect_cfg_obs(cfg, inject_rate_per_s, &Obs::default())
+}
+
+/// [`collect_cfg`] under an observability config.
+pub fn collect_cfg_obs(cfg: LabConfig, inject_rate_per_s: f64, obs: &Obs) -> HorizonData {
+    let mut lab = Lab::build_with(cfg, obs);
     let vantage_degrees = lab.vantage_profiles();
-    let per_query = lab.replay(inject_rate_per_s);
+    let per_query = lab.replay_with(inject_rate_per_s, obs);
     HorizonData {
         per_query,
         vantage_degrees,
@@ -111,8 +125,13 @@ pub fn mean_zero_single_rate(data: &HorizonData, wanted: impl Fn(usize) -> bool)
 /// Run the experiment (one replay on a `shards`-way kernel) and return
 /// the table, reporting kernel throughput on stdout.
 pub fn run(scale: Scale, shards: usize) -> Vec<Table> {
+    run_with(scale, shards, &Obs::default())
+}
+
+/// [`run`] under an observability config (`repro --profile` / `--trace-queries`).
+pub fn run_with(scale: Scale, shards: usize, obs: &Obs) -> Vec<Table> {
     let t0 = std::time::Instant::now();
-    let data = collect_seeded(scale, DEFAULT_SEED, shards);
+    let data = collect_seeded_obs(scale, DEFAULT_SEED, shards, obs);
     crate::report_kernel_rate("horizon", data.events, shards, t0.elapsed());
     vec![table(&data)]
 }

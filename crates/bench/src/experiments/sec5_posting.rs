@@ -88,7 +88,7 @@ fn replay_with_seeds(scale: Scale, catalog_seed: u64, trace_seed: u64) -> (Table
         Scale::Full => (700_000, 70_000),
         // Twice the paper's corpus — the columnar posting store keeps this
         // in memory comfortably.
-        Scale::Metro => (1_400_000, 140_000),
+        Scale::Metro | Scale::MetroLite => (1_400_000, 140_000),
     };
     let catalog = Catalog::generate(CatalogConfig {
         hosts: files / 3,

@@ -11,7 +11,7 @@
 use crate::lab::Scale;
 use crate::output::{f, s, Table};
 use crate::sweep::Summary;
-use pier_dht::{bootstrap, Contact, DhtConfig, DhtCore, DhtMsg, DhtNode};
+use pier_dht::{bootstrap, Contact, DhtConfig, DhtCore, DhtNode};
 use pier_gnutella::{FileMeta, Topology, TopologyConfig};
 use pier_hybrid::{deploy, HybridConfig, HybridUp, RareScheme};
 use pier_netsim::{EventStats, NodeId, Sim, SimConfig, SimDuration, UniformLatency};
@@ -45,7 +45,7 @@ pub fn micro_publish_cost_seeded(mode: IndexMode, files: usize, seed: u64) -> f6
     // Publish-attributable traffic only: the recursive store path (the
     // maintenance chatter of a live DHT is excluded, as in the paper's
     // per-file accounting).
-    let before = sim.metrics().counter("dht.route_store").bytes;
+    let baseline = sim.metrics().snapshot();
     for i in 0..files {
         let name = format!("artist_{:02}_album_{:02}_track_title_{i:04}.mp3", i % 40, i % 13);
         let from = ids[i % ids.len()];
@@ -65,7 +65,8 @@ pub fn micro_publish_cost_seeded(mode: IndexMode, files: usize, seed: u64) -> f6
         sim.run_for(SimDuration::from_millis(2_500)); // the deployment's rate
     }
     sim.run_for(SimDuration::from_secs(10));
-    (sim.metrics().counter("dht.route_store").bytes - before) as f64 / files as f64
+    let delta = sim.metrics().snapshot().diff(&baseline);
+    delta.counter("dht.route_store").bytes as f64 / files as f64
 }
 
 /// Publish a shared-keyword corpus and measure engine bytes per query.
@@ -118,8 +119,7 @@ pub fn micro_query_cost_seeded(
     // *resolve the matching fileIDs* (plan shipping + posting-list
     // shipping), not the result stream common to both modes: that is the
     // recursively routed engine traffic.
-    let engine_bytes = |sim: &Sim<DhtMsg>| sim.metrics().counter("dht.route").bytes;
-    let before = engine_bytes(&sim);
+    let engine_baseline = sim.metrics().snapshot();
     let t_before = sim.now();
     let mut sids = Vec::new();
     for qi in 0..queries {
@@ -135,7 +135,8 @@ pub fn micro_query_cost_seeded(
         sim.run_for(SimDuration::from_secs(2));
     }
     sim.run_for(SimDuration::from_secs(60));
-    let bytes_per_query = (engine_bytes(&sim) - before) as f64 / queries as f64;
+    let engine_delta = sim.metrics().snapshot().diff(&engine_baseline);
+    let bytes_per_query = engine_delta.counter("dht.route").bytes as f64 / queries as f64;
     let _ = t_before;
     // Average first-result latency of the searches.
     let mut lat = 0.0;
@@ -183,7 +184,7 @@ pub fn run_seeded(scale: Scale, master: u64, shards: usize) -> DeployOutcome {
     let files = match scale {
         Scale::Quick | Scale::Sparse => 60,
         Scale::Full => 200,
-        Scale::Metro => 300,
+        Scale::Metro | Scale::MetroLite => 300,
     };
     let pub_plain = micro_publish_cost_seeded(IndexMode::Inverted, files, master + 1);
     let pub_cache = micro_publish_cost_seeded(IndexMode::InvertedCache, files, master + 1);
@@ -203,7 +204,7 @@ pub fn run_seeded(scale: Scale, master: u64, shards: usize) -> DeployOutcome {
     let (ups, hybrid_ups, leaves, distinct, queries) = match scale {
         Scale::Quick | Scale::Sparse => (100usize, 20usize, 2_000usize, 4_000usize, 120usize),
         Scale::Full => (300, 50, 6_000, 12_000, 400),
-        Scale::Metro => (600, 100, 12_000, 24_000, 600),
+        Scale::Metro | Scale::MetroLite => (600, 100, 12_000, 24_000, 600),
     };
     let cfg = SimConfig::with_seed(master + 3)
         .latency(UniformLatency::new(SimDuration::from_millis(20), SimDuration::from_millis(80)))

@@ -2,11 +2,13 @@
 //! calibrated synthetic corpus, with query injection from vantage
 //! ultrapeers — the apparatus behind Figures 4–7.
 
+use pier_gnutella::LeafNode;
 use pier_gnutella::{
     spawn_stores, FileMeta, FileStore, GnutellaHandles, GnutellaMsg, Guid, QueryOrigin,
     ShareCatalog, Terms, Topology, TopologyConfig, UltrapeerNode,
 };
 use pier_netsim::{NodeId, Sim, SimConfig, SimDuration, SimTime, UniformLatency};
+use pier_trace::Obs;
 use pier_workload::{Catalog, CatalogConfig, Evaluator, Query, QueryConfig, QueryTrace};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -28,6 +30,11 @@ pub enum Scale {
     Sparse,
     Full,
     Metro,
+    /// The metro preset's CI-smoke sibling — same code path (shared
+    /// catalogs, mixed profiles, metro experiment arms) at a size that
+    /// builds in under a second. Addressable directly so timing harnesses
+    /// and CI don't need the `REPRO_METRO_LITE` env fallback.
+    MetroLite,
 }
 
 impl Scale {
@@ -38,6 +45,7 @@ impl Scale {
             "sparse" => Some(Scale::Sparse),
             "full" => Some(Scale::Full),
             "metro" => Some(Scale::Metro),
+            "metro-lite" => Some(Scale::MetroLite),
             _ => None,
         }
     }
@@ -53,6 +61,7 @@ impl Scale {
             Scale::Sparse => "sparse",
             Scale::Full => "full",
             Scale::Metro => "metro",
+            Scale::MetroLite => "metro-lite",
         }
     }
 }
@@ -176,6 +185,7 @@ impl LabConfig {
                     }
                 }
             }
+            Scale::MetroLite => LabConfig::metro_lite(seed),
         }
     }
 
@@ -228,31 +238,51 @@ impl Lab {
     /// Build the network, place the catalog on the leaves, pick vantage
     /// ultrapeers.
     pub fn build(cfg: LabConfig) -> Lab {
-        let topo = Topology::generate(&TopologyConfig {
-            ultrapeers: cfg.ultrapeers,
-            leaves: cfg.leaves,
-            old_style_fraction: cfg.old_style_fraction,
-            leaf_ups: cfg.leaf_ups,
-            seed: cfg.seed,
-        });
-        let catalog = Catalog::generate(CatalogConfig {
-            hosts: cfg.leaves,
-            distinct_files: cfg.distinct_files,
-            max_replicas: (cfg.leaves / 10).max(50),
-            vocab: (cfg.distinct_files / 3).max(500),
-            phrases: (cfg.distinct_files / 8).max(200),
-            seed: cfg.seed ^ 0xCAFE,
-            ..Default::default()
-        });
-        let trace = QueryTrace::generate(
-            &catalog,
-            QueryConfig { queries: cfg.queries, seed: cfg.seed ^ 0xBEEF, ..Default::default() },
-        );
+        Lab::build_with(cfg, &Obs::default())
+    }
+
+    /// [`Lab::build`] with observability: every stage runs under a named
+    /// phase scope, the kernel probe is installed when requested, and (when
+    /// tracing) every protocol core gets a handle to the shared tracer.
+    /// With an inert `Obs` every hook is a no-op and the built lab is
+    /// bit-identical to `Lab::build`'s.
+    pub fn build_with(cfg: LabConfig, obs: &Obs) -> Lab {
+        let _build = obs.phase("lab.build");
+        let topo = {
+            let _p = obs.phase("lab.build.topology");
+            Topology::generate(&TopologyConfig {
+                ultrapeers: cfg.ultrapeers,
+                leaves: cfg.leaves,
+                old_style_fraction: cfg.old_style_fraction,
+                leaf_ups: cfg.leaf_ups,
+                seed: cfg.seed,
+            })
+        };
+        let catalog = {
+            let _p = obs.phase("lab.build.catalog");
+            Catalog::generate(CatalogConfig {
+                hosts: cfg.leaves,
+                distinct_files: cfg.distinct_files,
+                max_replicas: (cfg.leaves / 10).max(50),
+                vocab: (cfg.distinct_files / 3).max(500),
+                phrases: (cfg.distinct_files / 8).max(200),
+                seed: cfg.seed ^ 0xCAFE,
+                ..Default::default()
+            })
+        };
+        let trace = {
+            let _p = obs.phase("lab.build.query_trace");
+            QueryTrace::generate(
+                &catalog,
+                QueryConfig { queries: cfg.queries, seed: cfg.seed ^ 0xBEEF, ..Default::default() },
+            )
+        };
         // One columnar copy of every distinct file (names scanned once);
         // `catalog.host_files` entries are already indices into it, so each
         // leaf's store is just that index list boxed. This is the layout
         // that makes `Metro` feasible: share state no longer scales with
         // replicas × (name + token) bytes.
+        let _stores = obs.phase("lab.build.stores");
         let share_catalog = Arc::new(ShareCatalog::build(
             catalog
                 .files
@@ -268,6 +298,7 @@ impl Lab {
             })
             .collect();
         let up_stores: Vec<FileStore> = (0..cfg.ultrapeers).map(|_| FileStore::default()).collect();
+        drop(_stores);
 
         let sim_cfg = SimConfig::with_seed(cfg.seed)
             .latency(UniformLatency::new(
@@ -276,10 +307,20 @@ impl Lab {
             ))
             .shards(cfg.shards);
         let mut sim = Sim::new(sim_cfg);
-        let handles = spawn_stores(&mut sim, &topo, up_stores, leaf_stores);
-        // QRP propagation.
-        sim.run_for(SimDuration::from_secs(3));
+        let handles = {
+            let _p = obs.phase("lab.build.spawn");
+            spawn_stores(&mut sim, &topo, up_stores, leaf_stores)
+        };
+        if let Some(probe) = obs.probe() {
+            sim.set_probe(probe);
+        }
+        {
+            // QRP propagation.
+            let _p = obs.phase("lab.build.qrp_warmup");
+            sim.run_for(SimDuration::from_secs(3));
+        }
 
+        let _vp = obs.phase("lab.build.vantages");
         let mut vantages: Vec<NodeId> = handles
             .ups
             .iter()
@@ -290,6 +331,21 @@ impl Lab {
         if cfg.mixed_profile_vantages {
             ensure_profile(&mut vantages, &handles, &topo, |n| n >= 32, 0);
             ensure_profile(&mut vantages, &handles, &topo, |n| n < 32, 1);
+        }
+        drop(_vp);
+
+        // Hand every core a tracer handle so relays, QRP screens, and leaf
+        // matches are observable wherever a sampled query travels. Inert
+        // handles are skipped entirely: the default lab carries no hooks.
+        let handle = obs.trace_handle();
+        if handle.is_active() {
+            let _p = obs.phase("lab.build.trace_attach");
+            for &id in &handles.ups {
+                sim.actor_mut::<UltrapeerNode>(id).core.set_trace(handle.clone());
+            }
+            for &id in &handles.leaves {
+                sim.actor_mut::<LeafNode>(id).core.set_trace(handle.clone());
+            }
         }
         Lab { sim, handles, catalog, trace, vantages, topo, share_catalog, cfg }
     }
@@ -316,9 +372,33 @@ impl Lab {
     /// queries overlap realistically. Returns, per query, the per-vantage
     /// results (`out[q][v]`).
     pub fn replay(&mut self, inject_rate_per_s: f64) -> Vec<Vec<VantageResult>> {
+        self.replay_with(inject_rate_per_s, &Obs::default())
+    }
+
+    /// [`Lab::replay`] with observability: phase scopes around injection /
+    /// drain / collection, a progress target for the heartbeat, and — when
+    /// tracing — registration of an evenly-spaced sample of
+    /// `obs.trace_queries` injections with the tracer. Registration happens
+    /// *after* `start_query` returns and reads only the returned guid, so
+    /// the simulation is bit-identical with tracing on or off.
+    pub fn replay_with(&mut self, inject_rate_per_s: f64, obs: &Obs) -> Vec<Vec<VantageResult>> {
+        let _replay = obs.phase("lab.replay");
         let queries: Vec<Query> = self.trace.queries.clone();
         let vantages = self.vantages.clone();
         let gap = SimDuration::from_secs_f64(1.0 / inject_rate_per_s);
+        // Drain: longest dynamic query ≈ neighbors × probe_interval + grace.
+        let drain = SimDuration::from_secs(120);
+        if let Some(kernel) = &obs.kernel {
+            let run_us = gap.as_micros() * queries.len() as u64 + drain.as_micros();
+            kernel.set_progress_target(self.sim.now().as_micros() + run_us);
+        }
+        // The traced injections: an evenly-spaced sample of the flat
+        // (query-major, vantage-minor) injection sequence.
+        let sampled = pier_trace::sample_indices(queries.len() * vantages.len(), obs.trace_queries);
+        let mut next_sample = sampled.iter().copied().peekable();
+        let mut inject_ix = 0usize;
+
+        let _inject = obs.phase("lab.replay.inject");
         let mut guids: Vec<Vec<(NodeId, Guid, SimTime)>> = Vec::with_capacity(queries.len());
         for q in &queries {
             // The trace already carries interned ids; one shared payload
@@ -327,19 +407,36 @@ impl Lab {
             let mut per_vantage = Vec::with_capacity(vantages.len());
             for &v in &vantages {
                 let issued = self.sim.now();
-                let guid = self.sim.with_actor_ctx::<UltrapeerNode, _>(v, |up, ctx| {
+                let (guid, ttl) = self.sim.with_actor_ctx::<UltrapeerNode, _>(v, |up, ctx| {
                     let mut net = pier_gnutella::CtxGnutellaNet { ctx };
-                    up.core.start_query(&mut net, terms.clone(), QueryOrigin::Driver)
+                    let guid = up.core.start_query(&mut net, terms.clone(), QueryOrigin::Driver);
+                    (guid, up.core.cfg.probe_ttl)
                 });
+                if let Some(tracer) = &obs.tracer {
+                    if next_sample.peek() == Some(&inject_ix) {
+                        next_sample.next();
+                        tracer.register(
+                            guid.0,
+                            v.index() as u64,
+                            issued.as_micros(),
+                            u64::from(ttl),
+                            &terms.text(),
+                        );
+                    }
+                }
+                inject_ix += 1;
                 per_vantage.push((v, guid, issued));
             }
             guids.push(per_vantage);
             self.sim.run_for(gap);
         }
-        // Drain: longest dynamic query ≈ neighbors × probe_interval + grace.
-        let drain = SimDuration::from_secs(120);
-        self.sim.run_for(drain);
+        drop(_inject);
+        {
+            let _p = obs.phase("lab.replay.drain");
+            self.sim.run_for(drain);
+        }
 
+        let _collect = obs.phase("lab.replay.collect");
         guids
             .into_iter()
             .map(|per_vantage| {
@@ -436,6 +533,13 @@ mod tests {
             assert!(metro.leaves >= 10 * full.leaves, "Metro is an order past Full");
         }
         assert!(metro.mixed_profile_vantages);
+        // metro-lite is the metro code path shrunk to CI size: smaller than
+        // Full, same mixed-profile shape as Metro.
+        let lite = LabConfig::at(Scale::MetroLite);
+        assert!(lite.ultrapeers < full.ultrapeers);
+        assert!(lite.leaves < full.leaves);
+        assert!(lite.mixed_profile_vantages, "metro-lite keeps the metro vantage shape");
+        assert_eq!(lite.ultrapeers, LabConfig::metro_lite(DEFAULT_SEED).ultrapeers);
     }
 
     #[test]
@@ -451,11 +555,12 @@ mod tests {
 
     #[test]
     fn scale_names_round_trip_through_env_convention() {
-        for s in [Scale::Quick, Scale::Sparse, Scale::Full, Scale::Metro] {
+        for s in [Scale::Quick, Scale::Sparse, Scale::Full, Scale::Metro, Scale::MetroLite] {
             assert!(!s.name().is_empty());
             assert_eq!(Scale::parse(s.name()), Some(s));
         }
         assert_eq!(Scale::Full.name(), "full");
         assert_eq!(Scale::Metro.name(), "metro");
+        assert_eq!(Scale::MetroLite.name(), "metro-lite");
     }
 }

@@ -134,7 +134,17 @@ pub fn sweep_json(result: &SweepResult) -> String {
     out.push_str(&format!("  \"jobs\": {},\n", result.jobs));
     out.push_str("  \"per_trial\": [\n");
     for (i, t) in result.trials.iter().enumerate() {
-        out.push_str(&format!("    {{\"trial\": {}, \"seed\": {}, \"stats\": {{", t.trial, t.seed));
+        out.push_str(&format!("    {{\"trial\": {}, \"seed\": {}, ", t.trial, t.seed));
+        // Wall-clock rides along outside `stats`: statistics are the
+        // deterministic payload, timing is telemetry about this run.
+        if let Some(tm) = result.timings.get(i) {
+            out.push_str(&format!(
+                "\"wall_s\": {}, \"events_per_s\": {}, ",
+                json_num(tm.wall_s),
+                json_num(tm.events_per_s)
+            ));
+        }
+        out.push_str("\"stats\": {");
         let stats: Vec<String> =
             t.summary.iter().map(|(k, v)| format!("\"{k}\": {}", json_num(v))).collect();
         out.push_str(&stats.join(", "));
@@ -167,6 +177,100 @@ pub fn write_sweep_json(result: &SweepResult) -> std::io::Result<PathBuf> {
     let mut file = std::fs::File::create(&path)?;
     file.write_all(sweep_json(result).as_bytes())?;
     Ok(path)
+}
+
+/// Serialize a phase-profile snapshot (plus any per-shard kernel window
+/// telemetry) as JSON: total wall-clock, per-phase inclusive/self seconds
+/// and counts, and per-shard window/drain/cross-send/barrier counters.
+pub fn profile_json(obs: &pier_trace::Obs) -> Option<String> {
+    let prof = obs.profiler.as_ref()?;
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"elapsed_s\": {},\n", json_num(prof.elapsed_s())));
+    out.push_str("  \"phases\": {\n");
+    let snap = prof.snapshot();
+    for (i, (name, st)) in snap.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"total_s\": {}, \"self_s\": {}, \"count\": {}}}{}\n",
+            name,
+            json_num(st.total_s),
+            json_num(st.self_s),
+            st.count,
+            if i + 1 == snap.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"shards\": [\n");
+    let shards = obs.kernel.as_ref().map(|k| k.shard_stats()).unwrap_or_default();
+    for (i, (ix, st)) in shards.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shard\": {}, \"windows\": {}, \"drained\": {}, \"cross_sends\": {}, \
+             \"barrier_wait_s\": {}}}{}\n",
+            ix,
+            st.windows,
+            st.drained,
+            st.cross_sends,
+            json_num(st.barrier_wait_s),
+            if i + 1 == shards.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    Some(out)
+}
+
+/// Print the phase table to stderr, sorted by self-time (descending) —
+/// the `repro --profile` summary a human reads first.
+pub fn print_profile(obs: &pier_trace::Obs) {
+    let Some(prof) = obs.profiler.as_ref() else { return };
+    let mut snap = prof.snapshot();
+    snap.sort_by(|a, b| b.1.self_s.total_cmp(&a.1.self_s));
+    let covered: f64 = snap.iter().map(|(_, st)| st.self_s).sum();
+    let elapsed = prof.elapsed_s();
+    eprintln!("\n[profile] {:>9}  {:>9}  {:>6}  phase", "self_s", "total_s", "count");
+    for (name, st) in &snap {
+        eprintln!("[profile] {:>9.3}  {:>9.3}  {:>6}  {}", st.self_s, st.total_s, st.count, name);
+    }
+    eprintln!(
+        "[profile] phase self-times cover {:.1}s of {:.1}s wall-clock ({:.0}%)",
+        covered,
+        elapsed,
+        100.0 * covered / elapsed.max(1e-9)
+    );
+    for (ix, st) in obs.kernel.as_ref().map(|k| k.shard_stats()).unwrap_or_default() {
+        eprintln!(
+            "[profile] shard {ix}: {} windows, {} events drained, {} cross-sends, \
+             {:.3}s barrier wait",
+            st.windows, st.drained, st.cross_sends, st.barrier_wait_s
+        );
+    }
+}
+
+/// Write the profile as `results/profile_<experiment>_<scale>.json`.
+pub fn write_profile_json(
+    obs: &pier_trace::Obs,
+    experiment: &str,
+    scale: crate::Scale,
+) -> std::io::Result<Option<PathBuf>> {
+    let Some(json) = profile_json(obs) else { return Ok(None) };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("profile_{}_{}.json", experiment.replace('-', "_"), scale.name()));
+    std::fs::write(&path, json)?;
+    Ok(Some(path))
+}
+
+/// Write the sampled query traces as
+/// `results/trace_<experiment>_<scale>.jsonl` (the `trace_report` input).
+pub fn write_trace_jsonl(
+    obs: &pier_trace::Obs,
+    experiment: &str,
+    scale: crate::Scale,
+) -> std::io::Result<Option<PathBuf>> {
+    let Some(tracer) = obs.tracer.as_ref() else { return Ok(None) };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("trace_{}_{}.jsonl", experiment.replace('-', "_"), scale.name()));
+    std::fs::write(&path, tracer.to_jsonl())?;
+    Ok(Some(path))
 }
 
 /// `results/` next to the workspace root when available.

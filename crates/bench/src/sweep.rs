@@ -263,6 +263,20 @@ pub struct TrialResult {
     pub summary: Summary,
 }
 
+/// Wall-clock telemetry of one trial. Deliberately *not* part of
+/// [`TrialResult`]: per-trial statistics are compared bit-for-bit by the
+/// determinism tests, and wall-clock is the one thing two identical runs
+/// never agree on.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialTiming {
+    pub trial: usize,
+    pub wall_s: f64,
+    /// Kernel events per wall-second, when the trial reports an
+    /// `events_processed` statistic (`NaN` otherwise — analytic trials
+    /// have no kernel).
+    pub events_per_s: f64,
+}
+
 /// All trials (in trial order) plus cross-trial aggregates.
 #[derive(Clone, Debug)]
 pub struct SweepResult {
@@ -271,6 +285,8 @@ pub struct SweepResult {
     pub base_seed: u64,
     pub jobs: usize,
     pub trials: Vec<TrialResult>,
+    /// Wall-clock per trial, index-aligned with `trials`.
+    pub timings: Vec<TrialTiming>,
     pub aggregates: Vec<AggregateStat>,
 }
 
@@ -294,7 +310,7 @@ pub fn run_sweep_with(
     assert!(cfg.trials > 0, "a sweep needs at least one trial");
     let jobs = cfg.jobs.clamp(1, cfg.trials);
     let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<TrialResult>> = Mutex::new(Vec::with_capacity(cfg.trials));
+    let done: Mutex<Vec<(TrialResult, TrialTiming)>> = Mutex::new(Vec::with_capacity(cfg.trials));
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| loop {
@@ -304,19 +320,25 @@ pub fn run_sweep_with(
                 }
                 let seed = trial_seed(cfg.base_seed, trial);
                 // Build and run entirely on this thread: each trial owns
-                // its Lab/Sim, so `Sim` needs no `Send`.
+                // its Lab/Sim, so `Sim` needs no `Send`. Timed around the
+                // whole trial (lab build + replay + reduction); the clock
+                // never feeds back into the summary.
+                let t0 = std::time::Instant::now();
                 let summary = trial_fn(cfg.scale, seed);
-                done.lock().expect("sweep worker poisoned the result lock").push(TrialResult {
-                    trial,
-                    seed,
-                    summary,
-                });
+                let wall_s = t0.elapsed().as_secs_f64();
+                let events_per_s =
+                    summary.get("events_processed").map_or(f64::NAN, |ev| ev / wall_s.max(1e-9));
+                done.lock().expect("sweep worker poisoned the result lock").push((
+                    TrialResult { trial, seed, summary },
+                    TrialTiming { trial, wall_s, events_per_s },
+                ));
             });
         }
     });
-    let mut trials = done.into_inner().expect("sweep worker poisoned the result lock");
-    trials.sort_by_key(|t| t.trial);
-    assert_eq!(trials.len(), cfg.trials, "every trial must report");
+    let mut results = done.into_inner().expect("sweep worker poisoned the result lock");
+    results.sort_by_key(|(t, _)| t.trial);
+    assert_eq!(results.len(), cfg.trials, "every trial must report");
+    let (trials, timings): (Vec<TrialResult>, Vec<TrialTiming>) = results.into_iter().unzip();
     let aggregates = aggregate(&trials.iter().map(|t| t.summary.clone()).collect::<Vec<_>>());
     SweepResult {
         experiment: name.to_string(),
@@ -324,6 +346,7 @@ pub fn run_sweep_with(
         base_seed: cfg.base_seed,
         jobs,
         trials,
+        timings,
         aggregates,
     }
 }
@@ -472,6 +495,33 @@ mod tests {
         let r = run_sweep_with("synthetic", &SweepConfig::new(Scale::Quick, 2, 64), synthetic);
         assert_eq!(r.jobs, 2);
         assert_eq!(r.trials.len(), 2);
+    }
+
+    /// Per-trial telemetry rides alongside the results without being part
+    /// of them: one timing per trial, index-aligned, positive wall time,
+    /// events/s derived from the trial's own `events_processed` (NaN when
+    /// a trial doesn't report one — the JSON writer renders that as null).
+    #[test]
+    fn sweep_timings_are_index_aligned_telemetry() {
+        let with_events = |scale: Scale, seed: u64| {
+            let mut s = synthetic(scale, seed);
+            s.set("events_processed", 1_000.0);
+            s
+        };
+        let r = run_sweep_with("synthetic", &SweepConfig::new(Scale::Quick, 4, 2), with_events);
+        assert_eq!(r.timings.len(), r.trials.len());
+        for (i, t) in r.timings.iter().enumerate() {
+            assert_eq!(t.trial, r.trials[i].trial, "timing {i} must describe trial {i}");
+            assert!(t.wall_s > 0.0, "wall clock must have advanced");
+            assert!(
+                t.events_per_s.is_finite() && t.events_per_s > 0.0,
+                "events/s must derive from the trial's events_processed"
+            );
+        }
+        // And timings never leak into the bit-compared results.
+        let bare = run_sweep_with("synthetic", &SweepConfig::new(Scale::Quick, 2, 1), synthetic);
+        assert!(bare.timings.iter().all(|t| t.events_per_s.is_nan()));
+        assert_eq!(bare.trials[0].summary, synthetic(Scale::Quick, bare.trials[0].seed));
     }
 
     #[test]

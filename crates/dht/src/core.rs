@@ -13,6 +13,7 @@ use crate::msg::{DhtMsg, Request, Response, RpcId};
 use crate::routing::{InsertOutcome, RoutingTable};
 use crate::storage::Storage;
 use pier_netsim::{MetricClass, NodeId, SimRng, SimTime};
+use pier_trace::{TraceHandle, TraceId, TraceKind};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Handle for correlating asynchronous DHT operations with their events.
@@ -110,6 +111,13 @@ pub struct DhtCore {
     evict_in_flight: HashSet<Key>,
     join_op: Option<OpId>,
     events: VecDeque<DhtEvent>,
+    /// Causal query tracing (inert unless the driver sampled queries).
+    trace: TraceHandle,
+    /// While set, lookups started by API calls are attributed to this
+    /// trace (the hybrid ultrapeer brackets `engine.start_search` with it).
+    trace_scope: Option<TraceId>,
+    /// Lookup ops carrying a trace tag (only sampled queries appear here).
+    op_traces: BTreeMap<OpId, TraceId>,
 }
 
 impl DhtCore {
@@ -127,7 +135,32 @@ impl DhtCore {
             evict_in_flight: HashSet::new(),
             join_op: None,
             events: VecDeque::new(),
+            trace: TraceHandle::default(),
+            trace_scope: None,
+            op_traces: BTreeMap::new(),
         }
+    }
+
+    /// Attach the run's tracer (driver API; the default handle is inert).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Attribute lookups started until [`DhtCore::clear_trace_scope`] to
+    /// `t`. The embedding actor brackets the API call that issues them.
+    pub fn trace_scope(&mut self, t: TraceId) {
+        if self.trace.is_active() {
+            self.trace_scope = Some(t);
+        }
+    }
+
+    pub fn clear_trace_scope(&mut self) {
+        self.trace_scope = None;
+    }
+
+    fn trace_emit(&self, net: &mut dyn DhtNet, t: TraceId, kind: TraceKind, n: u64, m: u64) {
+        let node = net.self_node().index() as u64;
+        self.trace.emit(t, net.now().as_micros(), node, kind, None, n, m);
     }
 
     /// The local contact (identity).
@@ -299,6 +332,8 @@ impl DhtCore {
         self.evict_in_flight.clear();
         self.join_op = None;
         self.events.clear();
+        self.trace_scope = None;
+        self.op_traces.clear();
     }
 
     /// Revival repair: re-prime the routing table with a self-lookup (the
@@ -431,6 +466,15 @@ impl DhtCore {
     fn start_lookup(&mut self, net: &mut dyn DhtNet, target: Key, kind: LookupKind) -> OpId {
         let op = self.next_op;
         self.next_op += 1;
+        if let Some(t) = self.trace_scope {
+            self.op_traces.insert(op, t);
+            let kind_code = match kind {
+                LookupKind::Value => 0,
+                LookupKind::Node => 1,
+                LookupKind::Publish { .. } => 2,
+            };
+            self.trace_emit(net, t, TraceKind::DhtLookupStart, op, kind_code);
+        }
         let seeds = self.table.closest(&target, self.cfg.k);
         let lookup = Lookup::new(target, kind, self.cfg.k, self.cfg.alpha, self.local().key, seeds);
         self.lookups.insert(op, lookup);
@@ -446,6 +490,11 @@ impl DhtCore {
         let is_value = matches!(lookup.kind, LookupKind::Value);
         let batch = lookup.next_batch();
         let deadline = net.now() + self.cfg.rpc_timeout;
+        if !batch.is_empty() {
+            if let Some(&t) = self.op_traces.get(&op) {
+                self.trace_emit(net, t, TraceKind::DhtHop, batch.len() as u64, op);
+            }
+        }
         for contact in batch {
             let body = if is_value {
                 Request::FindValue { key: target }
@@ -462,6 +511,9 @@ impl DhtCore {
     fn finish_lookup(&mut self, net: &mut dyn DhtNet, op: OpId) {
         let lookup = self.lookups.remove(&op).expect("finish only called for live lookups");
         net.observe(crate::classes::LOOKUP_QUERIES.id(), lookup.queries_sent as f64);
+        if let Some(t) = self.op_traces.remove(&op) {
+            self.trace_emit(net, t, TraceKind::DhtLookupDone, lookup.queries_sent as u64, op);
+        }
         let responders = lookup.closest_responded(self.cfg.k);
         match lookup.kind {
             LookupKind::Node => {
@@ -608,6 +660,9 @@ impl DhtCore {
             self.table.remove(&p.dst.key);
             match p.purpose {
                 RpcPurpose::Lookup(op) => {
+                    if let Some(&t) = self.op_traces.get(&op) {
+                        self.trace_emit(net, t, TraceKind::DhtTimeout, 1, op);
+                    }
                     if let Some(lookup) = self.lookups.get_mut(&op) {
                         lookup.on_failure(&p.dst.key);
                         self.drive_lookup(net, op);

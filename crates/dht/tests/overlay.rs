@@ -318,3 +318,46 @@ fn lookup_cost_scales_logarithmically() {
     // 16x more nodes must cost far less than 16x more queries.
     assert!(large < small * 4.0, "small={small} large={large}");
 }
+
+#[test]
+fn scoped_lookup_emits_a_complete_dht_trace() {
+    use pier_trace::{TraceHandle, TraceKind, Tracer};
+    use std::sync::Arc;
+
+    let (mut sim, ids) = build_network(30, 9);
+    sim.run_for(SimDuration::from_secs(60));
+
+    let key = Key::hash_str("traced value");
+    sim.with_actor_ctx::<Node, _>(ids[4], |node, ctx| {
+        let mut net = pier_dht::CtxNet { ctx };
+        node.core.put(&mut net, key, b"v".to_vec(), false);
+    });
+    sim.run_for(SimDuration::from_secs(20));
+
+    let tracer = Arc::new(Tracer::default());
+    let t = tracer.register(0xBEEF, ids[12].index() as u64, 0, 0, "traced value");
+    sim.with_actor_ctx::<Node, _>(ids[12], |node, ctx| {
+        node.core.set_trace(TraceHandle::new(Arc::clone(&tracer)));
+        let mut net = pier_dht::CtxNet { ctx };
+        node.core.trace_scope(t);
+        node.core.get(&mut net, key);
+        node.core.clear_trace_scope();
+    });
+    sim.run_for(SimDuration::from_secs(20));
+
+    let events = tracer.sorted_events();
+    let count = |k: TraceKind| events.iter().filter(|e| e.kind == k).count();
+    assert_eq!(count(TraceKind::DhtLookupStart), 1);
+    assert!(count(TraceKind::DhtHop) >= 1, "at least one rpc batch");
+    assert_eq!(count(TraceKind::DhtLookupDone), 1);
+    // Scope cleared: maintenance lookups afterwards are not attributed.
+    let start = events.iter().find(|e| e.kind == TraceKind::DhtLookupStart).unwrap();
+    assert_eq!(start.m, 0, "value-kind lookup");
+    assert!(events
+        .iter()
+        .all(|e| e.node == ids[12].index() as u64 || e.kind == TraceKind::QueryStart));
+    // Done reports total rpcs sent, consistent with the hop batches.
+    let done = events.iter().find(|e| e.kind == TraceKind::DhtLookupDone).unwrap();
+    let batched: u64 = events.iter().filter(|e| e.kind == TraceKind::DhtHop).map(|e| e.n).sum();
+    assert_eq!(done.n, batched);
+}

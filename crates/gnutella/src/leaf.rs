@@ -8,6 +8,7 @@ use crate::files::FileStore;
 use crate::msg::{GnutellaMsg, Hit};
 use crate::net::GnutellaNet;
 use pier_netsim::{NodeId, SimTime};
+use pier_trace::{TraceHandle, TraceKind};
 use pier_vocab::Terms;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -46,6 +47,8 @@ pub struct LeafCore {
     /// `searches()` driver API iterates in issue order, never in
     /// hasher order (pier-lint DET-ITER).
     searches: BTreeMap<u32, LeafSearch>,
+    /// Causal query tracing (inert unless the driver sampled queries).
+    trace: TraceHandle,
 }
 
 impl LeafCore {
@@ -57,7 +60,13 @@ impl LeafCore {
             qrp: None,
             next_qid: 1,
             searches: BTreeMap::new(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Attach the run's tracer (driver API; the default handle is inert).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     pub fn set_ultrapeers(&mut self, ups: Vec<NodeId>) {
@@ -170,6 +179,18 @@ impl LeafCore {
                     .map(|f| Hit { file: f.clone(), host: net.self_node() })
                     .collect();
                 net.count(crate::classes::LEAF_MATCHES.id(), hits.len() as u64);
+                if let Some(t) = self.trace.lookup(guid.0) {
+                    let (me, at) = (net.self_node().index() as u64, net.now().as_micros());
+                    self.trace.emit(
+                        t,
+                        at,
+                        me,
+                        TraceKind::LeafMatch,
+                        Some(from.index() as u64),
+                        hits.len() as u64,
+                        0,
+                    );
+                }
                 if !hits.is_empty() {
                     net.send(from, GnutellaMsg::LeafHits { guid, hits });
                 }

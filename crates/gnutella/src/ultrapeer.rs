@@ -8,6 +8,7 @@ use crate::files::FileStore;
 use crate::msg::{GnutellaMsg, Guid, Hit};
 use crate::net::GnutellaNet;
 use pier_netsim::{split_mix64, NodeId, SimTime};
+use pier_trace::{TraceHandle, TraceKind};
 use pier_vocab::Terms;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -130,6 +131,10 @@ pub struct UltrapeerCore {
     /// actor to drain (hybrid proxy mode).
     pub snoop: bool,
     snoop_log: Vec<SnoopEvent>,
+    /// Causal query tracing (inert unless the driver sampled queries for
+    /// this run). Consulted only per-GUID: an untraced query costs one
+    /// `Option` check on the relay path.
+    trace: TraceHandle,
 }
 
 impl UltrapeerCore {
@@ -144,7 +149,13 @@ impl UltrapeerCore {
             dyn_state: BTreeMap::new(),
             snoop: false,
             snoop_log: Vec::new(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Attach the run's tracer (driver API; the default handle is inert).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Drain snooped traffic (empty unless `snoop` is set).
@@ -401,9 +412,34 @@ impl UltrapeerCore {
     ) {
         if self.seen.contains_key(&guid) {
             net.count(crate::classes::DUPLICATE_QUERY.id(), 1);
+            if let Some(t) = self.trace.lookup(guid.0) {
+                let (me, at) = (net.self_node().index() as u64, net.now().as_micros());
+                self.trace.emit(
+                    t,
+                    at,
+                    me,
+                    TraceKind::DupDrop,
+                    Some(from.index() as u64),
+                    ttl as u64,
+                    hops as u64,
+                );
+            }
             return;
         }
         self.seen.insert(guid, SeenEntry { from, at: net.now() });
+        let traced = self.trace.lookup(guid.0);
+        if let Some(t) = traced {
+            let (me, at) = (net.self_node().index() as u64, net.now().as_micros());
+            self.trace.emit(
+                t,
+                at,
+                me,
+                TraceKind::RelayRecv,
+                Some(from.index() as u64),
+                ttl as u64,
+                hops as u64,
+            );
+        }
         if self.snoop {
             self.snoop_log.push(SnoopEvent::Query { guid, terms: terms.clone() });
         }
@@ -430,6 +466,11 @@ impl UltrapeerCore {
             }
         }
         net.count(crate::classes::LEAF_FORWARDS.id(), forwards);
+        if let Some(t) = traced {
+            let screened = self.leaves.len() as u64 - forwards;
+            let (me, at) = (net.self_node().index() as u64, net.now().as_micros());
+            self.trace.emit(t, at, me, TraceKind::QrpScreen, None, forwards, screened);
+        }
 
         // Relay deeper.
         if ttl > 1 {
@@ -463,6 +504,21 @@ impl UltrapeerCore {
                 );
             }
             record.hits.extend(hits.iter().cloned());
+            if !hits.is_empty() {
+                if let Some(t) = self.trace.lookup(guid.0) {
+                    let (me, at) = (net.self_node().index() as u64, net.now().as_micros());
+                    let total = record.hits.len() as u64;
+                    self.trace.emit(
+                        t,
+                        at,
+                        me,
+                        TraceKind::HitArrive,
+                        None,
+                        hits.len() as u64,
+                        total,
+                    );
+                }
+            }
             if let QueryOrigin::Leaf { leaf, qid } = record.origin {
                 net.send(leaf, GnutellaMsg::LeafResults { qid, hits, done: false });
             }
@@ -474,6 +530,20 @@ impl UltrapeerCore {
                 let dst = entry.from;
                 for chunk in hits.chunks(self.cfg.max_hits_per_msg) {
                     net.send(dst, GnutellaMsg::QueryHit { guid, hits: chunk.to_vec() });
+                }
+                if !hits.is_empty() {
+                    if let Some(t) = self.trace.lookup(guid.0) {
+                        let (me, at) = (net.self_node().index() as u64, net.now().as_micros());
+                        self.trace.emit(
+                            t,
+                            at,
+                            me,
+                            TraceKind::HitRelay,
+                            Some(dst.index() as u64),
+                            hits.len() as u64,
+                            0,
+                        );
+                    }
                 }
             }
             _ => net.count(crate::classes::ORPHAN_HITS.id(), 1),
@@ -808,6 +878,68 @@ mod tests {
         assert!(rec.finished);
         assert!(rec.hits.is_empty());
         assert!(rec.first_hit_at.is_none());
+    }
+
+    #[test]
+    fn traced_guid_emits_relay_dup_and_screen_events() {
+        use pier_trace::Tracer;
+        let (mut core, mut net) = up_with_neighbors(3);
+        core.add_leaf(NodeId::new(10)); // no filter: screened
+        let tracer = std::sync::Arc::new(Tracer::default());
+        let guid = Guid(77);
+        let t = tracer.register(guid.0, 99, 0, 3, "a");
+        core.set_trace(TraceHandle::new(std::sync::Arc::clone(&tracer)));
+
+        core.handle_query(&mut net, NodeId::new(1), guid, 3, 0, "a".into());
+        core.handle_query(&mut net, NodeId::new(2), guid, 3, 1, "a".into());
+        // Untraced queries add nothing.
+        core.handle_query(&mut net, NodeId::new(1), Guid(78), 3, 0, "a".into());
+
+        let events = tracer.sorted_events();
+        let kinds: Vec<TraceKind> = events.iter().map(|e| e.kind).collect();
+        // All at t=0: same-time events order by node, so the root's
+        // QueryStart (node 99) sorts after this ultrapeer's (node 0).
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::RelayRecv,
+                TraceKind::QrpScreen,
+                TraceKind::DupDrop,
+                TraceKind::QueryStart
+            ]
+        );
+        assert!(events.iter().all(|e| e.trace == t));
+        let relay = &events[0];
+        assert_eq!(relay.from, Some(1));
+        assert_eq!((relay.n, relay.m), (3, 0), "ttl/hops as received");
+        let screen = &events[1];
+        assert_eq!((screen.n, screen.m), (0, 1), "one filterless leaf screened");
+        let dup = &events[2];
+        assert_eq!(dup.from, Some(2));
+    }
+
+    #[test]
+    fn traced_hits_emit_arrive_and_relay_events() {
+        use pier_trace::Tracer;
+        let (mut core, mut net) = up_with_neighbors(3);
+        let tracer = std::sync::Arc::new(Tracer::default());
+        core.set_trace(TraceHandle::new(std::sync::Arc::clone(&tracer)));
+
+        // Relay leg: query came from node 2, hits flow back there.
+        let relayed = Guid(5);
+        tracer.register(relayed.0, 99, 0, 3, "a");
+        core.handle_query(&mut net, NodeId::new(2), relayed, 2, 0, "a".into());
+        let hit = Hit { file: FileMeta::new("a.mp3", 1), host: NodeId::new(50) };
+        core.handle_hits(&mut net, relayed, vec![hit.clone()]);
+
+        // Origin leg: our own query records an arrival.
+        let own = core.start_query(&mut net, "a", QueryOrigin::Driver);
+        tracer.register(own.0, 0, 0, 3, "a");
+        core.handle_hits(&mut net, own, vec![hit]);
+
+        let kinds: Vec<TraceKind> = tracer.sorted_events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceKind::HitRelay));
+        assert!(kinds.contains(&TraceKind::HitArrive));
     }
 
     #[test]

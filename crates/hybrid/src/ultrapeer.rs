@@ -15,7 +15,8 @@ use pier_gnutella::{
     FileMeta, GnutellaMsg, GnutellaNet, Guid, Hit, QueryOrigin, SnoopEvent, UltrapeerCore,
 };
 use pier_netsim::{Actor, Ctx, MetricClass, NodeId, SimDuration, SimRng, SimTime, TimerToken};
-use pier_qp::{PierConfig, PierCore};
+use pier_qp::{PierConfig, PierCore, PierEvent, QueryId};
+use pier_trace::{TraceHandle, TraceId, TraceKind};
 use pier_vocab::Terms;
 use piersearch::{file_id, IndexMode, ItemRecord, Publisher, SearchConfig, SearchEngine};
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -104,6 +105,12 @@ pub struct HybridUp {
     qrs_windows: BTreeMap<Guid, QrsWindow>,
     /// Total files pushed to the DHT (deployment statistic).
     pub files_published: u64,
+    /// Causal query tracing (inert unless the driver sampled queries).
+    trace: TraceHandle,
+    /// PIER query ids of in-flight *traced* fallback searches: their
+    /// result-driven item fetches (`dht.get`) get the same attribution as
+    /// the lookup that `start_search` issued.
+    traced_qids: BTreeMap<QueryId, TraceId>,
 }
 
 impl HybridUp {
@@ -135,7 +142,17 @@ impl HybridUp {
             next_publish_at: SimTime::ZERO,
             qrs_windows: BTreeMap::new(),
             files_published: 0,
+            trace: TraceHandle::default(),
+            traced_qids: BTreeMap::new(),
         }
+    }
+
+    /// Attach the run's tracer to all three subsystems of this actor
+    /// (driver API; the default handle is inert).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.gnutella.set_trace(trace.clone());
+        self.dht.set_trace(trace.clone());
+        self.trace = trace;
     }
 
     /// Issue a hybrid query from the experiment driver. Returns the index
@@ -276,10 +293,32 @@ impl HybridUp {
                     // "Leaf queries that return no results within 30 seconds
                     // via Gnutella ... are re-queried by PIERSearch."
                     let terms = s.terms.clone();
+                    let g_hits = s.gnutella_hits as u64;
                     s.pier_issued_at = Some(now);
+                    let traced = self.trace.lookup(guid.0);
+                    if let Some(t) = traced {
+                        let me = ctx.self_id().index() as u64;
+                        self.trace.emit(
+                            t,
+                            now.as_micros(),
+                            me,
+                            TraceKind::PierFallback,
+                            None,
+                            g_hits,
+                            0,
+                        );
+                        // Attribute the fallback's DHT lookups to the query.
+                        self.dht.trace_scope(t);
+                    }
                     let mut dnet = DNet { ctx };
                     let sid =
                         self.engine.start_search(&mut self.pier, &mut self.dht, &mut dnet, terms);
+                    if let Some(t) = traced {
+                        self.dht.clear_trace_scope();
+                        if let Some(state) = sid.and_then(|s| self.engine.search(s)) {
+                            self.traced_qids.insert(state.qid, t);
+                        }
+                    }
                     self.queries[qi].search_id = sid;
                     if sid.is_none() {
                         self.stats[stats_idx].done = true;
@@ -300,9 +339,17 @@ impl HybridUp {
                 continue;
             };
             let q = &self.queries[pos];
+            let guid = q.guid;
             let stats_idx = q.stats;
             let leaf = q.leaf;
             if let Some(state) = self.engine.take_search(sid) {
+                self.traced_qids.remove(&state.qid);
+                if let Some(t) = self.trace.lookup(guid.0) {
+                    let me = ctx.self_id().index() as u64;
+                    let at = ctx.now().as_micros();
+                    let n = state.items.len() as u64;
+                    self.trace.emit(t, at, me, TraceKind::PierDone, None, n, 0);
+                }
                 let s = &mut self.stats[stats_idx];
                 s.pier_first = state.first_result_at;
                 s.pier_items = state.items.clone();
@@ -322,6 +369,25 @@ impl HybridUp {
         }
     }
 
+    /// Forward PIER client events into the search engine. Result batches
+    /// for a *traced* search trigger item fetches (`dht.get`); those
+    /// lookups get the same trace attribution as the original search.
+    fn pump_pier_events(&mut self, dnet: &mut DNet) {
+        for pe in self.pier.take_events() {
+            let qid = match &pe {
+                PierEvent::Results { qid, .. } | PierEvent::Done { qid, .. } => *qid,
+            };
+            let scoped = self.traced_qids.get(&qid).copied();
+            if let Some(t) = scoped {
+                self.dht.trace_scope(t);
+            }
+            self.engine.on_pier_event(&mut self.dht, dnet, &pe);
+            if scoped.is_some() {
+                self.dht.clear_trace_scope();
+            }
+        }
+    }
+
     fn drain_dht_events(&mut self, ctx: &mut dyn Ctx<HybridMsg>) {
         loop {
             let events = self.dht.take_events();
@@ -331,9 +397,7 @@ impl HybridUp {
             for ev in events {
                 let mut dnet = DNet { ctx };
                 let consumed = self.pier.on_dht_event(&mut self.dht, &mut dnet, &ev);
-                for pe in self.pier.take_events() {
-                    self.engine.on_pier_event(&mut self.dht, &mut dnet, &pe);
-                }
+                self.pump_pier_events(&mut dnet);
                 if !consumed {
                     self.engine.on_dht_event(&mut self.dht, &mut dnet, &ev);
                 }
@@ -477,9 +541,7 @@ impl Actor<HybridMsg> for HybridUp {
                     self.dht.tick(&mut dnet);
                     self.pier.tick(&mut self.dht, &mut dnet);
                     self.publisher.tick(&mut self.pier, &mut self.dht, &mut dnet);
-                    for pe in self.pier.take_events() {
-                        self.engine.on_pier_event(&mut self.dht, &mut dnet, &pe);
-                    }
+                    self.pump_pier_events(&mut dnet);
                     self.engine.tick(&mut dnet);
                 }
                 self.drain_dht_events(ctx);

@@ -201,3 +201,73 @@ fn leaf_queries_get_hybrid_treatment() {
     assert_eq!(search.hits.len(), 1, "the DHT-indexed item must reach the leaf");
     assert_eq!(&*search.hits[0].file.name, "ghost_release_promo.mp3");
 }
+
+#[test]
+fn traced_fallback_emits_pier_and_dht_events() {
+    use pier_trace::{TraceHandle, TraceKind, Tracer};
+    use std::sync::Arc;
+
+    let mut net = build(85, 10);
+    net.sim.run_for(SimDuration::from_secs(60));
+
+    // Index an item that exists nowhere on Gnutella paths, so the traced
+    // query is guaranteed to fall through to PIERSearch.
+    let up0 = net.deployment.hybrid_ups[0];
+    let phantom_host = net.deployment.leaves[3];
+    net.sim.with_actor_ctx::<HybridUp, _>(up0, |up, ctx| {
+        let mut dnet = pier_hybrid::DNet { ctx };
+        up.publisher.publish_file(
+            &mut up.pier,
+            &mut up.dht,
+            &mut dnet,
+            "phantom_track.mp3",
+            7,
+            phantom_host,
+            6346,
+        );
+    });
+    net.sim.run_for(SimDuration::from_secs(10));
+
+    let tracer = Arc::new(Tracer::default());
+    let vantage = net.deployment.hybrid_ups[7];
+    let qidx = net.sim.with_actor_ctx::<HybridUp, _>(vantage, |up, ctx| {
+        up.set_trace(TraceHandle::new(Arc::clone(&tracer)));
+        let idx = up.start_hybrid_query(ctx, "phantom track");
+        let (guid, rec) = up.gnutella.queries().next().expect("query registered");
+        tracer.register(
+            guid.0,
+            ctx.self_id().index() as u64,
+            ctx.now().as_micros(),
+            u64::from(up.gnutella.cfg.probe_ttl),
+            &rec.terms.text(),
+        );
+        idx
+    });
+    net.sim.run_for(SimDuration::from_secs(90));
+
+    let stats = net.sim.actor::<HybridUp>(vantage).stats[qidx].clone();
+    assert_eq!(stats.gnutella_hits, 0, "phantom item must miss on Gnutella");
+    assert!(stats.pier_issued_at.is_some(), "fallback must fire");
+
+    let events = tracer.sorted_events();
+    let count = |k: TraceKind| events.iter().filter(|e| e.kind == k).count();
+    assert_eq!(count(TraceKind::PierFallback), 1);
+    assert_eq!(count(TraceKind::PierDone), 1);
+    assert!(count(TraceKind::DhtLookupStart) >= 1, "fallback lookups attributed");
+    assert!(count(TraceKind::DhtHop) >= 1);
+    // The fallback's trace scope was cleared afterwards: every DHT event
+    // happened on the vantage node (no maintenance bleed-through).
+    let me = vantage.index() as u64;
+    assert!(events
+        .iter()
+        .filter(|e| matches!(
+            e.kind,
+            TraceKind::DhtLookupStart | TraceKind::DhtHop | TraceKind::DhtLookupDone
+        ))
+        .all(|e| e.node == me));
+    // (Flood-relay legs appear only on nodes carrying a handle — the lab
+    // attaches one everywhere; here only the vantage is instrumented.)
+    let done_at = events.iter().find(|e| e.kind == TraceKind::PierDone).unwrap().at_us;
+    let fb_at = events.iter().find(|e| e.kind == TraceKind::PierFallback).unwrap().at_us;
+    assert!(fb_at < done_at, "fallback precedes completion");
+}

@@ -17,6 +17,11 @@ pub struct CrateRules {
     pub det_iter: bool,
     /// DET-CLOCK: no wall-clock reads; sim code gets time from `Ctx`.
     pub det_clock: bool,
+    /// Workspace-relative path suffixes DET-CLOCK *exempts* even when the
+    /// pass is on: confined profiling modules whose wall-clock reads are
+    /// read-only observers of the sim, never inputs to it. Keep this list
+    /// short — each entry needs a written reason at its insertion site.
+    pub det_clock_allow_paths: &'static [&'static str],
     /// DET-ENTROPY: no ambient entropy; all randomness is seeded streams.
     pub det_entropy: bool,
     /// SHARD-STATIC: no mutable/interior-mutable statics that could carry
@@ -101,6 +106,18 @@ pub fn workspace_rules() -> BTreeMap<&'static str, CrateRules> {
     // (benchmarks, sweep wall-time reporting). Everything else still
     // applies — a bench-driven trial must stay seeded and shard-safe.
     m.insert("bench", CrateRules { det_clock: false, ..CrateRules::support() });
+
+    // pier-trace is observability: the tracer/report modules are clock-free
+    // and fully linted, but the profiling module is *about* wall-clock
+    // (phase timers, barrier-wait measurement, the progress heartbeat), so
+    // DET-CLOCK exempts exactly `src/profile.rs`. That confinement is safe
+    // because profiling is a read-only observer behind `KernelProbe` /
+    // `PhaseTimer`: it receives already-computed sim state and has no
+    // channel back into RNG streams, event ordering, or `Metrics`.
+    m.insert(
+        "trace",
+        CrateRules { det_clock_allow_paths: &["src/profile.rs"], ..CrateRules::support() },
+    );
 
     m
 }

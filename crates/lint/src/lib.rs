@@ -80,6 +80,7 @@ pub fn analyze_files(
     let strictest = CrateRules {
         det_iter: true,
         det_clock: true,
+        det_clock_allow_paths: &[],
         det_entropy: true,
         shard_static: true,
         metric_raw: true,

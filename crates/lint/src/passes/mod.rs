@@ -55,7 +55,7 @@ pub fn run_all(
     if rules.det_iter {
         det_iter::run(ctx, ann, out);
     }
-    if rules.det_clock {
+    if rules.det_clock && !rules.det_clock_allow_paths.contains(&ctx.rel_path) {
         simple::det_clock(ctx, ann, out);
     }
     if rules.det_entropy {

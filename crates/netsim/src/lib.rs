@@ -73,6 +73,7 @@ mod event;
 pub mod heap;
 mod latency;
 pub mod metrics;
+mod probe;
 mod rng;
 mod sim;
 mod time;
@@ -83,6 +84,7 @@ pub use latency::{ClusteredWan, ConstantLatency, LatencyModel, UniformLatency};
 pub use metrics::{
     Cdf, Counter, Histogram, LazyMetricClass, MetricClass, Metrics, MetricsSnapshot,
 };
+pub use probe::{KernelProbe, PROGRESS_EVERY};
 pub use rng::{derive_seed, split_mix64, stream_rng, SimRng};
 pub use sim::{EventStats, Sim, SimConfig, MAX_SHARDS};
 pub use time::{SimDuration, SimTime};

@@ -653,6 +653,37 @@ impl MetricsSnapshot {
         self.total_bytes += other.total_bytes;
     }
 
+    /// Name-keyed counter deltas since `baseline`: `self − baseline`,
+    /// skipping classes whose delta is zero. The standard way to attribute
+    /// traffic to one experiment window (snapshot before, run, snapshot
+    /// after, diff) without hand-subtracting individual counters.
+    ///
+    /// Counters are monotone over a run, so `self` must be the *later*
+    /// snapshot; a class that shrank (different run, wrong order) saturates
+    /// to zero rather than wrapping.
+    pub fn diff(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let deltas: Vec<(&'static str, Counter)> = self
+            .counters
+            .iter()
+            .map(|&(name, c)| {
+                let base = baseline.counter(name);
+                (
+                    name,
+                    Counter {
+                        count: c.count.saturating_sub(base.count),
+                        bytes: c.bytes.saturating_sub(base.bytes),
+                    },
+                )
+            })
+            .filter(|(_, c)| !c.is_zero())
+            .collect();
+        MetricsSnapshot {
+            counters: deltas,
+            total_messages: self.total_messages.saturating_sub(baseline.total_messages),
+            total_bytes: self.total_bytes.saturating_sub(baseline.total_bytes),
+        }
+    }
+
     /// Sum a set of snapshots (e.g. one per sweep trial) into one.
     pub fn merged<'a>(snapshots: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
         let mut total = MetricsSnapshot::default();
@@ -868,6 +899,38 @@ mod tests {
         let mut id = merged.clone();
         id.merge(&MetricsSnapshot::default());
         assert_eq!(id, merged);
+    }
+
+    #[test]
+    fn snapshot_diff_yields_window_deltas_and_skips_zeros() {
+        let mut m = Metrics::new();
+        m.record_send(class("diff.a"), 10);
+        m.record_send(class("diff.b"), 5);
+        let before = m.snapshot();
+        m.record_send(class("diff.b"), 7);
+        m.record_send(class("diff.c"), 3);
+        let after = m.snapshot();
+
+        let d = after.diff(&before);
+        // diff.a did not move in the window: skipped entirely.
+        assert_eq!(d.counter("diff.a"), Counter::default());
+        assert!(!d.counters().any(|(n, _)| n == "diff.a"));
+        assert_eq!(d.counter("diff.b"), Counter { count: 1, bytes: 7 });
+        assert_eq!(d.counter("diff.c"), Counter { count: 1, bytes: 3 });
+        assert_eq!(d.total_messages, 2);
+        assert_eq!(d.total_bytes, 10);
+
+        // Diffing against itself is empty; wrong-order diff saturates.
+        assert_eq!(after.diff(&after), MetricsSnapshot::default());
+        assert_eq!(before.diff(&after).counter("diff.b"), Counter::default());
+
+        // diff is the inverse of merge: (before ⊎ w).diff(before) == w.
+        let mut w = Metrics::new();
+        w.record_send(class("diff.b"), 7);
+        w.record_send(class("diff.c"), 3);
+        let mut rebuilt = before.clone();
+        rebuilt.merge(&w.snapshot());
+        assert_eq!(rebuilt.diff(&before), d);
     }
 
     /// Sharded-kernel merge surface: splitting one sample stream across

@@ -1,0 +1,430 @@
+//! Trace-report: parse the JSONL emitted by [`crate::Tracer::to_jsonl`],
+//! reconstruct each sampled query's flood tree / DHT lookup path, and check
+//! well-formedness (exactly one root, every relay hop parented by an
+//! earlier-timestamped relay, no orphans).
+//!
+//! Clock-free and dependency-free: the hand-rolled JSONL field scanner below
+//! only needs to read back what `to_jsonl` writes (flat objects, numeric
+//! fields, one escaped string field).
+
+use crate::trace::{TraceEvent, TraceKind, TraceMeta};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Pull the raw text of `"key":<value>` out of a flat JSON object line.
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(inner) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut prev_backslash = false;
+        for (i, c) in inner.char_indices() {
+            match c {
+                '\\' if !prev_backslash => prev_backslash = true,
+                '"' if !prev_backslash => return Some(&inner[..i]),
+                _ => prev_backslash = false,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Parse a trace JSONL document back into metas + events. Unparseable lines
+/// are returned as errors (line number, 1-based).
+pub fn parse_jsonl(text: &str) -> Result<(Vec<TraceMeta>, Vec<TraceEvent>), String> {
+    let mut metas = Vec::new();
+    let mut events = Vec::new();
+    for (ix, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lno = ix + 1;
+        let trace =
+            field_u64(line, "trace").ok_or_else(|| format!("line {lno}: missing trace id"))? as u32;
+        if field_raw(line, "meta") == Some("true") {
+            metas.push(TraceMeta {
+                trace,
+                guid: field_u64(line, "guid").ok_or_else(|| format!("line {lno}: missing guid"))?,
+                root: field_u64(line, "root").ok_or_else(|| format!("line {lno}: missing root"))?,
+                at_us: field_u64(line, "at_us")
+                    .ok_or_else(|| format!("line {lno}: missing at_us"))?,
+                terms: unescape(field_raw(line, "terms").unwrap_or("")),
+            });
+        } else {
+            let kind_s =
+                field_raw(line, "kind").ok_or_else(|| format!("line {lno}: missing kind"))?;
+            let kind = TraceKind::parse(kind_s)
+                .ok_or_else(|| format!("line {lno}: unknown kind {kind_s:?}"))?;
+            events.push(TraceEvent {
+                trace,
+                at_us: field_u64(line, "at_us")
+                    .ok_or_else(|| format!("line {lno}: missing at_us"))?,
+                node: field_u64(line, "node").ok_or_else(|| format!("line {lno}: missing node"))?,
+                seq: field_u64(line, "seq").unwrap_or(0) as u32,
+                kind,
+                from: field_u64(line, "from"),
+                n: field_u64(line, "n").unwrap_or(0),
+                m: field_u64(line, "m").unwrap_or(0),
+            });
+        }
+    }
+    Ok((metas, events))
+}
+
+/// Well-formedness verdict and per-hop accounting for one trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceCheck {
+    pub trace: u32,
+    pub terms: String,
+    pub root: u64,
+    pub events: usize,
+    /// Distinct ultrapeers the query reached (root + relays).
+    pub reached: usize,
+    pub relays: usize,
+    pub dup_drops: usize,
+    pub qrp_forwarded: u64,
+    pub qrp_screened: u64,
+    pub leaf_matches: u64,
+    pub hits: u64,
+    pub first_hit_us: Option<u64>,
+    /// Max hops value observed on a relay (flood depth).
+    pub max_depth: u64,
+    pub dht_hops: u64,
+    pub dht_timeouts: u64,
+    pub pier_fallback: bool,
+    // --- violations ---
+    pub roots: usize,
+    pub orphan_hops: usize,
+    pub time_violations: usize,
+}
+
+impl TraceCheck {
+    /// One root, every hop parented, parents strictly earlier.
+    pub fn well_formed(&self) -> bool {
+        self.roots == 1 && self.orphan_hops == 0 && self.time_violations == 0
+    }
+}
+
+/// Reconstruct and check every trace. Events must be time-sorted within each
+/// trace (the canonical `to_jsonl` order guarantees this).
+pub fn check_traces(metas: &[TraceMeta], events: &[TraceEvent]) -> Vec<TraceCheck> {
+    metas
+        .iter()
+        .map(|meta| {
+            let mut c = TraceCheck {
+                trace: meta.trace,
+                terms: meta.terms.clone(),
+                root: meta.root,
+                ..TraceCheck::default()
+            };
+            let trace_events = || events.iter().filter(|e| e.trace == meta.trace);
+            // Pass 1: node -> earliest sim time it became a relay (received
+            // and re-held the query). Built over the whole trace first so a
+            // parent timestamped *after* its child is reported as a time
+            // violation, not mistaken for a missing parent.
+            let mut relay_at: BTreeMap<u64, u64> = BTreeMap::new();
+            for ev in trace_events() {
+                if matches!(ev.kind, TraceKind::QueryStart | TraceKind::RelayRecv) {
+                    let t = relay_at.entry(ev.node).or_insert(ev.at_us);
+                    *t = (*t).min(ev.at_us);
+                }
+            }
+            let mut reached: BTreeMap<u64, ()> = BTreeMap::new();
+            // Pass 2: per-hop accounting and parent checks.
+            for ev in trace_events() {
+                c.events += 1;
+                let parent_ok = |from: Option<u64>, c: &mut TraceCheck| match from
+                    .and_then(|f| relay_at.get(&f).copied())
+                {
+                    Some(t) if t < ev.at_us => {}
+                    Some(_) => c.time_violations += 1,
+                    None => c.orphan_hops += 1,
+                };
+                match ev.kind {
+                    TraceKind::QueryStart => {
+                        c.roots += 1;
+                        reached.insert(ev.node, ());
+                        if ev.node != meta.root {
+                            c.orphan_hops += 1; // root event off the registered origin
+                        }
+                    }
+                    TraceKind::RelayRecv => {
+                        c.relays += 1;
+                        c.max_depth = c.max_depth.max(ev.m + 1);
+                        parent_ok(ev.from, &mut c);
+                        reached.insert(ev.node, ());
+                    }
+                    TraceKind::DupDrop => {
+                        c.dup_drops += 1;
+                        parent_ok(ev.from, &mut c);
+                    }
+                    TraceKind::QrpScreen => {
+                        c.qrp_forwarded += ev.n;
+                        c.qrp_screened += ev.m;
+                        // Screening happens on a node the query reached.
+                        if !relay_at.contains_key(&ev.node) {
+                            c.orphan_hops += 1;
+                        }
+                    }
+                    TraceKind::LeafMatch => {
+                        c.leaf_matches += ev.n;
+                        parent_ok(ev.from, &mut c);
+                    }
+                    TraceKind::HitRelay => {
+                        // Hits flow on the reverse path; counted, not parented.
+                    }
+                    TraceKind::HitArrive => {
+                        c.hits += ev.n;
+                        if c.first_hit_us.is_none() {
+                            c.first_hit_us = Some(ev.at_us);
+                        }
+                    }
+                    TraceKind::DhtLookupStart => {}
+                    TraceKind::DhtHop => c.dht_hops += ev.n,
+                    TraceKind::DhtTimeout => c.dht_timeouts += ev.n,
+                    TraceKind::DhtLookupDone => {}
+                    TraceKind::PierFallback => c.pier_fallback = true,
+                    TraceKind::PierDone => c.hits += ev.n,
+                }
+            }
+            c.reached = reached.len();
+            c
+        })
+        .collect()
+}
+
+/// Human-readable per-trace report (one block per trace, a `WELL-FORMED` /
+/// `MALFORMED` verdict line each).
+pub fn render_report(checks: &[TraceCheck]) -> String {
+    let mut out = String::new();
+    for c in checks {
+        let _ = writeln!(out, "trace {} [{}] root={}", c.trace, c.terms, c.root);
+        let _ = writeln!(
+            out,
+            "  flood: {} ups reached, {} relays (depth {}), {} dup-drops",
+            c.reached, c.relays, c.max_depth, c.dup_drops
+        );
+        let _ = writeln!(
+            out,
+            "  qrp: {} leaf-forwards, {} screened  |  {} leaf matches, {} hits{}",
+            c.qrp_forwarded,
+            c.qrp_screened,
+            c.leaf_matches,
+            c.hits,
+            match c.first_hit_us {
+                Some(t) => format!(", first hit @{:.1}ms", t as f64 / 1e3),
+                None => String::new(),
+            }
+        );
+        if c.dht_hops > 0 || c.dht_timeouts > 0 || c.pier_fallback {
+            let _ = writeln!(
+                out,
+                "  dht: {} hop-rpcs, {} timeouts{}",
+                c.dht_hops,
+                c.dht_timeouts,
+                if c.pier_fallback { ", pier fallback" } else { "" }
+            );
+        }
+        let verdict = if c.well_formed() {
+            "WELL-FORMED".to_string()
+        } else {
+            format!(
+                "MALFORMED ({} roots, {} orphan hops, {} time violations)",
+                c.roots, c.orphan_hops, c.time_violations
+            )
+        };
+        let _ = writeln!(out, "  {} events  ->  {}", c.events, verdict);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn sample_tracer() -> Tracer {
+        let t = Tracer::new();
+        t.register(0xAB, 1, 0, 4, "led zeppelin");
+        // 1 -> 2 -> 3 flood; a dup-drop of 3's relay back at 2; leaf match
+        // under 3; hit arrives back at the root.
+        t.emit(TraceEvent {
+            trace: 0,
+            at_us: 40_000,
+            node: 2,
+            seq: 0,
+            kind: TraceKind::RelayRecv,
+            from: Some(1),
+            n: 3,
+            m: 0,
+        });
+        t.emit(TraceEvent {
+            trace: 0,
+            at_us: 40_000,
+            node: 2,
+            seq: 0,
+            kind: TraceKind::QrpScreen,
+            from: None,
+            n: 1,
+            m: 5,
+        });
+        t.emit(TraceEvent {
+            trace: 0,
+            at_us: 80_000,
+            node: 3,
+            seq: 0,
+            kind: TraceKind::RelayRecv,
+            from: Some(2),
+            n: 2,
+            m: 1,
+        });
+        t.emit(TraceEvent {
+            trace: 0,
+            at_us: 120_000,
+            node: 2,
+            seq: 0,
+            kind: TraceKind::DupDrop,
+            from: Some(3),
+            n: 1,
+            m: 2,
+        });
+        t.emit(TraceEvent {
+            trace: 0,
+            at_us: 90_000,
+            node: 30,
+            seq: 0,
+            kind: TraceKind::LeafMatch,
+            from: Some(3),
+            n: 2,
+            m: 0,
+        });
+        t.emit(TraceEvent {
+            trace: 0,
+            at_us: 200_000,
+            node: 1,
+            seq: 0,
+            kind: TraceKind::HitArrive,
+            from: None,
+            n: 2,
+            m: 2,
+        });
+        t
+    }
+
+    #[test]
+    fn round_trip_and_well_formed_tree() {
+        let t = sample_tracer();
+        let jsonl = t.to_jsonl();
+        let (metas, events) = parse_jsonl(&jsonl).expect("parses");
+        assert_eq!(metas.len(), 1);
+        assert_eq!(events.len(), 7);
+        assert_eq!(metas[0].terms, "led zeppelin");
+        // Round trip: parsed events equal the tracer's sorted events.
+        assert_eq!(events, t.sorted_events());
+        let checks = check_traces(&metas, &events);
+        assert_eq!(checks.len(), 1);
+        let c = &checks[0];
+        assert!(c.well_formed(), "violations: {c:?}");
+        assert_eq!(c.relays, 2);
+        assert_eq!(c.reached, 3);
+        assert_eq!(c.dup_drops, 1);
+        assert_eq!(c.max_depth, 2);
+        assert_eq!(c.leaf_matches, 2);
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.first_hit_us, Some(200_000));
+        assert_eq!((c.qrp_forwarded, c.qrp_screened), (1, 5));
+        let report = render_report(&checks);
+        assert!(report.contains("WELL-FORMED"));
+        assert!(report.contains("led zeppelin"));
+    }
+
+    #[test]
+    fn orphan_hop_is_flagged() {
+        let t = sample_tracer();
+        // Relay claiming a parent that never relayed.
+        t.emit(TraceEvent {
+            trace: 0,
+            at_us: 300_000,
+            node: 9,
+            seq: 0,
+            kind: TraceKind::RelayRecv,
+            from: Some(777),
+            n: 1,
+            m: 3,
+        });
+        let (metas, events) = parse_jsonl(&t.to_jsonl()).unwrap();
+        let c = &check_traces(&metas, &events)[0];
+        assert!(!c.well_formed());
+        assert_eq!(c.orphan_hops, 1);
+        assert!(render_report(std::slice::from_ref(c)).contains("MALFORMED"));
+    }
+
+    #[test]
+    fn parent_after_child_is_a_time_violation() {
+        let t = Tracer::new();
+        t.register(0xCD, 1, 100_000, 4, "q");
+        // Child relay timestamped *before* the root issued the query.
+        t.emit(TraceEvent {
+            trace: 0,
+            at_us: 50_000,
+            node: 2,
+            seq: 0,
+            kind: TraceKind::RelayRecv,
+            from: Some(1),
+            n: 3,
+            m: 0,
+        });
+        let (metas, events) = parse_jsonl(&t.to_jsonl()).unwrap();
+        let c = &check_traces(&metas, &events)[0];
+        assert_eq!(c.time_violations, 1);
+        assert!(!c.well_formed());
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let err =
+            parse_jsonl("{\"trace\":0,\"kind\":\"bogus\",\"at_us\":1,\"node\":1}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_jsonl("{\"no_trace\":1}").unwrap_err();
+        assert!(err.contains("missing trace"), "{err}");
+    }
+
+    #[test]
+    fn field_scanner_handles_escaped_quotes() {
+        let line = r#"{"meta":true,"trace":3,"guid":9,"root":4,"at_us":7,"terms":"a \"b\" \\ c"}"#;
+        let (metas, _) = parse_jsonl(line).unwrap();
+        assert_eq!(metas[0].terms, "a \"b\" \\ c");
+    }
+}
